@@ -1,0 +1,45 @@
+// Fig 2.4: spherical-harmonic approximation to a specular reflection spike
+// using 30 terms. For a function of the deviation angle alone the expansion
+// reduces to a Legendre series; the paper's point is the Gibbs ringing and
+// the poor fit even at 30 terms — the argument against extended-radiosity
+// representations of specular radiance.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/legendre.hpp"
+#include "bench_util.hpp"
+
+using namespace photon;
+
+int main(int argc, char** argv) {
+  const int terms = static_cast<int>(benchutil::arg_u64(argc, argv, "terms", 30));
+  const double half_range = 1.5;  // radians, matching the figure's x axis
+
+  const auto f = [&](double x) { return specular_spike(x * half_range); };
+  const auto coeffs = legendre_series(f, terms);
+
+  benchutil::header("Fig 2.4 — 30-Term Harmonic Fit of a Specular Spike");
+  std::printf("%12s %12s %12s\n", "angle (rad)", "spike", "series");
+  benchutil::rule();
+  double min_val = 1e9, max_err = 0.0;
+  for (double a = -1.5; a <= 1.5001; a += 0.125) {
+    const double x = a / half_range;
+    const double approx = eval_legendre_series(coeffs, x);
+    min_val = std::min(min_val, approx);
+    max_err = std::max(max_err, std::abs(approx - f(x)));
+    std::printf("%12.3f %12.4f %12.4f\n", a, f(x), approx);
+  }
+  // Scan finely for the worst undershoot (ring trough).
+  for (double x = -1.0; x <= 1.0; x += 0.001) {
+    min_val = std::min(min_val, eval_legendre_series(coeffs, x));
+  }
+  benchutil::rule();
+  std::printf("deepest ring trough: %.4f (paper's figure dips to about -0.2)\n", min_val);
+  std::printf("worst absolute error: %.4f of a unit spike\n", max_err);
+  std::printf(
+      "Shapes to check: visible oscillation away from the spike, negative lobes\n"
+      "(physically impossible radiance), and a materially imperfect peak at %d terms.\n",
+      terms);
+  return 0;
+}

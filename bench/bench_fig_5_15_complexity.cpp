@@ -1,0 +1,64 @@
+// Fig 5.15: the "graph of graphs" — performance and speedup vs scene
+// complexity (columns) and processor coupling (rows). Each cell summarizes a
+// full speed-vs-time trace by its final rate and speedup per processor count.
+//
+// The paper's observations to reproduce:
+//  * down a column (looser coupling) the time to first data point grows;
+//  * across a row (more complex scene) scalability rises but absolute
+//    performance falls.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "geom/scenes.hpp"
+#include "perf/model.hpp"
+
+using namespace photon;
+
+int main(int argc, char** argv) {
+  const std::uint64_t probe = benchutil::arg_u64(argc, argv, "probe", 8000);
+
+  const char* scene_keys[] = {"cornell", "harpsichord", "lab"};
+  std::vector<WorkloadProfile> profiles;
+  for (const char* key : scene_keys) {
+    profiles.push_back(profile_scene(scenes::by_name(key), probe, 1));
+  }
+
+  struct Row {
+    const char* name;
+    Platform platform;
+    bool shared;
+    double duration;
+  };
+  const Row rows[] = {
+      {"Power Onyx (shared)", Platform::power_onyx(), true, 600.0},
+      {"Indy Cluster (dist)", Platform::indy_cluster(), false, 2000.0},
+      {"IBM SP-2 (dist)", Platform::sp2(), false, 1000.0},
+  };
+
+  benchutil::header("Fig 5.15 — Performance & Speedup vs Complexity (graph of graphs)");
+  std::printf("%-22s | %-26s | %-26s | %-26s\n", "", "Cornell Box", "Harpsichord Room",
+              "Computer Lab");
+  std::printf("%-22s | %-26s | %-26s | %-26s\n", "platform",
+              "rate@P8  spd8  t0", "rate@P8  spd8  t0", "rate@P8  spd8  t0");
+  benchutil::rule();
+
+  for (const Row& row : rows) {
+    std::printf("%-22s |", row.name);
+    for (const WorkloadProfile& profile : profiles) {
+      const double serial = model_serial_rate(profile, row.platform);
+      const auto trace = row.shared
+                             ? model_shared(profile, row.platform, 8, row.duration)
+                             : model_distributed(profile, row.platform, 8, row.duration);
+      std::printf(" %9.0f %5.2f %5.1fs |", trace.back().rate, trace.back().rate / serial,
+                  trace.front().time_s);
+    }
+    std::printf("\n");
+  }
+  benchutil::rule();
+  std::printf(
+      "t0 = time of first data point. Shapes to check: t0 grows downward (looser\n"
+      "coupling), speedup grows rightward (scene complexity), absolute rate falls\n"
+      "rightward.\n");
+  return 0;
+}

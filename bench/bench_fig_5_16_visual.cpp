@@ -1,0 +1,62 @@
+// Fig 5.16: visual speedup — the same wall-clock budget on 1/2/4/8 processors
+// simulates proportionally more photons, visibly improving answer quality
+// (mirror, shadows under the harpsichord and skylights).
+//
+// This bench reports the photon budgets a 2-minute run achieves per processor
+// count under the Power Onyx model, and the resulting answer-quality proxy
+// (bin count and radiance noise) from real simulations at those budgets. The
+// companion example `visual_speedup` renders the four images.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "geom/scenes.hpp"
+#include "perf/model.hpp"
+#include "sim/simulator.hpp"
+
+using namespace photon;
+
+int main(int argc, char** argv) {
+  const std::uint64_t probe = benchutil::arg_u64(argc, argv, "probe", 8000);
+  const double budget_s = benchutil::arg_double(argc, argv, "budget", 120.0);
+  // The real simulations run at a fraction of the modeled 2-minute budgets to
+  // stay affordable on this host; the 1:2:4:8 ratio is what matters.
+  const double scale = benchutil::arg_double(argc, argv, "scale", 0.1);
+
+  const Scene scene = scenes::harpsichord_room();
+  const WorkloadProfile profile = profile_scene(scene, probe, 1);
+  const Platform onyx = Platform::power_onyx();
+
+  benchutil::header("Fig 5.16 — Visual Speedup (2-minute budgets, Harpsichord Room)");
+  std::printf("%5s | %14s | %12s | %12s | %12s | %14s\n", "P", "photons/2min", "simulated",
+              "bins", "photons/bin", "noise proxy");
+  benchutil::rule();
+
+  for (const int P : {1, 2, 4, 8}) {
+    const auto trace = model_shared(profile, onyx, P, budget_s);
+    const std::uint64_t budget = trace.empty() ? 0 : trace.back().photons;
+    const std::uint64_t simulated =
+        std::max<std::uint64_t>(static_cast<std::uint64_t>(budget * scale), 1000);
+
+    SerialConfig cfg;
+    cfg.photons = simulated;
+    cfg.batch = simulated / 4 + 1;
+    const SerialResult r = run_serial(scene, cfg);
+
+    // Relative Monte Carlo noise scales as 1/sqrt(photons per bin).
+    const double per_bin = static_cast<double>(r.forest.total_tally_all()) /
+                           static_cast<double>(r.forest.total_leaves());
+    std::printf("%5d | %14llu | %12llu | %12llu | %12.1f | %14.4f\n", P,
+                static_cast<unsigned long long>(budget),
+                static_cast<unsigned long long>(simulated),
+                static_cast<unsigned long long>(r.forest.total_leaves()), per_bin,
+                1.0 / std::sqrt(per_bin));
+  }
+  benchutil::rule();
+  std::printf(
+      "Shape to check: each doubling of processors roughly doubles the photon count\n"
+      "a fixed 2-minute budget buys, cutting bin noise by ~sqrt(2) — the paper's\n"
+      "visibly improving mirror and shadows. Render the four images with\n"
+      "`examples/visual_speedup`.\n");
+  return 0;
+}

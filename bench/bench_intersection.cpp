@@ -1,0 +1,61 @@
+// Intersection-determination bench (chapter 4: "increasing the speed of
+// intersection determination holds the most promise for decreasing solution
+// time"; chapter 6 motivates the octree). Octree traversal vs brute-force
+// linear scan on all three test geometries.
+#include <benchmark/benchmark.h>
+
+#include "core/rng.hpp"
+#include "geom/scenes.hpp"
+
+namespace {
+
+using photon::Lcg48;
+using photon::Ray;
+using photon::Scene;
+using photon::Vec3;
+
+const Scene& scene_for(int idx) {
+  static const Scene cornell = photon::scenes::cornell_box();
+  static const Scene harpsichord = photon::scenes::harpsichord_room();
+  static const Scene lab = photon::scenes::computer_lab();
+  return idx == 0 ? cornell : (idx == 1 ? harpsichord : lab);
+}
+
+Ray random_interior_ray(const Scene& s, Lcg48& rng) {
+  const photon::Aabb b = s.bounds();
+  const Vec3 e = b.extent();
+  const Vec3 origin = b.lo + Vec3{0.1 * e.x + 0.8 * e.x * rng.uniform(),
+                                  0.1 * e.y + 0.8 * e.y * rng.uniform(),
+                                  0.1 * e.z + 0.8 * e.z * rng.uniform()};
+  Vec3 dir{rng.uniform() * 2 - 1, rng.uniform() * 2 - 1, rng.uniform() * 2 - 1};
+  while (dir.length_squared() < 1e-9) {
+    dir = Vec3{rng.uniform() * 2 - 1, rng.uniform() * 2 - 1, rng.uniform() * 2 - 1};
+  }
+  return Ray(origin, dir.normalized());
+}
+
+void BM_OctreeIntersect(benchmark::State& state) {
+  const Scene& s = scene_for(static_cast<int>(state.range(0)));
+  Lcg48 rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.intersect(random_interior_ray(s, rng)));
+  }
+  state.SetLabel(s.name());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OctreeIntersect)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_BruteForceIntersect(benchmark::State& state) {
+  const Scene& s = scene_for(static_cast<int>(state.range(0)));
+  Lcg48 rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.intersect_brute(random_interior_ray(s, rng)));
+  }
+  state.SetLabel(s.name());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BruteForceIntersect)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

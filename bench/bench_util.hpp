@@ -1,0 +1,42 @@
+// Shared helpers for the table/figure reproduction benches: tiny argument
+// parsing and consistent table formatting so every bench prints rows that can
+// be compared against the paper directly.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace photon::benchutil {
+
+// Parses "--name=value" from argv; returns fallback when absent.
+inline std::uint64_t arg_u64(int argc, char** argv, const char* name, std::uint64_t fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::strtoull(argv[i] + prefix.size(), nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+inline double arg_double(int argc, char** argv, const char* name, double fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::strtod(argv[i] + prefix.size(), nullptr);
+    }
+  }
+  return fallback;
+}
+
+inline void header(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+inline void rule() {
+  std::printf("------------------------------------------------------------------------\n");
+}
+
+}  // namespace photon::benchutil

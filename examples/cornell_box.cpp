@@ -1,0 +1,73 @@
+// Fig 4.10 workflow: "Different Viewpoints Using the Same Answer File."
+//
+// Simulates the Cornell Box once, then renders several viewpoints — including
+// ones looking at the floating mirror from different angles — without any
+// recomputation. The mirror is an ordinary patch whose bin tree simply holds
+// richer angular information (chapter 4).
+//
+// Usage: cornell_box [photons]     (default 400000)
+#include <cstdio>
+#include <cstdlib>
+
+#include "geom/scenes.hpp"
+#include "sim/simulator.hpp"
+#include "view/viewer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace photon;
+
+  const std::uint64_t photons = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 400000;
+  const Scene scene = scenes::cornell_box();
+
+  SerialConfig config;
+  config.photons = photons;
+  // Finer bins than the default: this example is about image quality.
+  config.policy.max_leaf_count = 128;
+  config.policy.count_growth = 1.25;
+  const SerialResult result = run_serial(scene, config);
+  std::printf("simulated %llu photons (%.0f/s), %llu bins\n",
+              static_cast<unsigned long long>(result.trace.total_photons),
+              result.trace.final_rate(),
+              static_cast<unsigned long long>(result.forest.total_leaves()));
+
+  struct Viewpoint {
+    const char* file;
+    Vec3 eye;
+    Vec3 look;
+  };
+  const Viewpoint views[] = {
+      {"cornell_front.ppm", {2.75, 2.75, 5.3}, {2.75, 2.75, 0.0}},
+      {"cornell_left.ppm", {0.7, 3.6, 5.0}, {3.5, 1.8, 1.5}},
+      {"cornell_mirror.ppm", {4.6, 1.4, 4.9}, {2.75, 2.15, 2.6}},
+  };
+  for (const Viewpoint& v : views) {
+    const Camera camera(v.eye, v.look, {0, 1, 0}, 58.0, 320, 320);
+    const Image image = render(scene, result.forest, camera);
+    image.write_ppm(v.file);
+    std::printf("  %s (mean luminance %.4f) — same answer file, no recomputation\n", v.file,
+                image.mean_luminance());
+  }
+
+  // Show the mirror really is view-dependent data: its bin tree carries more
+  // angular subdivision than any diffuse wall.
+  int mirror = -1;
+  for (std::size_t i = 0; i < scene.patch_count(); ++i) {
+    if (scene.material_of(static_cast<int>(i)).specular.max_component() > 0.5) {
+      mirror = static_cast<int>(i);
+    }
+  }
+  auto angular_splits = [&](int patch) {
+    int n = 0;
+    for (int side = 0; side < 2; ++side) {
+      const BinTree& tree = result.forest.tree(patch, side == 0);
+      for (std::size_t i = 0; i < tree.node_count(); ++i) {
+        const BinNode& node = tree.node(static_cast<int>(i));
+        if (!node.is_leaf() && node.axis >= 2) ++n;
+      }
+    }
+    return n;
+  };
+  std::printf("angular bin subdivisions: mirror %d vs floor %d\n", angular_splits(mirror),
+              angular_splits(0));
+  return 0;
+}

@@ -1,0 +1,204 @@
+// photon_cli — command-line front end for the library.
+//
+//   photon_cli scenes
+//       List the built-in scenes.
+//   photon_cli info <scene>
+//       Print geometry/material/luminaire statistics.
+//   photon_cli simulate <scene> <answer-file> [--photons=N] [--seed=N]
+//                        [--checkpoint=FILE] [--resume=FILE]
+//       Run the serial simulation and write the answer file (optionally
+//       checkpointing so long runs can continue later).
+//   photon_cli render <scene> <answer-file> <out.ppm>
+//                        [--eye=x,y,z] [--look=x,y,z] [--fov=deg]
+//                        [--size=WxH] [--spp=N] [--threads=N]
+//       Render a viewpoint from an existing answer file (no re-simulation).
+//
+// <scene> is a built-in name (cornell | harpsichord | lab) or a path to a
+// photon-scene text file.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "geom/scene_io.hpp"
+#include "geom/scenes.hpp"
+#include "hist/metrics.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/simulator.hpp"
+#include "view/viewer.hpp"
+
+namespace {
+
+using namespace photon;
+
+const char* find_arg(int argc, char** argv, const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return nullptr;
+}
+
+std::uint64_t arg_u64(int argc, char** argv, const char* name, std::uint64_t fallback) {
+  const char* v = find_arg(argc, argv, name);
+  return v ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+double arg_double(int argc, char** argv, const char* name, double fallback) {
+  const char* v = find_arg(argc, argv, name);
+  return v ? std::strtod(v, nullptr) : fallback;
+}
+
+bool arg_vec3(int argc, char** argv, const char* name, Vec3& out) {
+  const char* v = find_arg(argc, argv, name);
+  if (!v) return false;
+  return std::sscanf(v, "%lf,%lf,%lf", &out.x, &out.y, &out.z) == 3;
+}
+
+bool load_any_scene(const std::string& spec, Scene& scene) {
+  if (spec == "cornell" || spec == "harpsichord" || spec == "lab") {
+    scene = scenes::by_name(spec);
+    return true;
+  }
+  if (!load_scene(spec, scene)) {
+    std::fprintf(stderr, "error: cannot load scene '%s'\n", spec.c_str());
+    return false;
+  }
+  scene.build();
+  return true;
+}
+
+int cmd_scenes() {
+  std::printf("built-in scenes:\n");
+  std::printf("  cornell      Cornell Box with a floating two-sided mirror (~30 polygons)\n");
+  std::printf("  harpsichord  Harpsichord Practice Room, sun+sky skylights (~100 polygons)\n");
+  std::printf("  lab          Computer Laboratory, 100 workstations (~2000 polygons)\n");
+  return 0;
+}
+
+int cmd_info(const std::string& spec) {
+  Scene scene;
+  if (!load_any_scene(spec, scene)) return 1;
+  std::printf("scene: %s\n", scene.name().c_str());
+  std::printf("  defining polygons : %zu\n", scene.patch_count());
+  std::printf("  materials         : %zu\n", scene.materials().size());
+  std::printf("  luminaires        : %zu\n", scene.luminaires().size());
+  const Rgb power = scene.total_power();
+  std::printf("  total power (RGB) : %.2f %.2f %.2f\n", power.r, power.g, power.b);
+  const Aabb b = scene.bounds();
+  std::printf("  bounds            : (%.2f %.2f %.2f) .. (%.2f %.2f %.2f)\n", b.lo.x, b.lo.y,
+              b.lo.z, b.hi.x, b.hi.y, b.hi.z);
+  std::printf("  octree nodes      : %zu (depth %d)\n", scene.octree().node_count(),
+              scene.octree().depth());
+  return 0;
+}
+
+int cmd_simulate(int argc, char** argv, const std::string& spec, const std::string& answer) {
+  Scene scene;
+  if (!load_any_scene(spec, scene)) return 1;
+
+  SerialConfig config;
+  config.photons = arg_u64(argc, argv, "photons", 500000);
+  config.seed = arg_u64(argc, argv, "seed", config.seed);
+
+  SerialResult resume;
+  const SerialResult* resume_ptr = nullptr;
+  if (const char* path = find_arg(argc, argv, "resume")) {
+    if (!load_checkpoint(path, resume)) {
+      std::fprintf(stderr, "error: cannot load checkpoint '%s'\n", path);
+      return 1;
+    }
+    resume_ptr = &resume;
+    std::printf("resuming from %s (%llu photons so far)\n", path,
+                static_cast<unsigned long long>(resume.counters.emitted));
+  }
+
+  const SerialResult result = run_serial(scene, config, resume_ptr);
+  std::printf("simulated %llu photons (%.0f/s), %.2f bounces/photon\n",
+              static_cast<unsigned long long>(result.counters.emitted),
+              result.trace.final_rate(), result.counters.bounces_per_photon());
+
+  const ForestMetrics metrics = compute_metrics(result.forest);
+  std::printf("forest: %llu bins, depth <= %d, %.1f photons/bin, %.1f%% angular splits\n",
+              static_cast<unsigned long long>(metrics.leaves), metrics.max_depth,
+              metrics.mean_tally_per_leaf, 100.0 * metrics.angular_split_fraction);
+
+  if (const char* path = find_arg(argc, argv, "checkpoint")) {
+    if (!save_checkpoint(result, path)) {
+      std::fprintf(stderr, "error: cannot write checkpoint '%s'\n", path);
+      return 1;
+    }
+    std::printf("checkpoint: %s\n", path);
+  }
+  if (!result.forest.save(answer)) {
+    std::fprintf(stderr, "error: cannot write answer file '%s'\n", answer.c_str());
+    return 1;
+  }
+  std::printf("answer file: %s\n", answer.c_str());
+  return 0;
+}
+
+int cmd_render(int argc, char** argv, const std::string& spec, const std::string& answer,
+               const std::string& out) {
+  Scene scene;
+  if (!load_any_scene(spec, scene)) return 1;
+  BinForest forest;
+  if (!BinForest::load(answer, forest)) {
+    std::fprintf(stderr, "error: cannot load answer file '%s'\n", answer.c_str());
+    return 1;
+  }
+  if (forest.patch_count() != scene.patch_count()) {
+    std::fprintf(stderr, "error: answer file has %zu patches, scene has %zu\n",
+                 forest.patch_count(), scene.patch_count());
+    return 1;
+  }
+
+  const Aabb b = scene.bounds();
+  Vec3 eye = b.center() + Vec3{0, 0, b.extent().z * 0.45};
+  Vec3 look = b.center();
+  arg_vec3(argc, argv, "eye", eye);
+  arg_vec3(argc, argv, "look", look);
+  int width = 320, height = 240;
+  if (const char* size = find_arg(argc, argv, "size")) {
+    std::sscanf(size, "%dx%d", &width, &height);
+  }
+
+  const Camera camera(eye, look, {0, 1, 0}, arg_double(argc, argv, "fov", 60.0), width, height);
+  ViewOptions options;
+  options.samples_per_pixel = static_cast<int>(arg_u64(argc, argv, "spp", 1));
+  options.threads = static_cast<int>(arg_u64(argc, argv, "threads", 1));
+  const Image image = render(scene, forest, camera, options);
+  if (!image.write_ppm(out)) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", out.c_str());
+    return 1;
+  }
+  std::printf("rendered %dx%d -> %s (mean luminance %.4f)\n", width, height, out.c_str(),
+              image.mean_luminance());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: photon_cli scenes\n"
+               "       photon_cli info <scene>\n"
+               "       photon_cli simulate <scene> <answer> [--photons=N] [--seed=N]\n"
+               "                  [--checkpoint=FILE] [--resume=FILE]\n"
+               "       photon_cli render <scene> <answer> <out.ppm> [--eye=x,y,z]\n"
+               "                  [--look=x,y,z] [--fov=deg] [--size=WxH] [--spp=N]"
+               " [--threads=N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "scenes") return cmd_scenes();
+  if (cmd == "info" && argc >= 3) return cmd_info(argv[2]);
+  if (cmd == "simulate" && argc >= 4) return cmd_simulate(argc, argv, argv[2], argv[3]);
+  if (cmd == "render" && argc >= 5) return cmd_render(argc, argv, argv[2], argv[3], argv[4]);
+  return usage();
+}

@@ -1,0 +1,62 @@
+#include "analysis/legendre.hpp"
+
+#include <cmath>
+
+namespace photon {
+
+double legendre_p(int n, double x) {
+  if (n == 0) return 1.0;
+  if (n == 1) return x;
+  double p0 = 1.0, p1 = x;
+  for (int k = 2; k <= n; ++k) {
+    const double p2 = ((2.0 * k - 1.0) * x * p1 - (k - 1.0) * p0) / k;
+    p0 = p1;
+    p1 = p2;
+  }
+  return p1;
+}
+
+std::vector<double> legendre_series(const std::function<double(double)>& f, int terms,
+                                    int quad_points) {
+  // Composite Simpson; quad_points is forced even.
+  const int n = quad_points % 2 == 0 ? quad_points : quad_points + 1;
+  const double h = 2.0 / n;
+  std::vector<double> coeffs(static_cast<std::size_t>(terms), 0.0);
+  for (int l = 0; l < terms; ++l) {
+    double sum = 0.0;
+    for (int i = 0; i <= n; ++i) {
+      const double x = -1.0 + h * i;
+      const double w = (i == 0 || i == n) ? 1.0 : (i % 2 == 1 ? 4.0 : 2.0);
+      sum += w * f(x) * legendre_p(l, x);
+    }
+    coeffs[static_cast<std::size_t>(l)] = (2.0 * l + 1.0) / 2.0 * sum * h / 3.0;
+  }
+  return coeffs;
+}
+
+double eval_legendre_series(std::span<const double> coeffs, double x) {
+  // Evaluate with the same recurrence, accumulating on the fly.
+  double acc = 0.0;
+  double p0 = 1.0, p1 = x;
+  for (std::size_t l = 0; l < coeffs.size(); ++l) {
+    double pl;
+    if (l == 0) {
+      pl = p0;
+    } else if (l == 1) {
+      pl = p1;
+    } else {
+      pl = ((2.0 * l - 1.0) * x * p1 - (l - 1.0) * p0) / static_cast<double>(l);
+      p0 = p1;
+      p1 = pl;
+    }
+    acc += coeffs[l] * pl;
+  }
+  return acc;
+}
+
+double specular_spike(double deviation_rad, double width) {
+  const double q = deviation_rad / width;
+  return std::exp(-q * q);
+}
+
+}  // namespace photon

@@ -1,0 +1,30 @@
+// Legendre-series analysis (Fig 2.4).
+//
+// Chapter 2 argues against spherical-harmonic radiance representations by
+// expanding a specular reflection spike in 30 basis terms and exhibiting the
+// ringing near the spike. For a function of the deviation angle alone the
+// spherical-harmonic expansion reduces to a Legendre series; this module
+// reproduces that experiment.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace photon {
+
+// Legendre polynomial P_n(x) by the three-term recurrence.
+double legendre_p(int n, double x);
+
+// Series coefficients c_n = (2n+1)/2 * integral f(x) P_n(x) dx over [-1, 1],
+// by composite Simpson quadrature with `quad_points` intervals.
+std::vector<double> legendre_series(const std::function<double(double)>& f, int terms,
+                                    int quad_points = 4096);
+
+double eval_legendre_series(std::span<const double> coeffs, double x);
+
+// The specular spike of Fig 2.4: a narrow lobe at zero deviation angle.
+// `width` is the angular half-width (radians).
+double specular_spike(double deviation_rad, double width = 0.05);
+
+}  // namespace photon

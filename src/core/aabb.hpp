@@ -1,0 +1,84 @@
+// Axis-aligned bounding box used by the octree geometry index.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "core/ray.hpp"
+#include "core/vec3.hpp"
+
+namespace photon {
+
+struct Aabb {
+  Vec3 lo{std::numeric_limits<double>::infinity(), std::numeric_limits<double>::infinity(),
+          std::numeric_limits<double>::infinity()};
+  Vec3 hi{-std::numeric_limits<double>::infinity(), -std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity()};
+
+  constexpr Aabb() = default;
+  constexpr Aabb(const Vec3& l, const Vec3& h) : lo(l), hi(h) {}
+
+  constexpr bool empty() const { return lo.x > hi.x || lo.y > hi.y || lo.z > hi.z; }
+
+  constexpr Vec3 center() const { return (lo + hi) * 0.5; }
+  constexpr Vec3 extent() const { return hi - lo; }
+
+  void expand(const Vec3& p) {
+    lo = min(lo, p);
+    hi = max(hi, p);
+  }
+  void expand(const Aabb& b) {
+    lo = min(lo, b.lo);
+    hi = max(hi, b.hi);
+  }
+
+  // Grows the box by `eps` on every side; guards against zero-thickness boxes
+  // around axis-aligned patches.
+  Aabb padded(double eps) const {
+    return {lo - Vec3{eps, eps, eps}, hi + Vec3{eps, eps, eps}};
+  }
+
+  constexpr bool contains(const Vec3& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y && p.z >= lo.z && p.z <= hi.z;
+  }
+
+  constexpr bool overlaps(const Aabb& b) const {
+    return lo.x <= b.hi.x && hi.x >= b.lo.x && lo.y <= b.hi.y && hi.y >= b.lo.y &&
+           lo.z <= b.hi.z && hi.z >= b.lo.z;
+  }
+
+  // Slab test. Returns true when the ray intersects [tmin_out, tmax_out]
+  // clipped against [0, tmax]; robust to +-inf in inv_dir.
+  bool hit(const Ray& r, double tmax, double& tmin_out, double& tmax_out) const {
+    double t0 = 0.0;
+    double t1 = tmax;
+    for (int axis = 0; axis < 3; ++axis) {
+      const double inv = axis == 0 ? r.inv_dir.x : (axis == 1 ? r.inv_dir.y : r.inv_dir.z);
+      const double o = r.origin[axis];
+      double tn = (lo[axis] - o) * inv;
+      double tf = (hi[axis] - o) * inv;
+      if (tn > tf) std::swap(tn, tf);
+      t0 = tn > t0 ? tn : t0;
+      t1 = tf < t1 ? tf : t1;
+      if (t0 > t1) return false;
+    }
+    tmin_out = t0;
+    tmax_out = t1;
+    return true;
+  }
+
+  // Index (0..7) of the octant of `center()` containing `p`.
+  constexpr int octant_of(const Vec3& p) const {
+    const Vec3 c = center();
+    return (p.x >= c.x ? 1 : 0) | (p.y >= c.y ? 2 : 0) | (p.z >= c.z ? 4 : 0);
+  }
+
+  // Child box for octant index as produced by octant_of().
+  constexpr Aabb octant(int idx) const {
+    const Vec3 c = center();
+    return {{(idx & 1) ? c.x : lo.x, (idx & 2) ? c.y : lo.y, (idx & 4) ? c.z : lo.z},
+            {(idx & 1) ? hi.x : c.x, (idx & 2) ? hi.y : c.y, (idx & 4) ? hi.z : c.z}};
+  }
+};
+
+}  // namespace photon

@@ -1,0 +1,55 @@
+// Floating-point operation accounting, used to reproduce the chapter 4
+// analysis of the photon generation kernel.
+//
+// The paper adopts "the Lawrence Livermore National Laboratory convention
+// that sin and cos count as 8 operations, and square root as 4", and charges
+// 3 operations per random number generation.
+#pragma once
+
+namespace photon {
+
+struct FlopConvention {
+  int add = 1;
+  int mul = 1;
+  int sincos = 8;
+  int sqrt = 4;
+  int rng = 3;
+};
+
+inline constexpr FlopConvention kLlnlConvention{};
+
+// Operation count of one evaluation of the Shirley/Sillion closed-form
+// direction formula:
+//   (x,y,z) = (cos(2*pi*e1)*sqrt(e2), sin(2*pi*e1)*sqrt(e2), sqrt(1-e2))
+// computed with temporaries as in chapter 4: 2 RNG draws, one 2*pi multiply,
+// one sqrt(e2), cos*mul, sin*mul, 1-e2 then sqrt. Total 34 under the LLNL
+// convention.
+constexpr int shirley_formula_flops(const FlopConvention& c = kLlnlConvention) {
+  return 2 * c.rng            // two random draws
+         + c.mul              // 2*pi * e1
+         + c.sqrt             // sqrt(e2)
+         + (c.sincos + c.mul) // cos * tmp3
+         + (c.sincos + c.mul) // sin * tmp3
+         + c.add              // 1 - e2
+         + c.sqrt;            // sqrt(1 - e2)
+}
+static_assert(shirley_formula_flops() == 34);
+
+// Operation count of one rejection-loop iteration of the Gustafson kernel:
+// 2 RNG draws, 2 scale-and-shift (*2-1 = mul+add each), x*x + y*y (2 mul +
+// 1 add), and the comparison is free. Total 13.
+constexpr int rejection_iteration_flops(const FlopConvention& c = kLlnlConvention) {
+  return 2 * c.rng + 2 * (c.mul + c.add) + 2 * c.mul + c.add;
+}
+static_assert(rejection_iteration_flops() == 13);
+
+// Expected total for the rejection kernel: the loop body runs 1/(pi/4) times
+// in expectation (geometric series 13/(1-q), q = 1 - pi/4), plus 5 ops for
+// z = sqrt(1 - tmp). The paper rounds the expectation to 16.55 and the total
+// to 22 (integer ops of the typical path).
+inline double rejection_expected_flops(const FlopConvention& c = kLlnlConvention) {
+  const double accept = 0.7853981633974483;  // pi/4
+  return rejection_iteration_flops(c) / accept + c.add + c.sqrt;
+}
+
+}  // namespace photon

@@ -1,0 +1,58 @@
+#include "core/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <ostream>
+
+#include "core/vec3.hpp"
+
+namespace photon {
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+double Image::max_value() const {
+  double m = 0.0;
+  for (const Rgb& p : pixels_) m = std::max(m, p.max_component());
+  return m;
+}
+
+double Image::mean_luminance() const {
+  double sum = 0.0;
+  for (const Rgb& p : pixels_) sum += 0.2126 * p.r + 0.7152 * p.g + 0.0722 * p.b;
+  return pixels_.empty() ? 0.0 : sum / static_cast<double>(pixels_.size());
+}
+
+bool Image::write_ppm(const std::string& path, double exposure, double gamma) const {
+  if (exposure <= 0.0) {
+    // Auto-expose: map the 95th percentile pixel value to ~0.9.
+    std::vector<double> values;
+    values.reserve(pixels_.size());
+    for (const Rgb& p : pixels_) values.push_back(p.max_component());
+    std::sort(values.begin(), values.end());
+    const double ref = values.empty() ? 1.0 : values[static_cast<size_t>(0.95 * (values.size() - 1))];
+    exposure = ref > 0.0 ? 0.9 / ref : 1.0;
+  }
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << "P6\n" << width_ << " " << height_ << "\n255\n";
+  const double inv_gamma = 1.0 / gamma;
+  std::vector<std::uint8_t> row(static_cast<size_t>(width_) * 3);
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const Rgb& p = at(x, y);
+      for (int c = 0; c < 3; ++c) {
+        const double v = std::clamp(std::pow(std::clamp(p[c] * exposure, 0.0, 1.0), inv_gamma), 0.0, 1.0);
+        row[static_cast<size_t>(x) * 3 + c] = static_cast<std::uint8_t>(std::lround(v * 255.0));
+      }
+    }
+    out.write(reinterpret_cast<const char*>(row.data()), static_cast<std::streamsize>(row.size()));
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace photon

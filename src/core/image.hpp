@@ -1,0 +1,37 @@
+// Minimal HDR image buffer with PPM export for the viewing stage.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/spectrum.hpp"
+
+namespace photon {
+
+class Image {
+ public:
+  Image(int width, int height) : width_(width), height_(height), pixels_(static_cast<size_t>(width) * height) {}
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  Rgb& at(int x, int y) { return pixels_[static_cast<size_t>(y) * width_ + x]; }
+  const Rgb& at(int x, int y) const { return pixels_[static_cast<size_t>(y) * width_ + x]; }
+
+  // Largest channel value over all pixels; used for auto-exposure.
+  double max_value() const;
+
+  // Simple exposure + gamma tone map into 8-bit and write binary PPM (P6).
+  // `exposure <= 0` auto-exposes to the 95th percentile luminance.
+  bool write_ppm(const std::string& path, double exposure = -1.0, double gamma = 2.2) const;
+
+  // Mean luminance, used by tests to compare renders without pixel-exact data.
+  double mean_luminance() const;
+
+ private:
+  int width_;
+  int height_;
+  std::vector<Rgb> pixels_;
+};
+
+}  // namespace photon

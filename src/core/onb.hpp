@@ -1,0 +1,41 @@
+// Orthonormal basis around a surface normal.
+//
+// Photon parameterizes exitant directions in the *local* frame of each patch
+// (chapter 4: cylindrical coordinates r, theta of the projected direction), so
+// every reflection needs a stable tangent frame. We use the branchless
+// Duff et al. construction, which is continuous except at n.z == -1.
+#pragma once
+
+#include "core/vec3.hpp"
+
+namespace photon {
+
+struct Onb {
+  Vec3 u;  // tangent
+  Vec3 v;  // bitangent
+  Vec3 w;  // normal
+
+  // Builds a right-handed frame with `w = normal` (normal must be unit length).
+  static Onb from_normal(const Vec3& n) {
+    Onb b;
+    b.w = n;
+    const double sign = std::copysign(1.0, n.z);
+    const double a = -1.0 / (sign + n.z);
+    const double c = n.x * n.y * a;
+    b.u = Vec3{1.0 + sign * n.x * n.x * a, sign * c, -sign * n.x};
+    b.v = Vec3{c, sign + n.y * n.y * a, -n.y};
+    return b;
+  }
+
+  // Local (x,y,z) -> world.
+  constexpr Vec3 to_world(const Vec3& local) const {
+    return u * local.x + v * local.y + w * local.z;
+  }
+
+  // World direction -> local coordinates.
+  constexpr Vec3 to_local(const Vec3& world) const {
+    return {dot(world, u), dot(world, v), dot(world, w)};
+  }
+};
+
+}  // namespace photon

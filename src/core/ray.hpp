@@ -1,0 +1,28 @@
+// Ray with precomputed reciprocal direction for slab tests.
+#pragma once
+
+#include <limits>
+
+#include "core/vec3.hpp"
+
+namespace photon {
+
+struct Ray {
+  Vec3 origin;
+  Vec3 dir;      // unit length by convention
+  Vec3 inv_dir;  // 1/dir componentwise; +-inf where dir component is 0
+
+  Ray() = default;
+  Ray(const Vec3& o, const Vec3& d) : origin(o), dir(d) {
+    inv_dir = Vec3{1.0 / d.x, 1.0 / d.y, 1.0 / d.z};
+  }
+
+  constexpr Vec3 at(double t) const { return origin + dir * t; }
+};
+
+// Minimum hit distance: keeps reflected photons from re-hitting the surface
+// they just left due to floating-point noise.
+inline constexpr double kRayEpsilon = 1e-9;
+inline constexpr double kNoHit = std::numeric_limits<double>::infinity();
+
+}  // namespace photon

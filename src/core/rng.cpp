@@ -1,0 +1,55 @@
+#include "core/rng.hpp"
+
+namespace photon {
+
+void Lcg48::stride_constants(std::uint64_t k, std::uint64_t& mul_out, std::uint64_t& add_out) {
+  // Computes A = a^k mod 2^48 and C = c * (a^{k-1} + ... + 1) mod 2^48 by
+  // square-and-multiply on the pair (A, C): composing two affine maps
+  // (A1,C1) then (A2,C2) gives (A2*A1, A2*C1 + C2).
+  std::uint64_t amul = kA;
+  std::uint64_t aadd = kC;
+  std::uint64_t rmul = 1;
+  std::uint64_t radd = 0;
+  while (k > 0) {
+    if (k & 1) {
+      radd = (amul * radd + aadd) & kModMask;
+      rmul = (rmul * amul) & kModMask;
+    }
+    aadd = ((amul + 1) * aadd) & kModMask;  // compose (amul,aadd) with itself
+    amul = (amul * amul) & kModMask;
+    k >>= 1;
+  }
+  mul_out = rmul;
+  add_out = radd;
+}
+
+namespace {
+// Multiplicative inverse of an odd number modulo 2^48 (Newton iteration:
+// each step doubles the number of correct low bits).
+std::uint64_t modinv_pow2(std::uint64_t a) {
+  std::uint64_t x = a;  // correct to 3 bits
+  for (int i = 0; i < 6; ++i) x = (x * (2 - a * x)) & Lcg48::kModMask;
+  return x & Lcg48::kModMask;
+}
+}  // namespace
+
+Lcg48::Lcg48(std::uint64_t seed, int rank, int nranks) {
+  reset(seed);
+  // Rank r's k-th draw must be global element k*nranks + r + 1, so that the
+  // per-rank streams exactly interleave the serial sequence. next_bits()
+  // advances before returning, so position the state one stride *before*
+  // element rank+1: advance to it, then apply the stride's inverse map.
+  skip(static_cast<std::uint64_t>(rank) + 1);
+  stride_constants(static_cast<std::uint64_t>(nranks), mul_, add_);
+  const std::uint64_t inv = modinv_pow2(mul_);
+  state_ = (inv * ((state_ - add_) & kModMask)) & kModMask;
+}
+
+void Lcg48::skip(std::uint64_t n) {
+  std::uint64_t smul = 0;
+  std::uint64_t sadd = 0;
+  stride_constants(n, smul, sadd);
+  state_ = (smul * state_ + sadd) & kModMask;
+}
+
+}  // namespace photon

@@ -1,0 +1,81 @@
+// Parallel pseudo-random number generation (chapter 5, "Random Number
+// Generation").
+//
+// Photon uses a single linear congruential sequence of period 2^48 that is
+// *leapfrogged* across processors: rank r of P starts at element r of the
+// sequence and advances by P elements per draw, so the P per-rank streams are
+// disjoint interleavings of one global stream. This is the scheme the paper
+// describes ("the basic idea is to split the pseudo random sequence into
+// subsequences... yielding individual periods of 2^48/P") and it scales to
+// any ensemble of 2^k processors.
+//
+// The recurrence is the classic 48-bit drand48 LCG:
+//   x_{n+1} = (a x_n + c) mod 2^48,  a = 0x5DEECE66D, c = 0xB.
+// Leapfrogging uses the closed form for k steps:
+//   x_{n+k} = (A x_n + C) mod 2^48, A = a^k, C = c (a^{k-1} + ... + a + 1).
+#pragma once
+
+#include <cstdint>
+
+namespace photon {
+
+class Lcg48 {
+ public:
+  static constexpr std::uint64_t kModMask = (1ULL << 48) - 1;
+  static constexpr std::uint64_t kA = 0x5DEECE66DULL;
+  static constexpr std::uint64_t kC = 0xBULL;
+
+  // Serial stream: every draw advances by one element.
+  explicit Lcg48(std::uint64_t seed = 0x1234ABCD330EULL) { reset(seed); }
+
+  // Leapfrogged stream for `rank` of `nranks`: starts at element `rank` of the
+  // global sequence defined by `seed` and strides by `nranks`.
+  Lcg48(std::uint64_t seed, int rank, int nranks);
+
+  void reset(std::uint64_t seed) {
+    state_ = seed & kModMask;
+    mul_ = kA;
+    add_ = kC;
+  }
+
+  // Advances the underlying *global* sequence by n elements (not n draws of
+  // this stream). Used by tests and by block-splitting.
+  void skip(std::uint64_t n);
+
+  // Next raw 48-bit state.
+  std::uint64_t next_bits() {
+    state_ = (mul_ * state_ + add_) & kModMask;
+    return state_;
+  }
+
+  // Uniform double in [0, 1) with 48 bits of resolution.
+  double uniform() {
+    return static_cast<double>(next_bits()) * 0x1.0p-48;
+  }
+
+  // Uniform integer in [0, n).
+  std::uint64_t uniform_int(std::uint64_t n) {
+    return static_cast<std::uint64_t>(uniform() * static_cast<double>(n));
+  }
+
+  std::uint64_t state() const { return state_; }
+  std::uint64_t stride_mul() const { return mul_; }
+  std::uint64_t stride_add() const { return add_; }
+
+  // Restores an exact generator state (checkpoint/restart support).
+  void set_raw(std::uint64_t state, std::uint64_t mul, std::uint64_t add) {
+    state_ = state & kModMask;
+    mul_ = mul & kModMask;
+    add_ = add & kModMask;
+  }
+
+  // (A, C) such that one application advances the global sequence k steps.
+  static void stride_constants(std::uint64_t k, std::uint64_t& mul_out, std::uint64_t& add_out);
+
+ private:
+  std::uint64_t state_ = 0;
+  std::uint64_t mul_ = kA;  // per-draw multiplier (a^stride)
+  std::uint64_t add_ = kC;  // per-draw increment
+};
+
+}  // namespace photon

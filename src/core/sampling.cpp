@@ -1,0 +1,38 @@
+#include "core/sampling.hpp"
+
+#include <cmath>
+
+namespace photon {
+
+Vec3 sample_hemisphere_rejection_counted(Lcg48& rng, double scale, int& iterations) {
+  // Figure 4.3: draw (x, y) uniformly in [-1,1]^2 until it lands in the unit
+  // circle; the projected point is cosine-distributed on the hemisphere.
+  double x, y, tmp;
+  iterations = 0;
+  do {
+    x = rng.uniform() * 2.0 - 1.0;
+    y = rng.uniform() * 2.0 - 1.0;
+    tmp = x * x + y * y;
+    ++iterations;
+  } while (tmp > 1.0);
+  x *= scale;
+  y *= scale;
+  tmp *= scale * scale;
+  return {x, y, std::sqrt(1.0 - tmp)};
+}
+
+Vec3 sample_hemisphere_rejection(Lcg48& rng, double scale) {
+  int ignored = 0;
+  return sample_hemisphere_rejection_counted(rng, scale, ignored);
+}
+
+Vec3 sample_hemisphere_formula(Lcg48& rng, double scale) {
+  const double tmp1 = 2.0 * 3.14159265358979323846 * rng.uniform();
+  const double tmp2 = rng.uniform();
+  const double tmp3 = std::sqrt(tmp2) * scale;
+  const double x = std::cos(tmp1) * tmp3;
+  const double y = std::sin(tmp1) * tmp3;
+  return {x, y, std::sqrt(1.0 - tmp2 * scale * scale)};
+}
+
+}  // namespace photon

@@ -1,0 +1,36 @@
+// Hemisphere direction sampling — the photon generation kernels of chapter 4.
+//
+// Both kernels draw cosine-distributed directions (ideal diffuse emission /
+// reflection) by picking a point in the unit disk and projecting up to the
+// hemisphere (Malley's construction):
+//
+//  * sample_hemisphere_formula — the Shirley/Sillion closed form
+//      (x,y,z) = (cos(2 pi e1) sqrt(e2), sin(2 pi e1) sqrt(e2), sqrt(1-e2)),
+//    34 FLOPs under the LLNL counting convention;
+//  * sample_hemisphere_rejection — the Gustafson kernel used by Photon:
+//    rejection-sample the disk (13 FLOPs/iteration, pi/4 acceptance) then
+//    z = sqrt(1 - x^2 - y^2), ~22 FLOPs expected and roughly twice as fast
+//    in practice (no trigonometry).
+//
+// `scale` in (0, 1] shrinks the disk, which limits the polar angle to
+// asin(scale) and produces directional ("sun") emission: scale 0.005 gives
+// the paper's quarter-degree solar cone and correctly blurs shadows with
+// occluder distance (Fig 4.4).
+#pragma once
+
+#include "core/rng.hpp"
+#include "core/vec3.hpp"
+
+namespace photon {
+
+// Local-frame direction (z up). Cosine-weighted over the cone sin(theta) <= scale.
+Vec3 sample_hemisphere_rejection(Lcg48& rng, double scale = 1.0);
+
+// Same distribution via the closed form; reference implementation.
+Vec3 sample_hemisphere_formula(Lcg48& rng, double scale = 1.0);
+
+// Rejection kernel variant that also reports how many candidate pairs were
+// drawn (for the operation-count experiment).
+Vec3 sample_hemisphere_rejection_counted(Lcg48& rng, double scale, int& iterations);
+
+}  // namespace photon

@@ -1,0 +1,51 @@
+// Tristimulus color. Chapter 4: "Color is actually a fifth dimension, but one
+// not subject to hierarchical subdivision in this model" — each bin keeps one
+// tally per channel, and each photon carries a single channel chosen at
+// emission from the luminaire's spectrum.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace photon {
+
+inline constexpr int kNumChannels = 3;
+
+enum class Channel : std::uint8_t { kRed = 0, kGreen = 1, kBlue = 2 };
+
+struct Rgb {
+  double r = 0.0;
+  double g = 0.0;
+  double b = 0.0;
+
+  constexpr Rgb() = default;
+  constexpr Rgb(double rr, double gg, double bb) : r(rr), g(gg), b(bb) {}
+  static constexpr Rgb splat(double v) { return {v, v, v}; }
+
+  constexpr double operator[](int c) const { return c == 0 ? r : (c == 1 ? g : b); }
+  constexpr double channel(Channel c) const { return (*this)[static_cast<int>(c)]; }
+
+  constexpr Rgb operator+(const Rgb& o) const { return {r + o.r, g + o.g, b + o.b}; }
+  constexpr Rgb operator-(const Rgb& o) const { return {r - o.r, g - o.g, b - o.b}; }
+  constexpr Rgb operator*(const Rgb& o) const { return {r * o.r, g * o.g, b * o.b}; }
+  constexpr Rgb operator*(double s) const { return {r * s, g * s, b * s}; }
+  constexpr Rgb operator/(double s) const { return {r / s, g / s, b / s}; }
+  constexpr Rgb& operator+=(const Rgb& o) {
+    r += o.r; g += o.g; b += o.b;
+    return *this;
+  }
+  constexpr bool operator==(const Rgb& o) const = default;
+
+  constexpr double sum() const { return r + g + b; }
+  constexpr double max_component() const {
+    return r > g ? (r > b ? r : b) : (g > b ? g : b);
+  }
+  constexpr bool is_black() const { return r == 0.0 && g == 0.0 && b == 0.0; }
+};
+
+constexpr Rgb operator*(double s, const Rgb& c) { return c * s; }
+
+// Per-channel tally container for histogram bins.
+using ChannelCounts = std::array<std::uint64_t, kNumChannels>;
+
+}  // namespace photon

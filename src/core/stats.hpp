@@ -1,0 +1,64 @@
+// Statistics behind adaptive histogram splitting (chapter 3, "Adaptive
+// Histogramming"; chapter 4, "Four-Dimensional Histograms").
+//
+// A bin is hypothesized to receive photons uniformly, so the count landing in
+// its left half is binomial. Once enough photons have arrived the binomial is
+// approximated as normal with mu = n p and sigma = sqrt(n p q); the bin is
+// split when the two halves differ by more than `z` sigma (the paper uses
+// z = 3, i.e. 99.7% confidence). Following the paper, p is estimated from the
+// fuller daughter.
+#pragma once
+
+#include <cstdint>
+
+namespace photon {
+
+struct SplitPolicy {
+  double z = 3.0;            // significance threshold in standard deviations
+  std::uint64_t min_count = 32;  // minimum photons before the normal approx holds
+
+  // Count-driven refinement: a leaf at depth d also splits once it has
+  // tallied max_leaf_count * count_growth^d photons, even with balanced
+  // halves. The significance test alone cannot refine a distribution that is
+  // symmetric about the midpoints (e.g. a centered light beam), yet such
+  // bins carry real structure; bounding the per-leaf count concentrates
+  // resolution where light actually arrives. Growing the threshold with
+  // depth keeps the total node count sublinear in photons (Fig 5.4);
+  // count_growth = 1 gives maximum image detail at linear storage cost.
+  std::uint64_t max_leaf_count = 1024;
+  double count_growth = 2.0;
+};
+
+// Returns |left - right| expressed in standard deviations of the binomial
+// null hypothesis; 0 when too few photons have arrived to say anything.
+double split_significance(std::uint64_t n, std::uint64_t left);
+
+// True when a bin with `n` tallies since its creation, `left` of them in the
+// candidate left half, should split under `policy`.
+bool should_split(std::uint64_t n, std::uint64_t left, const SplitPolicy& policy = {});
+
+// Mean and standard deviation of a binomial(n, p) — exposed for tests.
+double binomial_sigma(std::uint64_t n, double p);
+
+// Incremental mean/variance accumulator (Welford). Used by the performance
+// harness to report stable photons-per-second rates.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+  }
+  std::uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace photon

@@ -1,0 +1,134 @@
+#include "geom/octree.hpp"
+
+#include <algorithm>
+#include <array>
+#include <utility>
+
+namespace photon {
+
+void Octree::build(std::span<const Patch> patches, const BuildParams& params) {
+  nodes_.clear();
+  depth_ = 0;
+  bounds_ = Aabb{};
+  std::vector<std::int32_t> all(patches.size());
+  for (std::size_t i = 0; i < patches.size(); ++i) {
+    all[i] = static_cast<std::int32_t>(i);
+    bounds_.expand(patches[i].bounds());
+  }
+  if (patches.empty()) return;
+  // Pad so axis-aligned patches on the boundary sit strictly inside.
+  bounds_ = bounds_.padded(1e-6 * (1.0 + bounds_.extent().length()));
+  build_node(patches, bounds_, std::move(all), 0, params);
+}
+
+std::int32_t Octree::build_node(std::span<const Patch> patches, const Aabb& box,
+                                std::vector<std::int32_t> items, int depth,
+                                const BuildParams& params) {
+  const auto idx = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(Node{box, -1, {}});
+  depth_ = std::max(depth_, depth);
+
+  if (static_cast<int>(items.size()) <= params.max_leaf_items || depth >= params.max_depth) {
+    nodes_[idx].items = std::move(items);
+    return idx;
+  }
+
+  // Partition items into octants by bounding-box overlap; a patch may appear
+  // in several children (duplicated references, not duplicated geometry).
+  std::array<std::vector<std::int32_t>, 8> child_items;
+  std::array<Aabb, 8> child_boxes;
+  for (int o = 0; o < 8; ++o) child_boxes[o] = box.octant(o);
+  bool useful_split = false;
+  for (const std::int32_t item : items) {
+    const Aabb pb = patches[static_cast<std::size_t>(item)].bounds();
+    for (int o = 0; o < 8; ++o) {
+      if (child_boxes[o].overlaps(pb)) child_items[o].push_back(item);
+    }
+  }
+  for (int o = 0; o < 8; ++o) {
+    if (child_items[o].size() < items.size()) useful_split = true;
+  }
+  if (!useful_split) {
+    // Every child would hold every item (e.g. a large patch spanning the
+    // node); subdividing further only multiplies work.
+    nodes_[idx].items = std::move(items);
+    return idx;
+  }
+
+  // Reserve 8 consecutive child slots. Build children one by one; build_node
+  // appends, so record positions first.
+  const auto first_child = static_cast<std::int32_t>(nodes_.size());
+  nodes_[idx].first_child = first_child;
+  // Placeholder children to keep indices consecutive.
+  for (int o = 0; o < 8; ++o) nodes_.push_back(Node{child_boxes[o], -1, {}});
+  for (int o = 0; o < 8; ++o) {
+    if (child_items[o].empty()) continue;
+    if (static_cast<int>(child_items[o].size()) <= params.max_leaf_items ||
+        depth + 1 >= params.max_depth) {
+      nodes_[static_cast<std::size_t>(first_child + o)].items = std::move(child_items[o]);
+      depth_ = std::max(depth_, depth + 1);
+    } else {
+      // Recursive build appends nodes; graft the subtree root's content onto
+      // the reserved slot.
+      const std::int32_t sub = build_node(patches, child_boxes[o], std::move(child_items[o]),
+                                          depth + 1, params);
+      nodes_[static_cast<std::size_t>(first_child + o)].first_child = nodes_[static_cast<std::size_t>(sub)].first_child;
+      nodes_[static_cast<std::size_t>(first_child + o)].items = std::move(nodes_[static_cast<std::size_t>(sub)].items);
+      // The subtree root slot `sub` stays as a dead placeholder; its children
+      // remain reachable through first_child. This wastes one node per inner
+      // recursion but keeps build code simple and traversal unaffected.
+    }
+  }
+  return idx;
+}
+
+void Octree::intersect_node(std::span<const Patch> patches, std::int32_t node_idx, const Ray& ray,
+                            double tmin, double tmax, SceneHit& best) const {
+  const Node& node = nodes_[static_cast<std::size_t>(node_idx)];
+
+  for (const std::int32_t item : node.items) {
+    const Patch& p = patches[static_cast<std::size_t>(item)];
+    if (auto hit = p.intersect(ray, best.dist)) {
+      best.patch = item;
+      best.dist = hit->dist;
+      best.s = hit->s;
+      best.t = hit->t;
+      best.front = hit->front;
+    }
+  }
+
+  if (node.first_child < 0) return;
+
+  // Order children front-to-back by their slab-entry parameter.
+  std::array<std::pair<double, int>, 8> order;
+  int n = 0;
+  for (int o = 0; o < 8; ++o) {
+    const Node& child = nodes_[static_cast<std::size_t>(node.first_child + o)];
+    if (child.first_child < 0 && child.items.empty()) continue;
+    double t0 = 0.0, t1 = 0.0;
+    if (child.box.hit(ray, tmax, t0, t1) && t1 >= tmin) {
+      order[static_cast<std::size_t>(n++)] = {t0, o};
+    }
+  }
+  std::sort(order.begin(), order.begin() + n);
+  for (int i = 0; i < n; ++i) {
+    // Early exit: every remaining child starts beyond the best hit.
+    if (best.dist < order[static_cast<std::size_t>(i)].first) return;
+    intersect_node(patches, node.first_child + order[static_cast<std::size_t>(i)].second, ray,
+                   tmin, tmax, best);
+  }
+}
+
+std::optional<SceneHit> Octree::intersect(std::span<const Patch> patches, const Ray& ray,
+                                          double tmax) const {
+  if (nodes_.empty()) return std::nullopt;
+  double t0 = 0.0, t1 = 0.0;
+  if (!nodes_[0].box.hit(ray, tmax, t0, t1)) return std::nullopt;
+  SceneHit best;
+  best.dist = tmax;
+  intersect_node(patches, 0, ray, t0, t1, best);
+  if (best.patch < 0) return std::nullopt;
+  return best;
+}
+
+}  // namespace photon

@@ -1,0 +1,67 @@
+// Octree spatial index over patches (chapter 6, "Massive Parallelism"):
+// "The octree data structure orders the intersection testing for a given
+// photon such that we only test polygons in the space the photon is traveling
+// through. When an intersection is detected, it is the closest intersection
+// and further testing is not needed."
+//
+// Children are visited front-to-back along the ray; the traversal terminates
+// as soon as a hit is found whose distance precedes the entry of every
+// remaining node.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geom/patch.hpp"
+
+namespace photon {
+
+struct SceneHit {
+  int patch = -1;
+  double dist = kNoHit;
+  double s = 0.0;
+  double t = 0.0;
+  bool front = true;
+};
+
+class Octree {
+ public:
+  struct BuildParams {
+    int max_depth = 10;
+    int max_leaf_items = 8;
+  };
+
+  Octree() = default;
+
+  void build(std::span<const Patch> patches, const BuildParams& params);
+  void build(std::span<const Patch> patches) { build(patches, BuildParams{}); }
+
+  bool built() const { return !nodes_.empty(); }
+  const Aabb& bounds() const { return bounds_; }
+  std::size_t node_count() const { return nodes_.size(); }
+  int depth() const { return depth_; }
+
+  // Closest hit over all indexed patches, or nullopt.
+  std::optional<SceneHit> intersect(std::span<const Patch> patches, const Ray& ray,
+                                    double tmax = kNoHit) const;
+
+ private:
+  struct Node {
+    Aabb box;
+    std::int32_t first_child = -1;  // index of 8 consecutive children, -1 for leaf
+    std::vector<std::int32_t> items;
+  };
+
+  std::int32_t build_node(std::span<const Patch> patches, const Aabb& box,
+                          std::vector<std::int32_t> items, int depth, const BuildParams& params);
+  void intersect_node(std::span<const Patch> patches, std::int32_t node_idx, const Ray& ray,
+                      double tmin, double tmax, SceneHit& best) const;
+
+  std::vector<Node> nodes_;
+  Aabb bounds_;
+  int depth_ = 0;
+};
+
+}  // namespace photon

@@ -1,0 +1,54 @@
+#include "geom/patch.hpp"
+
+#include <cmath>
+
+namespace photon {
+
+Patch::Patch(const Vec3& origin, const Vec3& edge_s, const Vec3& edge_t, int material_id)
+    : origin_(origin), edge_s_(edge_s), edge_t_(edge_t), material_id_(material_id) {
+  const Vec3 n = cross(edge_s_, edge_t_);
+  area_ = n.length();
+  normal_ = area_ > 0.0 ? n / area_ : Vec3{0.0, 0.0, 1.0};
+  g11_ = dot(edge_s_, edge_s_);
+  g12_ = dot(edge_s_, edge_t_);
+  g22_ = dot(edge_t_, edge_t_);
+  const double det = g11_ * g22_ - g12_ * g12_;
+  inv_det_ = det != 0.0 ? 1.0 / det : 0.0;
+}
+
+Patch Patch::from_corners(const Vec3& p00, const Vec3& p10, const Vec3& p01, int material_id) {
+  return Patch(p00, p10 - p00, p01 - p00, material_id);
+}
+
+Aabb Patch::bounds() const {
+  Aabb b;
+  b.expand(origin_);
+  b.expand(origin_ + edge_s_);
+  b.expand(origin_ + edge_t_);
+  b.expand(origin_ + edge_s_ + edge_t_);
+  return b;
+}
+
+void Patch::to_bilinear(const Vec3& p, double& s, double& t) const {
+  const Vec3 d = p - origin_;
+  const double ps = dot(d, edge_s_);
+  const double pt = dot(d, edge_t_);
+  s = (g22_ * ps - g12_ * pt) * inv_det_;
+  t = (g11_ * pt - g12_ * ps) * inv_det_;
+}
+
+std::optional<PatchHit> Patch::intersect(const Ray& ray, double tmax) const {
+  const double denom = dot(ray.dir, normal_);
+  if (denom == 0.0) return std::nullopt;  // parallel to the plane
+  const double dist = dot(origin_ - ray.origin, normal_) / denom;
+  if (dist <= kRayEpsilon || dist >= tmax) return std::nullopt;
+
+  PatchHit hit;
+  hit.dist = dist;
+  to_bilinear(ray.at(dist), hit.s, hit.t);
+  if (hit.s < 0.0 || hit.s > 1.0 || hit.t < 0.0 || hit.t > 1.0) return std::nullopt;
+  hit.front = denom < 0.0;
+  return hit;
+}
+
+}  // namespace photon

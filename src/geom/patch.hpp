@@ -1,0 +1,67 @@
+// Planar parallelogram patches — the geometric primitive of Photon.
+//
+// Every defining polygon is a parallelogram `origin + s*edge_s + t*edge_t`
+// with bilinear coordinates (s, t) in [0,1]^2. The histogram (chapter 4) uses
+// exactly these bilinear parameters as the first two bin dimensions, so the
+// intersection routine returns them along with the hit distance.
+#pragma once
+
+#include <optional>
+
+#include "core/aabb.hpp"
+#include "core/onb.hpp"
+#include "core/ray.hpp"
+#include "core/vec3.hpp"
+
+namespace photon {
+
+struct PatchHit {
+  double dist = kNoHit;  // ray parameter of the hit
+  double s = 0.0;        // bilinear coordinates of the hit point
+  double t = 0.0;
+  bool front = true;  // true when the ray hit the side the normal points at
+};
+
+class Patch {
+ public:
+  Patch() = default;
+  // Parallelogram with corners origin, origin+edge_s, origin+edge_t,
+  // origin+edge_s+edge_t. The geometric normal is normalize(edge_s x edge_t).
+  Patch(const Vec3& origin, const Vec3& edge_s, const Vec3& edge_t, int material_id);
+
+  // Convenience: patch from three corners p00, p10, p01.
+  static Patch from_corners(const Vec3& p00, const Vec3& p10, const Vec3& p01, int material_id);
+
+  const Vec3& origin() const { return origin_; }
+  const Vec3& edge_s() const { return edge_s_; }
+  const Vec3& edge_t() const { return edge_t_; }
+  const Vec3& normal() const { return normal_; }
+  int material_id() const { return material_id_; }
+  double area() const { return area_; }
+
+  Vec3 point_at(double s, double t) const { return origin_ + edge_s_ * s + edge_t_ * t; }
+
+  Aabb bounds() const;
+
+  // Tangent frame with w = geometric normal; bin direction coordinates
+  // (r^2, theta) are measured in this frame.
+  Onb frame() const { return Onb::from_normal(normal_); }
+
+  // Closest intersection with `ray` in (kRayEpsilon, tmax), or nullopt.
+  std::optional<PatchHit> intersect(const Ray& ray, double tmax = kNoHit) const;
+
+  // Inverse of point_at for points on the patch plane: world -> (s, t).
+  void to_bilinear(const Vec3& p, double& s, double& t) const;
+
+ private:
+  Vec3 origin_;
+  Vec3 edge_s_;
+  Vec3 edge_t_;
+  Vec3 normal_;
+  // Precomputed Gram inverse for bilinear inversion.
+  double g11_ = 0.0, g12_ = 0.0, g22_ = 0.0, inv_det_ = 0.0;
+  double area_ = 0.0;
+  int material_id_ = 0;
+};
+
+}  // namespace photon

@@ -1,0 +1,48 @@
+#include "geom/scene.hpp"
+
+namespace photon {
+
+void Scene::add_luminaire(int patch, const Rgb& power, double angular_scale) {
+  Luminaire lum;
+  lum.patch = patch;
+  lum.angular_scale = angular_scale;
+  if (power.is_black()) {
+    const Patch& p = patches_[static_cast<std::size_t>(patch)];
+    lum.power = material_of(p).emission * p.area();
+  } else {
+    lum.power = power;
+  }
+  luminaires_.push_back(lum);
+}
+
+void Scene::build(const Octree::BuildParams& params) { octree_.build(patches_, params); }
+
+std::optional<SceneHit> Scene::intersect_brute(const Ray& ray, double tmax) const {
+  SceneHit best;
+  best.dist = tmax;
+  for (std::size_t i = 0; i < patches_.size(); ++i) {
+    if (auto hit = patches_[i].intersect(ray, best.dist)) {
+      best.patch = static_cast<int>(i);
+      best.dist = hit->dist;
+      best.s = hit->s;
+      best.t = hit->t;
+      best.front = hit->front;
+    }
+  }
+  if (best.patch < 0) return std::nullopt;
+  return best;
+}
+
+Rgb Scene::total_power() const {
+  Rgb total;
+  for (const Luminaire& l : luminaires_) total += l.power;
+  return total;
+}
+
+Aabb Scene::bounds() const {
+  Aabb b;
+  for (const Patch& p : patches_) b.expand(p.bounds());
+  return b;
+}
+
+}  // namespace photon

@@ -1,0 +1,90 @@
+// Scene: patches + materials + luminaires + the octree index.
+//
+// Geometry is immutable once build() is called (the paper replicates exactly
+// this structure on every rank; only the bin forest is distributed).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geom/octree.hpp"
+#include "geom/patch.hpp"
+#include "material/material.hpp"
+
+namespace photon {
+
+// A light-emitting patch. `angular_scale` limits the emission cone by scaling
+// the unit circle of the hemisphere sampler (chapter 4, Fig 4.4): 1.0 is a
+// diffuse luminaire, sin(theta_max) collimates to a cone of half-angle
+// theta_max (0.005 ~ quarter-degree sunlight).
+struct Luminaire {
+  int patch = -1;
+  Rgb power;                  // radiant flux per channel
+  double angular_scale = 1.0; // in (0, 1]
+};
+
+class Scene {
+ public:
+  int add_material(const Material& m) {
+    materials_.push_back(m);
+    return static_cast<int>(materials_.size()) - 1;
+  }
+
+  // Amends the most recently added material (scene-file loading uses this
+  // for trailing attribute lines such as fluorescence rows).
+  void replace_last_material(const Material& m) {
+    if (!materials_.empty()) materials_.back() = m;
+  }
+
+  int add_patch(const Patch& p) {
+    patches_.push_back(p);
+    return static_cast<int>(patches_.size()) - 1;
+  }
+
+  // Registers `patch` as a luminaire. Power defaults to emission * area of
+  // the patch when `power` is black.
+  void add_luminaire(int patch, const Rgb& power = {}, double angular_scale = 1.0);
+
+  void set_name(std::string name) { name_ = std::move(name); }
+  const std::string& name() const { return name_; }
+
+  std::span<const Patch> patches() const { return patches_; }
+  std::span<const Material> materials() const { return materials_; }
+  std::span<const Luminaire> luminaires() const { return luminaires_; }
+  const Patch& patch(int i) const { return patches_[static_cast<std::size_t>(i)]; }
+  const Material& material_of(const Patch& p) const {
+    return materials_[static_cast<std::size_t>(p.material_id())];
+  }
+  const Material& material_of(int patch) const { return material_of(patches_[static_cast<std::size_t>(patch)]); }
+
+  std::size_t patch_count() const { return patches_.size(); }
+
+  // Builds the octree. Must be called before intersect().
+  void build(const Octree::BuildParams& params = {});
+  bool built() const { return octree_.built(); }
+  const Octree& octree() const { return octree_; }
+
+  std::optional<SceneHit> intersect(const Ray& ray, double tmax = kNoHit) const {
+    return octree_.intersect(patches_, ray, tmax);
+  }
+
+  // Reference linear scan, for octree equivalence tests.
+  std::optional<SceneHit> intersect_brute(const Ray& ray, double tmax = kNoHit) const;
+
+  // Total emitted flux per channel over all luminaires.
+  Rgb total_power() const;
+
+  Aabb bounds() const;
+
+ private:
+  std::string name_ = "scene";
+  std::vector<Patch> patches_;
+  std::vector<Material> materials_;
+  std::vector<Luminaire> luminaires_;
+  Octree octree_;
+};
+
+}  // namespace photon

@@ -1,0 +1,101 @@
+#include "geom/scene_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace photon {
+
+void save_scene(const Scene& scene, std::ostream& out) {
+  out << "photon-scene 1\n";
+  out << "name " << scene.name() << "\n";
+  for (const Material& m : scene.materials()) {
+    out << "material " << m.diffuse.r << " " << m.diffuse.g << " " << m.diffuse.b << " "
+        << m.specular.r << " " << m.specular.g << " " << m.specular.b << " " << m.roughness << " "
+        << m.emission.r << " " << m.emission.g << " " << m.emission.b << " "
+        << (m.two_sided ? 1 : 0) << "\n";
+    if (m.fluorescent()) {
+      out << "fluor";
+      for (const Rgb& row : m.fluorescence) {
+        out << " " << row.r << " " << row.g << " " << row.b;
+      }
+      out << "\n";
+    }
+  }
+  for (const Patch& p : scene.patches()) {
+    const Vec3& o = p.origin();
+    const Vec3& s = p.edge_s();
+    const Vec3& t = p.edge_t();
+    out << "patch " << o.x << " " << o.y << " " << o.z << " " << s.x << " " << s.y << " " << s.z
+        << " " << t.x << " " << t.y << " " << t.z << " " << p.material_id() << "\n";
+  }
+  for (const Luminaire& l : scene.luminaires()) {
+    out << "luminaire " << l.patch << " " << l.power.r << " " << l.power.g << " " << l.power.b
+        << " " << l.angular_scale << "\n";
+  }
+}
+
+bool save_scene(const Scene& scene, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  save_scene(scene, out);
+  return static_cast<bool>(out);
+}
+
+bool load_scene(std::istream& in, Scene& scene) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "photon-scene" || version != 1) return false;
+
+  std::string keyword;
+  while (in >> keyword) {
+    if (keyword == "name") {
+      std::string name;
+      if (!(in >> name)) return false;
+      scene.set_name(name);
+    } else if (keyword == "material") {
+      Material m;
+      int two_sided = 0;
+      if (!(in >> m.diffuse.r >> m.diffuse.g >> m.diffuse.b >> m.specular.r >> m.specular.g >>
+            m.specular.b >> m.roughness >> m.emission.r >> m.emission.g >> m.emission.b >>
+            two_sided)) {
+        return false;
+      }
+      m.two_sided = two_sided != 0;
+      scene.add_material(m);
+    } else if (keyword == "fluor") {
+      // Applies to the most recently declared material.
+      if (scene.materials().empty()) return false;
+      Material m = scene.materials().back();
+      for (Rgb& row : m.fluorescence) {
+        if (!(in >> row.r >> row.g >> row.b)) return false;
+      }
+      scene.replace_last_material(m);
+    } else if (keyword == "patch") {
+      Vec3 o, es, et;
+      int mat = 0;
+      if (!(in >> o.x >> o.y >> o.z >> es.x >> es.y >> es.z >> et.x >> et.y >> et.z >> mat)) {
+        return false;
+      }
+      if (mat < 0 || mat >= static_cast<int>(scene.materials().size())) return false;
+      scene.add_patch(Patch(o, es, et, mat));
+    } else if (keyword == "luminaire") {
+      int patch = 0;
+      Rgb power;
+      double scale = 1.0;
+      if (!(in >> patch >> power.r >> power.g >> power.b >> scale)) return false;
+      if (patch < 0 || patch >= static_cast<int>(scene.patch_count())) return false;
+      scene.add_luminaire(patch, power, scale);
+    } else {
+      return false;  // unknown keyword
+    }
+  }
+  return true;
+}
+
+bool load_scene(const std::string& path, Scene& scene) {
+  std::ifstream in(path);
+  if (!in) return false;
+  return load_scene(in, scene);
+}
+
+}  // namespace photon

@@ -1,0 +1,116 @@
+#include "hist/binforest.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace photon {
+
+namespace {
+constexpr std::uint64_t kAnswerMagic = 0x50484F544F4E4146ULL;  // "PHOTONAF"
+}
+
+BinForest::BinForest(std::size_t n_patches, SplitPolicy policy) {
+  trees_.reserve(n_patches * 2);
+  for (std::size_t i = 0; i < n_patches * 2; ++i) trees_.emplace_back(policy);
+}
+
+double BinForest::radiance(int patch, bool front, const BinCoords& c, int channel,
+                           double patch_area) const {
+  const std::uint64_t n_c = emitted(channel);
+  if (n_c == 0 || patch_area <= 0.0) return 0.0;
+  const BinTree::Estimate est = tree(patch, front).count_estimate(c, channel);
+  if (est.measure <= 0.0) return 0.0;
+  // Each photon of channel ch carries Phi_ch / N_ch of flux. A bin covers
+  // area A * ds * dt and projected solid angle (du * dtheta) / 2, hence
+  //   L = (count / N) * Phi * 2 / (A * measure).
+  const double phi = total_power_[channel];
+  return 2.0 * est.count * phi /
+         (static_cast<double>(n_c) * patch_area * est.measure);
+}
+
+std::uint64_t BinForest::memory_bytes() const {
+  std::uint64_t total = sizeof(BinForest);
+  for (const BinTree& t : trees_) total += t.memory_bytes();
+  return total;
+}
+
+std::uint64_t BinForest::total_nodes() const {
+  std::uint64_t total = 0;
+  for (const BinTree& t : trees_) total += t.node_count();
+  return total;
+}
+
+std::uint64_t BinForest::total_leaves() const {
+  std::uint64_t total = 0;
+  for (const BinTree& t : trees_) total += t.leaf_count();
+  return total;
+}
+
+std::uint64_t BinForest::total_tally(int channel) const {
+  std::uint64_t total = 0;
+  for (const BinTree& t : trees_) total += t.total_tally(channel);
+  return total;
+}
+
+std::uint64_t BinForest::total_tally_all() const {
+  return total_tally(0) + total_tally(1) + total_tally(2);
+}
+
+std::vector<std::uint64_t> BinForest::patch_tallies() const {
+  std::vector<std::uint64_t> out(patch_count(), 0);
+  for (std::size_t p = 0; p < patch_count(); ++p) {
+    for (int side = 0; side < 2; ++side) {
+      const BinTree& t = trees_[2 * p + static_cast<std::size_t>(side)];
+      for (int ch = 0; ch < 3; ++ch) out[p] += t.total_tally(ch);
+    }
+  }
+  return out;
+}
+
+void BinForest::save(std::ostream& out) const {
+  out.write(reinterpret_cast<const char*>(&kAnswerMagic), sizeof(kAnswerMagic));
+  const auto n = static_cast<std::uint64_t>(trees_.size());
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(emitted_.data()), sizeof(emitted_));
+  out.write(reinterpret_cast<const char*>(&total_power_), sizeof(total_power_));
+  for (const BinTree& t : trees_) t.save(out);
+}
+
+bool BinForest::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  save(out);
+  return static_cast<bool>(out);
+}
+
+BinForest BinForest::load(std::istream& in) {
+  BinForest forest;
+  std::uint64_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (magic != kAnswerMagic) return forest;
+  std::uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(forest.emitted_.data()), sizeof(forest.emitted_));
+  in.read(reinterpret_cast<char*>(&forest.total_power_), sizeof(forest.total_power_));
+  forest.trees_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) forest.trees_.push_back(BinTree::load(in));
+  return forest;
+}
+
+bool BinForest::load(const std::string& path, BinForest& forest) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  forest = load(in);
+  return forest.tree_count() > 0;
+}
+
+bool BinForest::operator==(const BinForest& other) const {
+  if (trees_.size() != other.trees_.size() || emitted_ != other.emitted_) return false;
+  for (std::size_t i = 0; i < trees_.size(); ++i) {
+    if (!(trees_[i] == other.trees_[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace photon

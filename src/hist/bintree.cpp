@@ -1,0 +1,196 @@
+#include "hist/bintree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+namespace photon {
+
+namespace {
+// Axes whose extent has collapsed below this are no longer split candidates.
+constexpr float kMinExtent = 1.0f / (1u << 16);
+}  // namespace
+
+BinTree::BinTree(SplitPolicy policy, std::uint32_t max_nodes)
+    : policy_(policy), max_nodes_(max_nodes) {
+  BinNode root;
+  root.region = BinRegion::full();
+  nodes_.push_back(root);
+}
+
+int BinTree::find_leaf(const BinCoords& c) const {
+  int idx = 0;
+  while (!nodes_[static_cast<std::size_t>(idx)].is_leaf()) {
+    const BinNode& n = nodes_[static_cast<std::size_t>(idx)];
+    const int half = n.region.half_of(n.axis, c[n.axis]);
+    idx = half == 0 ? n.left : n.right;
+  }
+  return idx;
+}
+
+int BinTree::record(const BinCoords& c, int channel) {
+  int idx = find_leaf(c);
+  BinNode& leaf = nodes_[static_cast<std::size_t>(idx)];
+  ++leaf.tally[static_cast<std::size_t>(channel)];
+  ++leaf.split_n;
+  for (int a = 0; a < kBinDims; ++a) {
+    if (leaf.region.half_of(a, c[a]) == 0) ++leaf.split_left[static_cast<std::size_t>(a)];
+  }
+  maybe_split(idx);
+  // The leaf may have split; re-resolve so the caller gets the final bin.
+  return nodes_[static_cast<std::size_t>(idx)].is_leaf() ? idx : find_leaf(c);
+}
+
+void BinTree::maybe_split(int leaf_idx) {
+  if (nodes_.size() + 2 > max_nodes_) return;
+  BinNode& leaf = nodes_[static_cast<std::size_t>(leaf_idx)];
+  if (leaf.split_n < policy_.min_count) return;
+  // Evaluate the significance test only when the count doubles (n a power of
+  // two): testing after every photon is a sequential test whose cumulative
+  // false-positive rate grows without bound; geometric checkpoints keep it
+  // at ~log2(n) * 0.3%.
+  if ((leaf.split_n & (leaf.split_n - 1)) != 0) return;
+
+  // Choose the axis with the most significant left/right imbalance
+  // ("we split where there is the largest gradient").
+  int best_axis = -1;
+  double best_sig = policy_.z;
+  for (int a = 0; a < kBinDims; ++a) {
+    if (leaf.region.extent(a) < kMinExtent) continue;
+    const double sig = split_significance(leaf.split_n, leaf.split_left[static_cast<std::size_t>(a)]);
+    if (sig > best_sig) {
+      best_sig = sig;
+      best_axis = a;
+    }
+  }
+
+  // Count-driven refinement (see SplitPolicy::max_leaf_count): a heavily
+  // trafficked but balanced leaf still refines so radiance detail can
+  // develop. Diffuse radiance only needs planar subdivision (chapter 4), so
+  // prefer the wider of the positional axes; fall back to the angular axes
+  // when position has collapsed.
+  const double count_threshold =
+      static_cast<double>(policy_.max_leaf_count) *
+      std::pow(policy_.count_growth, std::min<int>(leaf.depth, 40));
+  if (best_axis < 0 && static_cast<double>(leaf.split_n) >= count_threshold) {
+    const double rel_s = leaf.region.extent(0);
+    const double rel_t = leaf.region.extent(1);
+    if (rel_s >= kMinExtent || rel_t >= kMinExtent) {
+      best_axis = rel_s >= rel_t ? 0 : 1;
+    } else {
+      const double rel_u = leaf.region.extent(2);
+      const double rel_th = leaf.region.extent(3) / static_cast<float>(kTwoPi);
+      if (rel_u >= kMinExtent || rel_th >= kMinExtent) {
+        best_axis = rel_u >= rel_th ? 2 : 3;
+      }
+    }
+  }
+  if (best_axis < 0) return;
+
+  // Split: daughters inherit the lifetime tallies in the observed proportion.
+  const double frac_left = static_cast<double>(leaf.split_left[static_cast<std::size_t>(best_axis)]) /
+                           static_cast<double>(leaf.split_n);
+  BinNode lo, hi;
+  lo.region = leaf.region.child(best_axis, 0);
+  hi.region = leaf.region.child(best_axis, 1);
+  lo.depth = hi.depth =
+      static_cast<std::uint8_t>(leaf.depth < 255 ? leaf.depth + 1 : 255);
+  for (int ch = 0; ch < 3; ++ch) {
+    const auto chi = static_cast<std::size_t>(ch);
+    const auto l = static_cast<std::uint32_t>(std::lround(frac_left * leaf.tally[chi]));
+    lo.tally[chi] = l;
+    hi.tally[chi] = leaf.tally[chi] - l;
+  }
+  const auto left_idx = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(lo);
+  nodes_.push_back(hi);
+  // `leaf` reference may be dangling after push_back; reindex.
+  BinNode& parent = nodes_[static_cast<std::size_t>(leaf_idx)];
+  parent.left = left_idx;
+  parent.right = left_idx + 1;
+  parent.axis = static_cast<std::int8_t>(best_axis);
+}
+
+BinTree::Estimate BinTree::count_estimate(const BinCoords& c, int channel) const {
+  const int idx = find_leaf(c);
+  const BinNode& leaf = nodes_[static_cast<std::size_t>(idx)];
+  return {static_cast<double>(leaf.tally[static_cast<std::size_t>(channel)]),
+          leaf.region.measure()};
+}
+
+std::size_t BinTree::leaf_count() const {
+  std::size_t n = 0;
+  for (const BinNode& node : nodes_) {
+    if (node.is_leaf()) ++n;
+  }
+  return n;
+}
+
+int BinTree::depth() const {
+  // Iterative depth: walk nodes with an explicit stack of (index, depth).
+  int max_depth = 0;
+  std::vector<std::pair<int, int>> stack{{0, 0}};
+  while (!stack.empty()) {
+    const auto [idx, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    const BinNode& n = nodes_[static_cast<std::size_t>(idx)];
+    if (!n.is_leaf()) {
+      stack.push_back({n.left, d + 1});
+      stack.push_back({n.right, d + 1});
+    }
+  }
+  return max_depth;
+}
+
+std::uint64_t BinTree::total_tally(int channel) const {
+  // Tallies at leaves are authoritative (splits redistribute, conserving
+  // counts up to rounding).
+  std::uint64_t sum = 0;
+  for (const BinNode& node : nodes_) {
+    if (node.is_leaf()) sum += node.tally[static_cast<std::size_t>(channel)];
+  }
+  return sum;
+}
+
+std::uint64_t BinTree::memory_bytes() const {
+  return nodes_.capacity() * sizeof(BinNode) + sizeof(BinTree);
+}
+
+void BinTree::save(std::ostream& out) const {
+  const auto n = static_cast<std::uint64_t>(nodes_.size());
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&policy_.z), sizeof(policy_.z));
+  out.write(reinterpret_cast<const char*>(&policy_.min_count), sizeof(policy_.min_count));
+  out.write(reinterpret_cast<const char*>(nodes_.data()),
+            static_cast<std::streamsize>(n * sizeof(BinNode)));
+}
+
+BinTree BinTree::load(std::istream& in) {
+  BinTree tree;
+  std::uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&tree.policy_.z), sizeof(tree.policy_.z));
+  in.read(reinterpret_cast<char*>(&tree.policy_.min_count), sizeof(tree.policy_.min_count));
+  tree.nodes_.resize(n);
+  in.read(reinterpret_cast<char*>(tree.nodes_.data()),
+          static_cast<std::streamsize>(n * sizeof(BinNode)));
+  return tree;
+}
+
+bool BinTree::operator==(const BinTree& other) const {
+  if (nodes_.size() != other.nodes_.size()) return false;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const BinNode& a = nodes_[i];
+    const BinNode& b = other.nodes_[i];
+    if (a.tally != b.tally || a.left != b.left || a.right != b.right || a.axis != b.axis ||
+        a.split_n != b.split_n || a.split_left != b.split_left ||
+        a.region.lo != b.region.lo || a.region.hi != b.region.hi) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace photon

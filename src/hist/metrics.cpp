@@ -1,0 +1,76 @@
+#include "hist/metrics.hpp"
+
+namespace photon {
+
+TreeMetrics compute_tree_metrics(const BinTree& tree) {
+  TreeMetrics m;
+  m.nodes = tree.node_count();
+  m.depth = tree.depth();
+  std::uint64_t splits = 0;
+  for (std::size_t i = 0; i < tree.node_count(); ++i) {
+    const BinNode& n = tree.node(static_cast<int>(i));
+    if (n.is_leaf()) {
+      ++m.leaves;
+    } else {
+      ++splits;
+      ++m.splits_by_axis[static_cast<std::size_t>(n.axis)];
+    }
+  }
+  if (splits > 0) {
+    m.angular_split_fraction =
+        static_cast<double>(m.splits_by_axis[2] + m.splits_by_axis[3]) /
+        static_cast<double>(splits);
+  }
+  return m;
+}
+
+ForestMetrics compute_metrics(const BinForest& forest) {
+  ForestMetrics m;
+  m.trees = forest.tree_count();
+  m.patch_tallies = forest.patch_tallies();
+
+  std::uint64_t splits = 0;
+  std::uint64_t depth_sum = 0;
+  std::uint64_t max_leaf_tally = 0;
+  for (std::size_t t = 0; t < forest.tree_count(); ++t) {
+    const BinTree& tree = forest.tree_at(static_cast<int>(t));
+    m.nodes += tree.node_count();
+    const int d = tree.depth();
+    if (d > m.max_depth) m.max_depth = d;
+    for (std::size_t i = 0; i < tree.node_count(); ++i) {
+      const BinNode& n = tree.node(static_cast<int>(i));
+      if (n.is_leaf()) {
+        ++m.leaves;
+        depth_sum += n.depth;
+        m.total_tallies += n.total_tally();
+        if (n.total_tally() > max_leaf_tally) max_leaf_tally = n.total_tally();
+      } else {
+        ++splits;
+        ++m.splits_by_axis[static_cast<std::size_t>(n.axis)];
+      }
+    }
+  }
+  if (m.leaves > 0) {
+    m.mean_leaf_depth = static_cast<double>(depth_sum) / static_cast<double>(m.leaves);
+    m.mean_tally_per_leaf =
+        static_cast<double>(m.total_tallies) / static_cast<double>(m.leaves);
+  }
+  if (splits > 0) {
+    m.angular_split_fraction =
+        static_cast<double>(m.splits_by_axis[2] + m.splits_by_axis[3]) /
+        static_cast<double>(splits);
+  }
+  if (m.total_tallies > 0) {
+    m.max_tally_share =
+        static_cast<double>(max_leaf_tally) / static_cast<double>(m.total_tallies);
+    double h = 0.0;
+    for (const std::uint64_t t : m.patch_tallies) {
+      const double share = static_cast<double>(t) / static_cast<double>(m.total_tallies);
+      h += share * share;
+    }
+    m.concentration = h;
+  }
+  return m;
+}
+
+}  // namespace photon

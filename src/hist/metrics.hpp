@@ -1,0 +1,48 @@
+// Diagnostics over a bin forest: how the adaptive histogram spent its
+// storage. Backs the analysis benches and gives downstream users a way to
+// judge convergence ("are my specular surfaces still splitting?").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "hist/binforest.hpp"
+
+namespace photon {
+
+struct ForestMetrics {
+  std::uint64_t trees = 0;
+  std::uint64_t nodes = 0;
+  std::uint64_t leaves = 0;
+  int max_depth = 0;
+  double mean_leaf_depth = 0.0;
+
+  // Split axes chosen across the forest: s, t (planar) vs u, theta (angular).
+  std::array<std::uint64_t, kBinDims> splits_by_axis{};
+  double angular_split_fraction = 0.0;
+
+  // Tally distribution over leaves.
+  std::uint64_t total_tallies = 0;
+  double mean_tally_per_leaf = 0.0;
+  double max_tally_share = 0.0;   // heaviest leaf / total
+  double concentration = 0.0;     // Herfindahl index over per-tree tallies
+
+  // Per-tree tallies (summed over sides and channels), for load analysis.
+  std::vector<std::uint64_t> patch_tallies;
+};
+
+ForestMetrics compute_metrics(const BinForest& forest);
+
+// Metrics for one tree only (e.g. "how angular is the mirror?").
+struct TreeMetrics {
+  std::uint64_t nodes = 0;
+  std::uint64_t leaves = 0;
+  int depth = 0;
+  std::array<std::uint64_t, kBinDims> splits_by_axis{};
+  double angular_split_fraction = 0.0;
+};
+
+TreeMetrics compute_tree_metrics(const BinTree& tree);
+
+}  // namespace photon

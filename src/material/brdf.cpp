@@ -1,0 +1,85 @@
+#include "material/brdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/onb.hpp"
+#include "core/sampling.hpp"
+#include "material/fresnel.hpp"
+
+namespace photon {
+
+namespace {
+// Fresnel component reflectances for a material with normal-incidence
+// reflectance f0, using the dielectric equations at the equivalent ior.
+void component_reflectances(double f0, double cos_i, double& rs, double& rp) {
+  if (f0 <= 0.0) {
+    rs = rp = 0.0;
+    return;
+  }
+  const double ior = ior_from_f0(f0);
+  rs = fresnel_rs(cos_i, ior);
+  rp = fresnel_rp(cos_i, ior);
+}
+}  // namespace
+
+double specular_probability(const Material& m, double cos_i, int channel,
+                            const Polarization& pol) {
+  double rs = 0.0, rp = 0.0;
+  component_reflectances(m.specular[channel], cos_i, rs, rp);
+  return pol.effective_reflectance(rs, rp);
+}
+
+ScatterSample sample_scatter(const Material& m, const Vec3& wi_local, int channel,
+                             Polarization& pol, Lcg48& rng) {
+  const double cos_i = std::clamp(-wi_local.z, 0.0, 1.0);
+
+  double rs = 0.0, rp = 0.0;
+  component_reflectances(m.specular[channel], cos_i, rs, rp);
+  const double p_spec = pol.effective_reflectance(rs, rp);
+  const double p_diff = (1.0 - p_spec) * std::clamp(m.diffuse[channel], 0.0, 1.0);
+
+  const double u = rng.uniform();
+  ScatterSample out;
+  out.channel = channel;
+  if (u < p_spec) {
+    out.kind = ScatterKind::kSpecular;
+    pol = pol.after_specular(rs, rp);
+    // Mirror direction in the local frame.
+    Vec3 dir{wi_local.x, wi_local.y, -wi_local.z};
+    if (m.roughness > 0.0) {
+      // Broaden the lobe: cosine-perturb around the mirror direction inside a
+      // cone of half-angle asin(roughness) — the same scaled-disk construction
+      // the emitter uses for directional sources.
+      const Onb lobe = Onb::from_normal(dir.normalized());
+      Vec3 perturbed = lobe.to_world(sample_hemisphere_rejection(rng, std::min(m.roughness, 1.0)));
+      // Keep the photon above the surface.
+      if (perturbed.z < 1e-9) perturbed.z = -perturbed.z;
+      if (perturbed.z < 1e-9) perturbed.z = 1e-9;
+      dir = perturbed.normalized();
+    }
+    out.dir = dir;
+  } else if (u < p_spec + p_diff) {
+    out.kind = ScatterKind::kDiffuse;
+    pol = Polarization::unpolarized();
+    out.dir = sample_hemisphere_rejection(rng);
+  } else {
+    // Fluorescence: a photon that failed the reflection roulette may be
+    // re-radiated diffusely in a different channel instead of disappearing.
+    const Rgb& shift = m.fluorescence[static_cast<std::size_t>(channel)];
+    const double p_fluor = (1.0 - p_spec - p_diff) * std::clamp(shift.sum(), 0.0, 1.0);
+    if (p_fluor > 0.0 && u < p_spec + p_diff + p_fluor) {
+      out.kind = ScatterKind::kFluoresced;
+      pol = Polarization::unpolarized();
+      out.dir = sample_hemisphere_rejection(rng);
+      // Pick the outgoing channel proportionally to the shift row.
+      const double pick = rng.uniform() * shift.sum();
+      out.channel = pick < shift.r ? 0 : (pick < shift.r + shift.g ? 1 : 2);
+    } else {
+      out.kind = ScatterKind::kAbsorbed;
+    }
+  }
+  return out;
+}
+
+}  // namespace photon

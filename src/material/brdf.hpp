@@ -1,0 +1,45 @@
+// Probabilistic reflection (the `Reflect` routine of Fig 4.1).
+//
+// The model follows the structure of He et al.'s comprehensive physical
+// model as adopted by Photon: a Fresnel specular lobe broadened by surface
+// roughness plus an ideal diffuse lobe, with polarization tracked across
+// specular bounces. Photon survival is decided by russian roulette, so
+// tallied photon counts are unbiased estimates of reflected flux:
+//
+//   P(specular) = polarization-weighted Fresnel reflectance F(theta_i)
+//   P(diffuse)  = (1 - P(specular)) * diffuse albedo
+//   P(absorbed) = remainder
+//
+// Energy conservation holds by construction (probabilities sum to <= 1 when
+// the material's albedos are <= 1), which the test suite verifies.
+#pragma once
+
+#include "core/rng.hpp"
+#include "core/vec3.hpp"
+#include "material/material.hpp"
+#include "material/polarization.hpp"
+
+namespace photon {
+
+enum class ScatterKind { kAbsorbed, kDiffuse, kSpecular, kFluoresced };
+
+struct ScatterSample {
+  ScatterKind kind = ScatterKind::kAbsorbed;
+  Vec3 dir;  // local-frame outgoing direction (z > 0); valid unless absorbed
+  // Channel after the event; differs from the incident channel only for
+  // kFluoresced (wavelength-shifting re-radiation, chapter 6).
+  int channel = 0;
+};
+
+// Scatters a photon of color channel `channel` arriving along `wi_local`
+// (local frame, wi_local.z < 0) off material `m`. Updates `pol` in place:
+// specular bounces reweight by (Rs, Rp), diffuse scattering depolarizes.
+ScatterSample sample_scatter(const Material& m, const Vec3& wi_local, int channel,
+                             Polarization& pol, Lcg48& rng);
+
+// Probability that a photon in state `pol` reflects specularly — exposed for
+// the energy-conservation property tests.
+double specular_probability(const Material& m, double cos_i, int channel,
+                            const Polarization& pol);
+
+}  // namespace photon

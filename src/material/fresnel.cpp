@@ -1,0 +1,54 @@
+#include "material/fresnel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace photon {
+
+namespace {
+// Cosine of the transmitted angle via Snell's law; returns -1 on total
+// internal reflection (cannot happen entering a denser medium).
+double cos_transmitted(double cos_i, double ior) {
+  const double sin2_i = std::max(0.0, 1.0 - cos_i * cos_i);
+  const double sin2_t = sin2_i / (ior * ior);
+  if (sin2_t >= 1.0) return -1.0;
+  return std::sqrt(1.0 - sin2_t);
+}
+}  // namespace
+
+double fresnel_rs(double cos_i, double ior) {
+  cos_i = std::clamp(cos_i, 0.0, 1.0);
+  const double cos_t = cos_transmitted(cos_i, ior);
+  if (cos_t < 0.0) return 1.0;
+  const double r = (cos_i - ior * cos_t) / (cos_i + ior * cos_t);
+  return r * r;
+}
+
+double fresnel_rp(double cos_i, double ior) {
+  cos_i = std::clamp(cos_i, 0.0, 1.0);
+  const double cos_t = cos_transmitted(cos_i, ior);
+  if (cos_t < 0.0) return 1.0;
+  const double r = (ior * cos_i - cos_t) / (ior * cos_i + cos_t);
+  return r * r;
+}
+
+double fresnel_unpolarized(double cos_i, double ior) {
+  return 0.5 * (fresnel_rs(cos_i, ior) + fresnel_rp(cos_i, ior));
+}
+
+double schlick(double cos_i, double f0) {
+  cos_i = std::clamp(cos_i, 0.0, 1.0);
+  const double m = 1.0 - cos_i;
+  const double m2 = m * m;
+  return f0 + (1.0 - f0) * m2 * m2 * m;
+}
+
+double ior_from_f0(double f0) {
+  f0 = std::clamp(f0, 0.0, 0.999);
+  const double s = std::sqrt(f0);
+  return (1.0 + s) / (1.0 - s);
+}
+
+double brewster_angle(double ior) { return std::atan(ior); }
+
+}  // namespace photon

@@ -1,0 +1,29 @@
+// Fresnel reflectance. The reflection model in Photon follows He et al. in
+// grounding specular reflection in physical optics: reflectance magnitude and
+// its s/p polarization split both come from the Fresnel equations.
+#pragma once
+
+namespace photon {
+
+// Reflectance of s-polarized (perpendicular) light at a dielectric boundary.
+// `cos_i` is the cosine of the incidence angle (>= 0), `ior` the relative
+// index of refraction (outside -> inside).
+double fresnel_rs(double cos_i, double ior);
+
+// Reflectance of p-polarized (parallel) light. Vanishes at Brewster's angle.
+double fresnel_rp(double cos_i, double ior);
+
+// Unpolarized reflectance: (Rs + Rp) / 2.
+double fresnel_unpolarized(double cos_i, double ior);
+
+// Schlick's approximation from normal-incidence reflectance f0.
+double schlick(double cos_i, double f0);
+
+// Index of refraction whose normal-incidence Fresnel reflectance equals f0:
+// ior = (1 + sqrt(f0)) / (1 - sqrt(f0)).
+double ior_from_f0(double f0);
+
+// Brewster's angle (radians) for the given relative ior.
+double brewster_angle(double ior);
+
+}  // namespace photon

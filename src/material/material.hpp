@@ -1,0 +1,80 @@
+// Surface description. The reflection model (brdf.hpp) follows the structure
+// of the He et al. comprehensive physical model the paper adopts: a Fresnel
+// specular component attenuated by roughness, plus a diffuse component, with
+// probabilistic absorption (russian roulette) making photon counts unbiased.
+#pragma once
+
+#include "core/spectrum.hpp"
+
+namespace photon {
+
+struct Material {
+  Rgb diffuse;            // Lambertian albedo per channel, each in [0,1]
+  Rgb specular;           // specular reflectance at normal incidence (F0)
+  double roughness = 0.0; // RMS slope of the microsurface; 0 = perfect mirror lobe
+  Rgb emission;           // radiant exitance; nonzero marks a luminaire surface
+  bool two_sided = false; // reflect photons arriving from the back side too
+
+  // Fluorescence (the paper's chapter 6 extension): fluorescence[in][out] is
+  // the probability that a photon of channel `in`, having failed the regular
+  // reflection roulette, is re-radiated diffusely in channel `out` instead of
+  // being absorbed. Row sums must stay <= 1 - diffuse[in] for energy
+  // conservation (checked by the test suite for the built-in materials).
+  std::array<Rgb, kNumChannels> fluorescence{};
+
+  bool fluorescent() const {
+    for (const Rgb& row : fluorescence) {
+      if (!row.is_black()) return true;
+    }
+    return false;
+  }
+
+  bool emissive() const { return !emission.is_black(); }
+
+  // Upper bound on total reflectance; used by energy-conservation checks.
+  double max_albedo() const {
+    double m = 0.0;
+    for (int c = 0; c < kNumChannels; ++c) {
+      const double a = diffuse[c] + specular[c];
+      if (a > m) m = a;
+    }
+    return m;
+  }
+
+  static Material lambertian(const Rgb& albedo) {
+    Material m;
+    m.diffuse = albedo;
+    return m;
+  }
+  static Material mirror(const Rgb& f0 = Rgb::splat(0.95)) {
+    Material m;
+    m.specular = f0;
+    m.roughness = 0.0;
+    return m;
+  }
+  static Material glossy(const Rgb& albedo, const Rgb& f0, double roughness) {
+    Material m;
+    m.diffuse = albedo;
+    m.specular = f0;
+    m.roughness = roughness;
+    return m;
+  }
+  static Material emitter(const Rgb& radiant_exitance) {
+    Material m;
+    m.emission = radiant_exitance;
+    return m;
+  }
+  static Material black() { return Material{}; }
+
+  // A fluorescent paint: `base` diffuse albedo plus a channel-shift where a
+  // blue photon re-emerges green with probability `blue_to_green` (the
+  // classic optical-brightener / day-glo behaviour).
+  static Material fluorescent_paint(const Rgb& base, double blue_to_green) {
+    Material m;
+    m.diffuse = base;
+    m.fluorescence[static_cast<int>(Channel::kBlue)] = {0.0, blue_to_green, 0.0};
+    return m;
+  }
+};
+
+}  // namespace photon

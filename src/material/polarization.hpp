@@ -1,0 +1,39 @@
+// Per-photon polarization state.
+//
+// Chapter 6: "At this time polarization is being added, and we foresee the
+// ability to add fluorescence." This reproduction implements that extension:
+// each photon carries the fractional weight of its s- and p-polarized
+// components. Specular bounces reweight the components by the Fresnel
+// reflectances Rs and Rp (and the effective survival probability is the
+// polarization-weighted reflectance), while diffuse scattering depolarizes.
+#pragma once
+
+namespace photon {
+
+struct Polarization {
+  double s = 0.5;  // fraction of energy in the s (perpendicular) component
+  double p = 0.5;  // fraction in the p (parallel) component; s + p == 1
+
+  static constexpr Polarization unpolarized() { return {0.5, 0.5}; }
+
+  // Degree of polarization in [0, 1].
+  constexpr double degree() const {
+    const double d = s - p;
+    return d < 0 ? -d : d;
+  }
+
+  // Effective reflectance of this state for component reflectances (rs, rp).
+  constexpr double effective_reflectance(double rs, double rp) const {
+    return s * rs + p * rp;
+  }
+
+  // State after a specular bounce with component reflectances (rs, rp).
+  // Undefined (returns unpolarized) when both reflectances are zero.
+  Polarization after_specular(double rs, double rp) const {
+    const double total = s * rs + p * rp;
+    if (total <= 0.0) return unpolarized();
+    return {s * rs / total, p * rp / total};
+  }
+};
+
+}  // namespace photon

@@ -1,0 +1,152 @@
+#include "mp/minimpi.hpp"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+namespace photon {
+
+namespace {
+struct Mailbox {
+  std::mutex m;
+  std::condition_variable cv;
+  std::deque<Bytes> q;
+};
+}  // namespace
+
+class World {
+ public:
+  explicit World(int nranks)
+      : nranks_(nranks), boxes_(static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks)),
+        reduce_slots_(static_cast<std::size_t>(nranks), 0.0) {}
+
+  int size() const { return nranks_; }
+
+  void deliver(int src, int dst, Bytes msg) {
+    Mailbox& box = boxes_[static_cast<std::size_t>(src) * static_cast<std::size_t>(nranks_) +
+                          static_cast<std::size_t>(dst)];
+    {
+      std::lock_guard<std::mutex> lock(box.m);
+      box.q.push_back(std::move(msg));
+    }
+    box.cv.notify_one();
+  }
+
+  Bytes take(int src, int dst) {
+    Mailbox& box = boxes_[static_cast<std::size_t>(src) * static_cast<std::size_t>(nranks_) +
+                          static_cast<std::size_t>(dst)];
+    std::unique_lock<std::mutex> lock(box.m);
+    box.cv.wait(lock, [&] { return !box.q.empty(); });
+    Bytes msg = std::move(box.q.front());
+    box.q.pop_front();
+    return msg;
+  }
+
+  void barrier() {
+    std::unique_lock<std::mutex> lock(barrier_m_);
+    const std::uint64_t gen = barrier_gen_;
+    if (++barrier_count_ == nranks_) {
+      barrier_count_ = 0;
+      ++barrier_gen_;
+      barrier_cv_.notify_all();
+    } else {
+      barrier_cv_.wait(lock, [&] { return barrier_gen_ != gen; });
+    }
+  }
+
+  // Writes this rank's value, barriers, reduces, barriers again so the slots
+  // can be safely reused by the next collective.
+  double allreduce(int rank, double v, bool use_max) {
+    {
+      std::lock_guard<std::mutex> lock(barrier_m_);
+      reduce_slots_[static_cast<std::size_t>(rank)] = v;
+    }
+    barrier();
+    double acc = use_max ? reduce_slots_[0] : 0.0;
+    for (int r = 0; r < nranks_; ++r) {
+      const double x = reduce_slots_[static_cast<std::size_t>(r)];
+      if (use_max) {
+        acc = x > acc ? x : acc;
+      } else {
+        acc += x;
+      }
+    }
+    barrier();
+    return acc;
+  }
+
+  std::atomic<std::uint64_t> total_bytes{0};
+  std::atomic<std::uint64_t> total_messages{0};
+
+ private:
+  int nranks_;
+  std::vector<Mailbox> boxes_;
+  std::vector<double> reduce_slots_;
+
+  std::mutex barrier_m_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_gen_ = 0;
+};
+
+int Comm::size() const { return world_->size(); }
+
+void Comm::send(int dst, Bytes msg) {
+  if (dst != rank_) {
+    bytes_sent_ += msg.size();
+    ++messages_sent_;
+    world_->total_bytes.fetch_add(msg.size(), std::memory_order_relaxed);
+    world_->total_messages.fetch_add(1, std::memory_order_relaxed);
+  }
+  world_->deliver(rank_, dst, std::move(msg));
+}
+
+Bytes Comm::recv(int src) { return world_->take(src, rank_); }
+
+void Comm::barrier() { world_->barrier(); }
+
+std::vector<Bytes> Comm::alltoall(std::vector<Bytes> outgoing) {
+  const int P = size();
+  std::vector<Bytes> incoming(static_cast<std::size_t>(P));
+  incoming[static_cast<std::size_t>(rank_)] = std::move(outgoing[static_cast<std::size_t>(rank_)]);
+  for (int d = 0; d < P; ++d) {
+    if (d == rank_) continue;
+    send(d, std::move(outgoing[static_cast<std::size_t>(d)]));
+  }
+  for (int s = 0; s < P; ++s) {
+    if (s == rank_) continue;
+    incoming[static_cast<std::size_t>(s)] = recv(s);
+  }
+  return incoming;
+}
+
+double Comm::allreduce_sum(double v) { return world_->allreduce(rank_, v, false); }
+double Comm::allreduce_max(double v) { return world_->allreduce(rank_, v, true); }
+std::uint64_t Comm::allreduce_sum_u64(std::uint64_t v) {
+  // 2^53 headroom is ample for photon counts in one run.
+  return static_cast<std::uint64_t>(world_->allreduce(rank_, static_cast<double>(v), false));
+}
+
+WorldStats run_world(int nranks, const std::function<void(Comm&)>& fn) {
+  World world(nranks);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  std::exception_ptr first_error = nullptr;
+  std::mutex error_m;
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(&world, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_m);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return {world.total_bytes.load(), world.total_messages.load()};
+}
+
+}  // namespace photon

@@ -1,0 +1,73 @@
+// MiniMPI: an in-process message-passing runtime with MPI-shaped semantics.
+//
+// The paper implements distributed Photon on MPI; this environment has no MPI
+// installation, so the distributed algorithm (Fig 5.3) runs against this
+// substrate instead: ranks are threads, each with logically private state,
+// exchanging byte buffers through per-(src,dst) mailboxes. Provided
+// primitives mirror the MPI subset the paper needs — buffered point-to-point
+// send/recv, barrier, all-to-all (the photon queue exchange), and allreduce
+// (batch-size agreement) — plus traffic counters that feed the performance
+// model. See DESIGN.md, "Substitutions".
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace photon {
+
+using Bytes = std::vector<std::uint8_t>;
+
+struct WorldStats {
+  std::uint64_t total_bytes = 0;
+  std::uint64_t total_messages = 0;
+};
+
+class World;
+
+// Per-rank communicator handle. Not thread-safe across ranks by design: each
+// rank owns exactly one Comm, like an MPI process.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  // Buffered, non-blocking send (MPI_Send with buffering semantics).
+  void send(int dst, Bytes msg);
+  // Blocking receive of the next message from `src` (MPI_Recv).
+  Bytes recv(int src);
+
+  void barrier();
+
+  // Exchanges one buffer with every rank (MPI_Alltoallv): outgoing[d] goes to
+  // rank d (outgoing[rank()] is delivered to self); returns incoming[s] from
+  // each rank s. Counts as size()-1 messages.
+  std::vector<Bytes> alltoall(std::vector<Bytes> outgoing);
+
+  double allreduce_sum(double v);
+  double allreduce_max(double v);
+  std::uint64_t allreduce_sum_u64(std::uint64_t v);
+
+  // Traffic actually put on the "wire" by this rank (self-delivery excluded).
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t messages_sent() const { return messages_sent_; }
+
+ private:
+  friend class World;
+  friend WorldStats run_world(int nranks, const std::function<void(Comm&)>& fn);
+  Comm(World* world, int rank) : world_(world), rank_(rank) {}
+
+  World* world_;
+  int rank_;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t messages_sent_ = 0;
+};
+
+// Runs `fn` on `nranks` concurrent ranks and joins them. The first exception
+// thrown by any rank is rethrown after all ranks finish or abort.
+WorldStats run_world(int nranks, const std::function<void(Comm&)>& fn);
+
+}  // namespace photon

@@ -1,0 +1,210 @@
+#include "par/dist.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+
+#include "mp/minimpi.hpp"
+#include "sim/emitter.hpp"
+#include "sim/tracer.hpp"
+
+namespace photon {
+
+namespace {
+
+// Sink used during particle tracing: owned records are tallied immediately,
+// foreign records are queued per owning rank (EnQueue in Fig 5.3).
+class QueueSink final : public BinSink {
+ public:
+  QueueSink(BinForest& forest, const std::vector<int>& owner, int rank,
+            std::vector<std::vector<WireRecord>>& queues, std::uint64_t& processed)
+      : forest_(&forest), owner_(&owner), rank_(rank), queues_(&queues), processed_(&processed) {}
+
+  void record(const BounceRecord& rec) override {
+    const int owner_rank = (*owner_)[static_cast<std::size_t>(rec.patch)];
+    if (owner_rank == rank_) {
+      forest_->record(rec.patch, rec.front, rec.coords, rec.channel);
+      ++(*processed_);
+    } else {
+      WireRecord wire;
+      wire.patch = rec.patch;
+      wire.s = rec.coords.s;
+      wire.t = rec.coords.t;
+      wire.u = rec.coords.u;
+      wire.theta = rec.coords.theta;
+      wire.channel = rec.channel;
+      wire.front = rec.front ? 1 : 0;
+      (*queues_)[static_cast<std::size_t>(owner_rank)].push_back(wire);
+    }
+  }
+
+ private:
+  BinForest* forest_;
+  const std::vector<int>* owner_;
+  int rank_;
+  std::vector<std::vector<WireRecord>>* queues_;
+  std::uint64_t* processed_;
+};
+
+Bytes pack_queue(const std::vector<WireRecord>& q) {
+  Bytes out(q.size() * sizeof(WireRecord));
+  if (!q.empty()) std::memcpy(out.data(), q.data(), out.size());
+  return out;
+}
+
+void apply_queue(const Bytes& buf, BinForest& forest, std::uint64_t& processed) {
+  const std::size_t n = buf.size() / sizeof(WireRecord);
+  for (std::size_t i = 0; i < n; ++i) {
+    WireRecord wire;
+    std::memcpy(&wire, buf.data() + i * sizeof(WireRecord), sizeof(WireRecord));
+    BinCoords c;
+    c.s = wire.s;
+    c.t = wire.t;
+    c.u = wire.u;
+    c.theta = wire.theta;
+    forest.record(wire.patch, wire.front != 0, c, wire.channel);
+    ++processed;
+  }
+}
+
+}  // namespace
+
+DistResult run_distributed(const Scene& scene, const DistConfig& config, int nranks) {
+  DistResult result;
+  result.ranks.resize(static_cast<std::size_t>(nranks));
+  std::mutex result_mutex;  // harness-side collection only
+
+  run_world(nranks, [&](Comm& comm) {
+    const int rank = comm.rank();
+    const int P = comm.size();
+    const auto start = std::chrono::steady_clock::now();
+
+    // --- Load balancing phase: every rank traces the same k photons with the
+    // same stream and derives the identical ownership map (chapter 5).
+    const std::vector<std::uint64_t> loads =
+        measure_patch_loads(scene, config.lb_photons, config.seed ^ 0x9E3779B97F4A7C15ULL);
+    const LoadBalance balance =
+        config.bestfit ? assign_bestfit(loads, P) : assign_naive(loads, P);
+
+    BinForest forest(scene.patch_count(), config.policy);
+    const Emitter emitter(scene);
+    forest.set_total_power(emitter.total_power());
+    const Tracer tracer(scene, config.limits);
+    Lcg48 rng(config.seed, rank, P);
+
+    RankReport report;
+    std::vector<std::vector<WireRecord>> queues(static_cast<std::size_t>(P));
+    QueueSink sink(forest, balance.owner, rank, queues, report.processed);
+    ChannelCounts emitted{};
+
+    BatchController controller(config.batch);
+    SpeedTrace trace;
+    std::uint64_t global_done = 0;
+    double prev_agreed = 0.0;
+
+    while (global_done < config.photons) {
+      std::uint64_t B = config.adapt_batch ? controller.size() : config.fixed_batch;
+      // Do not overshoot the global budget; every rank computes the same cap.
+      const std::uint64_t remaining = config.photons - global_done;
+      const std::uint64_t cap = (remaining + static_cast<std::uint64_t>(P) - 1) /
+                                static_cast<std::uint64_t>(P);
+      if (B > cap) B = cap;
+
+      // Particle tracing phase.
+      for (std::uint64_t i = 0; i < B; ++i) {
+        const EmissionSample emission = emitter.emit(rng);
+        ++emitted[static_cast<std::size_t>(emission.channel)];
+        tracer.trace(emission, rng, sink, &report.counters);
+      }
+      report.traced += B;
+      report.batch_sizes.push_back(B);
+
+      // All-to-all photon exchange.
+      std::vector<Bytes> outgoing(static_cast<std::size_t>(P));
+      for (int d = 0; d < P; ++d) {
+        outgoing[static_cast<std::size_t>(d)] = pack_queue(queues[static_cast<std::size_t>(d)]);
+        queues[static_cast<std::size_t>(d)].clear();
+      }
+      const std::vector<Bytes> incoming = comm.alltoall(std::move(outgoing));
+      for (int s = 0; s < P; ++s) {
+        if (s == rank) continue;
+        apply_queue(incoming[static_cast<std::size_t>(s)], forest, report.processed);
+      }
+
+      global_done += B * static_cast<std::uint64_t>(P);
+
+      // Agree on elapsed time so every rank derives the same rate and hence
+      // the same next batch size. The controller is fed the *per-batch* rate
+      // (what Photon measures after each batch); the trace keeps the
+      // cumulative rate.
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      const double agreed = comm.allreduce_max(elapsed);
+      const double rate = agreed > 0.0 ? static_cast<double>(global_done) / agreed : 0.0;
+      if (rank == 0) trace.points.push_back({agreed, global_done, rate});
+      if (config.adapt_batch) {
+        const double batch_time = agreed - prev_agreed;
+        const double batch_rate =
+            batch_time > 0.0
+                ? static_cast<double>(B * static_cast<std::uint64_t>(P)) / batch_time
+                : 0.0;
+        controller.update(batch_rate);
+      }
+      prev_agreed = agreed;
+    }
+
+    // --- Gather: owned trees to rank 0, emission totals via allreduce.
+    ChannelCounts total_emitted{};
+    for (int c = 0; c < kNumChannels; ++c) {
+      total_emitted[static_cast<std::size_t>(c)] =
+          comm.allreduce_sum_u64(emitted[static_cast<std::size_t>(c)]);
+    }
+
+    if (rank != 0) {
+      std::ostringstream buf(std::ios::binary);
+      for (std::size_t p = 0; p < scene.patch_count(); ++p) {
+        if (balance.owner[p] != rank) continue;
+        for (int side = 0; side < 2; ++side) {
+          const std::int32_t idx = static_cast<std::int32_t>(2 * p) + side;
+          buf.write(reinterpret_cast<const char*>(&idx), sizeof(idx));
+          forest.tree_at(idx).save(buf);
+        }
+      }
+      const std::string str = buf.str();
+      comm.send(0, Bytes(str.begin(), str.end()));
+    } else {
+      for (int src = 1; src < P; ++src) {
+        const Bytes buf = comm.recv(src);
+        std::istringstream in(std::string(buf.begin(), buf.end()), std::ios::binary);
+        std::int32_t idx = 0;
+        while (in.read(reinterpret_cast<char*>(&idx), sizeof(idx))) {
+          forest.replace_tree(idx, BinTree::load(in));
+        }
+      }
+      for (int c = 0; c < kNumChannels; ++c) {
+        forest.add_emitted(c, total_emitted[static_cast<std::size_t>(c)]);
+      }
+    }
+
+    report.sent_bytes = comm.bytes_sent();
+    report.sent_messages = comm.messages_sent();
+
+    {
+      std::lock_guard<std::mutex> lock(result_mutex);
+      result.ranks[static_cast<std::size_t>(rank)] = std::move(report);
+      if (rank == 0) {
+        result.forest = std::move(forest);
+        result.balance = balance;
+        trace.total_photons = global_done;
+        trace.total_time_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+        result.trace = std::move(trace);
+      }
+    }
+  });
+
+  return result;
+}
+
+}  // namespace photon

@@ -1,0 +1,91 @@
+#include "par/loadbalance.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/emitter.hpp"
+#include "sim/tracer.hpp"
+
+namespace photon {
+
+namespace {
+class CountSink final : public BinSink {
+ public:
+  explicit CountSink(std::vector<std::uint64_t>& counts) : counts_(&counts) {}
+  void record(const BounceRecord& rec) override {
+    ++(*counts_)[static_cast<std::size_t>(rec.patch)];
+  }
+
+ private:
+  std::vector<std::uint64_t>* counts_;
+};
+}  // namespace
+
+std::vector<std::uint64_t> measure_patch_loads(const Scene& scene, std::uint64_t k,
+                                               std::uint64_t seed) {
+  std::vector<std::uint64_t> counts(scene.patch_count(), 0);
+  CountSink sink(counts);
+  const Emitter emitter(scene);
+  const Tracer tracer(scene);
+  Lcg48 rng(seed);
+  for (std::uint64_t i = 0; i < k; ++i) {
+    tracer.trace(emitter.emit(rng), rng, sink);
+  }
+  return counts;
+}
+
+LoadBalance assign_naive(std::span<const std::uint64_t> loads, int nranks) {
+  // Round-robin by patch index, ignoring load — the "naive" scheme of
+  // Table 5.2. (Assigning contiguous blocks would be even worse: the paper's
+  // dark-room-with-a-spotlight example, where one processor owns the floor
+  // and does all the work.)
+  LoadBalance lb;
+  const std::size_t n = loads.size();
+  lb.owner.resize(n);
+  lb.rank_load.assign(static_cast<std::size_t>(nranks), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int r = static_cast<int>(i % static_cast<std::size_t>(nranks));
+    lb.owner[i] = r;
+    lb.rank_load[static_cast<std::size_t>(r)] += loads[i];
+  }
+  return lb;
+}
+
+LoadBalance assign_bestfit(std::span<const std::uint64_t> loads, int nranks) {
+  LoadBalance lb;
+  const std::size_t n = loads.size();
+  lb.owner.resize(n);
+  lb.rank_load.assign(static_cast<std::size_t>(nranks), 0);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return loads[a] > loads[b]; });
+
+  for (const std::size_t patch : order) {
+    int best = 0;
+    for (int r = 1; r < nranks; ++r) {
+      if (lb.rank_load[static_cast<std::size_t>(r)] < lb.rank_load[static_cast<std::size_t>(best)]) {
+        best = r;
+      }
+    }
+    lb.owner[patch] = best;
+    lb.rank_load[static_cast<std::size_t>(best)] += loads[patch];
+  }
+  return lb;
+}
+
+double imbalance(const LoadBalance& lb) {
+  if (lb.rank_load.empty()) return 1.0;
+  std::uint64_t total = 0;
+  std::uint64_t worst = 0;
+  for (const std::uint64_t l : lb.rank_load) {
+    total += l;
+    worst = std::max(worst, l);
+  }
+  if (total == 0) return 1.0;
+  const double mean = static_cast<double>(total) / static_cast<double>(lb.rank_load.size());
+  return static_cast<double>(worst) / mean;
+}
+
+}  // namespace photon

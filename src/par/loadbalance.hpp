@@ -1,0 +1,41 @@
+// Load balancing (chapter 5): ownership of bin trees is decided before the
+// main simulation by tracing k probe photons — identically on every rank,
+// with no tallying until all are traced — then packing the per-patch photon
+// counts onto processors.
+//
+// Finding the optimal assignment is bin packing (NP-complete); the paper uses
+// the greedy Best-Fit approximation: each tree, heaviest first, goes to the
+// processor with the smallest photon count so far. The naive alternative
+// (contiguous blocks of patches, ignoring load) is kept for Table 5.2.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/scene.hpp"
+
+namespace photon {
+
+struct LoadBalance {
+  std::vector<int> owner;                  // patch index -> owning rank
+  std::vector<std::uint64_t> rank_load;    // probe tallies assigned to each rank
+};
+
+// Traces `k` photons serially (seed-deterministic, so every rank that runs
+// this produces the identical result) and returns per-patch record counts —
+// emission tallies included, exactly what the main loop will forward.
+std::vector<std::uint64_t> measure_patch_loads(const Scene& scene, std::uint64_t k,
+                                               std::uint64_t seed);
+
+// Round-robin by patch index, ignoring load.
+LoadBalance assign_naive(std::span<const std::uint64_t> loads, int nranks);
+
+// Best-Fit decreasing: heaviest tree to the least-loaded rank. Deterministic
+// (ties break toward lower patch index / lower rank).
+LoadBalance assign_bestfit(std::span<const std::uint64_t> loads, int nranks);
+
+// max(rank_load) / mean(rank_load); 1.0 is a perfect balance.
+double imbalance(const LoadBalance& lb);
+
+}  // namespace photon

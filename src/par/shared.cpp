@@ -1,0 +1,102 @@
+#include "par/shared.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace photon {
+
+namespace {
+// Sink that serializes access per tree: Lock(bin); Split(bin); UnLock(bin).
+class LockedForestSink final : public BinSink {
+ public:
+  LockedForestSink(BinForest& forest, std::vector<std::mutex>& tree_mutexes)
+      : forest_(&forest), mutexes_(&tree_mutexes) {}
+
+  void record(const BounceRecord& rec) override {
+    const int idx = BinForest::tree_index(rec.patch, rec.front);
+    std::lock_guard<std::mutex> lock((*mutexes_)[static_cast<std::size_t>(idx)]);
+    forest_->tree_at(idx).record(rec.coords, rec.channel);
+  }
+
+ private:
+  BinForest* forest_;
+  std::vector<std::mutex>* mutexes_;
+};
+}  // namespace
+
+SharedResult run_shared(const Scene& scene, const SharedConfig& config) {
+  SharedResult result;
+  result.forest = BinForest(scene.patch_count(), config.policy);
+  std::vector<std::mutex> tree_mutexes(scene.patch_count() * 2);
+
+  const Emitter emitter(scene);
+  result.forest.set_total_power(emitter.total_power());
+  const Tracer tracer(scene, config.limits);
+
+  const int T = config.nthreads;
+  std::vector<TraceCounters> counters(static_cast<std::size_t>(T));
+  std::vector<ChannelCounts> emitted(static_cast<std::size_t>(T));
+  result.per_thread_traced.assign(static_cast<std::size_t>(T), 0);
+  std::atomic<std::uint64_t> progress{0};
+
+  const auto start = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(T));
+  for (int tid = 0; tid < T; ++tid) {
+    threads.emplace_back([&, tid] {
+      const auto ti = static_cast<std::size_t>(tid);
+      // Static split: nphot / nprocessors each, remainder to low threads.
+      const std::uint64_t base = config.photons / static_cast<std::uint64_t>(T);
+      const std::uint64_t extra = static_cast<std::uint64_t>(tid) <
+                                          config.photons % static_cast<std::uint64_t>(T)
+                                      ? 1
+                                      : 0;
+      const std::uint64_t quota = base + extra;
+
+      LockedForestSink sink(result.forest, tree_mutexes);
+      Lcg48 rng(config.seed, tid, T);
+      for (std::uint64_t i = 0; i < quota; ++i) {
+        const EmissionSample emission = emitter.emit(rng);
+        ++emitted[ti][static_cast<std::size_t>(emission.channel)];
+        tracer.trace(emission, rng, sink, &counters[ti]);
+        ++result.per_thread_traced[ti];
+        progress.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Main thread samples the speed trace while workers run.
+  while (progress.load(std::memory_order_relaxed) < config.photons) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(config.sample_interval_s));
+    const double t =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    const std::uint64_t done = progress.load(std::memory_order_relaxed);
+    result.trace.points.push_back({t, done, t > 0.0 ? static_cast<double>(done) / t : 0.0});
+    if (done >= config.photons) break;
+  }
+  for (std::thread& t : threads) t.join();
+
+  result.trace.total_photons = config.photons;
+  result.trace.total_time_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  result.trace.points.push_back({result.trace.total_time_s, config.photons,
+                                 result.trace.final_rate()});
+
+  for (int tid = 0; tid < T; ++tid) {
+    const auto ti = static_cast<std::size_t>(tid);
+    result.counters.emitted += counters[ti].emitted;
+    result.counters.bounces += counters[ti].bounces;
+    result.counters.absorbed += counters[ti].absorbed;
+    result.counters.escaped += counters[ti].escaped;
+    result.counters.terminated += counters[ti].terminated;
+    for (int c = 0; c < kNumChannels; ++c) {
+      result.forest.add_emitted(c, emitted[ti][static_cast<std::size_t>(c)]);
+    }
+  }
+  return result;
+}
+
+}  // namespace photon

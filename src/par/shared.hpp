@@ -1,0 +1,36 @@
+// Shared-memory parallel Photon (Fig 5.2).
+//
+// All threads share the geometry and the bin forest; every tally or split
+// takes the owning tree's lock (the paper's multiple-reader/single-writer
+// protocol collapses to per-tree mutual exclusion here because every record
+// may split its bin). Each thread draws from its own leapfrogged substream
+// and traces a static share of the photons, exactly the forall loop of the
+// paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace photon {
+
+struct SharedConfig {
+  std::uint64_t photons = 100000;
+  int nthreads = 2;
+  std::uint64_t seed = 0x1234ABCD330EULL;
+  double sample_interval_s = 0.05;  // speed-trace sampling period
+  SplitPolicy policy{};
+  TraceLimits limits{};
+};
+
+struct SharedResult {
+  BinForest forest;
+  SpeedTrace trace;
+  TraceCounters counters;
+  std::vector<std::uint64_t> per_thread_traced;
+};
+
+SharedResult run_shared(const Scene& scene, const SharedConfig& config);
+
+}  // namespace photon

@@ -1,0 +1,486 @@
+#include "par/spatial.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+
+#include "core/onb.hpp"
+#include "material/brdf.hpp"
+#include "mp/minimpi.hpp"
+#include "sim/emitter.hpp"
+
+namespace photon {
+
+namespace {
+
+// In-flight photon as exchanged between region owners. Carries its full RNG
+// state so any rank can continue the path deterministically.
+struct FlightWire {
+  double px, py, pz;
+  double dx, dy, dz;
+  std::uint64_t rng_state;
+  std::int32_t bounces;
+  std::uint8_t channel;
+  std::uint8_t pad[3];
+  float pol_s;
+};
+static_assert(sizeof(FlightWire) == 72);
+
+// Tally record forwarded to the tree owner (same layout as par/dist.cpp's
+// exchange, duplicated here to keep the two substrates independent).
+struct RecordWire {
+  std::int32_t patch;
+  float s, t, u, theta;
+  std::uint8_t channel;
+  std::uint8_t front;
+  std::uint16_t pad;
+};
+static_assert(sizeof(RecordWire) == 24);
+
+template <typename T>
+Bytes pack(const std::vector<T>& v) {
+  Bytes out(v.size() * sizeof(T));
+  if (!v.empty()) std::memcpy(out.data(), v.data(), out.size());
+  return out;
+}
+
+template <typename T>
+std::vector<T> unpack(const Bytes& b) {
+  std::vector<T> out(b.size() / sizeof(T));
+  if (!out.empty()) std::memcpy(out.data(), b.data(), b.size());
+  return out;
+}
+
+struct Flight {
+  Vec3 pos;
+  Vec3 dir;
+  Lcg48 rng;
+  int bounces = 0;
+  int channel = 0;
+  Polarization pol = Polarization::unpolarized();
+};
+
+FlightWire to_wire(const Flight& f) {
+  FlightWire w{};
+  w.px = f.pos.x; w.py = f.pos.y; w.pz = f.pos.z;
+  w.dx = f.dir.x; w.dy = f.dir.y; w.dz = f.dir.z;
+  w.rng_state = f.rng.state();
+  w.bounces = f.bounces;
+  w.channel = static_cast<std::uint8_t>(f.channel);
+  w.pol_s = static_cast<float>(f.pol.s);
+  return w;
+}
+
+Flight from_wire(const FlightWire& w) {
+  Flight f;
+  f.pos = {w.px, w.py, w.pz};
+  f.dir = {w.dx, w.dy, w.dz};
+  f.rng.reset(w.rng_state);
+  f.bounces = w.bounces;
+  f.channel = w.channel;
+  f.pol = {w.pol_s, 1.0 - w.pol_s};
+  return f;
+}
+
+enum class SegmentEnd { kAbsorbed, kEscaped, kExitedRegion, kTerminated };
+
+}  // namespace
+
+std::vector<Aabb> partition_space(const Scene& scene, int nranks) {
+  const Aabb root = scene.bounds().padded(1e-5 * (1.0 + scene.bounds().extent().length()));
+  std::vector<Vec3> centroids;
+  centroids.reserve(scene.patch_count());
+  for (const Patch& p : scene.patches()) centroids.push_back(p.point_at(0.5, 0.5));
+
+  // Recursive bisection: split the box with the most patches along its
+  // longest axis at the median centroid until we have nranks boxes.
+  struct Cell {
+    Aabb box;
+    std::vector<Vec3> pts;
+  };
+  std::vector<Cell> cells{{root, centroids}};
+  while (static_cast<int>(cells.size()) < nranks) {
+    // Split the most populated cell.
+    std::size_t victim = 0;
+    for (std::size_t i = 1; i < cells.size(); ++i) {
+      if (cells[i].pts.size() > cells[victim].pts.size()) victim = i;
+    }
+    Cell cell = std::move(cells[victim]);
+    const Vec3 e = cell.box.extent();
+    const int axis = e.x >= e.y ? (e.x >= e.z ? 0 : 2) : (e.y >= e.z ? 1 : 2);
+    double split;
+    if (cell.pts.empty()) {
+      split = 0.5 * (cell.box.lo[axis] + cell.box.hi[axis]);
+    } else {
+      std::vector<double> coords;
+      coords.reserve(cell.pts.size());
+      for (const Vec3& p : cell.pts) coords.push_back(p[axis]);
+      std::nth_element(coords.begin(), coords.begin() + static_cast<std::ptrdiff_t>(coords.size() / 2), coords.end());
+      split = coords[coords.size() / 2];
+      // Guard against degenerate splits at the box face.
+      const double lo = cell.box.lo[axis], hi = cell.box.hi[axis];
+      if (split <= lo || split >= hi) split = 0.5 * (lo + hi);
+    }
+    Cell a, b;
+    a.box = cell.box;
+    b.box = cell.box;
+    if (axis == 0) {
+      a.box.hi.x = split;
+      b.box.lo.x = split;
+    } else if (axis == 1) {
+      a.box.hi.y = split;
+      b.box.lo.y = split;
+    } else {
+      a.box.hi.z = split;
+      b.box.lo.z = split;
+    }
+    for (const Vec3& p : cell.pts) {
+      (p[axis] < split ? a.pts : b.pts).push_back(p);
+    }
+    cells[victim] = std::move(a);
+    cells.push_back(std::move(b));
+  }
+
+  std::vector<Aabb> regions;
+  regions.reserve(cells.size());
+  for (const Cell& c : cells) regions.push_back(c.box);
+  return regions;
+}
+
+int region_of(const std::vector<Aabb>& regions, const Vec3& p) {
+  // Half-open test against shared faces: a point on a face belongs to the
+  // region whose *low* face it is, except on the outer boundary.
+  int fallback = -1;
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    const Aabb& b = regions[i];
+    if (!b.contains(p)) continue;
+    if (fallback < 0) fallback = static_cast<int>(i);
+    const bool interior_hi =
+        (p.x < b.hi.x) && (p.y < b.hi.y) && (p.z < b.hi.z);
+    if (interior_hi) return static_cast<int>(i);
+  }
+  return fallback;
+}
+
+Lcg48 photon_stream(std::uint64_t seed, std::uint64_t photon_index) {
+  Lcg48 rng(seed);
+  rng.skip(photon_index * 4096);
+  return rng;
+}
+
+SerialResult run_photon_streams(const Scene& scene, const SpatialConfig& config) {
+  SerialResult result;
+  result.forest = BinForest(scene.patch_count(), config.policy);
+  const Emitter emitter(scene);
+  result.forest.set_total_power(emitter.total_power());
+  const Tracer tracer(scene, config.limits);
+  ForestSink sink(result.forest);
+  for (std::uint64_t i = 0; i < config.photons; ++i) {
+    Lcg48 rng = photon_stream(config.seed, i);
+    const EmissionSample emission = emitter.emit(rng);
+    result.forest.add_emitted(emission.channel);
+    tracer.trace(emission, rng, sink, &result.counters);
+  }
+  result.trace.total_photons = config.photons;
+  return result;
+}
+
+namespace {
+
+// Traces `flight` inside `region` against the local octree until it is
+// absorbed, escapes the scene, exits the region, or trips the bounce guard.
+SegmentEnd trace_segment(const Scene& scene, const Octree& local_tree,
+                         std::span<const Patch> local_patches,
+                         const std::vector<std::int32_t>& local_to_global, const Aabb& region,
+                         const Aabb& root, const TraceLimits& limits, Flight& flight,
+                         std::vector<RecordWire>& records, TraceCounters& counters) {
+  while (true) {
+    if (flight.bounces >= limits.max_bounces) {
+      ++counters.terminated;
+      return SegmentEnd::kTerminated;
+    }
+    const Ray ray(flight.pos, flight.dir);
+    double t_enter = 0.0, t_exit = kNoHit;
+    if (!region.hit(ray, kNoHit, t_enter, t_exit)) {
+      // Numerical corner: the photon sits on the region face pointing out.
+      t_exit = 0.0;
+    }
+
+    const auto hit = local_tree.intersect(local_patches, ray, kNoHit);
+    // A hit beyond the region exit belongs to some other rank's region (it
+    // may not even be the globally closest hit — a closer patch may exist in
+    // the neighbouring region's octree).
+    if (!hit || hit->dist > t_exit + 1e-9) {
+      const Vec3 boundary = ray.at(t_exit + 1e-7);
+      if (!root.contains(boundary)) {
+        ++counters.escaped;
+        return SegmentEnd::kEscaped;
+      }
+      flight.pos = boundary;
+      return SegmentEnd::kExitedRegion;
+    }
+
+    const int global_patch = local_to_global[static_cast<std::size_t>(hit->patch)];
+    const Patch& patch = scene.patch(global_patch);
+    const Material& mat = scene.material_of(patch);
+    if (!hit->front && !mat.two_sided) {
+      ++counters.absorbed;
+      return SegmentEnd::kAbsorbed;
+    }
+
+    const Vec3 side_normal = hit->front ? patch.normal() : -patch.normal();
+    const Onb frame = Onb::from_normal(side_normal);
+    const Vec3 wi_local = frame.to_local(flight.dir);
+    const ScatterSample scatter =
+        sample_scatter(mat, wi_local, flight.channel, flight.pol, flight.rng);
+    if (scatter.kind == ScatterKind::kAbsorbed) {
+      ++counters.absorbed;
+      return SegmentEnd::kAbsorbed;
+    }
+    flight.channel = scatter.channel;
+
+    RecordWire rec{};
+    rec.patch = global_patch;
+    const BinCoords coords = BinCoords::from_local_dir(hit->s, hit->t, scatter.dir);
+    rec.s = coords.s;
+    rec.t = coords.t;
+    rec.u = coords.u;
+    rec.theta = coords.theta;
+    rec.channel = static_cast<std::uint8_t>(flight.channel);
+    rec.front = hit->front ? 1 : 0;
+    records.push_back(rec);
+    ++counters.bounces;
+    ++flight.bounces;
+
+    const Vec3 hit_point = ray.at(hit->dist);
+    flight.dir = frame.to_world(scatter.dir).normalized();
+    flight.pos = hit_point + side_normal * 1e-7;
+  }
+}
+
+}  // namespace
+
+SpatialResult run_spatial(const Scene& scene, const SpatialConfig& config, int nranks) {
+  SpatialResult result;
+  result.regions = partition_space(scene, nranks);
+  result.ranks.resize(static_cast<std::size_t>(nranks));
+  std::mutex result_mutex;
+
+  const Aabb root = [&] {
+    Aabb b;
+    for (const Aabb& r : result.regions) b.expand(r);
+    return b;
+  }();
+
+  run_world(nranks, [&](Comm& comm) {
+    const int rank = comm.rank();
+    const int P = comm.size();
+    const Aabb my_region = result.regions[static_cast<std::size_t>(rank)];
+
+    // Local geometry: only the patches overlapping this region get indexed.
+    std::vector<Patch> local_patches;
+    std::vector<std::int32_t> local_to_global;
+    for (std::size_t i = 0; i < scene.patch_count(); ++i) {
+      if (my_region.overlaps(scene.patch(static_cast<int>(i)).bounds())) {
+        local_patches.push_back(scene.patch(static_cast<int>(i)));
+        local_to_global.push_back(static_cast<std::int32_t>(i));
+      }
+    }
+    Octree local_tree;
+    local_tree.build(local_patches);
+
+    // Tree ownership by patch centroid region.
+    std::vector<int> tree_owner(scene.patch_count());
+    for (std::size_t i = 0; i < scene.patch_count(); ++i) {
+      tree_owner[i] = region_of(result.regions, scene.patch(static_cast<int>(i)).point_at(0.5, 0.5));
+    }
+
+    BinForest forest(scene.patch_count(), config.policy);
+    const Emitter emitter(scene);
+    forest.set_total_power(emitter.total_power());
+
+    SpatialRankReport report;
+    report.local_patches = local_patches.size();
+    report.octree_nodes = local_tree.node_count();
+
+    TraceCounters counters;
+    ChannelCounts emitted{};
+    std::vector<Flight> inbox;
+    std::uint64_t next_emission = static_cast<std::uint64_t>(rank);  // ids rank, rank+P, ...
+
+    auto apply_record = [&](const RecordWire& rec) {
+      BinCoords c;
+      c.s = rec.s;
+      c.t = rec.t;
+      c.u = rec.u;
+      c.theta = rec.theta;
+      forest.record(rec.patch, rec.front != 0, c, rec.channel);
+      ++report.tallies;
+    };
+
+    while (true) {
+      std::vector<std::vector<FlightWire>> photon_queues(static_cast<std::size_t>(P));
+      std::vector<std::vector<RecordWire>> record_queues(static_cast<std::size_t>(P));
+      std::vector<RecordWire> records;
+
+      auto route_record = [&](const RecordWire& rec) {
+        const int owner = tree_owner[static_cast<std::size_t>(rec.patch)];
+        if (owner == rank) {
+          apply_record(rec);
+        } else {
+          record_queues[static_cast<std::size_t>(owner)].push_back(rec);
+        }
+      };
+
+      auto run_flight = [&](Flight flight) {
+        ++report.segments_traced;
+        records.clear();
+        const SegmentEnd end = trace_segment(scene, local_tree, local_patches, local_to_global,
+                                             my_region, root, config.limits, flight, records,
+                                             counters);
+        for (const RecordWire& rec : records) route_record(rec);
+        if (end == SegmentEnd::kExitedRegion) {
+          const int dest = region_of(result.regions, flight.pos);
+          if (dest < 0) {
+            ++counters.escaped;
+          } else if (dest == rank) {
+            // Boundary rounding resolved back to us: nudge forward and retry
+            // next round to guarantee progress.
+            flight.pos += flight.dir * 1e-6;
+            const int retry = region_of(result.regions, flight.pos);
+            if (retry >= 0 && retry != rank) {
+              photon_queues[static_cast<std::size_t>(retry)].push_back(to_wire(flight));
+              ++report.photons_out;
+            } else {
+              ++counters.escaped;
+            }
+          } else {
+            photon_queues[static_cast<std::size_t>(dest)].push_back(to_wire(flight));
+            ++report.photons_out;
+          }
+        }
+      };
+
+      // Inject a batch of fresh emissions (ids striped by rank so the union
+      // over ranks is exactly [0, photons)).
+      std::uint64_t injected = 0;
+      while (injected < config.batch && next_emission < config.photons) {
+        Flight flight;
+        flight.rng = photon_stream(config.seed, next_emission);
+        const EmissionSample emission = emitter.emit(flight.rng);
+        ++emitted[static_cast<std::size_t>(emission.channel)];
+        ++counters.emitted;
+        flight.pos = emission.origin;
+        flight.dir = emission.dir;
+        flight.channel = emission.channel;
+
+        RecordWire rec{};
+        rec.patch = emission.patch;
+        const BinCoords coords =
+            BinCoords::from_local_dir(emission.s, emission.t, emission.dir_local);
+        rec.s = coords.s;
+        rec.t = coords.t;
+        rec.u = coords.u;
+        rec.theta = coords.theta;
+        rec.channel = static_cast<std::uint8_t>(emission.channel);
+        rec.front = 1;
+        route_record(rec);
+
+        // The emission point may not even be in our region; route it like any
+        // in-flight photon.
+        const int start_region = region_of(result.regions, flight.pos);
+        if (start_region == rank) {
+          run_flight(std::move(flight));
+        } else if (start_region >= 0) {
+          photon_queues[static_cast<std::size_t>(start_region)].push_back(to_wire(flight));
+          ++report.photons_out;
+        } else {
+          ++counters.escaped;
+        }
+        next_emission += static_cast<std::uint64_t>(P);
+        ++injected;
+      }
+
+      // Work the photons received last round.
+      for (const Flight& f : inbox) run_flight(f);
+      inbox.clear();
+
+      // Exchange photons and records.
+      std::vector<Bytes> out_photons(static_cast<std::size_t>(P));
+      std::vector<Bytes> out_records(static_cast<std::size_t>(P));
+      for (int d = 0; d < P; ++d) {
+        out_photons[static_cast<std::size_t>(d)] = pack(photon_queues[static_cast<std::size_t>(d)]);
+        out_records[static_cast<std::size_t>(d)] = pack(record_queues[static_cast<std::size_t>(d)]);
+      }
+      const std::vector<Bytes> in_photons = comm.alltoall(std::move(out_photons));
+      const std::vector<Bytes> in_records = comm.alltoall(std::move(out_records));
+      for (int s = 0; s < P; ++s) {
+        for (const FlightWire& w : unpack<FlightWire>(in_photons[static_cast<std::size_t>(s)])) {
+          inbox.push_back(from_wire(w));
+          ++report.photons_in;
+        }
+        for (const RecordWire& rec : unpack<RecordWire>(in_records[static_cast<std::size_t>(s)])) {
+          apply_record(rec);
+        }
+      }
+
+      // Terminate when no photons are in flight and all emissions are done.
+      const std::uint64_t remaining =
+          next_emission < config.photons
+              ? (config.photons - next_emission + static_cast<std::uint64_t>(P) - 1) /
+                    static_cast<std::uint64_t>(P)
+              : 0;
+      const std::uint64_t active =
+          comm.allreduce_sum_u64(static_cast<std::uint64_t>(inbox.size()) + remaining);
+      if (active == 0) break;
+    }
+
+    // Gather owned trees and totals on rank 0 (same protocol as par/dist).
+    ChannelCounts total_emitted{};
+    for (int c = 0; c < kNumChannels; ++c) {
+      total_emitted[static_cast<std::size_t>(c)] =
+          comm.allreduce_sum_u64(emitted[static_cast<std::size_t>(c)]);
+    }
+    if (rank != 0) {
+      std::ostringstream buf(std::ios::binary);
+      for (std::size_t p = 0; p < scene.patch_count(); ++p) {
+        if (tree_owner[p] != rank) continue;
+        for (int side = 0; side < 2; ++side) {
+          const std::int32_t idx = static_cast<std::int32_t>(2 * p) + side;
+          buf.write(reinterpret_cast<const char*>(&idx), sizeof(idx));
+          forest.tree_at(idx).save(buf);
+        }
+      }
+      const std::string str = buf.str();
+      comm.send(0, Bytes(str.begin(), str.end()));
+    } else {
+      for (int src = 1; src < P; ++src) {
+        const Bytes buf = comm.recv(src);
+        std::istringstream in(std::string(buf.begin(), buf.end()), std::ios::binary);
+        std::int32_t idx = 0;
+        while (in.read(reinterpret_cast<char*>(&idx), sizeof(idx))) {
+          forest.replace_tree(idx, BinTree::load(in));
+        }
+      }
+      for (int c = 0; c < kNumChannels; ++c) {
+        forest.add_emitted(c, total_emitted[static_cast<std::size_t>(c)]);
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(result_mutex);
+      result.ranks[static_cast<std::size_t>(rank)] = report;
+      result.counters.emitted += counters.emitted;
+      result.counters.bounces += counters.bounces;
+      result.counters.absorbed += counters.absorbed;
+      result.counters.escaped += counters.escaped;
+      result.counters.terminated += counters.terminated;
+      if (rank == 0) result.forest = std::move(forest);
+    }
+  });
+
+  return result;
+}
+
+}  // namespace photon

@@ -1,0 +1,74 @@
+// Distributed geometry (chapter 6, "Massive Parallelism") — the paper's
+// future-work design, implemented: "Currently, the octree representation of
+// the geometry is replicated on all nodes. This could limit the size of the
+// input geometry. Distribution of the geometry would allow computation of a
+// global illumination solution for very complex scenes... a photon is then
+// only passed to those processors that are responsible for the space the
+// photon is traveling through. The photons can then be queued and sent in a
+// batch to the appropriate processors."
+//
+// Space is partitioned into one axis-aligned region per rank (recursive
+// bisection balancing patch counts). Each rank builds an octree over only the
+// patches overlapping its region. A photon traces inside the current region
+// until it is absorbed or crosses a region face, at which point it is queued
+// for the neighbouring owner and exchanged in the next batched all-to-all.
+//
+// Every photon carries its own RNG stream (a disjoint 4096-element block of
+// the global sequence), so its path is identical no matter which ranks
+// execute its segments — the partition cannot change the answer, which the
+// test suite verifies against a single-octree reference run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/scene.hpp"
+#include "sim/simulator.hpp"
+
+namespace photon {
+
+// Splits the scene bounds into `nranks` boxes by recursive bisection along
+// the longest axis, balancing patch-centroid counts. The boxes tile the
+// padded scene bounds exactly.
+std::vector<Aabb> partition_space(const Scene& scene, int nranks);
+
+// Index of the region containing `p` (half-open on shared faces so boundary
+// points resolve to exactly one region); -1 when outside all regions.
+int region_of(const std::vector<Aabb>& regions, const Vec3& p);
+
+// Per-photon RNG stream: a disjoint block of the global LCG sequence. Block
+// size 4096 exceeds the worst-case draws of one photon path.
+Lcg48 photon_stream(std::uint64_t seed, std::uint64_t photon_index);
+
+struct SpatialConfig {
+  std::uint64_t photons = 100000;
+  std::uint64_t seed = 0x1234ABCD330EULL;
+  std::uint64_t batch = 2000;  // emissions injected per rank per round
+  SplitPolicy policy{};
+  TraceLimits limits{};
+};
+
+struct SpatialRankReport {
+  std::uint64_t local_patches = 0;      // patches overlapping this region
+  std::uint64_t octree_nodes = 0;       // local octree size (the memory win)
+  std::uint64_t photons_in = 0;         // in-flight photons received
+  std::uint64_t photons_out = 0;        // in-flight photons forwarded
+  std::uint64_t segments_traced = 0;    // trace segments executed
+  std::uint64_t tallies = 0;            // records applied by this rank
+};
+
+struct SpatialResult {
+  BinForest forest;  // gathered on rank 0
+  std::vector<Aabb> regions;
+  std::vector<SpatialRankReport> ranks;
+  TraceCounters counters;  // aggregated over ranks
+};
+
+// Runs the distributed-geometry simulation on `nranks` MiniMPI ranks.
+SpatialResult run_spatial(const Scene& scene, const SpatialConfig& config, int nranks);
+
+// Reference implementation: traces the same per-photon streams against the
+// full (replicated) octree. run_spatial must reproduce its per-patch tallies.
+SerialResult run_photon_streams(const Scene& scene, const SpatialConfig& config);
+
+}  // namespace photon

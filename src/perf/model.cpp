@@ -1,0 +1,175 @@
+#include "perf/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "par/loadbalance.hpp"
+
+namespace photon {
+
+namespace {
+
+// Extra per-photon work early in a run while the histogram is still being
+// carved up (bins split frequently, then settle — Fig 5.4's initial buildup).
+double split_ramp(double photons_done, double tau) {
+  if (tau <= 0.0) return 1.0;
+  return 1.0 + 0.6 * tau / (photons_done + tau);
+}
+
+double herfindahl(const std::vector<std::uint64_t>& loads) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t l : loads) total += l;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (const std::uint64_t l : loads) {
+    const double share = static_cast<double>(l) / static_cast<double>(total);
+    h += share * share;
+  }
+  return h;
+}
+
+}  // namespace
+
+WorkloadProfile profile_scene(const Scene& scene, std::uint64_t probe_photons,
+                              std::uint64_t seed) {
+  WorkloadProfile p;
+  p.scene_name = scene.name();
+  p.defining_polygons = scene.patch_count();
+
+  SerialConfig cfg;
+  cfg.photons = probe_photons;
+  cfg.batch = std::max<std::uint64_t>(1, probe_photons / 16);
+  cfg.seed = seed;
+  const SerialResult run = run_serial(scene, cfg);
+
+  p.serial_rate = run.trace.final_rate();
+  // Records per photon = emission record + reflections.
+  p.bounces_per_photon = 1.0 + run.counters.bounces_per_photon();
+  p.patch_loads = measure_patch_loads(scene, std::max<std::uint64_t>(probe_photons / 4, 500), seed);
+  p.concentration = herfindahl(p.patch_loads);
+  // Splitting settles once most leaves hold ~min_count photons; use the probe
+  // run's node count as a proxy for the carve-up size.
+  p.tau_photons = static_cast<double>(run.forest.total_nodes()) *
+                  static_cast<double>(cfg.policy.min_count) * 0.5;
+  return p;
+}
+
+double model_serial_rate(const WorkloadProfile& profile, const Platform& platform) {
+  return profile.serial_rate * platform.cpu_scale;
+}
+
+std::vector<SpeedPoint> model_shared(const WorkloadProfile& profile, const Platform& platform,
+                                     int nprocs, double duration_s) {
+  std::vector<SpeedPoint> out;
+  const double serial_rate = model_serial_rate(profile, platform);
+  const double cost = 1.0 / serial_rate;  // s per photon, one processor, no overhead
+
+  // Lock conflicts: two processors tallying into the same tree serialize.
+  // The probability a record collides scales with the Herfindahl
+  // concentration of the tally distribution and with the number of peers.
+  const double lock_cost_per_photon = profile.bounces_per_photon * platform.lock_s *
+                                      platform.cpu_scale / 0.012;  // locks scale with CPU era
+  const double contention =
+      static_cast<double>(nprocs - 1) *
+      (platform.mem_contention + 12.0 * profile.concentration * lock_cost_per_photon / cost);
+
+  double t = platform.startup_s * (nprocs > 1 ? 1.0 : 0.0);
+  double photons = 0.0;
+  const double step_photons = serial_rate * static_cast<double>(nprocs) * 0.25;
+  while (t < duration_s) {
+    const double eff_cost =
+        cost * split_ramp(photons, profile.tau_photons) * (1.0 + contention) /
+        static_cast<double>(nprocs);
+    t += step_photons * eff_cost;
+    photons += step_photons;
+    out.push_back({t, static_cast<std::uint64_t>(photons), photons / t});
+  }
+  return out;
+}
+
+std::vector<SpeedPoint> model_distributed(const WorkloadProfile& profile,
+                                          const Platform& platform, int nprocs,
+                                          double duration_s,
+                                          std::vector<std::uint64_t>* batch_sizes,
+                                          bool bestfit) {
+  std::vector<SpeedPoint> out;
+  const double serial_rate = model_serial_rate(profile, platform);
+  const double cost = 1.0 / serial_rate;
+
+  if (nprocs == 1) {
+    // The serial program: no batching, no exchange.
+    double t = 0.0, photons = 0.0;
+    const double step = serial_rate * 0.25;
+    while (t < duration_s) {
+      t += step * cost * split_ramp(photons, profile.tau_photons);
+      photons += step;
+      out.push_back({t, static_cast<std::uint64_t>(photons), photons / t});
+    }
+    return out;
+  }
+
+  // Ownership from the real load balancer determines tally imbalance.
+  const LoadBalance lb = bestfit ? assign_bestfit(profile.patch_loads, nprocs)
+                                 : assign_naive(profile.patch_loads, nprocs);
+  const double imbal = imbalance(lb);  // max rank load / mean rank load
+
+  // Fraction of records a rank must forward: everything owned by others.
+  const double forward_fraction = 1.0 - 1.0 / static_cast<double>(nprocs);
+
+  // Tallying a received record costs a small fraction of tracing a photon.
+  const double tally_cost = 0.12 * cost / std::max(1.0, profile.bounces_per_photon);
+
+  BatchController controller;
+  double t = platform.startup_s;  // data distribution + process launch
+  // Load balancing phase: every rank traces k probe photons redundantly.
+  const double k = 2000.0;
+  t += k * cost * split_ramp(0, profile.tau_photons);
+
+  double photons = 0.0;
+  while (t < duration_s) {
+    const double B = static_cast<double>(controller.size());
+    const double records = B * profile.bounces_per_photon;
+
+    // Particle tracing phase: every rank traces B photons.
+    const double trace_time = B * cost * split_ramp(photons, profile.tau_photons);
+    // Tally phase: records distributed by ownership; the most loaded rank
+    // gates the batch.
+    const double tally_time =
+        records * static_cast<double>(nprocs) * tally_cost * imbal / static_cast<double>(nprocs);
+
+    // Exchange: P-1 messages per rank, forwarded records spread across them.
+    // On a shared medium (Indy Ethernet) the effective bandwidth degrades
+    // with the batch's byte volume, which is what eventually punishes large
+    // batches and makes the controller oscillate (Table 5.3).
+    const double fwd_bytes = records * forward_fraction * profile.record_bytes;
+    const double eff_bw =
+        platform.bandwidth_Bps /
+        (1.0 + fwd_bytes * static_cast<double>(nprocs) / platform.congestion_bytes);
+    double comm_time = platform.latency_s * static_cast<double>(nprocs - 1) +
+                       fwd_bytes / eff_bw;
+    // Buffered asynchronous messaging (SP-2): extra copy on every byte —
+    // hidden when each rank exchanges a single message per batch (P == 2),
+    // exposed beyond that.
+    if (platform.copy_overhead_s_per_B > 0.0) {
+      const double copy_time = fwd_bytes * platform.copy_overhead_s_per_B;
+      if (nprocs == 2 && platform.overlap_when_pairwise) {
+        comm_time = std::max(comm_time + copy_time - trace_time, 0.0) + 0.1 * copy_time;
+      } else {
+        comm_time += copy_time;
+      }
+    }
+
+    const double batch_time = trace_time + tally_time + comm_time;
+    t += batch_time;
+    photons += B * static_cast<double>(nprocs);
+    const double rate = photons / t;
+    out.push_back({t, static_cast<std::uint64_t>(photons), rate});
+    // The controller sees the *per-batch* rate — the quantity Photon measures
+    // after each batch — so it can detect when growth starts to hurt.
+    controller.update(B * static_cast<double>(nprocs) / batch_time);
+  }
+  if (batch_sizes) *batch_sizes = controller.history();
+  return out;
+}
+
+}  // namespace photon

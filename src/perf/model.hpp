@@ -1,0 +1,59 @@
+// Discrete-event performance model.
+//
+// The speedup figures of chapter 5 were measured on machines that no longer
+// exist; this model regenerates them by replaying the *reproduced
+// algorithm's* schedule — the same batch-size controller, the same per-rank
+// ownership produced by the real load balancer, the same per-photon record
+// volume measured from the real simulator — against a Platform's cost
+// parameters. Nothing here fits curves to the paper: the shapes (saturation
+// of small scenes, scaling of large ones, the SP-2 2->4 dip, startup shifting
+// loosely coupled traces right) all emerge from the modeled mechanism.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/scene.hpp"
+#include "par/batch.hpp"
+#include "perf/platform.hpp"
+#include "sim/simulator.hpp"
+
+namespace photon {
+
+// Workload characterization extracted from a real (serial) simulation.
+struct WorkloadProfile {
+  std::string scene_name;
+  std::size_t defining_polygons = 0;
+  double serial_rate = 0.0;         // photons/s of the real simulator on this host
+  double bounces_per_photon = 0.0;  // records generated per emitted photon
+  double record_bytes = 24.0;       // wire size of one forwarded record
+  std::vector<std::uint64_t> patch_loads;  // per-patch record counts (probe run)
+  double concentration = 0.0;       // Herfindahl index of patch_loads (0..1)
+  double tau_photons = 0.0;         // photons until bin splitting settles
+};
+
+// Runs a short real simulation to measure rate, path length, per-patch load
+// distribution and split ramp.
+WorkloadProfile profile_scene(const Scene& scene, std::uint64_t probe_photons,
+                              std::uint64_t seed);
+
+// Modeled speed-vs-time trace for the shared-memory algorithm (Fig 5.2) on
+// `nprocs` processors of `platform`, for `duration_s` of modeled wall time.
+std::vector<SpeedPoint> model_shared(const WorkloadProfile& profile, const Platform& platform,
+                                     int nprocs, double duration_s);
+
+// Modeled trace for the distributed algorithm (Fig 5.3), including the load
+// balancing phase, adaptive batch growth, all-to-all exchange cost and the
+// platform's buffering behaviour. Also returns (via out-param when non-null)
+// the batch-size sequence the controller produced (Table 5.3).
+std::vector<SpeedPoint> model_distributed(const WorkloadProfile& profile,
+                                          const Platform& platform, int nprocs,
+                                          double duration_s,
+                                          std::vector<std::uint64_t>* batch_sizes = nullptr,
+                                          bool bestfit = true);
+
+// Rate of the best *serial* version on `platform` (the paper's speedup
+// denominator): no locks, no batching, no communication.
+double model_serial_rate(const WorkloadProfile& profile, const Platform& platform);
+
+}  // namespace photon

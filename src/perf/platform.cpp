@@ -1,0 +1,59 @@
+#include "perf/platform.hpp"
+
+namespace photon {
+
+Platform Platform::power_onyx() {
+  Platform p;
+  p.name = "SGI Power Onyx";
+  p.cpu_scale = 0.012;
+  p.lock_s = 2.0e-6;
+  p.mem_contention = 0.035;
+  p.startup_s = 0.05;
+  p.max_procs = 8;
+  return p;
+}
+
+Platform Platform::indy_cluster() {
+  Platform p;
+  p.name = "SGI Indy Cluster";
+  p.cpu_scale = 0.006;  // slower workstations than the Onyx
+  p.latency_s = 1.2e-3;  // 10 Mb/s Ethernet + TCP stack
+  p.bandwidth_Bps = 1.0e6;
+  p.copy_overhead_s_per_B = 0.0;
+  p.congestion_bytes = 48e3;  // shared-medium collisions bite past ~48 KB/batch
+  p.overlap_when_pairwise = false;
+  p.startup_s = 1.5;  // process launch + geometry distribution over Ethernet
+  p.max_procs = 8;
+  return p;
+}
+
+Platform Platform::sp2() {
+  Platform p;
+  p.name = "IBM SP-2";
+  p.cpu_scale = 0.016;
+  p.latency_s = 6.0e-5;  // high-performance switch
+  p.bandwidth_Bps = 3.5e7;
+  // Asynchronous messages must be buffered: an extra memory copy plus buffer
+  // management on every byte once more than one message per batch is in
+  // flight (chapter 5, "Results" / IBM SP-2). Calibrated to reproduce the
+  // magnitude of the 2 -> 4 processor performance shift in Figs 5.12-5.14.
+  p.copy_overhead_s_per_B = 4.0e-6;
+  p.congestion_bytes = 256e3;  // finite message buffers: oversized batches stall
+  p.overlap_when_pairwise = true;
+  p.startup_s = 0.8;
+  p.max_procs = 64;
+  return p;
+}
+
+Platform Platform::calibration_host() {
+  Platform p;
+  p.name = "calibration host";
+  p.cpu_scale = 1.0;
+  p.latency_s = 5.0e-6;
+  p.bandwidth_Bps = 2.0e9;
+  p.startup_s = 0.01;
+  p.max_procs = 64;
+  return p;
+}
+
+}  // namespace photon

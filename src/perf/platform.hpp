@@ -1,0 +1,65 @@
+// Machine models for the paper's three testbeds (see DESIGN.md,
+// "Substitutions"). The 1997 hardware is simulated: each platform is a small
+// set of parameters — CPU throughput relative to the calibration host,
+// message latency/bandwidth, the SP-2's buffered-copy overhead, and
+// shared-memory contention coefficients. The discrete-event model in
+// model.hpp replays the real algorithm's batch/exchange schedule against
+// these parameters to regenerate the speedup figures.
+#pragma once
+
+#include <string>
+
+namespace photon {
+
+struct Platform {
+  std::string name;
+
+  // Throughput of one processor relative to the calibration host (the box
+  // that measured WorkloadProfile::serial_rate). ~0.01 puts a mid-90s CPU at
+  // a few thousand photons/sec on the paper's scenes, matching the figures'
+  // absolute scale.
+  double cpu_scale = 1.0;
+
+  // Point-to-point message cost: latency (s) + bytes / bandwidth (B/s).
+  double latency_s = 0.0;
+  double bandwidth_Bps = 1e9;
+
+  // Extra per-byte cost of buffered asynchronous messaging (the SP-2's extra
+  // memory copy + buffer management, chapter 5). Zero on the Indy cluster.
+  double copy_overhead_s_per_B = 0.0;
+
+  // Shared-medium congestion: the effective bandwidth of a batch exchange
+  // degrades as bw / (1 + bytes / congestion_bytes). Models 10 Mb/s Ethernet
+  // collisions growing with message size; effectively infinite on switched
+  // fabrics.
+  double congestion_bytes = 1e18;
+
+  // When true, communication overlaps with computation in 2-rank
+  // configurations (each rank sends a single message per batch, which the
+  // SP-2 hides); the overlap disappears beyond 2 ranks.
+  bool overlap_when_pairwise = false;
+
+  // Shared-memory model: per-tally lock cost (s) and the per-extra-processor
+  // memory-contention coefficient.
+  double lock_s = 0.0;
+  double mem_contention = 0.0;
+
+  // One-time parallel startup (data distribution etc.); pushes the first
+  // trace point to the right on loosely coupled machines.
+  double startup_s = 0.0;
+
+  int max_procs = 8;
+
+  // 8-processor SGI Power Onyx: shared memory, no messages.
+  static Platform power_onyx();
+  // Cluster of SGI Indy workstations on 10 Mb/s Ethernet: slow CPUs, high
+  // latency, no asynchronous buffering overhead.
+  static Platform indy_cluster();
+  // IBM SP-2, 64 nodes: fast switch, but asynchronous messaging is buffered
+  // (extra copy) — the source of the paper's 2 -> 4 processor dip.
+  static Platform sp2();
+  // The machine this reproduction runs on, for end-to-end sanity checks.
+  static Platform calibration_host();
+};
+
+}  // namespace photon

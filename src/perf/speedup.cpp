@@ -1,0 +1,51 @@
+#include "perf/speedup.hpp"
+
+#include <limits>
+
+namespace photon {
+
+double rate_at_time(const std::vector<SpeedPoint>& trace, double t) {
+  double rate = 0.0;
+  for (const SpeedPoint& p : trace) {
+    if (p.time_s > t) break;
+    rate = p.rate;
+  }
+  return rate;
+}
+
+std::uint64_t photons_at_time(const std::vector<SpeedPoint>& trace, double t) {
+  std::uint64_t photons = 0;
+  for (const SpeedPoint& p : trace) {
+    if (p.time_s > t) break;
+    photons = p.photons;
+  }
+  return photons;
+}
+
+double time_to_photons(const std::vector<SpeedPoint>& trace, std::uint64_t photons) {
+  for (const SpeedPoint& p : trace) {
+    if (p.photons >= photons) return p.time_s;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+double fixed_time_speedup(const std::vector<SpeedPoint>& parallel,
+                          const std::vector<SpeedPoint>& serial, double t) {
+  const std::uint64_t serial_work = photons_at_time(serial, t);
+  if (serial_work == 0) return 0.0;
+  return static_cast<double>(photons_at_time(parallel, t)) /
+         static_cast<double>(serial_work);
+}
+
+double fixed_size_speedup(const std::vector<SpeedPoint>& parallel,
+                          const std::vector<SpeedPoint>& serial, std::uint64_t photons) {
+  const double tp = time_to_photons(parallel, photons);
+  const double ts = time_to_photons(serial, photons);
+  if (!(tp > 0.0) || tp == std::numeric_limits<double>::infinity() ||
+      ts == std::numeric_limits<double>::infinity()) {
+    return 0.0;
+  }
+  return ts / tp;
+}
+
+}  // namespace photon

@@ -1,0 +1,41 @@
+// Speedup metrics (chapter 5, "Performance").
+//
+// The paper is careful about what "speedup" means: "One can consider a
+// time-based measure of speed by measuring how long it takes to complete a
+// fixed task. We will term this fixed-size speedup. Another approach is to
+// consider a work based approach, i.e. how much work can be done in a given
+// amount of time. We will term this fixed-time speedup... Examination of a
+// program at different execution durations can, and often does, yield
+// different speedup results," which is why the figures plot full speed-vs-
+// time traces. These helpers extract both metrics from such traces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace photon {
+
+// Rate (photons/sec) reported by the last trace point at or before `t`;
+// 0 before the first point (the run had produced no measurement yet).
+double rate_at_time(const std::vector<SpeedPoint>& trace, double t);
+
+// Photons completed by time `t` (same convention).
+std::uint64_t photons_at_time(const std::vector<SpeedPoint>& trace, double t);
+
+// Wall time of the first trace point reaching `photons`; +inf if the trace
+// never gets there.
+double time_to_photons(const std::vector<SpeedPoint>& trace, std::uint64_t photons);
+
+// Fixed-time speedup: work completed by the parallel run in `t` seconds over
+// work completed by the serial run in the same time.
+double fixed_time_speedup(const std::vector<SpeedPoint>& parallel,
+                          const std::vector<SpeedPoint>& serial, double t);
+
+// Fixed-size speedup: serial time over parallel time to complete `photons`.
+// 0 when either trace never completes the task.
+double fixed_size_speedup(const std::vector<SpeedPoint>& parallel,
+                          const std::vector<SpeedPoint>& serial, std::uint64_t photons);
+
+}  // namespace photon

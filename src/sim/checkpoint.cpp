@@ -1,0 +1,59 @@
+#include "sim/checkpoint.hpp"
+
+#include <fstream>
+
+namespace photon {
+
+namespace {
+constexpr std::uint64_t kCheckpointMagic = 0x50484F544F4E434BULL;  // "PHOTONCK"
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool read_u64(std::istream& in, std::uint64_t& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return static_cast<bool>(in);
+}
+}  // namespace
+
+void save_checkpoint(const SerialResult& result, std::ostream& out) {
+  write_u64(out, kCheckpointMagic);
+  write_u64(out, result.rng_state);
+  write_u64(out, result.rng_mul);
+  write_u64(out, result.rng_add);
+  write_u64(out, result.counters.emitted);
+  write_u64(out, result.counters.bounces);
+  write_u64(out, result.counters.absorbed);
+  write_u64(out, result.counters.escaped);
+  write_u64(out, result.counters.terminated);
+  result.forest.save(out);
+}
+
+bool save_checkpoint(const SerialResult& result, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  save_checkpoint(result, out);
+  return static_cast<bool>(out);
+}
+
+bool load_checkpoint(std::istream& in, SerialResult& result) {
+  std::uint64_t magic = 0;
+  if (!read_u64(in, magic) || magic != kCheckpointMagic) return false;
+  if (!read_u64(in, result.rng_state) || !read_u64(in, result.rng_mul) ||
+      !read_u64(in, result.rng_add) || !read_u64(in, result.counters.emitted) ||
+      !read_u64(in, result.counters.bounces) || !read_u64(in, result.counters.absorbed) ||
+      !read_u64(in, result.counters.escaped) || !read_u64(in, result.counters.terminated)) {
+    return false;
+  }
+  result.forest = BinForest::load(in);
+  return result.forest.tree_count() > 0;
+}
+
+bool load_checkpoint(const std::string& path, SerialResult& result) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  return load_checkpoint(in, result);
+}
+
+}  // namespace photon

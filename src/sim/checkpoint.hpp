@@ -1,0 +1,24 @@
+// Checkpoint/restart for long simulations.
+//
+// The paper's production runs simulated billions of photons over hours; a
+// checkpoint captures everything a serial run needs to continue exactly —
+// the bin forest (already the "answer file"), the trace counters, and the
+// raw RNG state — so a resumed run is bitwise identical to an uninterrupted
+// one (verified by the test suite).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/simulator.hpp"
+
+namespace photon {
+
+void save_checkpoint(const SerialResult& result, std::ostream& out);
+bool save_checkpoint(const SerialResult& result, const std::string& path);
+
+// Returns false (leaving `result` unspecified) on a malformed stream.
+bool load_checkpoint(std::istream& in, SerialResult& result);
+bool load_checkpoint(const std::string& path, SerialResult& result);
+
+}  // namespace photon

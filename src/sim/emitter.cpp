@@ -1,0 +1,61 @@
+#include "sim/emitter.hpp"
+
+namespace photon {
+
+Emitter::Emitter(const Scene& scene) : scene_(&scene) {
+  double running = 0.0;
+  for (const Luminaire& lum : scene.luminaires()) {
+    const double p = lum.power.sum();
+    if (p <= 0.0) continue;
+    running += p;
+    cdf_.push_back(running);
+
+    LumInfo info;
+    info.patch = lum.patch;
+    info.angular_scale = lum.angular_scale;
+    info.frame = scene.patch(lum.patch).frame();
+    double acc = 0.0;
+    for (int c = 0; c < kNumChannels; ++c) {
+      acc += lum.power[c] / p;
+      info.channel_cdf[c] = acc;
+    }
+    info.channel_cdf[kNumChannels - 1] = 1.0;  // guard against rounding
+    infos_.push_back(info);
+    total_power_ += lum.power;
+  }
+  // Normalize the luminaire CDF.
+  for (double& v : cdf_) v /= running;
+  if (!cdf_.empty()) cdf_.back() = 1.0;
+}
+
+EmissionSample Emitter::emit(Lcg48& rng) const {
+  EmissionSample out;
+  if (cdf_.empty()) return out;
+
+  // Luminaire selection proportional to power.
+  const double u = rng.uniform();
+  std::size_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  const LumInfo& info = infos_[lo];
+
+  out.patch = info.patch;
+  out.s = rng.uniform();
+  out.t = rng.uniform();
+  out.origin = scene_->patch(info.patch).point_at(out.s, out.t);
+
+  const double cu = rng.uniform();
+  out.channel = cu < info.channel_cdf[0] ? 0 : (cu < info.channel_cdf[1] ? 1 : 2);
+
+  out.dir_local = sample_hemisphere_rejection(rng, info.angular_scale);
+  out.dir = info.frame.to_world(out.dir_local);
+  return out;
+}
+
+}  // namespace photon

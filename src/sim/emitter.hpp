@@ -1,0 +1,53 @@
+// Photon generation (chapter 4): picks a luminaire proportionally to its
+// power, a point uniformly on it, a color channel from its spectrum, and a
+// cosine-distributed direction — collimated by the luminaire's angular scale
+// for directional sources such as the sun.
+#pragma once
+
+#include <vector>
+
+#include "core/onb.hpp"
+#include "core/rng.hpp"
+#include "core/sampling.hpp"
+#include "geom/scene.hpp"
+
+namespace photon {
+
+struct EmissionSample {
+  Vec3 origin;
+  Vec3 dir;        // world-space emission direction
+  Vec3 dir_local;  // same direction in the luminaire's tangent frame (z > 0)
+  int patch = -1;
+  int channel = 0;
+  double s = 0.0;  // bilinear coordinates of the emission point
+  double t = 0.0;
+};
+
+class Emitter {
+ public:
+  explicit Emitter(const Scene& scene);
+
+  bool has_luminaires() const { return !cdf_.empty(); }
+
+  // Draws one photon. Uses a variable number of RNG draws (the rejection
+  // kernel), which is fine: streams are private per rank.
+  EmissionSample emit(Lcg48& rng) const;
+
+  // Total flux the scene's luminaires emit, per channel.
+  const Rgb& total_power() const { return total_power_; }
+
+ private:
+  struct LumInfo {
+    Onb frame;
+    double channel_cdf[3];  // cumulative channel probabilities
+    double angular_scale;
+    int patch;
+  };
+
+  const Scene* scene_;
+  std::vector<double> cdf_;  // cumulative luminaire selection probabilities
+  std::vector<LumInfo> infos_;
+  Rgb total_power_;
+};
+
+}  // namespace photon

@@ -1,0 +1,52 @@
+#include "sim/simulator.hpp"
+
+#include <chrono>
+
+namespace photon {
+
+SerialResult run_serial(const Scene& scene, const SerialConfig& config,
+                        const SerialResult* resume_from) {
+  SerialResult result;
+  Lcg48 rng(config.seed, config.rank, config.nranks);
+  if (resume_from) {
+    result.forest = resume_from->forest;
+    result.counters = resume_from->counters;
+    rng.set_raw(resume_from->rng_state, resume_from->rng_mul, resume_from->rng_add);
+  } else {
+    result.forest = BinForest(scene.patch_count(), config.policy);
+  }
+
+  const Emitter emitter(scene);
+  result.forest.set_total_power(emitter.total_power());
+  const Tracer tracer(scene, config.limits);
+  ForestSink sink(result.forest);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t done = 0;
+  while (done < config.photons) {
+    const std::uint64_t batch =
+        config.batch < config.photons - done ? config.batch : config.photons - done;
+    for (std::uint64_t i = 0; i < batch; ++i) {
+      const EmissionSample emission = emitter.emit(rng);
+      result.forest.add_emitted(emission.channel);
+      tracer.trace(emission, rng, sink, &result.counters);
+    }
+    done += batch;
+
+    const double t = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    result.trace.points.push_back(
+        {t, done, t > 0.0 ? static_cast<double>(done) / t : 0.0});
+    result.memory.push_back({done, result.forest.memory_bytes()});
+    if (config.max_seconds > 0.0 && t >= config.max_seconds) break;
+  }
+
+  result.trace.total_photons = done;
+  result.trace.total_time_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  result.rng_state = rng.state();
+  result.rng_mul = rng.stride_mul();
+  result.rng_add = rng.stride_add();
+  return result;
+}
+
+}  // namespace photon

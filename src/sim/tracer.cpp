@@ -1,0 +1,64 @@
+#include "sim/tracer.hpp"
+
+namespace photon {
+
+void Tracer::trace(const EmissionSample& emission, Lcg48& rng, BinSink& sink,
+                   TraceCounters* counters) const {
+  if (counters) ++counters->emitted;
+
+  // Emission tally on the luminaire itself.
+  BounceRecord rec;
+  rec.patch = emission.patch;
+  rec.front = true;
+  rec.coords = BinCoords::from_local_dir(emission.s, emission.t, emission.dir_local);
+  rec.channel = static_cast<std::uint8_t>(emission.channel);
+  sink.record(rec);
+
+  Vec3 origin = emission.origin;
+  Vec3 dir = emission.dir;
+  int channel = emission.channel;  // may shift at fluorescent surfaces
+  Polarization pol = Polarization::unpolarized();
+
+  for (int bounce = 0; bounce < limits_.max_bounces; ++bounce) {
+    const auto hit = scene_->intersect(Ray(origin, dir));
+    if (!hit) {
+      if (counters) ++counters->escaped;
+      return;
+    }
+
+    const Patch& patch = scene_->patch(hit->patch);
+    const Material& mat = scene_->material_of(patch);
+    if (!hit->front && !mat.two_sided) {
+      // Back side of a one-sided surface: opaque, photon absorbed.
+      if (counters) ++counters->absorbed;
+      return;
+    }
+
+    // Local frame on the side that was hit.
+    const Vec3 side_normal = hit->front ? patch.normal() : -patch.normal();
+    const Onb frame = Onb::from_normal(side_normal);
+    const Vec3 wi_local = frame.to_local(dir);  // z < 0: heading into the surface
+
+    const ScatterSample scatter = sample_scatter(mat, wi_local, channel, pol, rng);
+    if (scatter.kind == ScatterKind::kAbsorbed) {
+      if (counters) ++counters->absorbed;
+      return;
+    }
+    channel = scatter.channel;
+
+    rec.patch = hit->patch;
+    rec.front = hit->front;
+    rec.coords = BinCoords::from_local_dir(hit->s, hit->t, scatter.dir);
+    rec.channel = static_cast<std::uint8_t>(channel);
+    sink.record(rec);
+    if (counters) ++counters->bounces;
+
+    const Vec3 hit_point = origin + dir * hit->dist;
+    dir = frame.to_world(scatter.dir).normalized();
+    // Nudge off the surface to avoid re-intersecting it.
+    origin = hit_point + side_normal * 1e-7;
+  }
+  if (counters) ++counters->terminated;
+}
+
+}  // namespace photon

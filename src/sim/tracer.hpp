@@ -1,0 +1,87 @@
+// The light-transport loop of Fig 4.1: GeneratePhoton, DetermineIntersection,
+// DetermineBin, Reflect — repeated until the photon is probabilistically
+// absorbed (or escapes an open scene).
+//
+// Where the tallies *go* is abstracted behind BinSink: the serial simulator
+// records straight into a BinForest, the shared-memory version goes through
+// per-tree locks, and the distributed version enqueues records owned by other
+// ranks for the batched all-to-all exchange (Fig 5.3).
+#pragma once
+
+#include <cstdint>
+
+#include "core/rng.hpp"
+#include "geom/scene.hpp"
+#include "hist/binforest.hpp"
+#include "material/brdf.hpp"
+#include "sim/emitter.hpp"
+
+namespace photon {
+
+struct BounceRecord {
+  std::int32_t patch = -1;
+  bool front = true;
+  BinCoords coords;
+  std::uint8_t channel = 0;
+};
+
+class BinSink {
+ public:
+  virtual ~BinSink() = default;
+  virtual void record(const BounceRecord& rec) = 0;
+};
+
+// Records directly into a BinForest (the serial path).
+class ForestSink final : public BinSink {
+ public:
+  explicit ForestSink(BinForest& forest) : forest_(&forest) {}
+  void record(const BounceRecord& rec) override {
+    forest_->record(rec.patch, rec.front, rec.coords, rec.channel);
+  }
+
+ private:
+  BinForest* forest_;
+};
+
+// Discards records; used when probing workloads (the load-balancing phase
+// traces with "no tallying performed until the photons have been traced").
+class NullSink final : public BinSink {
+ public:
+  void record(const BounceRecord&) override {}
+};
+
+struct TraceLimits {
+  int max_bounces = 256;  // guard against pathological mirror corridors
+};
+
+struct TraceCounters {
+  std::uint64_t emitted = 0;
+  std::uint64_t bounces = 0;    // reflections recorded (excludes emission records)
+  std::uint64_t absorbed = 0;
+  std::uint64_t escaped = 0;    // left an open scene
+  std::uint64_t terminated = 0; // hit the bounce limit
+
+  double bounces_per_photon() const {
+    return emitted > 0 ? static_cast<double>(bounces) / static_cast<double>(emitted) : 0.0;
+  }
+};
+
+class Tracer {
+ public:
+  explicit Tracer(const Scene& scene, TraceLimits limits = {})
+      : scene_(&scene), limits_(limits) {}
+
+  // Traces one emitted photon to absorption. Emission is tallied on the
+  // luminaire patch (UpdateBinCount directly after GeneratePhoton in
+  // Fig 4.1), then every reflection is tallied on the reflecting patch.
+  void trace(const EmissionSample& emission, Lcg48& rng, BinSink& sink,
+             TraceCounters* counters = nullptr) const;
+
+  const Scene& scene() const { return *scene_; }
+
+ private:
+  const Scene* scene_;
+  TraceLimits limits_;
+};
+
+}  // namespace photon

@@ -1,0 +1,25 @@
+#include "view/camera.hpp"
+
+#include <cmath>
+
+namespace photon {
+
+Camera::Camera(const Vec3& eye, const Vec3& look_at, const Vec3& up, double vertical_fov_deg,
+               int width, int height)
+    : eye_(eye), width_(width), height_(height) {
+  forward_ = (look_at - eye).normalized();
+  right_ = cross(forward_, up).normalized();
+  up_ = cross(right_, forward_);
+  tan_half_fov_ = std::tan(vertical_fov_deg * 3.14159265358979323846 / 360.0);
+  aspect_ = static_cast<double>(width) / static_cast<double>(height);
+}
+
+Ray Camera::ray_through(double px, double py) const {
+  const double ndc_x = (2.0 * (px + 0.5) / static_cast<double>(width_) - 1.0) * aspect_;
+  const double ndc_y = 1.0 - 2.0 * (py + 0.5) / static_cast<double>(height_);
+  const Vec3 dir =
+      (forward_ + right_ * (ndc_x * tan_half_fov_) + up_ * (ndc_y * tan_half_fov_)).normalized();
+  return Ray(eye_, dir);
+}
+
+}  // namespace photon

@@ -1,0 +1,30 @@
+// Pinhole camera for the viewing stage (Fig 4.9): rays go to the first
+// visible surface only; radiance comes from the bin forest.
+#pragma once
+
+#include "core/ray.hpp"
+#include "core/vec3.hpp"
+
+namespace photon {
+
+class Camera {
+ public:
+  Camera(const Vec3& eye, const Vec3& look_at, const Vec3& up, double vertical_fov_deg,
+         int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  const Vec3& eye() const { return eye_; }
+
+  // Ray through pixel center (px + 0.5, py + 0.5); px in [0, width).
+  Ray ray_through(double px, double py) const;
+
+ private:
+  Vec3 eye_;
+  Vec3 right_, up_, forward_;  // orthonormal camera basis
+  double tan_half_fov_;
+  double aspect_;
+  int width_, height_;
+};
+
+}  // namespace photon

@@ -1,0 +1,78 @@
+#include "view/viewer.hpp"
+
+#include <thread>
+#include <vector>
+
+#include "core/onb.hpp"
+#include "core/rng.hpp"
+
+namespace photon {
+
+Rgb radiance_along(const Scene& scene, const BinForest& forest, const Ray& ray,
+                   const ViewOptions& options) {
+  const auto hit = scene.intersect(ray);
+  if (!hit) return options.background;
+
+  const Patch& patch = scene.patch(hit->patch);
+  const Vec3 side_normal = hit->front ? patch.normal() : -patch.normal();
+  const Onb frame = Onb::from_normal(side_normal);
+  // Direction a photon would travel surface -> eye.
+  const Vec3 to_eye_local = frame.to_local(-ray.dir);
+  if (to_eye_local.z <= 0.0) return options.background;
+
+  const BinCoords coords = BinCoords::from_local_dir(hit->s, hit->t, to_eye_local);
+  Rgb out;
+  out.r = forest.radiance(hit->patch, hit->front, coords, 0, patch.area());
+  out.g = forest.radiance(hit->patch, hit->front, coords, 1, patch.area());
+  out.b = forest.radiance(hit->patch, hit->front, coords, 2, patch.area());
+  return out;
+}
+
+namespace {
+// One pixel, deterministically jittered: the RNG is seeded per pixel so the
+// image is identical regardless of the thread count.
+Rgb shade_pixel(const Scene& scene, const BinForest& forest, const Camera& camera, int x, int y,
+                const ViewOptions& options) {
+  if (options.samples_per_pixel <= 1) {
+    return radiance_along(scene, forest, camera.ray_through(x, y), options);
+  }
+  Lcg48 rng(options.jitter_seed ^
+            (static_cast<std::uint64_t>(y) * 0x9E3779B9ULL + static_cast<std::uint64_t>(x)));
+  Rgb sum;
+  for (int s = 0; s < options.samples_per_pixel; ++s) {
+    const double jx = rng.uniform() - 0.5;
+    const double jy = rng.uniform() - 0.5;
+    sum += radiance_along(scene, forest, camera.ray_through(x + jx, y + jy), options);
+  }
+  return sum / static_cast<double>(options.samples_per_pixel);
+}
+}  // namespace
+
+Image render(const Scene& scene, const BinForest& forest, const Camera& camera,
+             const ViewOptions& options) {
+  Image img(camera.width(), camera.height());
+  const int threads = options.threads > 1 ? options.threads : 1;
+  if (threads == 1) {
+    for (int y = 0; y < camera.height(); ++y) {
+      for (int x = 0; x < camera.width(); ++x) {
+        img.at(x, y) = shade_pixel(scene, forest, camera, x, y, options);
+      }
+    }
+    return img;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int y = t; y < camera.height(); y += threads) {
+        for (int x = 0; x < camera.width(); ++x) {
+          img.at(x, y) = shade_pixel(scene, forest, camera, x, y, options);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  return img;
+}
+
+}  // namespace photon

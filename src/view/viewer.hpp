@@ -1,0 +1,37 @@
+// Viewing stage (chapter 4, "Viewing Simulation Results").
+//
+// "Once the simulation is finished, all that remains is to determine what is
+// displayed... This can be reduced to a single-step ray trace." For each
+// pixel we find the closest patch, compute the bin parameters of a photon
+// that would have traveled from the surface to the eye, and look the
+// radiance up in the bin tree — the same DetermineIntersection/DetermineBin
+// routines the simulator uses. No recomputation is needed to move the
+// viewpoint (Fig 4.10); mirrors read straight out of their angular bins.
+#pragma once
+
+#include "core/image.hpp"
+#include "geom/scene.hpp"
+#include "hist/binforest.hpp"
+#include "view/camera.hpp"
+
+namespace photon {
+
+struct ViewOptions {
+  Rgb background{0.0, 0.0, 0.0};
+  // Jittered supersampling: >1 softens the histogram's patch boundaries.
+  int samples_per_pixel = 1;
+  std::uint64_t jitter_seed = 1;
+  // Worker threads for the render loop (rows are independent).
+  int threads = 1;
+};
+
+// Renders `scene` from `camera` using the radiance stored in `forest`.
+Image render(const Scene& scene, const BinForest& forest, const Camera& camera,
+             const ViewOptions& options = {});
+
+// Radiance seen along a single ray (the per-pixel core of render(), exposed
+// for tests).
+Rgb radiance_along(const Scene& scene, const BinForest& forest, const Ray& ray,
+                   const ViewOptions& options = {});
+
+}  // namespace photon

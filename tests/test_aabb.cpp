@@ -1,0 +1,130 @@
+#include "core/aabb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace photon {
+namespace {
+
+TEST(Aabb, DefaultIsEmpty) {
+  const Aabb b;
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(Aabb, ExpandByPoints) {
+  Aabb b;
+  b.expand(Vec3{1, 2, 3});
+  EXPECT_FALSE(b.empty());
+  EXPECT_EQ(b.lo, Vec3(1, 2, 3));
+  EXPECT_EQ(b.hi, Vec3(1, 2, 3));
+  b.expand(Vec3{-1, 5, 0});
+  EXPECT_EQ(b.lo, Vec3(-1, 2, 0));
+  EXPECT_EQ(b.hi, Vec3(1, 5, 3));
+}
+
+TEST(Aabb, ExpandByBox) {
+  Aabb a{{0, 0, 0}, {1, 1, 1}};
+  a.expand(Aabb{{-1, 0.5, 0.5}, {0.5, 2, 0.7}});
+  EXPECT_EQ(a.lo, Vec3(-1, 0, 0));
+  EXPECT_EQ(a.hi, Vec3(1, 2, 1));
+}
+
+TEST(Aabb, CenterExtent) {
+  const Aabb b{{0, 0, 0}, {2, 4, 6}};
+  EXPECT_EQ(b.center(), Vec3(1, 2, 3));
+  EXPECT_EQ(b.extent(), Vec3(2, 4, 6));
+}
+
+TEST(Aabb, Contains) {
+  const Aabb b{{0, 0, 0}, {1, 1, 1}};
+  EXPECT_TRUE(b.contains(Vec3{0.5, 0.5, 0.5}));
+  EXPECT_TRUE(b.contains(Vec3{0, 0, 0}));    // boundary inclusive
+  EXPECT_TRUE(b.contains(Vec3{1, 1, 1}));
+  EXPECT_FALSE(b.contains(Vec3{1.0001, 0.5, 0.5}));
+}
+
+TEST(Aabb, Overlaps) {
+  const Aabb b{{0, 0, 0}, {1, 1, 1}};
+  EXPECT_TRUE(b.overlaps(Aabb{{0.5, 0.5, 0.5}, {2, 2, 2}}));
+  EXPECT_TRUE(b.overlaps(Aabb{{1, 1, 1}, {2, 2, 2}}));  // touching counts
+  EXPECT_FALSE(b.overlaps(Aabb{{1.1, 0, 0}, {2, 1, 1}}));
+}
+
+TEST(Aabb, Padded) {
+  const Aabb b{{0, 0, 0}, {1, 1, 1}};
+  const Aabb p = b.padded(0.1);
+  EXPECT_NEAR(p.lo.x, -0.1, 1e-15);
+  EXPECT_NEAR(p.hi.z, 1.1, 1e-15);
+}
+
+TEST(Aabb, RayHitThrough) {
+  const Aabb b{{0, 0, 0}, {1, 1, 1}};
+  double t0 = 0, t1 = 0;
+  const Ray r(Vec3{-1, 0.5, 0.5}, Vec3{1, 0, 0});
+  ASSERT_TRUE(b.hit(r, kNoHit, t0, t1));
+  EXPECT_NEAR(t0, 1.0, 1e-12);
+  EXPECT_NEAR(t1, 2.0, 1e-12);
+}
+
+TEST(Aabb, RayMiss) {
+  const Aabb b{{0, 0, 0}, {1, 1, 1}};
+  double t0 = 0, t1 = 0;
+  EXPECT_FALSE(b.hit(Ray(Vec3{-1, 2, 0.5}, Vec3{1, 0, 0}), kNoHit, t0, t1));
+  EXPECT_FALSE(b.hit(Ray(Vec3{-1, 0.5, 0.5}, Vec3{-1, 0, 0}), kNoHit, t0, t1));  // pointing away
+}
+
+TEST(Aabb, RayOriginInside) {
+  const Aabb b{{0, 0, 0}, {1, 1, 1}};
+  double t0 = 0, t1 = 0;
+  ASSERT_TRUE(b.hit(Ray(Vec3{0.5, 0.5, 0.5}, Vec3{0, 0, 1}), kNoHit, t0, t1));
+  EXPECT_EQ(t0, 0.0);  // clipped to ray start
+  EXPECT_NEAR(t1, 0.5, 1e-12);
+}
+
+TEST(Aabb, RayRespectsTmax) {
+  const Aabb b{{0, 0, 0}, {1, 1, 1}};
+  double t0 = 0, t1 = 0;
+  EXPECT_FALSE(b.hit(Ray(Vec3{-2, 0.5, 0.5}, Vec3{1, 0, 0}), 1.5, t0, t1));
+  EXPECT_TRUE(b.hit(Ray(Vec3{-2, 0.5, 0.5}, Vec3{1, 0, 0}), 2.5, t0, t1));
+}
+
+TEST(Aabb, AxisParallelRayOnBoundaryPlane) {
+  // Degenerate inv_dir (infinite components) must not produce NaN failures.
+  const Aabb b{{0, 0, 0}, {1, 1, 1}};
+  double t0 = 0, t1 = 0;
+  const Ray inside(Vec3{0.5, 0.5, -1}, Vec3{0, 0, 1});
+  EXPECT_TRUE(b.hit(inside, kNoHit, t0, t1));
+}
+
+TEST(Aabb, Diagonal) {
+  const Aabb b{{0, 0, 0}, {1, 1, 1}};
+  double t0 = 0, t1 = 0;
+  const Vec3 d = Vec3{1, 1, 1}.normalized();
+  ASSERT_TRUE(b.hit(Ray(Vec3{-1, -1, -1}, d), kNoHit, t0, t1));
+  EXPECT_NEAR(t0, std::sqrt(3.0), 1e-9);
+}
+
+TEST(Aabb, OctantOf) {
+  const Aabb b{{0, 0, 0}, {2, 2, 2}};
+  EXPECT_EQ(b.octant_of(Vec3{0.5, 0.5, 0.5}), 0);
+  EXPECT_EQ(b.octant_of(Vec3{1.5, 0.5, 0.5}), 1);
+  EXPECT_EQ(b.octant_of(Vec3{0.5, 1.5, 0.5}), 2);
+  EXPECT_EQ(b.octant_of(Vec3{0.5, 0.5, 1.5}), 4);
+  EXPECT_EQ(b.octant_of(Vec3{1.5, 1.5, 1.5}), 7);
+}
+
+TEST(Aabb, OctantBoxesPartition) {
+  const Aabb b{{0, 0, 0}, {2, 4, 8}};
+  double volume = 0.0;
+  for (int o = 0; o < 8; ++o) {
+    const Aabb c = b.octant(o);
+    const Vec3 e = c.extent();
+    volume += e.x * e.y * e.z;
+    EXPECT_TRUE(b.overlaps(c));
+    // The octant index of the child's center must be the octant itself.
+    EXPECT_EQ(b.octant_of(c.center()), o);
+  }
+  EXPECT_NEAR(volume, 2.0 * 4.0 * 8.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace photon

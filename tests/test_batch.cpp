@@ -1,0 +1,117 @@
+#include "par/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace photon {
+namespace {
+
+TEST(BatchController, StartsAtInitialSize) {
+  const BatchController c;
+  EXPECT_EQ(c.size(), 500u);  // the paper's starting batch
+}
+
+TEST(BatchController, GrowsWhileSpeedImproves) {
+  // Table 5.3's opening sequence: 500, 750, 1125, 1687.
+  BatchController c;
+  c.update(100.0);
+  EXPECT_EQ(c.size(), 750u);
+  c.update(120.0);
+  EXPECT_EQ(c.size(), 1125u);
+  c.update(140.0);
+  EXPECT_EQ(c.size(), 1687u);
+}
+
+TEST(BatchController, BacksOffOnSlowdown) {
+  BatchController c;
+  c.update(100.0);
+  c.update(120.0);
+  c.update(140.0);  // at 1687 now
+  c.update(130.0);  // slower -> shrink by 10%
+  EXPECT_EQ(c.size(), 1518u);  // 1687 * 0.9, the paper's observed value
+}
+
+TEST(BatchController, FifteenPercentVariant) {
+  BatchPolicy policy;
+  policy.backoff = 0.85;  // the figure quoted in the paper's text
+  BatchController c(policy);
+  c.update(100.0);
+  c.update(120.0);
+  c.update(140.0);
+  c.update(130.0);
+  EXPECT_EQ(c.size(), static_cast<std::uint64_t>(1687 * 0.85));
+}
+
+TEST(BatchController, RegrowsAfterBackoff) {
+  BatchController c;
+  c.update(100.0);
+  c.update(90.0);   // shrink
+  const std::uint64_t small = c.size();
+  c.update(110.0);  // faster again -> grow
+  EXPECT_GT(c.size(), small);
+}
+
+TEST(BatchController, RespectsMinimum) {
+  BatchPolicy policy;
+  policy.initial = 100;
+  policy.min_size = 80;
+  BatchController c(policy);
+  double rate = 100.0;
+  for (int i = 0; i < 20; ++i) {
+    rate *= 0.5;  // keeps getting slower
+    c.update(rate);
+  }
+  EXPECT_GE(c.size(), 80u);
+}
+
+TEST(BatchController, RespectsMaximum) {
+  BatchPolicy policy;
+  policy.max_size = 2000;
+  BatchController c(policy);
+  double rate = 1.0;
+  for (int i = 0; i < 30; ++i) {
+    rate *= 2.0;
+    c.update(rate);
+  }
+  EXPECT_LE(c.size(), 2000u);
+}
+
+TEST(BatchController, HistoryRecordsAllSizes) {
+  BatchController c;
+  c.update(10);
+  c.update(20);
+  c.update(15);
+  const auto& h = c.history();
+  ASSERT_EQ(h.size(), 4u);
+  EXPECT_EQ(h[0], 500u);
+  EXPECT_EQ(h[1], 750u);
+  EXPECT_EQ(h[2], 1125u);
+  EXPECT_EQ(h[3], 1012u);  // 1125 * 0.9, as in the paper's SP-2 column
+}
+
+TEST(BatchController, HoversNearOptimumWithSharpPenalty) {
+  // When oversized batches are punished sharply (the Ethernet congestion
+  // regime of Table 5.3), grow/shrink alternation hovers in a band around
+  // the optimum instead of diverging.
+  BatchController c;
+  auto modeled_rate = [](std::uint64_t size) {
+    const double s = static_cast<double>(size);
+    // Latency-dominated below ~1400, strongly congestion-punished above.
+    return s / (0.5 + s / 1000.0 + s * s * s / 4e9);
+  };
+  for (int i = 0; i < 80; ++i) c.update(modeled_rate(c.size()));
+  const auto& h = c.history();
+  std::uint64_t lo = h[40], hi = h[40];
+  for (std::size_t i = 40; i < h.size(); ++i) {
+    lo = std::min(lo, h[i]);
+    hi = std::max(hi, h[i]);
+  }
+  // Bounded oscillation: the late-run band stays within one decade.
+  EXPECT_GT(lo, 100u);
+  EXPECT_LT(hi, 30000u);
+  EXPECT_LT(static_cast<double>(hi) / static_cast<double>(lo), 10.0);
+}
+
+}  // namespace
+}  // namespace photon

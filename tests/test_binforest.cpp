@@ -1,0 +1,175 @@
+#include "hist/binforest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/rng.hpp"
+#include "core/sampling.hpp"
+
+namespace photon {
+namespace {
+
+BinCoords coords(double s, double t, double u, double theta) {
+  BinCoords c;
+  c.s = static_cast<float>(s);
+  c.t = static_cast<float>(t);
+  c.u = static_cast<float>(u);
+  c.theta = static_cast<float>(theta);
+  return c;
+}
+
+TEST(BinForest, TwoTreesPerPatch) {
+  const BinForest f(10);
+  EXPECT_EQ(f.patch_count(), 10u);
+  EXPECT_EQ(f.tree_count(), 20u);
+}
+
+TEST(BinForest, TreeIndexMapsSides) {
+  EXPECT_EQ(BinForest::tree_index(0, true), 0);
+  EXPECT_EQ(BinForest::tree_index(0, false), 1);
+  EXPECT_EQ(BinForest::tree_index(3, true), 6);
+}
+
+TEST(BinForest, RecordRoutesToCorrectTree) {
+  BinForest f(4);
+  f.record(2, true, coords(0.5, 0.5, 0.5, 1), 0);
+  f.record(2, false, coords(0.5, 0.5, 0.5, 1), 1);
+  EXPECT_EQ(f.tree(2, true).total_tally(0), 1u);
+  EXPECT_EQ(f.tree(2, false).total_tally(1), 1u);
+  EXPECT_EQ(f.tree(1, true).total_tally(0), 0u);
+}
+
+TEST(BinForest, EmittedBookkeeping) {
+  BinForest f(1);
+  f.add_emitted(0, 10);
+  f.add_emitted(1);
+  EXPECT_EQ(f.emitted(0), 10u);
+  EXPECT_EQ(f.emitted(1), 1u);
+  EXPECT_EQ(f.emitted_total(), 11u);
+}
+
+TEST(BinForest, PatchTalliesSumSidesAndChannels) {
+  BinForest f(3);
+  f.record(1, true, coords(0.1, 0.1, 0.1, 0.1), 0);
+  f.record(1, false, coords(0.1, 0.1, 0.1, 0.1), 2);
+  f.record(2, true, coords(0.1, 0.1, 0.1, 0.1), 1);
+  const auto tallies = f.patch_tallies();
+  EXPECT_EQ(tallies[0], 0u);
+  EXPECT_EQ(tallies[1], 2u);
+  EXPECT_EQ(tallies[2], 1u);
+}
+
+TEST(BinForest, RadianceOfUniformLambertianPatch) {
+  // Record N cosine-distributed photons uniformly over a patch; the radiance
+  // estimate anywhere must equal the analytic exitant radiance
+  //   L = Phi / (A * pi)   (Lambertian: B = Phi/A, L = B/pi).
+  BinForest f(1);
+  const double phi = 12.0;   // total flux, channel 0
+  const double area = 2.0;
+  f.set_total_power({phi, 0, 0});
+  Lcg48 rng(77);
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    const Vec3 d = sample_hemisphere_rejection(rng);
+    f.record(0, true, BinCoords::from_local_dir(rng.uniform(), rng.uniform(), d), 0);
+  }
+  f.add_emitted(0, n);
+
+  const double expected = phi / (area * 3.14159265358979323846);
+  RunningStats stats;
+  for (int i = 0; i < 300; ++i) {
+    const Vec3 d = sample_hemisphere_rejection(rng);
+    const BinCoords c = BinCoords::from_local_dir(rng.uniform(), rng.uniform(), d);
+    stats.add(f.radiance(0, true, c, 0, area));
+  }
+  EXPECT_NEAR(stats.mean(), expected, 0.12 * expected);
+}
+
+TEST(BinForest, RadianceZeroWithoutEmission) {
+  BinForest f(1);
+  f.set_total_power({1, 1, 1});
+  EXPECT_EQ(f.radiance(0, true, coords(0.5, 0.5, 0.5, 1), 0, 1.0), 0.0);
+}
+
+TEST(BinForest, RadianceScalesWithPower) {
+  BinForest f1(1), f2(1);
+  f1.set_total_power({1, 0, 0});
+  f2.set_total_power({3, 0, 0});
+  Lcg48 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const Vec3 d = sample_hemisphere_rejection(rng);
+    const BinCoords c = BinCoords::from_local_dir(rng.uniform(), rng.uniform(), d);
+    f1.record(0, true, c, 0);
+    f2.record(0, true, c, 0);
+  }
+  f1.add_emitted(0, 1000);
+  f2.add_emitted(0, 1000);
+  const BinCoords q = coords(0.5, 0.5, 0.3, 1.0);
+  EXPECT_NEAR(f2.radiance(0, true, q, 0, 1.0), 3.0 * f1.radiance(0, true, q, 0, 1.0), 1e-9);
+}
+
+TEST(BinForest, MemoryAccounting) {
+  BinForest f(5);
+  const std::uint64_t empty = f.memory_bytes();
+  Lcg48 rng(6);
+  for (int i = 0; i < 5000; ++i) {
+    f.record(0, true,
+             coords(rng.uniform() * 0.2, rng.uniform(), rng.uniform(), rng.uniform() * kTwoPi),
+             0);
+  }
+  EXPECT_GT(f.memory_bytes(), empty);
+  EXPECT_GE(f.total_nodes(), f.tree_count());
+  EXPECT_GE(f.total_leaves(), f.tree_count());
+}
+
+TEST(BinForest, SaveLoadRoundTrip) {
+  BinForest f(3);
+  f.set_total_power({1, 2, 3});
+  Lcg48 rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    f.record(static_cast<int>(rng.uniform_int(3)), rng.uniform() < 0.5,
+             coords(rng.uniform() * 0.3, rng.uniform(), rng.uniform(), rng.uniform() * kTwoPi),
+             static_cast<int>(rng.uniform_int(3)));
+  }
+  f.add_emitted(0, 900);
+  f.add_emitted(1, 600);
+  f.add_emitted(2, 500);
+
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  f.save(buf);
+  const BinForest loaded = BinForest::load(buf);
+  EXPECT_TRUE(f == loaded);
+  EXPECT_EQ(loaded.emitted(1), 600u);
+  EXPECT_EQ(loaded.total_power().b, 3.0);
+}
+
+TEST(BinForest, FileRoundTrip) {
+  BinForest f(2);
+  f.record(0, true, coords(0.5, 0.5, 0.5, 1), 0);
+  f.add_emitted(0, 1);
+  const std::string path = ::testing::TempDir() + "/forest.answer";
+  ASSERT_TRUE(f.save(path));
+  BinForest loaded;
+  ASSERT_TRUE(BinForest::load(path, loaded));
+  EXPECT_TRUE(f == loaded);
+  std::remove(path.c_str());
+}
+
+TEST(BinForest, LoadRejectsGarbage) {
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  buf << "this is not an answer file";
+  const BinForest loaded = BinForest::load(buf);
+  EXPECT_EQ(loaded.tree_count(), 0u);
+}
+
+TEST(BinForest, ReplaceTree) {
+  BinForest f(2);
+  BinTree replacement;
+  replacement.record(coords(0.5, 0.5, 0.5, 1), 2);
+  f.replace_tree(BinForest::tree_index(1, true), std::move(replacement));
+  EXPECT_EQ(f.tree(1, true).total_tally(2), 1u);
+}
+
+}  // namespace
+}  // namespace photon

@@ -1,0 +1,202 @@
+#include "material/brdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "material/fresnel.hpp"
+
+namespace photon {
+namespace {
+
+const Vec3 kStraightDown{0, 0, -1};
+
+TEST(Brdf, BlackMaterialAbsorbsEverything) {
+  const Material m = Material::black();
+  Lcg48 rng(1);
+  Polarization pol = Polarization::unpolarized();
+  for (int i = 0; i < 200; ++i) {
+    const ScatterSample s = sample_scatter(m, kStraightDown, 0, pol, rng);
+    EXPECT_EQ(s.kind, ScatterKind::kAbsorbed);
+  }
+}
+
+TEST(Brdf, PerfectMirrorReflectsExactly) {
+  Material m = Material::mirror(Rgb::splat(1.0));
+  m.roughness = 0.0;
+  Lcg48 rng(2);
+  Polarization pol = Polarization::unpolarized();
+  const Vec3 wi = Vec3{0.5, 0.2, -0.84}.normalized();
+  for (int i = 0; i < 50; ++i) {
+    const ScatterSample s = sample_scatter(m, wi, 1, pol, rng);
+    if (s.kind == ScatterKind::kAbsorbed) continue;  // tiny Fresnel shortfall
+    ASSERT_EQ(s.kind, ScatterKind::kSpecular);
+    EXPECT_NEAR(s.dir.x, wi.x, 1e-12);
+    EXPECT_NEAR(s.dir.y, wi.y, 1e-12);
+    EXPECT_NEAR(s.dir.z, -wi.z, 1e-12);
+  }
+}
+
+TEST(Brdf, DiffuseOutputsUpperHemisphere) {
+  const Material m = Material::lambertian(Rgb::splat(1.0));
+  Lcg48 rng(3);
+  Polarization pol = Polarization::unpolarized();
+  int diffuse = 0;
+  for (int i = 0; i < 500; ++i) {
+    const ScatterSample s = sample_scatter(m, kStraightDown, 0, pol, rng);
+    ASSERT_NE(s.kind, ScatterKind::kSpecular);
+    if (s.kind == ScatterKind::kDiffuse) {
+      ++diffuse;
+      EXPECT_GT(s.dir.z, 0.0);
+      EXPECT_NEAR(s.dir.length(), 1.0, 1e-12);
+    }
+  }
+  EXPECT_EQ(diffuse, 500);  // albedo 1: never absorbed
+}
+
+TEST(Brdf, SurvivalFrequencyMatchesAlbedo) {
+  // Russian roulette must be unbiased: P(survive) == diffuse albedo.
+  for (const double albedo : {0.2, 0.5, 0.73, 0.9}) {
+    const Material m = Material::lambertian(Rgb::splat(albedo));
+    Lcg48 rng(static_cast<std::uint64_t>(albedo * 1e6));
+    Polarization pol = Polarization::unpolarized();
+    const int n = 20000;
+    int survived = 0;
+    for (int i = 0; i < n; ++i) {
+      if (sample_scatter(m, kStraightDown, 0, pol, rng).kind != ScatterKind::kAbsorbed) {
+        ++survived;
+      }
+    }
+    EXPECT_NEAR(static_cast<double>(survived) / n, albedo, 0.015) << "albedo " << albedo;
+  }
+}
+
+TEST(Brdf, PerChannelAlbedo) {
+  const Material m = Material::lambertian({0.9, 0.1, 0.5});
+  Lcg48 rng(42);
+  Polarization pol = Polarization::unpolarized();
+  const int n = 20000;
+  int red = 0, green = 0;
+  for (int i = 0; i < n; ++i) {
+    if (sample_scatter(m, kStraightDown, 0, pol, rng).kind != ScatterKind::kAbsorbed) ++red;
+    if (sample_scatter(m, kStraightDown, 1, pol, rng).kind != ScatterKind::kAbsorbed) ++green;
+  }
+  EXPECT_NEAR(red / static_cast<double>(n), 0.9, 0.02);
+  EXPECT_NEAR(green / static_cast<double>(n), 0.1, 0.02);
+}
+
+TEST(Brdf, SpecularProbabilityRisesTowardGrazing) {
+  const Material m = Material::glossy(Rgb::splat(0.5), Rgb::splat(0.04), 0.1);
+  const Polarization pol = Polarization::unpolarized();
+  const double normal = specular_probability(m, 1.0, 0, pol);
+  const double grazing = specular_probability(m, 0.05, 0, pol);
+  EXPECT_NEAR(normal, 0.04, 0.01);
+  EXPECT_GT(grazing, 0.5);
+}
+
+TEST(Brdf, EnergyConservation) {
+  // P(specular) + P(diffuse) <= 1 for any incidence when albedos are <= 1.
+  const Material m = Material::glossy(Rgb::splat(1.0), Rgb::splat(1.0), 0.2);
+  const Polarization pol = Polarization::unpolarized();
+  for (double c = 0.02; c <= 1.0; c += 0.02) {
+    const double ps = specular_probability(m, c, 0, pol);
+    const double pd = (1.0 - ps) * 1.0;
+    EXPECT_LE(ps + pd, 1.0 + 1e-12) << "cos_i " << c;
+  }
+}
+
+TEST(Brdf, RoughSpecularStaysAboveSurface) {
+  const Material m = Material::glossy({}, Rgb::splat(1.0), 0.5);
+  Lcg48 rng(7);
+  Polarization pol = Polarization::unpolarized();
+  const Vec3 wi = Vec3{0.8, 0.0, -0.6}.normalized();  // oblique
+  for (int i = 0; i < 2000; ++i) {
+    const ScatterSample s = sample_scatter(m, wi, 0, pol, rng);
+    if (s.kind == ScatterKind::kSpecular) {
+      EXPECT_GT(s.dir.z, 0.0);
+      EXPECT_NEAR(s.dir.length(), 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(Brdf, RoughnessBroadensTheLobe) {
+  Lcg48 rng(8);
+  const Vec3 wi = Vec3{0.4, 0.0, -0.9165}.normalized();
+  const Vec3 mirror_dir{wi.x, wi.y, -wi.z};
+  double spread_sharp = 0.0, spread_rough = 0.0;
+  for (const double rough : {0.02, 0.4}) {
+    const Material m = Material::glossy({}, Rgb::splat(1.0), rough);
+    Polarization pol = Polarization::unpolarized();
+    double acc = 0.0;
+    int n = 0;
+    for (int i = 0; i < 4000; ++i) {
+      const ScatterSample s = sample_scatter(m, wi, 0, pol, rng);
+      if (s.kind != ScatterKind::kSpecular) continue;
+      acc += std::acos(std::clamp(dot(s.dir, mirror_dir), -1.0, 1.0));
+      ++n;
+    }
+    (rough < 0.1 ? spread_sharp : spread_rough) = acc / n;
+  }
+  EXPECT_LT(spread_sharp, 0.03);
+  EXPECT_GT(spread_rough, 5.0 * spread_sharp);
+}
+
+// --- polarization (the paper's chapter 6 extension) ---
+
+TEST(Polarization, StartsUnpolarized) {
+  const Polarization p = Polarization::unpolarized();
+  EXPECT_DOUBLE_EQ(p.degree(), 0.0);
+  EXPECT_DOUBLE_EQ(p.s + p.p, 1.0);
+}
+
+TEST(Polarization, BrewsterReflectionFullyPolarizes) {
+  const double ior = 1.5;
+  const double cos_b = std::cos(brewster_angle(ior));
+  const double rs = fresnel_rs(cos_b, ior);
+  const double rp = fresnel_rp(cos_b, ior);
+  const Polarization after = Polarization::unpolarized().after_specular(rs, rp);
+  EXPECT_NEAR(after.s, 1.0, 1e-9);
+  EXPECT_NEAR(after.degree(), 1.0, 1e-9);
+}
+
+TEST(Polarization, NormalIncidencePreservesState) {
+  const double rs = fresnel_rs(1.0, 1.5);
+  const double rp = fresnel_rp(1.0, 1.5);
+  const Polarization before{0.7, 0.3};
+  const Polarization after = before.after_specular(rs, rp);
+  EXPECT_NEAR(after.s, 0.7, 1e-9);
+}
+
+TEST(Polarization, EffectiveReflectanceInterpolates) {
+  const Polarization p{0.25, 0.75};
+  EXPECT_DOUBLE_EQ(p.effective_reflectance(0.8, 0.4), 0.25 * 0.8 + 0.75 * 0.4);
+}
+
+TEST(Polarization, DiffuseScatterDepolarizes) {
+  const Material m = Material::lambertian(Rgb::splat(1.0));
+  Lcg48 rng(9);
+  Polarization pol{0.9, 0.1};
+  while (sample_scatter(m, kStraightDown, 0, pol, rng).kind != ScatterKind::kDiffuse) {
+  }
+  EXPECT_DOUBLE_EQ(pol.degree(), 0.0);
+}
+
+TEST(Polarization, RepeatedObliqueBouncesIncreasePolarization) {
+  // Multiple specular reflections at an oblique angle polarize the photon;
+  // its survival probability drifts toward the pure-s value.
+  const double ior = 1.5;
+  const double cos_i = std::cos(1.0);  // 57 degrees, near Brewster
+  const double rs = fresnel_rs(cos_i, ior);
+  const double rp = fresnel_rp(cos_i, ior);
+  Polarization pol = Polarization::unpolarized();
+  double prev_degree = pol.degree();
+  for (int i = 0; i < 5; ++i) {
+    pol = pol.after_specular(rs, rp);
+    EXPECT_GE(pol.degree(), prev_degree);
+    prev_degree = pol.degree();
+  }
+  EXPECT_GT(pol.degree(), 0.5);
+}
+
+}  // namespace
+}  // namespace photon

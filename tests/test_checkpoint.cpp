@@ -1,0 +1,93 @@
+#include "sim/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "geom/scenes.hpp"
+
+namespace photon {
+namespace {
+
+TEST(Checkpoint, ResumeIsBitwiseIdenticalToStraightRun) {
+  const Scene s = scenes::cornell_box();
+
+  SerialConfig full;
+  full.photons = 40000;
+  const SerialResult straight = run_serial(s, full);
+
+  SerialConfig half;
+  half.photons = 20000;
+  const SerialResult first = run_serial(s, half);
+  const SerialResult resumed = run_serial(s, half, &first);
+
+  EXPECT_TRUE(resumed.forest == straight.forest);
+  EXPECT_EQ(resumed.counters.emitted, straight.counters.emitted);
+  EXPECT_EQ(resumed.counters.bounces, straight.counters.bounces);
+  EXPECT_EQ(resumed.rng_state, straight.rng_state);
+}
+
+TEST(Checkpoint, ManySmallLegsEqualOneBigRun) {
+  const Scene s = scenes::furnace_box(0.4);
+  SerialConfig full;
+  full.photons = 30000;
+  const SerialResult straight = run_serial(s, full);
+
+  SerialConfig leg;
+  leg.photons = 10000;
+  SerialResult acc = run_serial(s, leg);
+  acc = run_serial(s, leg, &acc);
+  acc = run_serial(s, leg, &acc);
+  EXPECT_TRUE(acc.forest == straight.forest);
+}
+
+TEST(Checkpoint, StreamRoundTrip) {
+  const Scene s = scenes::cornell_box();
+  SerialConfig cfg;
+  cfg.photons = 15000;
+  const SerialResult r = run_serial(s, cfg);
+
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  save_checkpoint(r, buf);
+  SerialResult loaded;
+  ASSERT_TRUE(load_checkpoint(buf, loaded));
+  EXPECT_TRUE(loaded.forest == r.forest);
+  EXPECT_EQ(loaded.rng_state, r.rng_state);
+  EXPECT_EQ(loaded.rng_mul, r.rng_mul);
+  EXPECT_EQ(loaded.counters.bounces, r.counters.bounces);
+}
+
+TEST(Checkpoint, FileRoundTripAndResume) {
+  const Scene s = scenes::cornell_box();
+  SerialConfig half;
+  half.photons = 20000;
+  const SerialResult first = run_serial(s, half);
+
+  const std::string path = ::testing::TempDir() + "/photon.ck";
+  ASSERT_TRUE(save_checkpoint(first, path));
+  SerialResult loaded;
+  ASSERT_TRUE(load_checkpoint(path, loaded));
+
+  const SerialResult resumed = run_serial(s, half, &loaded);
+  SerialConfig full;
+  full.photons = 40000;
+  const SerialResult straight = run_serial(s, full);
+  EXPECT_TRUE(resumed.forest == straight.forest);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsGarbage) {
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  buf << "definitely not a checkpoint";
+  SerialResult r;
+  EXPECT_FALSE(load_checkpoint(buf, r));
+}
+
+TEST(Checkpoint, RejectsMissingFile) {
+  SerialResult r;
+  EXPECT_FALSE(load_checkpoint("/nonexistent_zzz/photon.ck", r));
+}
+
+}  // namespace
+}  // namespace photon

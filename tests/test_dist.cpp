@@ -1,0 +1,204 @@
+#include "par/dist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "geom/scenes.hpp"
+
+namespace photon {
+namespace {
+
+class DistSimTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistSimTest, TracesTheGlobalBudget) {
+  const int P = GetParam();
+  const Scene s = scenes::cornell_box();
+  DistConfig cfg;
+  cfg.photons = 4000;
+  cfg.adapt_batch = false;
+  cfg.fixed_batch = 500;
+  const DistResult r = run_distributed(s, cfg, P);
+
+  std::uint64_t traced = 0;
+  for (const RankReport& rep : r.ranks) traced += rep.traced;
+  EXPECT_GE(traced, cfg.photons);
+  EXPECT_EQ(r.forest.emitted_total(), traced);
+}
+
+TEST_P(DistSimTest, MatchesUnionOfSerialLeapfrogRuns) {
+  // The defining correctness property: distributing the bin forest must not
+  // change the answer. Rank r draws from stream (seed, r, P), so the gathered
+  // per-patch totals must equal the union of P serial leapfrog runs.
+  const int P = GetParam();
+  const Scene s = scenes::cornell_box();
+  DistConfig cfg;
+  cfg.photons = 2000 * static_cast<std::uint64_t>(P);
+  cfg.adapt_batch = false;
+  cfg.fixed_batch = 500;
+  const DistResult dist = run_distributed(s, cfg, P);
+
+  std::vector<std::uint64_t> serial_tallies(s.patch_count(), 0);
+  for (int rank = 0; rank < P; ++rank) {
+    SerialConfig sc;
+    sc.photons = 2000;
+    sc.seed = cfg.seed;
+    sc.rank = rank;
+    sc.nranks = P;
+    const SerialResult r = run_serial(s, sc);
+    const auto tallies = r.forest.patch_tallies();
+    for (std::size_t p = 0; p < tallies.size(); ++p) serial_tallies[p] += tallies[p];
+  }
+
+  const auto dist_tallies = dist.forest.patch_tallies();
+  for (std::size_t p = 0; p < s.patch_count(); ++p) {
+    EXPECT_NEAR(static_cast<double>(dist_tallies[p]), static_cast<double>(serial_tallies[p]),
+                static_cast<double>(dist.forest.total_nodes()))
+        << "patch " << p;
+  }
+}
+
+TEST_P(DistSimTest, OwnershipCoversEveryPatch) {
+  const int P = GetParam();
+  const Scene s = scenes::cornell_box();
+  DistConfig cfg;
+  cfg.photons = 1000;
+  cfg.adapt_batch = false;
+  const DistResult r = run_distributed(s, cfg, P);
+  ASSERT_EQ(r.balance.owner.size(), s.patch_count());
+  for (const int o : r.balance.owner) {
+    EXPECT_GE(o, 0);
+    EXPECT_LT(o, P);
+  }
+}
+
+TEST_P(DistSimTest, ProcessedSumsToAllRecords) {
+  const int P = GetParam();
+  const Scene s = scenes::cornell_box();
+  DistConfig cfg;
+  cfg.photons = 3000;
+  cfg.adapt_batch = false;
+  cfg.fixed_batch = 250;
+  const DistResult r = run_distributed(s, cfg, P);
+
+  std::uint64_t processed = 0, records = 0;
+  for (const RankReport& rep : r.ranks) {
+    processed += rep.processed;
+    records += rep.counters.emitted + rep.counters.bounces;
+  }
+  // Every record (emission or reflection) is tallied exactly once by the
+  // owner, whether local or forwarded.
+  EXPECT_EQ(processed, records);
+}
+
+TEST_P(DistSimTest, MessagesFlowWhenDistributed) {
+  const int P = GetParam();
+  if (P < 2) GTEST_SKIP();
+  const Scene s = scenes::cornell_box();
+  DistConfig cfg;
+  cfg.photons = 2000;
+  cfg.adapt_batch = false;
+  const DistResult r = run_distributed(s, cfg, P);
+  std::uint64_t bytes = 0;
+  for (const RankReport& rep : r.ranks) bytes += rep.sent_bytes;
+  EXPECT_GT(bytes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, DistSimTest, ::testing::Values(1, 2, 4));
+
+TEST(DistSim, NaiveAndBestFitBothCorrect) {
+  const Scene s = scenes::cornell_box();
+  DistConfig best, naive;
+  best.photons = naive.photons = 4000;
+  best.adapt_batch = naive.adapt_batch = false;
+  naive.bestfit = false;
+  const DistResult rb = run_distributed(s, best, 4);
+  const DistResult rn = run_distributed(s, naive, 4);
+
+  // Same photons traced either way; only the ownership differs.
+  const auto tb = rb.forest.patch_tallies();
+  const auto tn = rn.forest.patch_tallies();
+  for (std::size_t p = 0; p < s.patch_count(); ++p) {
+    EXPECT_NEAR(static_cast<double>(tb[p]), static_cast<double>(tn[p]),
+                static_cast<double>(rb.forest.total_nodes()));
+  }
+}
+
+TEST(DistSim, BestFitBalancesProcessedCounts) {
+  // Table 5.2's claim, on our harpsichord room: bin packing evens out the
+  // per-processor photon processing counts relative to naive assignment.
+  const Scene s = scenes::harpsichord_room();
+  DistConfig best, naive;
+  best.photons = naive.photons = 8000;
+  best.adapt_batch = naive.adapt_batch = false;
+  best.fixed_batch = naive.fixed_batch = 500;
+  naive.bestfit = false;
+  const DistResult rb = run_distributed(s, best, 8);
+  const DistResult rn = run_distributed(s, naive, 8);
+
+  auto spread = [](const DistResult& r) {
+    std::uint64_t lo = UINT64_MAX, hi = 0;
+    for (const RankReport& rep : r.ranks) {
+      lo = std::min(lo, rep.processed);
+      hi = std::max(hi, rep.processed);
+    }
+    return static_cast<double>(hi) / static_cast<double>(std::max<std::uint64_t>(lo, 1));
+  };
+  EXPECT_LT(spread(rb), spread(rn));
+}
+
+TEST(DistSim, AdaptiveBatchesGrow) {
+  const Scene s = scenes::cornell_box();
+  DistConfig cfg;
+  cfg.photons = 30000;
+  cfg.adapt_batch = true;
+  cfg.batch.initial = 500;
+  const DistResult r = run_distributed(s, cfg, 2);
+  ASSERT_FALSE(r.ranks[0].batch_sizes.empty());
+  EXPECT_EQ(r.ranks[0].batch_sizes.front(), 500u);
+  // All ranks agreed on every batch size.
+  EXPECT_EQ(r.ranks[0].batch_sizes, r.ranks[1].batch_sizes);
+}
+
+TEST(DistSim, GatheredForestIsComplete) {
+  const Scene s = scenes::cornell_box();
+  DistConfig cfg;
+  cfg.photons = 6000;
+  cfg.adapt_batch = false;
+  const DistResult r = run_distributed(s, cfg, 4);
+  // Every patch that received probe photons must show tallies in the
+  // gathered forest (owners were spread across ranks).
+  const auto tallies = r.forest.patch_tallies();
+  const std::uint64_t nonzero =
+      static_cast<std::uint64_t>(std::count_if(tallies.begin(), tallies.end(),
+                                               [](std::uint64_t t) { return t > 0; }));
+  EXPECT_GT(nonzero, s.patch_count() / 2);
+  EXPECT_FALSE(r.trace.points.empty());
+}
+
+TEST(DistSim, SingleRankDegeneratesToSerial) {
+  const Scene s = scenes::cornell_box();
+  DistConfig cfg;
+  cfg.photons = 3000;
+  cfg.adapt_batch = false;
+  cfg.fixed_batch = 1000;
+  const DistResult dist = run_distributed(s, cfg, 1);
+
+  SerialConfig sc;
+  sc.photons = 3000;
+  sc.seed = cfg.seed;
+  sc.rank = 0;
+  sc.nranks = 1;
+  const SerialResult serial = run_serial(s, sc);
+
+  const auto a = dist.forest.patch_tallies();
+  const auto b = serial.forest.patch_tallies();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    EXPECT_EQ(a[p], b[p]) << "patch " << p;
+  }
+  EXPECT_EQ(dist.ranks[0].sent_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace photon

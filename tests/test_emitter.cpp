@@ -1,0 +1,139 @@
+#include "sim/emitter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/scenes.hpp"
+
+namespace photon {
+namespace {
+
+TEST(Emitter, NoLuminaires) {
+  Scene s;
+  s.add_material(Material::lambertian({0.5, 0.5, 0.5}));
+  s.add_patch(Patch({0, 0, 0}, {1, 0, 0}, {0, 1, 0}, 0));
+  s.build();
+  const Emitter e(s);
+  EXPECT_FALSE(e.has_luminaires());
+}
+
+TEST(Emitter, TotalPowerMatchesScene) {
+  const Scene s = scenes::cornell_box();
+  const Emitter e(s);
+  EXPECT_NEAR(e.total_power().r, s.total_power().r, 1e-9);
+  EXPECT_GT(e.total_power().sum(), 0.0);
+}
+
+TEST(Emitter, OriginOnLuminairePatch) {
+  const Scene s = scenes::floor_and_light();
+  const Emitter e(s);
+  Lcg48 rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const EmissionSample sample = e.emit(rng);
+    ASSERT_GE(sample.patch, 0);
+    const Patch& p = s.patch(sample.patch);
+    const Vec3 expected = p.point_at(sample.s, sample.t);
+    EXPECT_NEAR(distance(sample.origin, expected), 0.0, 1e-12);
+    EXPECT_TRUE(s.material_of(p).emissive());
+  }
+}
+
+TEST(Emitter, DirectionInEmissionHemisphere) {
+  const Scene s = scenes::floor_and_light();
+  const Emitter e(s);
+  Lcg48 rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const EmissionSample sample = e.emit(rng);
+    const Patch& p = s.patch(sample.patch);
+    EXPECT_GT(dot(sample.dir, p.normal()), 0.0);
+    EXPECT_NEAR(sample.dir.length(), 1.0, 1e-12);
+    EXPECT_GT(sample.dir_local.z, 0.0);
+  }
+}
+
+TEST(Emitter, LuminaireSelectionProportionalToPower) {
+  // Two luminaires with 3:1 power ratio.
+  Scene s;
+  const int m = s.add_material(Material::emitter({1, 1, 1}));
+  const int a = s.add_patch(Patch({0, 0, 0}, {1, 0, 0}, {0, 0, 1}, m));
+  const int b = s.add_patch(Patch({5, 0, 0}, {1, 0, 0}, {0, 0, 1}, m));
+  s.add_luminaire(a, {3, 3, 3});
+  s.add_luminaire(b, {1, 1, 1});
+  s.build();
+
+  const Emitter e(s);
+  Lcg48 rng(3);
+  const int n = 40000;
+  int count_a = 0;
+  for (int i = 0; i < n; ++i) {
+    if (e.emit(rng).patch == a) ++count_a;
+  }
+  EXPECT_NEAR(static_cast<double>(count_a) / n, 0.75, 0.01);
+}
+
+TEST(Emitter, ChannelProportionalToSpectrum) {
+  Scene s;
+  const int m = s.add_material(Material::emitter({6, 3, 1}));
+  const int p = s.add_patch(Patch({0, 0, 0}, {1, 0, 0}, {0, 0, 1}, m));
+  s.add_luminaire(p);
+  s.build();
+
+  const Emitter e(s);
+  Lcg48 rng(4);
+  const int n = 40000;
+  int counts[3] = {};
+  for (int i = 0; i < n; ++i) ++counts[e.emit(rng).channel];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.6, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.1, 0.01);
+}
+
+TEST(Emitter, AngularScaleCollimation) {
+  Scene s;
+  const int m = s.add_material(Material::emitter({1, 1, 1}));
+  const int p = s.add_patch(Patch({0, 0, 0}, {1, 0, 0}, {0, 1, 0}, m));  // normal +z
+  s.add_luminaire(p, {}, /*angular_scale=*/0.1);
+  s.build();
+
+  const Emitter e(s);
+  Lcg48 rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const EmissionSample sample = e.emit(rng);
+    const double sin_theta =
+        std::sqrt(sample.dir.x * sample.dir.x + sample.dir.y * sample.dir.y);
+    EXPECT_LE(sin_theta, 0.1 + 1e-9);
+  }
+}
+
+TEST(Emitter, PointsCoverThePatchUniformly) {
+  const Scene s = scenes::floor_and_light();
+  const Emitter e(s);
+  Lcg48 rng(6);
+  const int n = 20000;
+  int quadrants[4] = {};
+  for (int i = 0; i < n; ++i) {
+    const EmissionSample sample = e.emit(rng);
+    ++quadrants[(sample.s < 0.5 ? 0 : 1) + (sample.t < 0.5 ? 0 : 2)];
+  }
+  for (const int q : quadrants) {
+    EXPECT_NEAR(q, n / 4.0, 5.0 * std::sqrt(n / 4.0));
+  }
+}
+
+TEST(Emitter, DeterministicGivenStream) {
+  const Scene s = scenes::cornell_box();
+  const Emitter e(s);
+  Lcg48 a(9), b(9);
+  for (int i = 0; i < 50; ++i) {
+    const EmissionSample sa = e.emit(a);
+    const EmissionSample sb = e.emit(b);
+    EXPECT_EQ(sa.patch, sb.patch);
+    EXPECT_EQ(sa.channel, sb.channel);
+    EXPECT_EQ(sa.origin, sb.origin);
+    EXPECT_EQ(sa.dir, sb.dir);
+  }
+}
+
+}  // namespace
+}  // namespace photon

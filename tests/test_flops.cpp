@@ -1,0 +1,40 @@
+#include "core/flops.hpp"
+
+#include <gtest/gtest.h>
+
+namespace photon {
+namespace {
+
+TEST(Flops, ShirleyFormulaIs34) {
+  // Chapter 4: "this algorithm generates 34 floating point operations".
+  EXPECT_EQ(shirley_formula_flops(), 34);
+}
+
+TEST(Flops, RejectionIterationIs13) {
+  // "one iteration of the loop ... takes 13 floating-point operations".
+  EXPECT_EQ(rejection_iteration_flops(), 13);
+}
+
+TEST(Flops, RejectionExpectedNearPaperValue) {
+  // 13 / (pi/4) = 16.55 for the loop, + 5 for z = sqrt(1 - tmp) => ~21.6,
+  // which the paper rounds to 22.
+  const double expected = rejection_expected_flops();
+  EXPECT_NEAR(expected, 13.0 / (3.14159265358979323846 / 4.0) + 5.0, 1e-12);
+  EXPECT_GT(expected, 21.0);
+  EXPECT_LT(expected, 22.5);
+}
+
+TEST(Flops, RejectionBeatsFormula) {
+  EXPECT_LT(rejection_expected_flops(), static_cast<double>(shirley_formula_flops()));
+  // The paper quotes a saving of 12 operations (34 - 22).
+  EXPECT_NEAR(shirley_formula_flops() - rejection_expected_flops(), 12.0, 0.5);
+}
+
+TEST(Flops, ConventionIsAdjustable) {
+  FlopConvention cheap_trig = kLlnlConvention;
+  cheap_trig.sincos = 1;  // hardware sincos
+  EXPECT_EQ(shirley_formula_flops(cheap_trig), 34 - 2 * 7);
+}
+
+}  // namespace
+}  // namespace photon

@@ -1,0 +1,134 @@
+// Tests for the fluorescence extension (the paper's chapter 6: "we foresee
+// the ability to add fluorescence").
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "geom/scene_io.hpp"
+#include "geom/scenes.hpp"
+#include "material/brdf.hpp"
+#include "sim/simulator.hpp"
+
+namespace photon {
+namespace {
+
+const Vec3 kStraightDown{0, 0, -1};
+
+TEST(Fluorescence, DefaultMaterialsAreNotFluorescent) {
+  EXPECT_FALSE(Material::lambertian({0.5, 0.5, 0.5}).fluorescent());
+  EXPECT_TRUE(Material::fluorescent_paint({0.2, 0.2, 0.2}, 0.5).fluorescent());
+}
+
+TEST(Fluorescence, ShiftsBlueToGreen) {
+  const Material m = Material::fluorescent_paint({0.0, 0.0, 0.0}, 0.6);
+  Lcg48 rng(1);
+  Polarization pol = Polarization::unpolarized();
+  int fluoresced = 0, absorbed = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const ScatterSample s = sample_scatter(m, kStraightDown, /*blue*/ 2, pol, rng);
+    if (s.kind == ScatterKind::kFluoresced) {
+      ++fluoresced;
+      EXPECT_EQ(s.channel, 1);  // green
+      EXPECT_GT(s.dir.z, 0.0);  // re-radiated diffusely upward
+    } else {
+      ASSERT_EQ(s.kind, ScatterKind::kAbsorbed);
+      ++absorbed;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(fluoresced) / n, 0.6, 0.02);
+}
+
+TEST(Fluorescence, OtherChannelsUnaffected) {
+  const Material m = Material::fluorescent_paint({0.0, 0.0, 0.0}, 0.6);
+  Lcg48 rng(2);
+  Polarization pol = Polarization::unpolarized();
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(sample_scatter(m, kStraightDown, /*red*/ 0, pol, rng).kind,
+              ScatterKind::kAbsorbed);
+    EXPECT_EQ(sample_scatter(m, kStraightDown, /*green*/ 1, pol, rng).kind,
+              ScatterKind::kAbsorbed);
+  }
+}
+
+TEST(Fluorescence, CombinesWithDiffuseReflection) {
+  // Blue photon on a material with 0.3 diffuse + 0.5 blue->green shift:
+  // P(diffuse, still blue) = 0.3, P(fluoresced to green) = 0.7 * 0.5 = 0.35.
+  Material m = Material::lambertian(Rgb::splat(0.3));
+  m.fluorescence[2] = {0.0, 0.5, 0.0};
+  Lcg48 rng(3);
+  Polarization pol = Polarization::unpolarized();
+  int diffuse = 0, fluoresced = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    const ScatterSample s = sample_scatter(m, kStraightDown, 2, pol, rng);
+    if (s.kind == ScatterKind::kDiffuse) {
+      ++diffuse;
+      EXPECT_EQ(s.channel, 2);
+    } else if (s.kind == ScatterKind::kFluoresced) {
+      ++fluoresced;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(diffuse) / n, 0.3, 0.02);
+  EXPECT_NEAR(static_cast<double>(fluoresced) / n, 0.35, 0.02);
+}
+
+TEST(Fluorescence, MultiChannelShiftRow) {
+  Material m;
+  m.fluorescence[2] = {0.3, 0.3, 0.0};  // blue -> red or green, evenly
+  Lcg48 rng(4);
+  Polarization pol = Polarization::unpolarized();
+  int red = 0, green = 0, total = 0;
+  for (int i = 0; i < 30000; ++i) {
+    const ScatterSample s = sample_scatter(m, kStraightDown, 2, pol, rng);
+    if (s.kind != ScatterKind::kFluoresced) continue;
+    ++total;
+    if (s.channel == 0) ++red;
+    if (s.channel == 1) ++green;
+  }
+  EXPECT_GT(total, 15000);
+  EXPECT_NEAR(static_cast<double>(red) / total, 0.5, 0.03);
+  EXPECT_EQ(red + green, total);
+}
+
+TEST(Fluorescence, EndToEndChannelTransfer) {
+  // A blue-only luminaire over a fluorescent floor: the floor's bins must
+  // tally *green* photons even though none were emitted green.
+  Scene s;
+  const int paint = s.add_material(Material::fluorescent_paint({0.0, 0.0, 0.0}, 0.8));
+  const int light_mat = s.add_material(Material::emitter({0.0, 0.0, 10.0}));
+  s.add_patch(Patch({-4, 0, -4}, {0, 0, 8}, {8, 0, 0}, paint));
+  const int light = s.add_patch(Patch({-1, 3, -1}, {2, 0, 0}, {0, 0, 2}, light_mat));
+  s.add_luminaire(light);
+  s.build();
+
+  SerialConfig cfg;
+  cfg.photons = 20000;
+  const SerialResult r = run_serial(s, cfg);
+
+  EXPECT_EQ(r.forest.emitted(0), 0u);
+  EXPECT_EQ(r.forest.emitted(1), 0u);
+  EXPECT_GT(r.forest.emitted(2), 0u);
+  // The floor (patch 0) reflects green only.
+  EXPECT_EQ(r.forest.tree(0, true).total_tally(2), 0u);
+  EXPECT_GT(r.forest.tree(0, true).total_tally(1), 1000u);
+}
+
+TEST(Fluorescence, SceneIoRoundTrip) {
+  Scene s;
+  s.add_material(Material::fluorescent_paint({0.1, 0.2, 0.3}, 0.45));
+  s.add_material(Material::lambertian({0.5, 0.5, 0.5}));
+  s.add_patch(Patch({0, 0, 0}, {1, 0, 0}, {0, 1, 0}, 0));
+
+  std::stringstream buf;
+  save_scene(s, buf);
+  Scene loaded;
+  ASSERT_TRUE(load_scene(buf, loaded));
+  ASSERT_EQ(loaded.materials().size(), 2u);
+  EXPECT_TRUE(loaded.materials()[0].fluorescent());
+  EXPECT_DOUBLE_EQ(loaded.materials()[0].fluorescence[2].g, 0.45);
+  EXPECT_FALSE(loaded.materials()[1].fluorescent());
+}
+
+}  // namespace
+}  // namespace photon

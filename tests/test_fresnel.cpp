@@ -1,0 +1,91 @@
+#include "material/fresnel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace photon {
+namespace {
+
+constexpr double kGlassIor = 1.5;
+
+TEST(Fresnel, NormalIncidenceMatchesClosedForm) {
+  // R(0) = ((n-1)/(n+1))^2 for both polarizations.
+  const double expected = std::pow((kGlassIor - 1.0) / (kGlassIor + 1.0), 2.0);
+  EXPECT_NEAR(fresnel_rs(1.0, kGlassIor), expected, 1e-12);
+  EXPECT_NEAR(fresnel_rp(1.0, kGlassIor), expected, 1e-12);
+  EXPECT_NEAR(fresnel_unpolarized(1.0, kGlassIor), expected, 1e-12);
+}
+
+TEST(Fresnel, GrazingIncidenceIsTotal) {
+  EXPECT_NEAR(fresnel_rs(0.0, kGlassIor), 1.0, 1e-9);
+  EXPECT_NEAR(fresnel_rp(0.0, kGlassIor), 1.0, 1e-9);
+}
+
+TEST(Fresnel, BrewsterAngleKillsP) {
+  const double brewster = brewster_angle(kGlassIor);
+  EXPECT_NEAR(brewster, std::atan(1.5), 1e-12);
+  const double rp = fresnel_rp(std::cos(brewster), kGlassIor);
+  EXPECT_NEAR(rp, 0.0, 1e-12);
+  // s-polarized light still reflects there.
+  EXPECT_GT(fresnel_rs(std::cos(brewster), kGlassIor), 0.05);
+}
+
+TEST(Fresnel, RsAlwaysAtLeastRp) {
+  for (double c = 0.02; c <= 1.0; c += 0.02) {
+    EXPECT_GE(fresnel_rs(c, kGlassIor) + 1e-12, fresnel_rp(c, kGlassIor)) << "cos_i=" << c;
+  }
+}
+
+TEST(Fresnel, ReflectanceInUnitRange) {
+  for (const double ior : {1.05, 1.33, 1.5, 2.4, 10.0}) {
+    for (double c = 0.0; c <= 1.0; c += 0.05) {
+      const double rs = fresnel_rs(c, ior);
+      const double rp = fresnel_rp(c, ior);
+      EXPECT_GE(rs, 0.0);
+      EXPECT_LE(rs, 1.0);
+      EXPECT_GE(rp, 0.0);
+      EXPECT_LE(rp, 1.0);
+    }
+  }
+}
+
+TEST(Fresnel, RsMonotonicallyIncreasesTowardGrazing) {
+  double prev = fresnel_rs(1.0, kGlassIor);
+  for (double c = 0.95; c >= 0.0; c -= 0.05) {
+    const double rs = fresnel_rs(c, kGlassIor);
+    EXPECT_GE(rs + 1e-12, prev);
+    prev = rs;
+  }
+}
+
+TEST(Fresnel, SchlickApproximatesUnpolarized) {
+  const double f0 = std::pow((kGlassIor - 1.0) / (kGlassIor + 1.0), 2.0);
+  for (double c = 0.3; c <= 1.0; c += 0.1) {
+    EXPECT_NEAR(schlick(c, f0), fresnel_unpolarized(c, kGlassIor), 0.03) << "cos_i=" << c;
+  }
+}
+
+TEST(Fresnel, SchlickLimits) {
+  EXPECT_DOUBLE_EQ(schlick(1.0, 0.04), 0.04);
+  EXPECT_NEAR(schlick(0.0, 0.04), 1.0, 1e-12);
+}
+
+TEST(Fresnel, IorFromF0RoundTrip) {
+  for (const double ior : {1.2, 1.5, 2.0, 3.0}) {
+    const double f0 = std::pow((ior - 1.0) / (ior + 1.0), 2.0);
+    EXPECT_NEAR(ior_from_f0(f0), ior, 1e-9);
+  }
+}
+
+TEST(Fresnel, IorFromF0HandlesExtremes) {
+  EXPECT_NEAR(ior_from_f0(0.0), 1.0, 1e-12);
+  EXPECT_GT(ior_from_f0(0.99), 100.0);  // metal-like reflectance -> huge ior
+}
+
+TEST(Fresnel, HigherIorReflectsMore) {
+  EXPECT_LT(fresnel_unpolarized(1.0, 1.3), fresnel_unpolarized(1.0, 2.4));
+}
+
+}  // namespace
+}  // namespace photon

@@ -1,0 +1,103 @@
+#include "core/image.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace photon {
+namespace {
+
+TEST(Image, Dimensions) {
+  const Image img(16, 9);
+  EXPECT_EQ(img.width(), 16);
+  EXPECT_EQ(img.height(), 9);
+}
+
+TEST(Image, PixelAccess) {
+  Image img(4, 4);
+  img.at(2, 3) = Rgb{1.0, 0.5, 0.25};
+  EXPECT_EQ(img.at(2, 3), Rgb(1.0, 0.5, 0.25));
+  EXPECT_EQ(img.at(0, 0), Rgb());
+}
+
+TEST(Image, MaxValue) {
+  Image img(2, 2);
+  img.at(0, 0) = {0.1, 0.2, 0.3};
+  img.at(1, 1) = {0.0, 5.0, 0.0};
+  EXPECT_DOUBLE_EQ(img.max_value(), 5.0);
+}
+
+TEST(Image, MeanLuminance) {
+  Image img(2, 1);
+  img.at(0, 0) = {1.0, 1.0, 1.0};
+  img.at(1, 0) = {0.0, 0.0, 0.0};
+  EXPECT_NEAR(img.mean_luminance(), 0.5, 1e-12);
+}
+
+TEST(Image, WritePpmHeaderAndSize) {
+  Image img(8, 5);
+  img.at(3, 2) = {1.0, 0.0, 0.0};
+  const std::string path = ::testing::TempDir() + "/photon_test.ppm";
+  ASSERT_TRUE(img.write_ppm(path, 1.0));
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string magic;
+  int w = 0, h = 0, maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, 8);
+  EXPECT_EQ(h, 5);
+  EXPECT_EQ(maxval, 255);
+  in.get();  // single whitespace after header
+  std::vector<char> data(8 * 5 * 3);
+  in.read(data.data(), static_cast<std::streamsize>(data.size()));
+  EXPECT_EQ(in.gcount(), static_cast<std::streamsize>(data.size()));
+  std::remove(path.c_str());
+}
+
+TEST(Image, ToneMapClampsAndGammas) {
+  Image img(2, 1);
+  img.at(0, 0) = {10.0, 10.0, 10.0};  // clips to white
+  img.at(1, 0) = {0.5, 0.5, 0.5};
+  const std::string path = ::testing::TempDir() + "/photon_tone.ppm";
+  ASSERT_TRUE(img.write_ppm(path, 1.0, 2.2));
+  std::ifstream in(path, std::ios::binary);
+  std::string line;
+  std::getline(in, line);  // P6
+  std::getline(in, line);  // dims
+  std::getline(in, line);  // maxval
+  unsigned char px[6];
+  in.read(reinterpret_cast<char*>(px), 6);
+  EXPECT_EQ(px[0], 255);  // clamped
+  // 0.5^(1/2.2) * 255 ~ 186
+  EXPECT_NEAR(px[3], 186, 2);
+  std::remove(path.c_str());
+}
+
+TEST(Image, AutoExposureProducesVisibleOutput) {
+  Image img(4, 4);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) img.at(x, y) = Rgb::splat(0.001);  // dim scene
+  }
+  const std::string path = ::testing::TempDir() + "/photon_auto.ppm";
+  ASSERT_TRUE(img.write_ppm(path));  // auto exposure
+  std::ifstream in(path, std::ios::binary);
+  std::string line;
+  std::getline(in, line);
+  std::getline(in, line);
+  std::getline(in, line);
+  unsigned char px[3];
+  in.read(reinterpret_cast<char*>(px), 3);
+  EXPECT_GT(px[0], 100);  // auto exposure brightened the dim scene
+  std::remove(path.c_str());
+}
+
+TEST(Image, WriteFailsOnBadPath) {
+  const Image img(2, 2);
+  EXPECT_FALSE(img.write_ppm("/nonexistent_dir_zzz/out.ppm"));
+}
+
+}  // namespace
+}  // namespace photon

@@ -1,0 +1,115 @@
+#include "analysis/legendre.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace photon {
+namespace {
+
+TEST(Legendre, LowOrderPolynomials) {
+  EXPECT_DOUBLE_EQ(legendre_p(0, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(legendre_p(1, 0.3), 0.3);
+  EXPECT_NEAR(legendre_p(2, 0.3), 0.5 * (3 * 0.09 - 1), 1e-12);
+  EXPECT_NEAR(legendre_p(3, 0.5), 0.5 * (5 * 0.125 - 3 * 0.5), 1e-12);
+}
+
+TEST(Legendre, EndpointValues) {
+  for (int n = 0; n < 10; ++n) {
+    EXPECT_NEAR(legendre_p(n, 1.0), 1.0, 1e-12);
+    EXPECT_NEAR(legendre_p(n, -1.0), n % 2 == 0 ? 1.0 : -1.0, 1e-12);
+  }
+}
+
+TEST(Legendre, OrthogonalityByQuadrature) {
+  // integral P_m P_n = 2/(2n+1) delta_mn.
+  const int n = 2000;
+  const double h = 2.0 / n;
+  for (int a = 0; a < 5; ++a) {
+    for (int b = 0; b <= a; ++b) {
+      double sum = 0.0;
+      for (int i = 0; i <= n; ++i) {
+        const double x = -1.0 + h * i;
+        const double w = (i == 0 || i == n) ? 0.5 : 1.0;
+        sum += w * legendre_p(a, x) * legendre_p(b, x);
+      }
+      sum *= h;
+      const double expected = a == b ? 2.0 / (2 * a + 1) : 0.0;
+      EXPECT_NEAR(sum, expected, 1e-5) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Legendre, SeriesReconstructsPolynomialExactly) {
+  // x^2 lives in span{P0, P2}; a 3-term series must reproduce it.
+  const auto coeffs = legendre_series([](double x) { return x * x; }, 3);
+  for (double x = -1.0; x <= 1.0; x += 0.1) {
+    EXPECT_NEAR(eval_legendre_series(coeffs, x), x * x, 1e-9);
+  }
+  EXPECT_NEAR(coeffs[1], 0.0, 1e-9);  // even function: no P1 content
+}
+
+TEST(Legendre, SeriesCoefficientsOfConstant) {
+  const auto coeffs = legendre_series([](double) { return 2.0; }, 4);
+  EXPECT_NEAR(coeffs[0], 2.0, 1e-9);
+  for (std::size_t i = 1; i < coeffs.size(); ++i) EXPECT_NEAR(coeffs[i], 0.0, 1e-9);
+}
+
+TEST(Legendre, SpikeFunctionShape) {
+  EXPECT_DOUBLE_EQ(specular_spike(0.0), 1.0);
+  EXPECT_LT(specular_spike(0.2), 0.001);
+  EXPECT_DOUBLE_EQ(specular_spike(0.05), specular_spike(-0.05));
+}
+
+TEST(Legendre, ThirtyTermSpikeApproximationRings) {
+  // Fig 2.4: "Even at 30 terms the accuracy leaves much to be desired, and
+  // moreover, there will always be ringing near the spike." The truncated
+  // series must overshoot below zero somewhere.
+  const double half_range = 1.5;  // radians, as in the figure
+  const auto f = [&](double x) { return specular_spike(x * half_range); };
+  const auto coeffs = legendre_series(f, 30);
+
+  double min_val = 1e9, max_err = 0.0;
+  for (double x = -1.0; x <= 1.0; x += 0.002) {
+    const double approx = eval_legendre_series(coeffs, x);
+    min_val = std::min(min_val, approx);
+    max_err = std::max(max_err, std::abs(approx - f(x)));
+  }
+  EXPECT_LT(min_val, -0.005) << "no ringing observed";
+  EXPECT_GT(max_err, 0.05) << "30 terms should NOT capture the spike well";
+}
+
+TEST(Legendre, MoreTermsReduceL2Error) {
+  const double half_range = 1.5;
+  const auto f = [&](double x) { return specular_spike(x * half_range); };
+  auto l2_error = [&](int terms) {
+    const auto coeffs = legendre_series(f, terms);
+    double err = 0.0;
+    const int n = 1000;
+    for (int i = 0; i <= n; ++i) {
+      const double x = -1.0 + 2.0 * i / n;
+      const double d = eval_legendre_series(coeffs, x) - f(x);
+      err += d * d;
+    }
+    return err;
+  };
+  const double e10 = l2_error(10);
+  const double e30 = l2_error(30);
+  const double e90 = l2_error(90);
+  EXPECT_LT(e30, e10);
+  EXPECT_LT(e90, e30);
+}
+
+TEST(Legendre, EvalMatchesDirectSummation) {
+  const std::vector<double> coeffs{0.5, -1.0, 0.25, 0.125};
+  for (double x = -1.0; x <= 1.0; x += 0.25) {
+    double direct = 0.0;
+    for (std::size_t l = 0; l < coeffs.size(); ++l) {
+      direct += coeffs[l] * legendre_p(static_cast<int>(l), x);
+    }
+    EXPECT_NEAR(eval_legendre_series(coeffs, x), direct, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace photon

@@ -1,0 +1,121 @@
+#include "par/loadbalance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "geom/scenes.hpp"
+
+namespace photon {
+namespace {
+
+TEST(LoadBalance, ProbeIsDeterministic) {
+  const Scene s = scenes::cornell_box();
+  const auto a = measure_patch_loads(s, 1000, 42);
+  const auto b = measure_patch_loads(s, 1000, 42);
+  EXPECT_EQ(a, b);
+}
+
+TEST(LoadBalance, ProbeCountsAllRecords) {
+  const Scene s = scenes::cornell_box();
+  const auto loads = measure_patch_loads(s, 2000, 42);
+  const std::uint64_t total = std::accumulate(loads.begin(), loads.end(), std::uint64_t{0});
+  // At least one record (the emission tally) per photon.
+  EXPECT_GE(total, 2000u);
+}
+
+TEST(LoadBalance, NaiveIsRoundRobin) {
+  const std::vector<std::uint64_t> loads{5, 5, 5, 5, 5, 5, 5, 5};
+  const LoadBalance lb = assign_naive(loads, 4);
+  EXPECT_EQ(lb.owner, (std::vector<int>{0, 1, 2, 3, 0, 1, 2, 3}));
+  for (const std::uint64_t l : lb.rank_load) EXPECT_EQ(l, 10u);
+}
+
+TEST(LoadBalance, NaiveIgnoresLoad) {
+  // Two hot patches land on ranks 0 and 1 regardless of the load they carry.
+  const std::vector<std::uint64_t> loads{1000, 1000, 1, 1, 1, 1, 1, 1};
+  const LoadBalance lb = assign_naive(loads, 4);
+  EXPECT_EQ(lb.rank_load[0], 1001u);
+  EXPECT_EQ(lb.rank_load[1], 1001u);
+  EXPECT_GT(imbalance(lb), 1.5);
+}
+
+TEST(LoadBalance, BestFitSpreadsHotPatches) {
+  const std::vector<std::uint64_t> loads{1000, 1000, 1, 1, 1, 1, 1, 1};
+  const LoadBalance lb = assign_bestfit(loads, 4);
+  // The two heavy patches must land on different ranks.
+  EXPECT_NE(lb.owner[0], lb.owner[1]);
+  EXPECT_LT(imbalance(lb), 2.01);
+}
+
+TEST(LoadBalance, BestFitNeverWorseThanNaive) {
+  const Scene s = scenes::harpsichord_room();
+  const auto loads = measure_patch_loads(s, 5000, 7);
+  for (const int P : {2, 4, 8}) {
+    const double naive = imbalance(assign_naive(loads, P));
+    const double packed = imbalance(assign_bestfit(loads, P));
+    EXPECT_LE(packed, naive + 1e-9) << "P=" << P;
+  }
+}
+
+TEST(LoadBalance, BestFitNearlyBalancesRealScene) {
+  // Table 5.2: bin packing evens out the per-processor photon counts — up to
+  // the granularity limit: a tree cannot be split, so the best possible
+  // imbalance is bounded below by the heaviest tree's share of the total.
+  const Scene s = scenes::harpsichord_room();
+  const auto loads = measure_patch_loads(s, 8000, 11);
+  const int P = 8;
+  const LoadBalance lb = assign_bestfit(loads, P);
+
+  const std::uint64_t total = std::accumulate(loads.begin(), loads.end(), std::uint64_t{0});
+  const std::uint64_t heaviest = *std::max_element(loads.begin(), loads.end());
+  const double lower_bound =
+      std::max(1.0, static_cast<double>(heaviest) * P / static_cast<double>(total));
+  EXPECT_LT(imbalance(lb), 1.05 * lower_bound + 0.05);
+}
+
+TEST(LoadBalance, BestFitIsDeterministic) {
+  const std::vector<std::uint64_t> loads{9, 3, 7, 3, 5, 1, 8, 2};
+  const LoadBalance a = assign_bestfit(loads, 3);
+  const LoadBalance b = assign_bestfit(loads, 3);
+  EXPECT_EQ(a.owner, b.owner);
+}
+
+TEST(LoadBalance, EveryPatchOwned) {
+  const std::vector<std::uint64_t> loads(37, 1);
+  for (const int P : {1, 2, 5, 8}) {
+    for (const LoadBalance& lb : {assign_naive(loads, P), assign_bestfit(loads, P)}) {
+      ASSERT_EQ(lb.owner.size(), loads.size());
+      for (const int o : lb.owner) {
+        EXPECT_GE(o, 0);
+        EXPECT_LT(o, P);
+      }
+      const std::uint64_t total =
+          std::accumulate(lb.rank_load.begin(), lb.rank_load.end(), std::uint64_t{0});
+      EXPECT_EQ(total, 37u);
+    }
+  }
+}
+
+TEST(LoadBalance, MorePatchesThanRanksNotRequired) {
+  const std::vector<std::uint64_t> loads{5, 3};
+  const LoadBalance lb = assign_bestfit(loads, 8);
+  EXPECT_EQ(lb.rank_load.size(), 8u);
+  EXPECT_NE(lb.owner[0], lb.owner[1]);  // each heavy patch gets its own rank
+}
+
+TEST(LoadBalance, SingleRankOwnsAll) {
+  const std::vector<std::uint64_t> loads{4, 4, 4};
+  const LoadBalance lb = assign_bestfit(loads, 1);
+  for (const int o : lb.owner) EXPECT_EQ(o, 0);
+  EXPECT_DOUBLE_EQ(imbalance(lb), 1.0);
+}
+
+TEST(LoadBalance, ImbalanceOfEmpty) {
+  LoadBalance lb;
+  EXPECT_DOUBLE_EQ(imbalance(lb), 1.0);
+}
+
+}  // namespace
+}  // namespace photon

@@ -1,0 +1,102 @@
+#include "hist/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "geom/scenes.hpp"
+#include "sim/simulator.hpp"
+
+namespace photon {
+namespace {
+
+TEST(Metrics, EmptyForest) {
+  const BinForest f(4);
+  const ForestMetrics m = compute_metrics(f);
+  EXPECT_EQ(m.trees, 8u);
+  EXPECT_EQ(m.nodes, 8u);   // one root each
+  EXPECT_EQ(m.leaves, 8u);
+  EXPECT_EQ(m.max_depth, 0);
+  EXPECT_EQ(m.total_tallies, 0u);
+  EXPECT_DOUBLE_EQ(m.angular_split_fraction, 0.0);
+}
+
+TEST(Metrics, CountsAreConsistent) {
+  const Scene s = scenes::cornell_box();
+  SerialConfig cfg;
+  cfg.photons = 60000;
+  const SerialResult r = run_serial(s, cfg);
+  const ForestMetrics m = compute_metrics(r.forest);
+
+  EXPECT_EQ(m.nodes, r.forest.total_nodes());
+  EXPECT_EQ(m.leaves, r.forest.total_leaves());
+  EXPECT_EQ(m.total_tallies, r.forest.total_tally_all());
+  // nodes = leaves + splits; splits counted per axis.
+  const std::uint64_t splits =
+      std::accumulate(m.splits_by_axis.begin(), m.splits_by_axis.end(), std::uint64_t{0});
+  EXPECT_EQ(m.nodes, m.leaves + splits);
+  EXPECT_GT(m.mean_tally_per_leaf, 0.0);
+  EXPECT_GT(m.mean_leaf_depth, 0.0);
+  EXPECT_LE(m.max_tally_share, 1.0);
+  EXPECT_GT(m.concentration, 0.0);
+  EXPECT_LE(m.concentration, 1.0);
+}
+
+TEST(Metrics, PatchTalliesMatchForest) {
+  const Scene s = scenes::cornell_box();
+  SerialConfig cfg;
+  cfg.photons = 20000;
+  const SerialResult r = run_serial(s, cfg);
+  const ForestMetrics m = compute_metrics(r.forest);
+  EXPECT_EQ(m.patch_tallies, r.forest.patch_tallies());
+}
+
+TEST(Metrics, MirrorTreeIsAngular) {
+  const Scene s = scenes::cornell_box();
+  int mirror = -1;
+  for (std::size_t i = 0; i < s.patch_count(); ++i) {
+    if (s.material_of(static_cast<int>(i)).specular.max_component() > 0.5) {
+      mirror = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(mirror, 0);
+
+  SerialConfig cfg;
+  cfg.photons = 120000;
+  const SerialResult r = run_serial(s, cfg);
+
+  const TreeMetrics mirror_m = compute_tree_metrics(r.forest.tree(mirror, true));
+  const TreeMetrics floor_m = compute_tree_metrics(r.forest.tree(0, true));
+  EXPECT_GT(mirror_m.angular_split_fraction, floor_m.angular_split_fraction);
+}
+
+TEST(Metrics, TreeMetricsSumToForestMetrics) {
+  const Scene s = scenes::furnace_box(0.5);
+  SerialConfig cfg;
+  cfg.photons = 30000;
+  const SerialResult r = run_serial(s, cfg);
+
+  const ForestMetrics total = compute_metrics(r.forest);
+  std::uint64_t nodes = 0, leaves = 0;
+  for (std::size_t t = 0; t < r.forest.tree_count(); ++t) {
+    const TreeMetrics tm = compute_tree_metrics(r.forest.tree_at(static_cast<int>(t)));
+    nodes += tm.nodes;
+    leaves += tm.leaves;
+  }
+  EXPECT_EQ(nodes, total.nodes);
+  EXPECT_EQ(leaves, total.leaves);
+}
+
+TEST(Metrics, ConcentrationOrdersScenes) {
+  // The cornell box concentrates tallies on fewer patches than the lab —
+  // the quantity that drives shared-memory contention in the perf model.
+  SerialConfig cfg;
+  cfg.photons = 30000;
+  const ForestMetrics cornell =
+      compute_metrics(run_serial(scenes::cornell_box(), cfg).forest);
+  const ForestMetrics lab = compute_metrics(run_serial(scenes::computer_lab(), cfg).forest);
+  EXPECT_GT(cornell.concentration, lab.concentration);
+}
+
+}  // namespace
+}  // namespace photon

@@ -1,0 +1,184 @@
+#include "mp/minimpi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+
+namespace photon {
+namespace {
+
+Bytes make_payload(int src, int dst, int tag = 0) {
+  Bytes b(12);
+  std::memcpy(b.data(), &src, 4);
+  std::memcpy(b.data() + 4, &dst, 4);
+  std::memcpy(b.data() + 8, &tag, 4);
+  return b;
+}
+
+class MiniMpiTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MiniMpiTest, RankAndSize) {
+  const int P = GetParam();
+  std::atomic<int> checks{0};
+  run_world(P, [&](Comm& comm) {
+    EXPECT_EQ(comm.size(), P);
+    EXPECT_GE(comm.rank(), 0);
+    EXPECT_LT(comm.rank(), P);
+    checks.fetch_add(1);
+  });
+  EXPECT_EQ(checks.load(), P);
+}
+
+TEST_P(MiniMpiTest, RingSendRecv) {
+  const int P = GetParam();
+  run_world(P, [&](Comm& comm) {
+    const int next = (comm.rank() + 1) % P;
+    const int prev = (comm.rank() + P - 1) % P;
+    comm.send(next, make_payload(comm.rank(), next));
+    const Bytes got = comm.recv(prev);
+    int src = -1, dst = -1;
+    std::memcpy(&src, got.data(), 4);
+    std::memcpy(&dst, got.data() + 4, 4);
+    EXPECT_EQ(src, prev);
+    EXPECT_EQ(dst, comm.rank());
+  });
+}
+
+TEST_P(MiniMpiTest, MessagesArriveInOrder) {
+  const int P = GetParam();
+  run_world(P, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 50; ++i) comm.send(P - 1, make_payload(0, P - 1, i));
+    } else if (comm.rank() == P - 1) {
+      for (int i = 0; i < 50; ++i) {
+        const Bytes got = comm.recv(0);
+        int tag = -1;
+        std::memcpy(&tag, got.data() + 8, 4);
+        EXPECT_EQ(tag, i);
+      }
+    }
+  });
+}
+
+TEST_P(MiniMpiTest, AlltoallDeliversEverything) {
+  const int P = GetParam();
+  run_world(P, [&](Comm& comm) {
+    std::vector<Bytes> out(static_cast<std::size_t>(P));
+    for (int d = 0; d < P; ++d) out[static_cast<std::size_t>(d)] = make_payload(comm.rank(), d);
+    const std::vector<Bytes> in = comm.alltoall(std::move(out));
+    ASSERT_EQ(in.size(), static_cast<std::size_t>(P));
+    for (int s = 0; s < P; ++s) {
+      int src = -1, dst = -1;
+      std::memcpy(&src, in[static_cast<std::size_t>(s)].data(), 4);
+      std::memcpy(&dst, in[static_cast<std::size_t>(s)].data() + 4, 4);
+      EXPECT_EQ(src, s);
+      EXPECT_EQ(dst, comm.rank());
+    }
+  });
+}
+
+TEST_P(MiniMpiTest, AlltoallWithEmptyBuffers) {
+  const int P = GetParam();
+  run_world(P, [&](Comm& comm) {
+    std::vector<Bytes> out(static_cast<std::size_t>(P));  // all empty
+    const std::vector<Bytes> in = comm.alltoall(std::move(out));
+    for (const Bytes& b : in) EXPECT_TRUE(b.empty());
+  });
+}
+
+TEST_P(MiniMpiTest, BarrierSeparatesPhases) {
+  const int P = GetParam();
+  std::atomic<int> phase1{0};
+  std::atomic<bool> violated{false};
+  run_world(P, [&](Comm& comm) {
+    phase1.fetch_add(1);
+    comm.barrier();
+    // After the barrier every rank must observe all P phase-1 increments.
+    if (phase1.load() != P) violated.store(true);
+    comm.barrier();
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST_P(MiniMpiTest, RepeatedBarriers) {
+  const int P = GetParam();
+  run_world(P, [&](Comm& comm) {
+    for (int i = 0; i < 20; ++i) comm.barrier();
+  });
+}
+
+TEST_P(MiniMpiTest, AllreduceSum) {
+  const int P = GetParam();
+  run_world(P, [&](Comm& comm) {
+    const double total = comm.allreduce_sum(static_cast<double>(comm.rank() + 1));
+    EXPECT_DOUBLE_EQ(total, P * (P + 1) / 2.0);
+  });
+}
+
+TEST_P(MiniMpiTest, AllreduceMax) {
+  const int P = GetParam();
+  run_world(P, [&](Comm& comm) {
+    const double m = comm.allreduce_max(static_cast<double>(comm.rank() * 10));
+    EXPECT_DOUBLE_EQ(m, (P - 1) * 10.0);
+  });
+}
+
+TEST_P(MiniMpiTest, AllreduceU64) {
+  const int P = GetParam();
+  run_world(P, [&](Comm& comm) {
+    const std::uint64_t total = comm.allreduce_sum_u64(100);
+    EXPECT_EQ(total, static_cast<std::uint64_t>(P) * 100u);
+  });
+}
+
+TEST_P(MiniMpiTest, RepeatedAllreducesDoNotCrossTalk) {
+  const int P = GetParam();
+  run_world(P, [&](Comm& comm) {
+    for (int i = 0; i < 10; ++i) {
+      const double total = comm.allreduce_sum(static_cast<double>(i));
+      EXPECT_DOUBLE_EQ(total, static_cast<double>(i * P));
+    }
+  });
+}
+
+TEST_P(MiniMpiTest, TrafficCountersExcludeSelf) {
+  const int P = GetParam();
+  const WorldStats stats = run_world(P, [&](Comm& comm) {
+    std::vector<Bytes> out(static_cast<std::size_t>(P));
+    for (int d = 0; d < P; ++d) out[static_cast<std::size_t>(d)] = Bytes(16);
+    comm.alltoall(std::move(out));
+  });
+  EXPECT_EQ(stats.total_messages, static_cast<std::uint64_t>(P) * (P - 1));
+  EXPECT_EQ(stats.total_bytes, static_cast<std::uint64_t>(P) * (P - 1) * 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, MiniMpiTest, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(MiniMpi, ExceptionPropagates) {
+  EXPECT_THROW(run_world(2,
+                         [](Comm& comm) {
+                           if (comm.rank() == 1) throw std::runtime_error("rank 1 died");
+                         }),
+               std::runtime_error);
+}
+
+TEST(MiniMpi, LargePayloadIntegrity) {
+  run_world(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      Bytes big(1 << 20);
+      for (std::size_t i = 0; i < big.size(); ++i) big[i] = static_cast<std::uint8_t>(i * 31);
+      comm.send(1, std::move(big));
+    } else {
+      const Bytes got = comm.recv(0);
+      ASSERT_EQ(got.size(), static_cast<std::size_t>(1 << 20));
+      for (std::size_t i = 0; i < got.size(); i += 4097) {
+        EXPECT_EQ(got[i], static_cast<std::uint8_t>(i * 31));
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace photon

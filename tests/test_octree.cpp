@@ -1,0 +1,160 @@
+#include "geom/octree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "geom/scenes.hpp"
+
+namespace photon {
+namespace {
+
+std::vector<Patch> random_patch_soup(int n, std::uint64_t seed) {
+  std::vector<Patch> patches;
+  Lcg48 rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const Vec3 origin{rng.uniform() * 10, rng.uniform() * 10, rng.uniform() * 10};
+    const Vec3 e1{rng.uniform() * 2 - 1, rng.uniform() * 2 - 1, rng.uniform() * 2 - 1};
+    const Vec3 e2{rng.uniform() * 2 - 1, rng.uniform() * 2 - 1, rng.uniform() * 2 - 1};
+    if (cross(e1, e2).length() < 1e-6) continue;  // skip degenerate
+    patches.emplace_back(origin, e1, e2, 0);
+  }
+  return patches;
+}
+
+Ray random_ray(Lcg48& rng) {
+  const Vec3 origin{rng.uniform() * 12 - 1, rng.uniform() * 12 - 1, rng.uniform() * 12 - 1};
+  Vec3 dir{rng.uniform() * 2 - 1, rng.uniform() * 2 - 1, rng.uniform() * 2 - 1};
+  while (dir.length_squared() < 1e-6) {
+    dir = Vec3{rng.uniform() * 2 - 1, rng.uniform() * 2 - 1, rng.uniform() * 2 - 1};
+  }
+  return Ray(origin, dir.normalized());
+}
+
+TEST(Octree, EmptyInput) {
+  Octree tree;
+  tree.build(std::vector<Patch>{});
+  EXPECT_FALSE(tree.built());
+  EXPECT_FALSE(tree.intersect(std::vector<Patch>{}, Ray({0, 0, 0}, {0, 0, 1})).has_value());
+}
+
+TEST(Octree, SinglePatch) {
+  std::vector<Patch> patches{Patch({0, 0, 0}, {1, 0, 0}, {0, 1, 0}, 0)};
+  Octree tree;
+  tree.build(patches);
+  ASSERT_TRUE(tree.built());
+  const auto hit = tree.intersect(patches, Ray({0.5, 0.5, 1}, {0, 0, -1}));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->patch, 0);
+  EXPECT_NEAR(hit->dist, 1.0, 1e-12);
+}
+
+TEST(Octree, ReturnsClosestOfStackedPatches) {
+  std::vector<Patch> patches;
+  for (int i = 0; i < 5; ++i) {
+    patches.emplace_back(Vec3{0, 0, static_cast<double>(i)}, Vec3{1, 0, 0}, Vec3{0, 1, 0}, 0);
+  }
+  Octree tree;
+  tree.build(patches);
+  const auto hit = tree.intersect(patches, Ray({0.5, 0.5, 10}, {0, 0, -1}));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->patch, 4);  // top-most (z=4) patch is closest from above
+  EXPECT_NEAR(hit->dist, 6.0, 1e-12);
+}
+
+TEST(Octree, SubdividesLargeInputs) {
+  const auto patches = random_patch_soup(500, 123);
+  Octree tree;
+  tree.build(patches);
+  EXPECT_GT(tree.node_count(), 8u);  // actually split
+  EXPECT_GT(tree.depth(), 0);
+}
+
+TEST(Octree, RespectsMaxDepth) {
+  const auto patches = random_patch_soup(500, 321);
+  Octree tree;
+  Octree::BuildParams params;
+  params.max_depth = 2;
+  tree.build(patches, params);
+  EXPECT_LE(tree.depth(), 2);
+}
+
+class OctreeEquivalenceTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(OctreeEquivalenceTest, MatchesBruteForceOnScenes) {
+  const Scene scene = scenes::by_name(GetParam());
+  Lcg48 rng(999);
+  int hits = 0;
+  for (int i = 0; i < 500; ++i) {
+    // Rays from inside the scene bounds.
+    const Aabb b = scene.bounds();
+    const Vec3 e = b.extent();
+    const Vec3 origin = b.lo + Vec3{rng.uniform() * e.x, rng.uniform() * e.y, rng.uniform() * e.z};
+    Vec3 dir{rng.uniform() * 2 - 1, rng.uniform() * 2 - 1, rng.uniform() * 2 - 1};
+    if (dir.length_squared() < 1e-9) continue;
+    const Ray ray(origin, dir.normalized());
+
+    const auto fast = scene.intersect(ray);
+    const auto slow = scene.intersect_brute(ray);
+    ASSERT_EQ(fast.has_value(), slow.has_value()) << "ray " << i;
+    if (fast) {
+      ++hits;
+      EXPECT_EQ(fast->patch, slow->patch) << "ray " << i;
+      EXPECT_NEAR(fast->dist, slow->dist, 1e-9);
+      EXPECT_NEAR(fast->s, slow->s, 1e-9);
+      EXPECT_NEAR(fast->t, slow->t, 1e-9);
+      EXPECT_EQ(fast->front, slow->front);
+    }
+  }
+  EXPECT_GT(hits, 100) << "test exercised too few hits to be meaningful";
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenes, OctreeEquivalenceTest,
+                         ::testing::Values("cornell", "harpsichord", "lab"));
+
+TEST(Octree, MatchesBruteForceOnRandomSoup) {
+  const auto patches = random_patch_soup(300, 2024);
+  Octree tree;
+  tree.build(patches);
+  Lcg48 rng(555);
+  for (int i = 0; i < 800; ++i) {
+    const Ray ray = random_ray(rng);
+    const auto fast = tree.intersect(patches, ray);
+
+    SceneHit best;
+    best.dist = kNoHit;
+    for (std::size_t p = 0; p < patches.size(); ++p) {
+      if (auto hit = patches[p].intersect(ray, best.dist)) {
+        best.patch = static_cast<int>(p);
+        best.dist = hit->dist;
+      }
+    }
+    ASSERT_EQ(fast.has_value(), best.patch >= 0) << "ray " << i;
+    if (fast) {
+      EXPECT_EQ(fast->patch, best.patch);
+      EXPECT_NEAR(fast->dist, best.dist, 1e-9);
+    }
+  }
+}
+
+TEST(Octree, TmaxCutsOffDistantHits) {
+  std::vector<Patch> patches{Patch({0, 0, 0}, {1, 0, 0}, {0, 1, 0}, 0)};
+  Octree tree;
+  tree.build(patches);
+  EXPECT_FALSE(tree.intersect(patches, Ray({0.5, 0.5, 5}, {0, 0, -1}), 4.0).has_value());
+  EXPECT_TRUE(tree.intersect(patches, Ray({0.5, 0.5, 5}, {0, 0, -1}), 6.0).has_value());
+}
+
+TEST(Octree, SceneBoundsCoverAllPatches) {
+  const Scene scene = scenes::cornell_box();
+  const Aabb root = scene.octree().bounds();
+  for (const Patch& p : scene.patches()) {
+    const Aabb pb = p.bounds();
+    EXPECT_TRUE(root.contains(pb.lo));
+    EXPECT_TRUE(root.contains(pb.hi));
+  }
+}
+
+}  // namespace
+}  // namespace photon

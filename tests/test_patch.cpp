@@ -1,0 +1,143 @@
+#include "geom/patch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace photon {
+namespace {
+
+Patch unit_floor() {
+  // z = 0 plane, normal +z.
+  return Patch({0, 0, 0}, {1, 0, 0}, {0, 1, 0}, /*material=*/0);
+}
+
+TEST(Patch, NormalAndArea) {
+  const Patch p = unit_floor();
+  EXPECT_EQ(p.normal(), Vec3(0, 0, 1));
+  EXPECT_DOUBLE_EQ(p.area(), 1.0);
+
+  const Patch big({0, 0, 0}, {3, 0, 0}, {0, 4, 0}, 0);
+  EXPECT_DOUBLE_EQ(big.area(), 12.0);
+}
+
+TEST(Patch, FromCorners) {
+  const Patch p = Patch::from_corners({1, 1, 0}, {2, 1, 0}, {1, 3, 0}, 5);
+  EXPECT_EQ(p.origin(), Vec3(1, 1, 0));
+  EXPECT_EQ(p.edge_s(), Vec3(1, 0, 0));
+  EXPECT_EQ(p.edge_t(), Vec3(0, 2, 0));
+  EXPECT_EQ(p.material_id(), 5);
+}
+
+TEST(Patch, PointAt) {
+  const Patch p = unit_floor();
+  EXPECT_EQ(p.point_at(0.5, 0.5), Vec3(0.5, 0.5, 0));
+  EXPECT_EQ(p.point_at(1, 0), Vec3(1, 0, 0));
+}
+
+TEST(Patch, BilinearRoundTrip) {
+  // Skewed (non-rectangular) parallelogram exercises the Gram inverse.
+  const Patch p({1, 2, 3}, {2, 0.5, 0}, {0.3, 3, 0}, 0);
+  Lcg48 rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const double s = rng.uniform(), t = rng.uniform();
+    double s2 = 0, t2 = 0;
+    p.to_bilinear(p.point_at(s, t), s2, t2);
+    EXPECT_NEAR(s2, s, 1e-12);
+    EXPECT_NEAR(t2, t, 1e-12);
+  }
+}
+
+TEST(Patch, Bounds) {
+  const Patch p({0, 0, 0}, {1, 0, 0}, {0, 1, 1}, 0);
+  const Aabb b = p.bounds();
+  EXPECT_EQ(b.lo, Vec3(0, 0, 0));
+  EXPECT_EQ(b.hi, Vec3(1, 1, 1));
+}
+
+TEST(Patch, IntersectCenterHit) {
+  const Patch p = unit_floor();
+  const auto hit = p.intersect(Ray({0.5, 0.5, 1.0}, {0, 0, -1}));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->dist, 1.0, 1e-12);
+  EXPECT_NEAR(hit->s, 0.5, 1e-12);
+  EXPECT_NEAR(hit->t, 0.5, 1e-12);
+  EXPECT_TRUE(hit->front);  // approached from the +z side
+}
+
+TEST(Patch, IntersectBackSide) {
+  const Patch p = unit_floor();
+  const auto hit = p.intersect(Ray({0.5, 0.5, -1.0}, {0, 0, 1}));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_FALSE(hit->front);
+}
+
+TEST(Patch, MissOutsideBounds) {
+  const Patch p = unit_floor();
+  EXPECT_FALSE(p.intersect(Ray({1.5, 0.5, 1.0}, {0, 0, -1})).has_value());
+  EXPECT_FALSE(p.intersect(Ray({-0.1, 0.5, 1.0}, {0, 0, -1})).has_value());
+}
+
+TEST(Patch, EdgeAndCornerHitsCount) {
+  const Patch p = unit_floor();
+  EXPECT_TRUE(p.intersect(Ray({0.0, 0.5, 1.0}, {0, 0, -1})).has_value());
+  EXPECT_TRUE(p.intersect(Ray({1.0, 1.0, 1.0}, {0, 0, -1})).has_value());
+}
+
+TEST(Patch, MissParallelRay) {
+  const Patch p = unit_floor();
+  EXPECT_FALSE(p.intersect(Ray({0.5, 0.5, 1.0}, {1, 0, 0})).has_value());
+}
+
+TEST(Patch, MissBehindOrigin) {
+  const Patch p = unit_floor();
+  EXPECT_FALSE(p.intersect(Ray({0.5, 0.5, 1.0}, {0, 0, 1})).has_value());
+}
+
+TEST(Patch, RespectsTmax) {
+  const Patch p = unit_floor();
+  EXPECT_FALSE(p.intersect(Ray({0.5, 0.5, 2.0}, {0, 0, -1}), 1.5).has_value());
+  EXPECT_TRUE(p.intersect(Ray({0.5, 0.5, 2.0}, {0, 0, -1}), 2.5).has_value());
+}
+
+TEST(Patch, EpsilonRejectsSelfHit) {
+  const Patch p = unit_floor();
+  // Origin exactly on the plane: no hit at t ~ 0.
+  EXPECT_FALSE(p.intersect(Ray({0.5, 0.5, 0.0}, {0, 0, -1})).has_value());
+}
+
+TEST(Patch, ObliqueHitCoordinates) {
+  const Patch p = unit_floor();
+  const Vec3 dir = Vec3{1, 0, -1}.normalized();
+  const auto hit = p.intersect(Ray({0.0, 0.5, 0.5}, dir));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->s, 0.5, 1e-12);
+  EXPECT_NEAR(hit->t, 0.5, 1e-12);
+  EXPECT_NEAR(hit->dist, std::sqrt(0.5), 1e-12);
+}
+
+TEST(Patch, FrameMatchesNormal) {
+  const Patch p({0, 0, 0}, {0, 2, 0}, {0, 0, 3}, 0);  // normal +x
+  EXPECT_NEAR(p.normal().x, 1.0, 1e-12);
+  const Onb f = p.frame();
+  EXPECT_NEAR(f.w.x, 1.0, 1e-12);
+}
+
+TEST(Patch, RandomRaysHitWhereExpected) {
+  const Patch p({0, 0, 0}, {2, 0, 0}, {0, 2, 0}, 0);
+  Lcg48 rng(77);
+  for (int i = 0; i < 300; ++i) {
+    const double s = rng.uniform(), t = rng.uniform();
+    const Vec3 target = p.point_at(s, t);
+    const Vec3 origin{rng.uniform() * 4 - 1, rng.uniform() * 4 - 1, 1.0 + rng.uniform()};
+    const Vec3 dir = (target - origin).normalized();
+    if (std::abs(dir.z) < 1e-3) continue;
+    const auto hit = p.intersect(Ray(origin, dir));
+    ASSERT_TRUE(hit.has_value()) << "i=" << i;
+    EXPECT_NEAR(hit->s, s, 1e-9);
+    EXPECT_NEAR(hit->t, t, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace photon

@@ -1,0 +1,167 @@
+#include "perf/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geom/scenes.hpp"
+
+namespace photon {
+namespace {
+
+// A shared fixture profiles each scene once (profiling runs a real
+// simulation, so it is worth caching).
+class PerfModelTest : public ::testing::Test {
+ protected:
+  static const WorkloadProfile& cornell() {
+    static const WorkloadProfile p = profile_scene(scenes::cornell_box(), 8000, 1);
+    return p;
+  }
+  static const WorkloadProfile& lab() {
+    static const WorkloadProfile p = profile_scene(scenes::computer_lab(), 8000, 1);
+    return p;
+  }
+
+  static double rate_at(const std::vector<SpeedPoint>& trace, double t) {
+    double rate = 0.0;
+    for (const SpeedPoint& pt : trace) {
+      if (pt.time_s <= t) rate = pt.rate;
+    }
+    return rate;
+  }
+};
+
+TEST_F(PerfModelTest, ProfileHasSaneValues) {
+  const WorkloadProfile& p = cornell();
+  EXPECT_GT(p.serial_rate, 0.0);
+  EXPECT_GT(p.bounces_per_photon, 1.0);  // emission + at least some bounces
+  EXPECT_GT(p.concentration, 0.0);
+  EXPECT_LE(p.concentration, 1.0);
+  EXPECT_EQ(p.patch_loads.size(), scenes::cornell_box().patch_count());
+}
+
+TEST_F(PerfModelTest, LabIsSlowerButFlatterThanCornell) {
+  // More geometry -> lower absolute rate; more surfaces -> lower tally
+  // concentration (the paper's Fig 5.15 diagonal).
+  EXPECT_LT(lab().serial_rate, cornell().serial_rate);
+  EXPECT_LT(lab().concentration, cornell().concentration);
+}
+
+TEST_F(PerfModelTest, SerialRateScalesWithCpu) {
+  const Platform onyx = Platform::power_onyx();
+  EXPECT_NEAR(model_serial_rate(cornell(), onyx), cornell().serial_rate * onyx.cpu_scale,
+              1e-9);
+}
+
+TEST_F(PerfModelTest, SharedMemorySpeedupGrowsWithProcs) {
+  const Platform onyx = Platform::power_onyx();
+  const double duration = 200.0;
+  const double serial = model_serial_rate(lab(), onyx);
+  double prev = 0.0;
+  for (const int P : {1, 2, 4, 8}) {
+    const auto trace = model_shared(lab(), onyx, P, duration);
+    ASSERT_FALSE(trace.empty());
+    const double rate = trace.back().rate;
+    EXPECT_GT(rate, prev) << "P=" << P;
+    EXPECT_LE(rate, serial * P * 1.05) << "speedup cannot exceed P";
+    prev = rate;
+  }
+}
+
+TEST_F(PerfModelTest, SmallSceneSaturatesOnSharedMemory) {
+  // Chapter 5: "For small geometries, using more than two processors is a
+  // waste" — contention on the concentrated bin trees caps the speedup.
+  const Platform onyx = Platform::power_onyx();
+  const double duration = 200.0;
+  const double serial = model_serial_rate(cornell(), onyx);
+  const double speedup8 = model_shared(cornell(), onyx, 8, duration).back().rate / serial;
+  const double lab_speedup8 = model_shared(lab(), onyx, 8, duration).back().rate /
+                              model_serial_rate(lab(), onyx);
+  EXPECT_LT(speedup8, lab_speedup8);
+}
+
+TEST_F(PerfModelTest, DistributedOneProcMatchesSerialShape) {
+  const Platform indy = Platform::indy_cluster();
+  const auto trace = model_distributed(cornell(), indy, 1, 100.0);
+  ASSERT_FALSE(trace.empty());
+  // Approaches the serial rate once the split ramp settles.
+  EXPECT_NEAR(trace.back().rate, model_serial_rate(cornell(), indy),
+              0.15 * model_serial_rate(cornell(), indy));
+}
+
+TEST_F(PerfModelTest, StartupShiftsLooselyCoupledTraces) {
+  // Fig 5.15: "the time to the first data point increases as coupling
+  // decreases."
+  const auto onyx = model_shared(cornell(), Platform::power_onyx(), 4, 100.0);
+  const auto indy = model_distributed(cornell(), Platform::indy_cluster(), 4, 100.0);
+  ASSERT_FALSE(onyx.empty());
+  ASSERT_FALSE(indy.empty());
+  EXPECT_GT(indy.front().time_s, onyx.front().time_s);
+}
+
+TEST_F(PerfModelTest, IndyClusterScalesOnLargeScene) {
+  const Platform indy = Platform::indy_cluster();
+  const double duration = 2000.0;
+  const double serial = model_serial_rate(lab(), indy);
+  const double r2 = model_distributed(lab(), indy, 2, duration).back().rate;
+  const double r8 = model_distributed(lab(), indy, 8, duration).back().rate;
+  EXPECT_GT(r8, r2);
+  EXPECT_GT(r8 / serial, 3.0);  // decent scaling at 8 procs
+  EXPECT_LE(r8 / serial, 8.0);
+}
+
+TEST_F(PerfModelTest, Sp2DipBetween2And4) {
+  // The paper's signature anomaly: buffered asynchronous messaging makes the
+  // per-processor efficiency drop when going from 2 to 4 processors.
+  const Platform sp2 = Platform::sp2();
+  const double duration = 500.0;
+  const double r2 = model_distributed(cornell(), sp2, 2, duration).back().rate;
+  const double r4 = model_distributed(cornell(), sp2, 4, duration).back().rate;
+  // Efficiency per processor must drop sharply (not just sublinear growth).
+  EXPECT_LT(r4 / 4.0, 0.8 * (r2 / 2.0));
+}
+
+TEST_F(PerfModelTest, Sp2StillScalesBeyond4) {
+  // "Beyond 4 processors, the graphs show that Photon seems to scale well."
+  const Platform sp2 = Platform::sp2();
+  const double duration = 500.0;
+  const double r4 = model_distributed(lab(), sp2, 4, duration).back().rate;
+  const double r16 = model_distributed(lab(), sp2, 16, duration).back().rate;
+  const double r64 = model_distributed(lab(), sp2, 64, duration).back().rate;
+  EXPECT_GT(r16, 1.8 * r4);
+  EXPECT_GT(r64, 2.0 * r16);
+}
+
+TEST_F(PerfModelTest, RatesRampUpOverTime) {
+  // Early splitting work makes the first points slower than the plateau, as
+  // in every trace of chapter 5.
+  const auto trace = model_shared(cornell(), Platform::power_onyx(), 4, 300.0);
+  ASSERT_GT(trace.size(), 10u);
+  EXPECT_LT(trace.front().rate, trace.back().rate);
+}
+
+TEST_F(PerfModelTest, BatchSizesFollowTable53Dynamics) {
+  std::vector<std::uint64_t> sizes;
+  model_distributed(cornell(), Platform::indy_cluster(), 8, 2000.0, &sizes);
+  ASSERT_GE(sizes.size(), 4u);
+  EXPECT_EQ(sizes[0], 500u);
+  EXPECT_EQ(sizes[1], 750u);  // first update always grows
+  // Growth is eventually checked: some size must be below its predecessor.
+  bool shrank = false;
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    if (sizes[i] < sizes[i - 1]) shrank = true;
+  }
+  EXPECT_TRUE(shrank);
+}
+
+TEST_F(PerfModelTest, TimeAndPhotonsAreMonotone) {
+  for (const Platform& platform :
+       {Platform::power_onyx(), Platform::indy_cluster(), Platform::sp2()}) {
+    const auto trace = model_distributed(cornell(), platform, 4, 300.0);
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+      EXPECT_GT(trace[i].time_s, trace[i - 1].time_s) << platform.name;
+      EXPECT_GE(trace[i].photons, trace[i - 1].photons) << platform.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace photon

@@ -1,0 +1,160 @@
+#include "core/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace photon {
+namespace {
+
+TEST(Lcg48, DeterministicForSameSeed) {
+  Lcg48 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_bits(), b.next_bits());
+}
+
+TEST(Lcg48, DifferentSeedsDiffer) {
+  Lcg48 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_bits() == b.next_bits()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Lcg48, MatchesReferenceRecurrence) {
+  // x' = (a x + c) mod 2^48 with drand48 constants.
+  Lcg48 g(12345);
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 50; ++i) {
+    x = (Lcg48::kA * x + Lcg48::kC) & Lcg48::kModMask;
+    EXPECT_EQ(g.next_bits(), x);
+  }
+}
+
+TEST(Lcg48, UniformIsInUnitInterval) {
+  Lcg48 g(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = g.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Lcg48, UniformMeanAndVariance) {
+  Lcg48 g(99);
+  const int n = 200000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double u = g.uniform();
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(Lcg48, ChiSquareUniformity) {
+  Lcg48 g(31337);
+  constexpr int kBins = 64;
+  constexpr int kDraws = 64 * 2000;
+  std::vector<int> counts(kBins, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[static_cast<std::size_t>(g.uniform() * kBins)];
+  }
+  const double expected = static_cast<double>(kDraws) / kBins;
+  double chi2 = 0.0;
+  for (const int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // 63 dof: mean 63, stddev ~11.2; 5-sigma bound.
+  EXPECT_LT(chi2, 63.0 + 5.0 * 11.2);
+}
+
+TEST(Lcg48, SkipMatchesIteration) {
+  Lcg48 a(555), b(555);
+  for (int i = 0; i < 137; ++i) a.next_bits();
+  b.skip(137);
+  EXPECT_EQ(a.state(), b.state());
+}
+
+TEST(Lcg48, SkipZeroIsIdentity) {
+  Lcg48 a(555);
+  const std::uint64_t before = a.state();
+  a.skip(0);
+  EXPECT_EQ(a.state(), before);
+}
+
+TEST(Lcg48, SkipLargeIsConsistent) {
+  // skip(n+m) == skip(n); skip(m)
+  Lcg48 a(9), b(9);
+  a.skip(1'000'000'007ULL);
+  b.skip(1'000'000'000ULL);
+  b.skip(7);
+  EXPECT_EQ(a.state(), b.state());
+}
+
+TEST(Lcg48, StrideConstantsComposeLikeSteps) {
+  std::uint64_t mul = 0, add = 0;
+  Lcg48::stride_constants(3, mul, add);
+  std::uint64_t x = 777;
+  const std::uint64_t direct = (mul * x + add) & Lcg48::kModMask;
+  for (int i = 0; i < 3; ++i) x = (Lcg48::kA * x + Lcg48::kC) & Lcg48::kModMask;
+  EXPECT_EQ(direct, x);
+}
+
+// --- leapfrog properties, parameterized over the processor count ---
+
+class LeapfrogTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LeapfrogTest, StreamsInterleaveTheGlobalSequence) {
+  const int P = GetParam();
+  const std::uint64_t seed = 0xABCDEF;
+  // Global serial sequence.
+  Lcg48 global(seed);
+  std::vector<std::uint64_t> serial;
+  const int per_rank = 50;
+  for (int i = 0; i < per_rank * P; ++i) serial.push_back(global.next_bits());
+
+  // Rank r's k-th draw must equal global element k*P + r.
+  for (int r = 0; r < P; ++r) {
+    Lcg48 rank(seed, r, P);
+    for (int k = 0; k < per_rank; ++k) {
+      EXPECT_EQ(rank.next_bits(), serial[static_cast<std::size_t>(k * P + r)])
+          << "rank " << r << " draw " << k;
+    }
+  }
+}
+
+TEST_P(LeapfrogTest, StreamsAreDisjoint) {
+  const int P = GetParam();
+  std::set<std::uint64_t> seen;
+  std::size_t total = 0;
+  for (int r = 0; r < P; ++r) {
+    Lcg48 rank(0x1234, r, P);
+    for (int k = 0; k < 200; ++k) {
+      seen.insert(rank.next_bits());
+      ++total;
+    }
+  }
+  EXPECT_EQ(seen.size(), total) << "leapfrog streams overlapped";
+}
+
+TEST_P(LeapfrogTest, EachStreamLooksUniform) {
+  const int P = GetParam();
+  for (int r = 0; r < P; ++r) {
+    Lcg48 rank(2024, r, P);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += rank.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.02) << "rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcessorCounts, LeapfrogTest, ::testing::Values(2, 3, 4, 8, 16, 64));
+
+}  // namespace
+}  // namespace photon

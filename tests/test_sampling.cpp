@@ -1,0 +1,150 @@
+#include "core/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace photon {
+namespace {
+
+using Sampler = Vec3 (*)(Lcg48&, double);
+
+// Both kernels must produce the same cosine-weighted distribution; all the
+// distribution properties below are parameterized over (kernel, scale).
+struct SamplerCase {
+  const char* name;
+  Sampler fn;
+  double scale;
+};
+
+class HemisphereSamplerTest : public ::testing::TestWithParam<SamplerCase> {};
+
+TEST_P(HemisphereSamplerTest, UnitLengthUpperHemisphere) {
+  Lcg48 rng(11);
+  const auto& param = GetParam();
+  for (int i = 0; i < 5000; ++i) {
+    const Vec3 d = param.fn(rng, param.scale);
+    EXPECT_NEAR(d.length(), 1.0, 1e-12);
+    EXPECT_GT(d.z, 0.0);
+  }
+}
+
+TEST_P(HemisphereSamplerTest, RadiusBoundedByScale) {
+  Lcg48 rng(22);
+  const auto& param = GetParam();
+  for (int i = 0; i < 5000; ++i) {
+    const Vec3 d = param.fn(rng, param.scale);
+    const double r = std::sqrt(d.x * d.x + d.y * d.y);
+    EXPECT_LE(r, param.scale + 1e-12);
+  }
+}
+
+TEST_P(HemisphereSamplerTest, ProjectedRadiusSquaredIsUniform) {
+  // Cosine weighting makes u = (r/scale)^2 uniform on [0,1]: mean 1/2,
+  // variance 1/12. This is the invariant the bin parameterization relies on.
+  Lcg48 rng(33);
+  const auto& param = GetParam();
+  const int n = 40000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const Vec3 d = param.fn(rng, param.scale);
+    const double u = (d.x * d.x + d.y * d.y) / (param.scale * param.scale);
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 0.5, 0.01);
+  EXPECT_NEAR(sum2 / n - mean * mean, 1.0 / 12.0, 0.01);
+}
+
+TEST_P(HemisphereSamplerTest, AzimuthIsUniform) {
+  Lcg48 rng(44);
+  const auto& param = GetParam();
+  const int n = 32000;
+  constexpr int kBins = 16;
+  int counts[kBins] = {};
+  for (int i = 0; i < n; ++i) {
+    const Vec3 d = param.fn(rng, param.scale);
+    double th = std::atan2(d.y, d.x);
+    if (th < 0) th += 2.0 * 3.14159265358979323846;
+    ++counts[static_cast<int>(th / (2.0 * 3.14159265358979323846) * kBins) % kBins];
+  }
+  const double expected = static_cast<double>(n) / kBins;
+  for (const int c : counts) {
+    EXPECT_NEAR(c, expected, 5.0 * std::sqrt(expected));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KernelsAndScales, HemisphereSamplerTest,
+    ::testing::Values(SamplerCase{"rejection_full", &sample_hemisphere_rejection, 1.0},
+                      SamplerCase{"formula_full", &sample_hemisphere_formula, 1.0},
+                      SamplerCase{"rejection_sun", &sample_hemisphere_rejection, 0.25},
+                      SamplerCase{"formula_sun", &sample_hemisphere_formula, 0.25},
+                      SamplerCase{"rejection_narrow", &sample_hemisphere_rejection, 0.005}),
+    [](const ::testing::TestParamInfo<SamplerCase>& info) { return info.param.name; });
+
+TEST(HemisphereSampling, CosineMeanZ) {
+  // For the full hemisphere E[z] = E[cos theta] = 2/3 under cosine weighting.
+  Lcg48 rng(55);
+  const int n = 60000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += sample_hemisphere_rejection(rng).z;
+  EXPECT_NEAR(sum / n, 2.0 / 3.0, 0.005);
+}
+
+TEST(HemisphereSampling, BothKernelsSameMoments) {
+  Lcg48 r1(66), r2(66);
+  const int n = 50000;
+  double m1 = 0, m2 = 0, z1 = 0, z2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const Vec3 a = sample_hemisphere_rejection(r1);
+    const Vec3 b = sample_hemisphere_formula(r2);
+    m1 += a.x * a.x + a.y * a.y;
+    m2 += b.x * b.x + b.y * b.y;
+    z1 += a.z;
+    z2 += b.z;
+  }
+  EXPECT_NEAR(m1 / n, m2 / n, 0.01);
+  EXPECT_NEAR(z1 / n, z2 / n, 0.005);
+}
+
+TEST(HemisphereSampling, RejectionAcceptanceRate) {
+  // The loop accepts with probability pi/4, so the mean iteration count is
+  // 4/pi ~ 1.273 (chapter 4's geometric series).
+  Lcg48 rng(77);
+  const int n = 40000;
+  long long iterations = 0;
+  for (int i = 0; i < n; ++i) {
+    int it = 0;
+    sample_hemisphere_rejection_counted(rng, 1.0, it);
+    iterations += it;
+  }
+  EXPECT_NEAR(static_cast<double>(iterations) / n, 4.0 / 3.14159265358979323846, 0.02);
+}
+
+TEST(HemisphereSampling, QuarterDegreeSunCone) {
+  // scale = 0.005 limits the polar angle to asin(0.005) ~ 0.286 degrees.
+  Lcg48 rng(88);
+  double max_angle = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const Vec3 d = sample_hemisphere_rejection(rng, 0.005);
+    max_angle = std::max(max_angle, std::acos(d.z));
+  }
+  EXPECT_LT(max_angle, std::asin(0.005) + 1e-9);
+  EXPECT_GT(max_angle, 0.5 * std::asin(0.005));  // cone is actually filled
+}
+
+TEST(HemisphereSampling, DeterministicGivenStream) {
+  Lcg48 a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    const Vec3 va = sample_hemisphere_rejection(a);
+    const Vec3 vb = sample_hemisphere_rejection(b);
+    EXPECT_EQ(va.x, vb.x);
+    EXPECT_EQ(va.y, vb.y);
+    EXPECT_EQ(va.z, vb.z);
+  }
+}
+
+}  // namespace
+}  // namespace photon

@@ -1,0 +1,206 @@
+#include "geom/scene.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/rng.hpp"
+#include "geom/scene_io.hpp"
+#include "geom/scenes.hpp"
+
+namespace photon {
+namespace {
+
+TEST(Scene, AddAndQuery) {
+  Scene s;
+  const int mat = s.add_material(Material::lambertian({0.5, 0.5, 0.5}));
+  const int p = s.add_patch(Patch({0, 0, 0}, {1, 0, 0}, {0, 1, 0}, mat));
+  EXPECT_EQ(s.patch_count(), 1u);
+  EXPECT_EQ(s.material_of(p).diffuse.r, 0.5);
+}
+
+TEST(Scene, LuminairePowerDefaultsToEmissionTimesArea) {
+  Scene s;
+  const int mat = s.add_material(Material::emitter({2.0, 4.0, 6.0}));
+  const int p = s.add_patch(Patch({0, 0, 0}, {2, 0, 0}, {0, 3, 0}, mat));  // area 6
+  s.add_luminaire(p);
+  ASSERT_EQ(s.luminaires().size(), 1u);
+  EXPECT_DOUBLE_EQ(s.luminaires()[0].power.r, 12.0);
+  EXPECT_DOUBLE_EQ(s.luminaires()[0].power.g, 24.0);
+  EXPECT_DOUBLE_EQ(s.luminaires()[0].power.b, 36.0);
+  EXPECT_DOUBLE_EQ(s.total_power().g, 24.0);
+}
+
+TEST(Scene, ExplicitLuminairePower) {
+  Scene s;
+  const int mat = s.add_material(Material::emitter({1, 1, 1}));
+  const int p = s.add_patch(Patch({0, 0, 0}, {1, 0, 0}, {0, 1, 0}, mat));
+  s.add_luminaire(p, {5, 6, 7}, 0.5);
+  EXPECT_DOUBLE_EQ(s.luminaires()[0].power.b, 7.0);
+  EXPECT_DOUBLE_EQ(s.luminaires()[0].angular_scale, 0.5);
+}
+
+// --- the paper's three test geometries (Table 5.1 defining polygons) ---
+
+TEST(Scenes, CornellBoxSize) {
+  const Scene s = scenes::cornell_box();
+  // Paper: ~30 defining polygons (33 in the appendix version).
+  EXPECT_GE(s.patch_count(), 28u);
+  EXPECT_LE(s.patch_count(), 35u);
+  EXPECT_FALSE(s.luminaires().empty());
+  EXPECT_TRUE(s.built());
+}
+
+TEST(Scenes, HarpsichordRoomSize) {
+  const Scene s = scenes::harpsichord_room();
+  // Paper: ~97-100 defining polygons.
+  EXPECT_GE(s.patch_count(), 90u);
+  EXPECT_LE(s.patch_count(), 115u);
+  EXPECT_EQ(s.luminaires().size(), 16u);  // 2 skylights x (4 sun + 4 sky tiles)
+}
+
+TEST(Scenes, ComputerLabSize) {
+  const Scene s = scenes::computer_lab();
+  // Paper: ~2000 defining polygons.
+  EXPECT_GE(s.patch_count(), 1900u);
+  EXPECT_LE(s.patch_count(), 2100u);
+  EXPECT_EQ(s.luminaires().size(), 24u);
+}
+
+TEST(Scenes, CornellContainsMirror) {
+  const Scene s = scenes::cornell_box();
+  bool has_mirror = false;
+  for (const Patch& p : s.patches()) {
+    const Material& m = s.material_of(p);
+    if (m.specular.max_component() > 0.5 && m.diffuse.max_component() < 0.05) has_mirror = true;
+  }
+  EXPECT_TRUE(has_mirror);
+}
+
+TEST(Scenes, HarpsichordHasCollimatedSun) {
+  const Scene s = scenes::harpsichord_room();
+  int collimated = 0;
+  for (const Luminaire& l : s.luminaires()) {
+    if (l.angular_scale < 0.01) ++collimated;
+  }
+  EXPECT_EQ(collimated, 8);
+}
+
+TEST(Scenes, MaterialsAreEnergyConserving) {
+  for (const char* name : {"cornell", "harpsichord", "lab"}) {
+    const Scene s = scenes::by_name(name);
+    for (const Material& m : s.materials()) {
+      EXPECT_LE(m.diffuse.max_component(), 1.0) << name;
+      EXPECT_LE(m.specular.max_component(), 1.0) << name;
+    }
+  }
+}
+
+TEST(Scenes, CornellRoomIsClosed) {
+  // Rays from well inside the box must always hit something.
+  const Scene s = scenes::cornell_box();
+  Lcg48 rng(4242);
+  for (int i = 0; i < 400; ++i) {
+    const Vec3 origin{1.0 + 3.5 * rng.uniform(), 1.0 + 3.5 * rng.uniform(),
+                      1.0 + 3.5 * rng.uniform()};
+    Vec3 dir{rng.uniform() * 2 - 1, rng.uniform() * 2 - 1, rng.uniform() * 2 - 1};
+    if (dir.length_squared() < 1e-9) continue;
+    EXPECT_TRUE(s.intersect(Ray(origin, dir.normalized())).has_value()) << "escaped at " << i;
+  }
+}
+
+TEST(Scenes, WallNormalsPointInward) {
+  // The first six patches of each room scene form the shell; their normals
+  // must point toward the interior or every photon dies on first bounce.
+  for (const char* name : {"cornell", "harpsichord", "lab"}) {
+    const Scene s = scenes::by_name(name);
+    const Vec3 center = s.bounds().center();
+    for (int i = 0; i < 6; ++i) {
+      const Patch& wall = s.patch(i);
+      const Vec3 to_center = center - wall.point_at(0.5, 0.5);
+      EXPECT_GT(dot(to_center, wall.normal()), 0.0)
+          << name << " wall " << i << " faces outward";
+    }
+  }
+}
+
+TEST(Scenes, ByNameThrowsOnUnknown) {
+  EXPECT_THROW(scenes::by_name("nonexistent"), std::invalid_argument);
+}
+
+TEST(Scenes, FurnaceIsClosedAndEmissive) {
+  const Scene s = scenes::furnace_box(0.5);
+  EXPECT_EQ(s.patch_count(), 6u);
+  EXPECT_EQ(s.luminaires().size(), 6u);
+  Lcg48 rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const Vec3 origin{0.5 + rng.uniform(), 0.5 + rng.uniform(), 0.5 + rng.uniform()};
+    Vec3 dir{rng.uniform() * 2 - 1, rng.uniform() * 2 - 1, rng.uniform() * 2 - 1};
+    if (dir.length_squared() < 1e-9) continue;
+    EXPECT_TRUE(s.intersect(Ray(origin, dir.normalized())).has_value());
+  }
+}
+
+// --- scene file I/O ---
+
+TEST(SceneIo, RoundTripPreservesStructure) {
+  const Scene original = scenes::cornell_box();
+  std::stringstream buf;
+  save_scene(original, buf);
+
+  Scene loaded;
+  ASSERT_TRUE(load_scene(buf, loaded));
+  loaded.build();
+
+  EXPECT_EQ(loaded.name(), original.name());
+  ASSERT_EQ(loaded.patch_count(), original.patch_count());
+  ASSERT_EQ(loaded.materials().size(), original.materials().size());
+  ASSERT_EQ(loaded.luminaires().size(), original.luminaires().size());
+
+  // Same intersections for probe rays.
+  Lcg48 rng(31);
+  for (int i = 0; i < 100; ++i) {
+    const Vec3 origin{1 + 3 * rng.uniform(), 1 + 3 * rng.uniform(), 1 + 3 * rng.uniform()};
+    Vec3 dir{rng.uniform() * 2 - 1, rng.uniform() * 2 - 1, rng.uniform() * 2 - 1};
+    if (dir.length_squared() < 1e-9) continue;
+    const Ray ray(origin, dir.normalized());
+    const auto a = original.intersect(ray);
+    const auto b = loaded.intersect(ray);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (a) {
+      EXPECT_EQ(a->patch, b->patch);
+      EXPECT_NEAR(a->dist, b->dist, 1e-9);
+    }
+  }
+}
+
+TEST(SceneIo, RejectsBadMagic) {
+  std::stringstream buf("not-a-scene 1\n");
+  Scene s;
+  EXPECT_FALSE(load_scene(buf, s));
+}
+
+TEST(SceneIo, RejectsBadMaterialIndex) {
+  std::stringstream buf("photon-scene 1\npatch 0 0 0 1 0 0 0 1 0 3\n");
+  Scene s;
+  EXPECT_FALSE(load_scene(buf, s));
+}
+
+TEST(SceneIo, RejectsTruncatedInput) {
+  std::stringstream buf("photon-scene 1\nmaterial 0.5 0.5\n");
+  Scene s;
+  EXPECT_FALSE(load_scene(buf, s));
+}
+
+TEST(SceneIo, FileRoundTrip) {
+  const Scene original = scenes::furnace_box(0.3);
+  const std::string path = ::testing::TempDir() + "/scene_roundtrip.txt";
+  ASSERT_TRUE(save_scene(original, path));
+  Scene loaded;
+  ASSERT_TRUE(load_scene(path, loaded));
+  EXPECT_EQ(loaded.patch_count(), original.patch_count());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace photon

@@ -1,0 +1,114 @@
+#include "par/shared.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "geom/scenes.hpp"
+
+namespace photon {
+namespace {
+
+class SharedSimTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SharedSimTest, TracesExactlyTheRequestedPhotons) {
+  const Scene s = scenes::cornell_box();
+  SharedConfig cfg;
+  cfg.photons = 4001;  // deliberately not divisible by the thread count
+  cfg.nthreads = GetParam();
+  const SharedResult r = run_shared(s, cfg);
+
+  EXPECT_EQ(r.counters.emitted, cfg.photons);
+  EXPECT_EQ(r.forest.emitted_total(), cfg.photons);
+  const std::uint64_t traced = std::accumulate(r.per_thread_traced.begin(),
+                                               r.per_thread_traced.end(), std::uint64_t{0});
+  EXPECT_EQ(traced, cfg.photons);
+}
+
+TEST_P(SharedSimTest, StaticSplitIsEven) {
+  const Scene s = scenes::cornell_box();
+  SharedConfig cfg;
+  cfg.photons = 4000;
+  cfg.nthreads = GetParam();
+  const SharedResult r = run_shared(s, cfg);
+  for (const std::uint64_t t : r.per_thread_traced) {
+    EXPECT_NEAR(static_cast<double>(t),
+                static_cast<double>(cfg.photons) / cfg.nthreads, 1.0);
+  }
+}
+
+TEST_P(SharedSimTest, TalliesConserveRecords) {
+  const Scene s = scenes::cornell_box();
+  SharedConfig cfg;
+  cfg.photons = 5000;
+  cfg.nthreads = GetParam();
+  const SharedResult r = run_shared(s, cfg);
+
+  // Total records = emission tallies + reflection tallies. Splits only
+  // redistribute (one photon of rounding per split at most).
+  const std::uint64_t expected = r.counters.emitted + r.counters.bounces;
+  EXPECT_NEAR(static_cast<double>(r.forest.total_tally_all()),
+              static_cast<double>(expected), static_cast<double>(r.forest.total_nodes()));
+}
+
+TEST_P(SharedSimTest, MatchesUnionOfSerialLeapfrogRuns) {
+  // Thread t uses stream (seed, t, T) and traces photons/T photons — exactly
+  // what a serial run configured with rank=t, nranks=T does. Per-patch totals
+  // must therefore agree with the union of those serial runs.
+  const int T = GetParam();
+  const Scene s = scenes::cornell_box();
+  SharedConfig cfg;
+  cfg.photons = 3000 * static_cast<std::uint64_t>(T);
+  cfg.nthreads = T;
+  const SharedResult shared = run_shared(s, cfg);
+
+  std::vector<std::uint64_t> serial_tallies(s.patch_count(), 0);
+  for (int t = 0; t < T; ++t) {
+    SerialConfig sc;
+    sc.photons = 3000;
+    sc.rank = t;
+    sc.nranks = T;
+    const SerialResult r = run_serial(s, sc);
+    const auto tallies = r.forest.patch_tallies();
+    for (std::size_t p = 0; p < tallies.size(); ++p) serial_tallies[p] += tallies[p];
+  }
+
+  const auto shared_tallies = shared.forest.patch_tallies();
+  for (std::size_t p = 0; p < s.patch_count(); ++p) {
+    // Split rounding can shift a few photons inside a tree but patch totals
+    // are conserved exactly up to split-rounding (<= nodes of that patch).
+    EXPECT_NEAR(static_cast<double>(shared_tallies[p]),
+                static_cast<double>(serial_tallies[p]),
+                static_cast<double>(shared.forest.total_nodes()))
+        << "patch " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, SharedSimTest, ::testing::Values(1, 2, 4));
+
+TEST(SharedSim, SpeedTraceIsPopulated) {
+  const Scene s = scenes::cornell_box();
+  SharedConfig cfg;
+  cfg.photons = 20000;
+  cfg.nthreads = 2;
+  cfg.sample_interval_s = 0.01;
+  const SharedResult r = run_shared(s, cfg);
+  EXPECT_FALSE(r.trace.points.empty());
+  EXPECT_GT(r.trace.final_rate(), 0.0);
+  EXPECT_EQ(r.trace.points.back().photons, cfg.photons);
+}
+
+TEST(SharedSim, FurnacePhysicsSurvivesConcurrency) {
+  // The furnace equilibrium must hold regardless of thread count: locks may
+  // reorder tallies but cannot lose photons.
+  const double rho = 0.5;
+  const Scene s = scenes::furnace_box(rho);
+  SharedConfig cfg;
+  cfg.photons = 30000;
+  cfg.nthreads = 4;
+  const SharedResult r = run_shared(s, cfg);
+  EXPECT_NEAR(r.counters.bounces_per_photon(), rho / (1.0 - rho), 0.07);
+}
+
+}  // namespace
+}  // namespace photon

@@ -1,0 +1,183 @@
+#include "par/spatial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "geom/scenes.hpp"
+
+namespace photon {
+namespace {
+
+TEST(PartitionSpace, TilesTheSceneBounds) {
+  const Scene s = scenes::cornell_box();
+  for (const int P : {1, 2, 3, 4, 8}) {
+    const std::vector<Aabb> regions = partition_space(s, P);
+    ASSERT_EQ(regions.size(), static_cast<std::size_t>(P));
+    // Volumes sum to the root volume.
+    Aabb root;
+    double volume = 0.0;
+    for (const Aabb& r : regions) {
+      root.expand(r);
+      const Vec3 e = r.extent();
+      volume += e.x * e.y * e.z;
+    }
+    const Vec3 re = root.extent();
+    EXPECT_NEAR(volume, re.x * re.y * re.z, 1e-6 * volume) << "P=" << P;
+  }
+}
+
+TEST(PartitionSpace, BalancesPatchCounts) {
+  const Scene s = scenes::computer_lab();
+  const int P = 8;
+  const std::vector<Aabb> regions = partition_space(s, P);
+  std::vector<int> counts(static_cast<std::size_t>(P), 0);
+  for (const Patch& p : s.patches()) {
+    const int r = region_of(regions, p.point_at(0.5, 0.5));
+    ASSERT_GE(r, 0);
+    ++counts[static_cast<std::size_t>(r)];
+  }
+  const int total = std::accumulate(counts.begin(), counts.end(), 0);
+  EXPECT_EQ(total, static_cast<int>(s.patch_count()));
+  for (const int c : counts) {
+    // Median splits: no region should hold more than ~2x its fair share.
+    EXPECT_LT(c, 2 * total / P + 32);
+  }
+}
+
+TEST(RegionOf, BoundaryPointsResolveUniquely) {
+  const Scene s = scenes::cornell_box();
+  const std::vector<Aabb> regions = partition_space(s, 4);
+  Lcg48 rng(5);
+  const Aabb bounds = s.bounds();
+  const Vec3 e = bounds.extent();
+  for (int i = 0; i < 2000; ++i) {
+    const Vec3 p = bounds.lo +
+                   Vec3{rng.uniform() * e.x, rng.uniform() * e.y, rng.uniform() * e.z};
+    int containing = 0;
+    for (const Aabb& r : regions) {
+      if (r.contains(p)) ++containing;
+    }
+    EXPECT_GE(containing, 1);
+    EXPECT_GE(region_of(regions, p), 0);
+  }
+  // Outside point.
+  EXPECT_EQ(region_of(regions, bounds.hi + Vec3{10, 10, 10}), -1);
+}
+
+TEST(PhotonStream, BlocksAreDisjoint) {
+  std::set<std::uint64_t> seen;
+  const int photons = 50, draws = 400;
+  for (int i = 0; i < photons; ++i) {
+    Lcg48 rng = photon_stream(42, static_cast<std::uint64_t>(i));
+    for (int d = 0; d < draws; ++d) seen.insert(rng.next_bits());
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(photons * draws));
+}
+
+TEST(PhotonStream, Deterministic) {
+  Lcg48 a = photon_stream(7, 123);
+  Lcg48 b = photon_stream(7, 123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_bits(), b.next_bits());
+}
+
+class SpatialSimTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpatialSimTest, MatchesFullOctreeReference) {
+  // The defining property of the distributed-geometry mode: partitioning
+  // space (and routing photons across region boundaries) must not change the
+  // answer. Per-photon RNG streams make the comparison exact.
+  const int P = GetParam();
+  const Scene s = scenes::cornell_box();
+  SpatialConfig cfg;
+  cfg.photons = 4000;
+  cfg.batch = 500;
+
+  const SpatialResult spatial = run_spatial(s, cfg, P);
+  const SerialResult reference = run_photon_streams(s, cfg);
+
+  EXPECT_EQ(spatial.counters.emitted, reference.counters.emitted);
+  EXPECT_EQ(spatial.counters.bounces, reference.counters.bounces);
+  EXPECT_EQ(spatial.counters.absorbed, reference.counters.absorbed);
+
+  const auto a = spatial.forest.patch_tallies();
+  const auto b = reference.forest.patch_tallies();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    EXPECT_NEAR(static_cast<double>(a[p]), static_cast<double>(b[p]),
+                static_cast<double>(spatial.forest.total_nodes()))
+        << "patch " << p;
+  }
+}
+
+TEST_P(SpatialSimTest, OpenSceneEscapesAreCounted) {
+  const int P = GetParam();
+  const Scene s = scenes::floor_and_light();
+  SpatialConfig cfg;
+  cfg.photons = 2000;
+  cfg.batch = 250;
+  const SpatialResult spatial = run_spatial(s, cfg, P);
+  const SerialResult reference = run_photon_streams(s, cfg);
+  EXPECT_EQ(spatial.counters.escaped, reference.counters.escaped);
+  EXPECT_EQ(spatial.counters.absorbed, reference.counters.absorbed);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, SpatialSimTest, ::testing::Values(1, 2, 4));
+
+TEST(SpatialSim, GeometryIsActuallyDistributed) {
+  // The point of the exercise (chapter 6): each rank indexes only part of
+  // the scene.
+  const Scene s = scenes::computer_lab();
+  SpatialConfig cfg;
+  cfg.photons = 2000;
+  const SpatialResult r = run_spatial(s, cfg, 8);
+  std::uint64_t max_local = 0;
+  for (const SpatialRankReport& rep : r.ranks) {
+    max_local = std::max(max_local, rep.local_patches);
+  }
+  // Boundary-straddling patches are duplicated, but nobody should hold the
+  // whole scene.
+  EXPECT_LT(max_local, s.patch_count() * 3 / 4);
+}
+
+TEST(SpatialSim, PhotonsAreRoutedBetweenRegions) {
+  const Scene s = scenes::cornell_box();
+  SpatialConfig cfg;
+  cfg.photons = 3000;
+  const SpatialResult r = run_spatial(s, cfg, 4);
+  std::uint64_t routed = 0, received = 0;
+  for (const SpatialRankReport& rep : r.ranks) {
+    routed += rep.photons_out;
+    received += rep.photons_in;
+  }
+  EXPECT_GT(routed, 0u) << "photons should cross region boundaries";
+  EXPECT_EQ(routed, received);
+}
+
+TEST(SpatialSim, TalliesLandOnOwners) {
+  const Scene s = scenes::cornell_box();
+  SpatialConfig cfg;
+  cfg.photons = 3000;
+  const SpatialResult r = run_spatial(s, cfg, 4);
+  std::uint64_t tallies = 0;
+  for (const SpatialRankReport& rep : r.ranks) tallies += rep.tallies;
+  // Every record (emission + bounce) applied exactly once.
+  EXPECT_EQ(tallies, r.counters.emitted + r.counters.bounces);
+}
+
+TEST(SpatialSim, SingleRankIsTheReference) {
+  const Scene s = scenes::cornell_box();
+  SpatialConfig cfg;
+  cfg.photons = 2000;
+  const SpatialResult spatial = run_spatial(s, cfg, 1);
+  const SerialResult reference = run_photon_streams(s, cfg);
+  const auto a = spatial.forest.patch_tallies();
+  const auto b = reference.forest.patch_tallies();
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    EXPECT_EQ(a[p], b[p]) << "patch " << p;
+  }
+}
+
+}  // namespace
+}  // namespace photon

@@ -1,0 +1,77 @@
+#include "perf/speedup.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace photon {
+namespace {
+
+std::vector<SpeedPoint> linear_trace(double rate, double duration, double step) {
+  std::vector<SpeedPoint> out;
+  for (double t = step; t <= duration; t += step) {
+    out.push_back({t, static_cast<std::uint64_t>(rate * t), rate});
+  }
+  return out;
+}
+
+TEST(SpeedupMetrics, RateAtTime) {
+  const auto trace = linear_trace(100.0, 10.0, 1.0);
+  EXPECT_DOUBLE_EQ(rate_at_time(trace, 5.0), 100.0);
+  EXPECT_DOUBLE_EQ(rate_at_time(trace, 0.5), 0.0);  // before first point
+  EXPECT_DOUBLE_EQ(rate_at_time(trace, 100.0), 100.0);
+}
+
+TEST(SpeedupMetrics, PhotonsAtTime) {
+  const auto trace = linear_trace(100.0, 10.0, 1.0);
+  EXPECT_EQ(photons_at_time(trace, 3.5), 300u);
+  EXPECT_EQ(photons_at_time(trace, 0.0), 0u);
+}
+
+TEST(SpeedupMetrics, TimeToPhotons) {
+  const auto trace = linear_trace(100.0, 10.0, 1.0);
+  EXPECT_DOUBLE_EQ(time_to_photons(trace, 250), 3.0);  // first point with >= 250
+  EXPECT_TRUE(std::isinf(time_to_photons(trace, 10000)));
+}
+
+TEST(SpeedupMetrics, IdealScaling) {
+  const auto serial = linear_trace(100.0, 100.0, 1.0);
+  const auto parallel = linear_trace(400.0, 100.0, 1.0);
+  EXPECT_DOUBLE_EQ(fixed_time_speedup(parallel, serial, 50.0), 4.0);
+  EXPECT_NEAR(fixed_size_speedup(parallel, serial, 10000), 4.0, 0.4);
+}
+
+TEST(SpeedupMetrics, StartupPenalizesShortHorizons) {
+  // Parallel run with 10s of startup before any work: early fixed-time
+  // speedup is zero, late speedup approaches the rate ratio — the paper's
+  // "speedup varies with time".
+  std::vector<SpeedPoint> parallel;
+  for (double t = 11.0; t <= 200.0; t += 1.0) {
+    parallel.push_back({t, static_cast<std::uint64_t>(400.0 * (t - 10.0)), 0.0});
+  }
+  const auto serial = linear_trace(100.0, 200.0, 1.0);
+  EXPECT_DOUBLE_EQ(fixed_time_speedup(parallel, serial, 5.0), 0.0);
+  const double late = fixed_time_speedup(parallel, serial, 200.0);
+  EXPECT_GT(late, 3.0);
+  EXPECT_LT(late, 4.0);
+  // Fixed-size on a small task also suffers from the startup. (Both tasks
+  // must be completable by the serial trace, which reaches 20000 photons.)
+  EXPECT_LT(fixed_size_speedup(parallel, serial, 400),
+            fixed_size_speedup(parallel, serial, 15000));
+}
+
+TEST(SpeedupMetrics, IncompleteTaskGivesZero) {
+  const auto serial = linear_trace(100.0, 10.0, 1.0);
+  const auto parallel = linear_trace(400.0, 10.0, 1.0);
+  EXPECT_DOUBLE_EQ(fixed_size_speedup(parallel, serial, 100000), 0.0);
+}
+
+TEST(SpeedupMetrics, EmptyTraces) {
+  const std::vector<SpeedPoint> empty;
+  const auto serial = linear_trace(100.0, 10.0, 1.0);
+  EXPECT_DOUBLE_EQ(fixed_time_speedup(empty, serial, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(rate_at_time(empty, 5.0), 0.0);
+}
+
+}  // namespace
+}  // namespace photon

@@ -1,0 +1,115 @@
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+
+namespace photon {
+namespace {
+
+TEST(BinomialSigma, MatchesFormula) {
+  EXPECT_DOUBLE_EQ(binomial_sigma(100, 0.5), std::sqrt(25.0));
+  EXPECT_DOUBLE_EQ(binomial_sigma(0, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_sigma(100, 0.0), 0.0);
+}
+
+TEST(SplitSignificance, ZeroForBalancedHalves) {
+  EXPECT_DOUBLE_EQ(split_significance(100, 50), 0.0);
+}
+
+TEST(SplitSignificance, SymmetricInHalves) {
+  EXPECT_DOUBLE_EQ(split_significance(100, 70), split_significance(100, 30));
+}
+
+TEST(SplitSignificance, GrowsWithImbalance) {
+  EXPECT_LT(split_significance(100, 55), split_significance(100, 70));
+  EXPECT_LT(split_significance(100, 70), split_significance(100, 95));
+}
+
+TEST(SplitSignificance, DegenerateAllOnOneSide) {
+  // sigma = 0; raw difference returned, still strongly positive.
+  EXPECT_GT(split_significance(64, 64), 3.0);
+  EXPECT_GT(split_significance(64, 0), 3.0);
+}
+
+TEST(ShouldSplit, RespectsMinimumCount) {
+  SplitPolicy policy;
+  policy.min_count = 32;
+  EXPECT_FALSE(should_split(31, 31, policy));  // extreme but too few photons
+  EXPECT_TRUE(should_split(32, 32, policy));
+}
+
+TEST(ShouldSplit, UniformDataDoesNotSplit) {
+  EXPECT_FALSE(should_split(1000, 500));
+  EXPECT_FALSE(should_split(1000, 520));  // ~1.3 sigma
+}
+
+TEST(ShouldSplit, StepDataSplits) {
+  EXPECT_TRUE(should_split(1000, 800));
+  EXPECT_TRUE(should_split(100, 90));
+}
+
+TEST(ShouldSplit, ThresholdIsConfigurable) {
+  SplitPolicy strict;
+  strict.z = 6.0;
+  // ~3.8 sigma imbalance: splits at z=3, not at z=6.
+  EXPECT_TRUE(should_split(1000, 560));
+  EXPECT_FALSE(should_split(1000, 560, strict));
+}
+
+TEST(ShouldSplit, FalsePositiveRateNearNominal) {
+  // Chapter 3: with 3 sigma, "with probability 0.9974 we will reject
+  // correctly". Simulate genuinely uniform bins and count spurious splits.
+  Lcg48 rng(7777);
+  const int trials = 4000;
+  const std::uint64_t n = 400;
+  int false_splits = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::uint64_t left = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (rng.uniform() < 0.5) ++left;
+    }
+    if (should_split(n, left)) ++false_splits;
+  }
+  const double rate = static_cast<double>(false_splits) / trials;
+  // Nominal 0.26%; the estimated-p variant is slightly conservative. Allow
+  // generous head room while still catching gross errors.
+  EXPECT_LT(rate, 0.02);
+}
+
+TEST(ShouldSplit, DetectsTrueGradients) {
+  // A 70/30 distribution should be detected essentially always at n=400.
+  Lcg48 rng(1234);
+  const int trials = 500;
+  const std::uint64_t n = 400;
+  int detected = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::uint64_t left = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (rng.uniform() < 0.7) ++left;
+    }
+    if (should_split(n, left)) ++detected;
+  }
+  EXPECT_GT(detected, trials * 95 / 100);
+}
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace photon

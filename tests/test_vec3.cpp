@@ -1,0 +1,139 @@
+#include "core/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/onb.hpp"
+
+namespace photon {
+namespace {
+
+TEST(Vec3, DefaultIsZero) {
+  const Vec3 v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+  EXPECT_EQ(v.z, 0.0);
+}
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(a * 2.0, Vec3(2, 4, 6));
+  EXPECT_EQ(2.0 * a, Vec3(2, 4, 6));
+  EXPECT_EQ(a / 2.0, Vec3(0.5, 1.0, 1.5));
+  EXPECT_EQ(-a, Vec3(-1, -2, -3));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3 v{1, 1, 1};
+  v += Vec3{1, 2, 3};
+  EXPECT_EQ(v, Vec3(2, 3, 4));
+  v -= Vec3{1, 1, 1};
+  EXPECT_EQ(v, Vec3(1, 2, 3));
+  v *= 3.0;
+  EXPECT_EQ(v, Vec3(3, 6, 9));
+}
+
+TEST(Vec3, DotAndCross) {
+  const Vec3 x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+  EXPECT_EQ(dot(x, y), 0.0);
+  EXPECT_EQ(dot(x, x), 1.0);
+  EXPECT_EQ(cross(x, y), z);
+  EXPECT_EQ(cross(y, z), x);
+  EXPECT_EQ(cross(z, x), y);
+  EXPECT_EQ(cross(y, x), -z);
+}
+
+TEST(Vec3, CrossIsPerpendicular) {
+  const Vec3 a{1.3, -2.7, 0.4}, b{0.2, 5.5, -1.1};
+  const Vec3 c = cross(a, b);
+  EXPECT_NEAR(dot(c, a), 0.0, 1e-12);
+  EXPECT_NEAR(dot(c, b), 0.0, 1e-12);
+}
+
+TEST(Vec3, LengthAndNormalize) {
+  const Vec3 v{3, 4, 0};
+  EXPECT_DOUBLE_EQ(v.length(), 5.0);
+  EXPECT_DOUBLE_EQ(v.length_squared(), 25.0);
+  const Vec3 n = v.normalized();
+  EXPECT_NEAR(n.length(), 1.0, 1e-15);
+  EXPECT_NEAR(n.x, 0.6, 1e-15);
+}
+
+TEST(Vec3, NormalizeZeroVectorIsSafe) {
+  EXPECT_EQ(Vec3{}.normalized(), Vec3{});
+}
+
+TEST(Vec3, Reflect) {
+  // Incoming straight down onto z-up surface bounces straight up.
+  EXPECT_EQ(reflect(Vec3(0, 0, -1), Vec3(0, 0, 1)), Vec3(0, 0, 1));
+  // 45-degree reflection.
+  const Vec3 d = Vec3{1, 0, -1}.normalized();
+  const Vec3 r = reflect(d, Vec3{0, 0, 1});
+  EXPECT_NEAR(r.x, d.x, 1e-15);
+  EXPECT_NEAR(r.z, -d.z, 1e-15);
+}
+
+TEST(Vec3, ReflectPreservesLength) {
+  const Vec3 d = Vec3{0.3, -0.8, -0.5}.normalized();
+  const Vec3 n = Vec3{0.1, 0.2, 0.9}.normalized();
+  EXPECT_NEAR(reflect(d, n).length(), 1.0, 1e-12);
+}
+
+TEST(Vec3, MinMax) {
+  const Vec3 a{1, 5, 3}, b{2, 4, 3};
+  EXPECT_EQ(min(a, b), Vec3(1, 4, 3));
+  EXPECT_EQ(max(a, b), Vec3(2, 5, 3));
+}
+
+TEST(Vec3, IndexOperator) {
+  const Vec3 v{7, 8, 9};
+  EXPECT_EQ(v[0], 7.0);
+  EXPECT_EQ(v[1], 8.0);
+  EXPECT_EQ(v[2], 9.0);
+}
+
+TEST(Vec3, Distance) {
+  EXPECT_DOUBLE_EQ(distance(Vec3(0, 0, 0), Vec3(3, 4, 0)), 5.0);
+}
+
+TEST(Onb, BasisIsOrthonormal) {
+  const Vec3 normals[] = {
+      {0, 0, 1}, {0, 0, -1}, {1, 0, 0}, {0, 1, 0},
+      Vec3{1, 1, 1}.normalized(), Vec3{-0.3, 0.7, -0.2}.normalized()};
+  for (const Vec3& n : normals) {
+    const Onb b = Onb::from_normal(n);
+    EXPECT_NEAR(b.u.length(), 1.0, 1e-12);
+    EXPECT_NEAR(b.v.length(), 1.0, 1e-12);
+    EXPECT_NEAR(b.w.length(), 1.0, 1e-12);
+    EXPECT_NEAR(dot(b.u, b.v), 0.0, 1e-12);
+    EXPECT_NEAR(dot(b.u, b.w), 0.0, 1e-12);
+    EXPECT_NEAR(dot(b.v, b.w), 0.0, 1e-12);
+    // Right-handed: u x v == w.
+    const Vec3 c = cross(b.u, b.v);
+    EXPECT_NEAR(c.x, b.w.x, 1e-12);
+    EXPECT_NEAR(c.y, b.w.y, 1e-12);
+    EXPECT_NEAR(c.z, b.w.z, 1e-12);
+  }
+}
+
+TEST(Onb, RoundTrip) {
+  const Onb b = Onb::from_normal(Vec3{0.2, -0.5, 0.84}.normalized());
+  const Vec3 local{0.3, -0.4, 0.866};
+  const Vec3 back = b.to_local(b.to_world(local));
+  EXPECT_NEAR(back.x, local.x, 1e-12);
+  EXPECT_NEAR(back.y, local.y, 1e-12);
+  EXPECT_NEAR(back.z, local.z, 1e-12);
+}
+
+TEST(Onb, NormalMapsToLocalZ) {
+  const Vec3 n = Vec3{-0.6, 0.3, 0.74}.normalized();
+  const Onb b = Onb::from_normal(n);
+  const Vec3 local = b.to_local(n);
+  EXPECT_NEAR(local.x, 0.0, 1e-12);
+  EXPECT_NEAR(local.y, 0.0, 1e-12);
+  EXPECT_NEAR(local.z, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace photon

@@ -1,0 +1,190 @@
+#include "view/viewer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geom/scenes.hpp"
+#include "sim/simulator.hpp"
+
+namespace photon {
+namespace {
+
+TEST(Camera, CenterRayPointsForward) {
+  const Camera cam({0, 0, 0}, {0, 0, -1}, {0, 1, 0}, 60.0, 100, 100);
+  const Ray r = cam.ray_through(49.5, 49.5);
+  EXPECT_NEAR(r.dir.z, -1.0, 1e-9);
+  EXPECT_NEAR(r.dir.x, 0.0, 1e-9);
+  EXPECT_NEAR(r.dir.y, 0.0, 1e-9);
+}
+
+TEST(Camera, RaysOriginateAtEye) {
+  const Camera cam({1, 2, 3}, {0, 0, 0}, {0, 1, 0}, 45.0, 64, 48);
+  EXPECT_EQ(cam.ray_through(0, 0).origin, Vec3(1, 2, 3));
+  EXPECT_EQ(cam.ray_through(63, 47).origin, Vec3(1, 2, 3));
+}
+
+TEST(Camera, FovBoundsCornerRays) {
+  const Camera cam({0, 0, 0}, {0, 0, -1}, {0, 1, 0}, 90.0, 100, 100);
+  // Top edge of a 90-degree FOV: 45 degrees off axis.
+  const Ray top = cam.ray_through(49.5, 0.0);
+  const double angle = std::acos(-top.dir.z);
+  EXPECT_LT(angle, 3.14159 / 4.0 + 0.02);
+  EXPECT_GT(angle, 3.14159 / 4.0 - 0.05);
+}
+
+TEST(Camera, PixelsTileTheImagePlane) {
+  const Camera cam({0, 0, 0}, {0, 0, -1}, {0, 1, 0}, 60.0, 8, 8);
+  // x increases rightward, y increases downward in image space.
+  EXPECT_LT(cam.ray_through(0, 4).dir.x, cam.ray_through(7, 4).dir.x);
+  EXPECT_GT(cam.ray_through(4, 0).dir.y, cam.ray_through(4, 7).dir.y);
+}
+
+TEST(Viewer, MissGivesBackground) {
+  Scene s;
+  s.add_material(Material::lambertian({0.5, 0.5, 0.5}));
+  s.add_patch(Patch({0, 0, 0}, {1, 0, 0}, {0, 1, 0}, 0));
+  s.build();
+  const BinForest forest(s.patch_count());
+  ViewOptions opts;
+  opts.background = {0.25, 0.5, 0.75};
+  const Rgb c = radiance_along(s, forest, Ray({0, 0, 5}, {0, 0, 1}), opts);
+  EXPECT_EQ(c, Rgb(0.25, 0.5, 0.75));
+}
+
+TEST(Viewer, RenderedCornellIsNotBlack) {
+  const Scene s = scenes::cornell_box();
+  SerialConfig cfg;
+  cfg.photons = 60000;
+  cfg.batch = 20000;
+  const SerialResult r = run_serial(s, cfg);
+
+  const Camera cam({2.75, 2.75, 5.2}, {2.75, 2.75, 0.0}, {0, 1, 0}, 55.0, 64, 64);
+  const Image img = render(s, r.forest, cam);
+  EXPECT_GT(img.mean_luminance(), 0.0);
+  EXPECT_GT(img.max_value(), 0.1);
+}
+
+TEST(Viewer, FurnaceRendersUniformly) {
+  const Scene s = scenes::furnace_box(0.5);
+  SerialConfig cfg;
+  cfg.photons = 120000;
+  cfg.batch = 40000;
+  const SerialResult r = run_serial(s, cfg);
+
+  const Camera cam({1.0, 1.0, 1.0}, {1.9, 1.2, 1.1}, {0, 1, 0}, 70.0, 32, 32);
+  const Image img = render(s, r.forest, cam);
+  // Every pixel sees a furnace wall at the same radiance: the relative spread
+  // should be modest (Monte Carlo noise only).
+  RunningStats stats;
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) stats.add(img.at(x, y).r);
+  }
+  EXPECT_GT(stats.mean(), 0.0);
+  EXPECT_LT(stats.stddev() / stats.mean(), 0.35);
+}
+
+TEST(Viewer, SameAnswerFileSupportsManyViewpoints) {
+  // Fig 4.10: once simulated, any viewpoint renders from the same answer
+  // file with no recomputation.
+  const Scene s = scenes::cornell_box();
+  SerialConfig cfg;
+  cfg.photons = 40000;
+  const SerialResult r = run_serial(s, cfg);
+
+  const Camera front({2.75, 2.75, 5.2}, {2.75, 2.75, 0}, {0, 1, 0}, 55.0, 32, 32);
+  const Camera corner({0.8, 4.5, 4.8}, {3.0, 1.5, 1.5}, {0, 1, 0}, 55.0, 32, 32);
+  const Image a = render(s, r.forest, front);
+  const Image b = render(s, r.forest, corner);
+  EXPECT_GT(a.mean_luminance(), 0.0);
+  EXPECT_GT(b.mean_luminance(), 0.0);
+  // Deterministic given the same forest.
+  const Image a2 = render(s, r.forest, front);
+  EXPECT_DOUBLE_EQ(a.mean_luminance(), a2.mean_luminance());
+}
+
+TEST(Viewer, EmissiveSurfaceVisiblyBright) {
+  const Scene s = scenes::cornell_box();
+  SerialConfig cfg;
+  cfg.photons = 50000;
+  const SerialResult r = run_serial(s, cfg);
+
+  // Looking straight up at the ceiling light from below.
+  const Camera up({2.75, 1.0, 2.75}, {2.75, 5.4, 2.75}, {0, 0, 1}, 30.0, 16, 16);
+  const Image img = render(s, r.forest, up);
+  // Looking at the (non-emissive) back wall.
+  const Camera wall({2.75, 2.75, 4.5}, {2.75, 2.75, 0.0}, {0, 1, 0}, 30.0, 16, 16);
+  const Image img2 = render(s, r.forest, wall);
+  EXPECT_GT(img.mean_luminance(), 3.0 * img2.mean_luminance());
+}
+
+TEST(Viewer, BackgroundBehindOpenScene) {
+  const Scene s = scenes::floor_and_light();
+  const BinForest forest(s.patch_count());
+  // Ray that misses the floor entirely.
+  const Rgb c = radiance_along(s, forest, Ray({2, 1, 2}, {0, 1, 0}));
+  EXPECT_TRUE(c.is_black());
+}
+
+TEST(Viewer, SupersamplingIsDeterministic) {
+  const Scene s = scenes::cornell_box();
+  SerialConfig cfg;
+  cfg.photons = 20000;
+  const SerialResult r = run_serial(s, cfg);
+  const Camera cam({2.75, 2.75, 5.2}, {2.75, 2.75, 0}, {0, 1, 0}, 55.0, 24, 24);
+
+  ViewOptions opts;
+  opts.samples_per_pixel = 4;
+  const Image a = render(s, r.forest, cam, opts);
+  const Image b = render(s, r.forest, cam, opts);
+  for (int y = 0; y < a.height(); ++y) {
+    for (int x = 0; x < a.width(); ++x) {
+      EXPECT_EQ(a.at(x, y), b.at(x, y));
+    }
+  }
+}
+
+TEST(Viewer, ThreadedRenderMatchesSerial) {
+  const Scene s = scenes::cornell_box();
+  SerialConfig cfg;
+  cfg.photons = 20000;
+  const SerialResult r = run_serial(s, cfg);
+  const Camera cam({2.75, 2.75, 5.2}, {2.75, 2.75, 0}, {0, 1, 0}, 55.0, 32, 24);
+
+  ViewOptions serial_opts;
+  ViewOptions threaded_opts;
+  threaded_opts.threads = 4;
+  const Image a = render(s, r.forest, cam, serial_opts);
+  const Image b = render(s, r.forest, cam, threaded_opts);
+  for (int y = 0; y < a.height(); ++y) {
+    for (int x = 0; x < a.width(); ++x) {
+      EXPECT_EQ(a.at(x, y), b.at(x, y)) << x << "," << y;
+    }
+  }
+}
+
+TEST(Viewer, SupersamplingIsUnbiased) {
+  // Jittered supersampling must change per-pixel values (it averages across
+  // histogram patch boundaries) without shifting the overall exposure.
+  const Scene s = scenes::cornell_box();
+  SerialConfig cfg;
+  cfg.photons = 40000;
+  const SerialResult r = run_serial(s, cfg);
+  const Camera cam({2.75, 2.75, 5.2}, {2.75, 2.75, 0}, {0, 1, 0}, 55.0, 48, 48);
+
+  ViewOptions sharp;
+  ViewOptions smooth;
+  smooth.samples_per_pixel = 8;
+  const Image a = render(s, r.forest, cam, sharp);
+  const Image b = render(s, r.forest, cam, smooth);
+
+  int differing = 0;
+  for (int y = 0; y < a.height(); ++y) {
+    for (int x = 0; x < a.width(); ++x) {
+      if (!(a.at(x, y) == b.at(x, y))) ++differing;
+    }
+  }
+  EXPECT_GT(differing, 10) << "supersampling had no effect";
+  EXPECT_NEAR(b.mean_luminance(), a.mean_luminance(), 0.05 * a.mean_luminance());
+}
+
+}  // namespace
+}  // namespace photon
