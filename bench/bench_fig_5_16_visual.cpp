@@ -38,10 +38,10 @@ int main(int argc, char** argv) {
     const std::uint64_t simulated =
         std::max<std::uint64_t>(static_cast<std::uint64_t>(budget * scale), 1000);
 
-    SerialConfig cfg;
+    RunConfig cfg;
     cfg.photons = simulated;
     cfg.batch = simulated / 4 + 1;
-    const SerialResult r = run_serial(scene, cfg);
+    const RunResult r = run_serial(scene, cfg);
 
     // Relative Monte Carlo noise scales as 1/sqrt(photons per bin).
     const double per_bin = static_cast<double>(r.forest.total_tally_all()) /

@@ -13,10 +13,10 @@ int main(int argc, char** argv) {
   const std::uint64_t photons = benchutil::arg_u64(argc, argv, "photons", 400000);
   const Scene scene = scenes::harpsichord_room();
 
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = photons;
   cfg.batch = photons / 20 + 1;
-  const SerialResult r = run_serial(scene, cfg);
+  const RunResult r = run_serial(scene, cfg);
 
   benchutil::header("Fig 5.4 — Bin Forest Memory vs Photons (Harpsichord Room)");
   std::printf("%12s %14s %12s %16s\n", "photons", "forest bytes", "MB", "bytes/photon");

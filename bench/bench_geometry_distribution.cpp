@@ -25,14 +25,15 @@ int main(int argc, char** argv) {
               "footprint vs 1", "routed/phot");
   benchutil::rule();
 
-  SpatialConfig cfg;
+  RunConfig cfg;
   cfg.photons = photons;
 
   std::vector<std::uint64_t> reference_tallies;
   for (const int P : {1, 2, 4, 8}) {
-    const SpatialResult r = run_spatial(scene, cfg, P);
+    cfg.workers = P;
+    const RunResult r = run_spatial(scene, cfg);
     std::uint64_t max_patches = 0, max_nodes = 0, routed = 0;
-    for (const SpatialRankReport& rep : r.ranks) {
+    for (const RankReport& rep : r.ranks) {
       max_patches = std::max(max_patches, rep.local_patches);
       max_nodes = std::max(max_nodes, rep.octree_nodes);
       routed += rep.photons_out;

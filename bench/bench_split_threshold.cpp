@@ -18,7 +18,7 @@ namespace {
 
 // RMS relative error of the radiance estimate over random probes of the
 // occluder scene's floor (a real spatial gradient: shadow edge).
-double probe_error(const SerialResult& r, const Scene& s) {
+double probe_error(const RunResult& r, const Scene& s) {
   Lcg48 rng(99);
   // Reference: very fine probe statistics come from the analytic structure;
   // here we measure self-consistency, i.e. noise + discretization, by
@@ -50,11 +50,11 @@ int main(int argc, char** argv) {
   std::printf("%6s | %10s | %12s | %16s\n", "z", "bins", "MB", "lit-region CV");
   benchutil::rule();
   for (const double z : {1.0, 2.0, 3.0, 4.0, 6.0}) {
-    SerialConfig cfg;
+    RunConfig cfg;
     cfg.photons = photons;
     cfg.batch = photons / 4 + 1;
     cfg.policy.z = z;
-    const SerialResult r = run_serial(s, cfg);
+    const RunResult r = run_serial(s, cfg);
     std::printf("%6.1f | %10llu | %12.2f | %16.4f\n", z,
                 static_cast<unsigned long long>(r.forest.total_leaves()),
                 r.forest.memory_bytes() / 1048576.0, probe_error(r, s));

@@ -36,10 +36,10 @@ int main(int argc, char** argv) {
 
   for (const PaperRow& row : rows) {
     const Scene scene = scenes::by_name(row.scene_key);
-    SerialConfig cfg;
+    RunConfig cfg;
     cfg.photons = photons;
     cfg.batch = photons / 8 + 1;
-    const SerialResult result = run_serial(scene, cfg);
+    const RunResult result = run_serial(scene, cfg);
 
     std::printf("%-28s %10zu %10d | %14llu %12s | %10llu %12s\n", row.name, scene.patch_count(),
                 row.paper_defining,

@@ -19,15 +19,17 @@ int main(int argc, char** argv) {
 
   const Scene scene = scenes::harpsichord_room();
 
-  DistConfig cfg;
+  RunConfig cfg;
   cfg.photons = photons;
   cfg.adapt_batch = false;
-  cfg.fixed_batch = 1000;
+  cfg.batch = 1000;
 
   cfg.bestfit = false;
-  const DistResult naive = run_distributed(scene, cfg, P);
+  cfg.workers = P;
+  const RunResult naive = run_distributed(scene, cfg);
   cfg.bestfit = true;
-  const DistResult packed = run_distributed(scene, cfg, P);
+  cfg.workers = P;
+  const RunResult packed = run_distributed(scene, cfg);
 
   // Paper's Table 5.2 columns (thousands of photons).
   const double paper_naive[] = {47.9, 34.5, 35.6, 25.6, 32.7, 24.9, 35.1, 32.8};

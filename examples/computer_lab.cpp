@@ -21,10 +21,11 @@ int main(int argc, char** argv) {
   std::printf("scene: %zu defining polygons, %zu ceiling panels; %d MiniMPI ranks\n",
               scene.patch_count(), scene.luminaires().size(), ranks);
 
-  DistConfig config;
+  RunConfig config;
   config.photons = photons;
   config.adapt_batch = true;
-  const DistResult result = run_distributed(scene, config, ranks);
+  config.workers = ranks;
+  const RunResult result = run_distributed(scene, config);
 
   std::printf("\nper-rank report (Fig 5.3 algorithm):\n");
   std::printf("%5s %10s %12s %12s %10s\n", "rank", "traced", "tallied", "sent bytes", "batches");

@@ -19,12 +19,12 @@ int main(int argc, char** argv) {
   const std::uint64_t photons = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 400000;
   const Scene scene = scenes::cornell_box();
 
-  SerialConfig config;
+  RunConfig config;
   config.photons = photons;
   // Finer bins than the default: this example is about image quality.
   config.policy.max_leaf_count = 128;
   config.policy.count_growth = 1.25;
-  const SerialResult result = run_serial(scene, config);
+  const RunResult result = run_serial(scene, config);
   std::printf("simulated %llu photons (%.0f/s), %llu bins\n",
               static_cast<unsigned long long>(result.trace.total_photons),
               result.trace.final_rate(),

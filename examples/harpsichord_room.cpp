@@ -20,11 +20,11 @@ int main(int argc, char** argv) {
   std::printf("scene: %zu defining polygons, %zu luminaires (8 collimated sun tiles)\n",
               scene.patch_count(), scene.luminaires().size());
 
-  SerialConfig config;
+  RunConfig config;
   config.photons = photons;
   config.policy.max_leaf_count = 128;
   config.policy.count_growth = 1.25;
-  const SerialResult result = run_serial(scene, config);
+  const RunResult result = run_serial(scene, config);
   std::printf("simulated %llu photons (%.0f/s), %.2f bounces/photon, %.2f MB forest\n",
               static_cast<unsigned long long>(result.trace.total_photons),
               result.trace.final_rate(), result.counters.bounces_per_photon(),

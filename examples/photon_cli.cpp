@@ -2,12 +2,16 @@
 //
 //   photon_cli scenes
 //       List the built-in scenes.
+//   photon_cli backends
+//       List the registered simulation backends.
 //   photon_cli info <scene>
 //       Print geometry/material/luminaire statistics.
-//   photon_cli simulate <scene> <answer-file> [--photons=N] [--seed=N]
+//   photon_cli simulate <scene> <answer-file> [--backend=NAME] [--photons=N]
+//                        [--seed=N] [--workers=N] [--batch=N] [--adapt]
 //                        [--checkpoint=FILE] [--resume=FILE]
-//       Run the serial simulation and write the answer file (optionally
-//       checkpointing so long runs can continue later).
+//       Run the simulation on the selected backend (serial | shared |
+//       dist-particle | dist-spatial) and write the answer file, optionally
+//       checkpointing so long runs can continue later.
 //   photon_cli render <scene> <answer-file> <out.ppm>
 //                        [--eye=x,y,z] [--look=x,y,z] [--fov=deg]
 //                        [--size=WxH] [--spp=N] [--threads=N]
@@ -20,11 +24,11 @@
 #include <cstring>
 #include <string>
 
+#include "engine/backend.hpp"
 #include "geom/scene_io.hpp"
 #include "geom/scenes.hpp"
 #include "hist/metrics.hpp"
 #include "sim/checkpoint.hpp"
-#include "sim/simulator.hpp"
 #include "view/viewer.hpp"
 
 namespace {
@@ -95,17 +99,43 @@ int cmd_info(const std::string& spec) {
   return 0;
 }
 
+int cmd_backends() {
+  std::printf("registered backends:\n");
+  for (const std::string& name : backend_names()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  return 0;
+}
+
 int cmd_simulate(int argc, char** argv, const std::string& spec, const std::string& answer) {
   Scene scene;
   if (!load_any_scene(spec, scene)) return 1;
 
-  SerialConfig config;
+  const char* backend_name = find_arg(argc, argv, "backend");
+  const std::unique_ptr<Backend> backend = make_backend(backend_name ? backend_name : "serial");
+  if (!backend) {
+    std::fprintf(stderr, "error: unknown backend '%s' (see `photon_cli backends`)\n",
+                 backend_name);
+    return 1;
+  }
+
+  RunConfig config;
   config.photons = arg_u64(argc, argv, "photons", 500000);
   config.seed = arg_u64(argc, argv, "seed", config.seed);
+  config.workers = static_cast<int>(arg_u64(argc, argv, "workers", 2));
+  config.batch = arg_u64(argc, argv, "batch", config.batch);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--adapt") == 0) config.adapt_batch = true;
+  }
 
-  SerialResult resume;
-  const SerialResult* resume_ptr = nullptr;
+  RunResult resume;
+  const RunResult* resume_ptr = nullptr;
   if (const char* path = find_arg(argc, argv, "resume")) {
+    if (!backend->supports_resume()) {
+      std::fprintf(stderr, "error: backend '%s' does not support --resume\n",
+                   backend->name().c_str());
+      return 1;
+    }
     if (!load_checkpoint(path, resume)) {
       std::fprintf(stderr, "error: cannot load checkpoint '%s'\n", path);
       return 1;
@@ -115,8 +145,9 @@ int cmd_simulate(int argc, char** argv, const std::string& spec, const std::stri
                 static_cast<unsigned long long>(resume.counters.emitted));
   }
 
-  const SerialResult result = run_serial(scene, config, resume_ptr);
-  std::printf("simulated %llu photons (%.0f/s), %.2f bounces/photon\n",
+  const RunResult result = backend->run(scene, config, resume_ptr);
+  std::printf("backend %s: simulated %llu photons (%.0f/s), %.2f bounces/photon\n",
+              backend->name().c_str(),
               static_cast<unsigned long long>(result.counters.emitted),
               result.trace.final_rate(), result.counters.bounces_per_photon());
 
@@ -182,8 +213,10 @@ int cmd_render(int argc, char** argv, const std::string& spec, const std::string
 int usage() {
   std::fprintf(stderr,
                "usage: photon_cli scenes\n"
+               "       photon_cli backends\n"
                "       photon_cli info <scene>\n"
-               "       photon_cli simulate <scene> <answer> [--photons=N] [--seed=N]\n"
+               "       photon_cli simulate <scene> <answer> [--backend=NAME] [--photons=N]\n"
+               "                  [--seed=N] [--workers=N] [--batch=N] [--adapt]\n"
                "                  [--checkpoint=FILE] [--resume=FILE]\n"
                "       photon_cli render <scene> <answer> <out.ppm> [--eye=x,y,z]\n"
                "                  [--look=x,y,z] [--fov=deg] [--size=WxH] [--spp=N]"
@@ -197,6 +230,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   if (cmd == "scenes") return cmd_scenes();
+  if (cmd == "backends") return cmd_backends();
   if (cmd == "info" && argc >= 3) return cmd_info(argv[2]);
   if (cmd == "simulate" && argc >= 4) return cmd_simulate(argc, argv, argv[2], argv[3]);
   if (cmd == "render" && argc >= 5) return cmd_render(argc, argv, argv[2], argv[3], argv[4]);

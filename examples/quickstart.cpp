@@ -24,9 +24,9 @@ int main(int argc, char** argv) {
               scene.patch_count(), scene.luminaires().size());
 
   // 2. Simulate.
-  SerialConfig config;
+  RunConfig config;
   config.photons = photons;
-  const SerialResult result = run_serial(scene, config);
+  const RunResult result = run_serial(scene, config);
   std::printf("simulated %llu photons in %.2fs (%.0f photons/s)\n",
               static_cast<unsigned long long>(result.trace.total_photons),
               result.trace.total_time_s, result.trace.final_rate());

@@ -31,11 +31,11 @@ int main(int argc, char** argv) {
     const std::uint64_t budget =
         static_cast<std::uint64_t>(static_cast<double>(trace.back().photons) * scale);
 
-    SerialConfig config;
+    RunConfig config;
     config.photons = std::max<std::uint64_t>(budget, 1000);
     config.policy.max_leaf_count = 128;
     config.policy.count_growth = 1.25;
-    const SerialResult result = run_serial(scene, config);
+    const RunResult result = run_serial(scene, config);
 
     char name[64];
     std::snprintf(name, sizeof(name), "visual_speedup_p%d.ppm", P);

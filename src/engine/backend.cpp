@@ -1,0 +1,90 @@
+#include "engine/backend.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "par/dist.hpp"
+#include "par/shared.hpp"
+#include "par/spatial.hpp"
+#include "sim/simulator.hpp"
+
+namespace photon {
+
+namespace {
+
+class SerialBackend final : public Backend {
+ public:
+  std::string name() const override { return "serial"; }
+  bool supports_resume() const override { return true; }
+  RunResult run(const Scene& scene, const RunConfig& config,
+                const RunResult* resume) override {
+    return run_serial(scene, config, resume);
+  }
+};
+
+class SharedBackend final : public Backend {
+ public:
+  std::string name() const override { return "shared"; }
+  bool supports_resume() const override { return true; }
+  RunResult run(const Scene& scene, const RunConfig& config,
+                const RunResult* resume) override {
+    return run_shared(scene, config, resume);
+  }
+};
+
+class DistParticleBackend final : public Backend {
+ public:
+  std::string name() const override { return "dist-particle"; }
+  RunResult run(const Scene& scene, const RunConfig& config,
+                const RunResult* /*resume*/) override {
+    return run_distributed(scene, config);
+  }
+};
+
+class DistSpatialBackend final : public Backend {
+ public:
+  std::string name() const override { return "dist-spatial"; }
+  RunResult run(const Scene& scene, const RunConfig& config,
+                const RunResult* /*resume*/) override {
+    return run_spatial(scene, config);
+  }
+};
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::string, BackendFactory>& factory_map() {
+  static std::map<std::string, BackendFactory> factories = {
+      {"serial", [] { return std::make_unique<SerialBackend>(); }},
+      {"shared", [] { return std::make_unique<SharedBackend>(); }},
+      {"dist-particle", [] { return std::make_unique<DistParticleBackend>(); }},
+      {"dist-spatial", [] { return std::make_unique<DistSpatialBackend>(); }},
+  };
+  return factories;
+}
+
+}  // namespace
+
+bool register_backend(const std::string& name, BackendFactory factory) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  return factory_map().emplace(name, std::move(factory)).second;
+}
+
+std::unique_ptr<Backend> make_backend(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto it = factory_map().find(name);
+  return it != factory_map().end() ? it->second() : nullptr;
+}
+
+std::vector<std::string> backend_names() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  std::vector<std::string> names;
+  names.reserve(factory_map().size());
+  for (const auto& [name, factory] : factory_map()) names.push_back(name);
+  return names;
+}
+
+}  // namespace photon

@@ -1,0 +1,102 @@
+// The pluggable execution layer: one photon pipeline, four decompositions.
+//
+// Every backend runs the same hierarchical-histogram simulation — emit,
+// trace, tally into the adaptive bin forest — and differs only in how the
+// work and the forest are decomposed:
+//
+//   serial        one thread, the paper's "best serial version" baseline
+//   shared        shared-memory forall loop with per-tree locks (Fig 5.2)
+//   dist-particle replicated geometry, partitioned forest, batched
+//                 all-to-all record exchange (Fig 5.3)
+//   dist-spatial  partitioned geometry; photons migrate between region
+//                 owners (chapter 6, "Massive Parallelism")
+//
+// Backends are selected by name through make_backend(); additional backends
+// can be registered at runtime with register_backend().
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/aabb.hpp"
+#include "engine/config.hpp"
+#include "engine/telemetry.hpp"
+#include "hist/binforest.hpp"
+#include "par/loadbalance.hpp"
+#include "sim/tracer.hpp"
+
+namespace photon {
+
+// Per-worker report. The first block is filled by the particle
+// decompositions, the second by the spatial decomposition; unused fields stay
+// zero.
+struct RankReport {
+  std::uint64_t traced = 0;     // photons generated and traced by this rank
+  std::uint64_t processed = 0;  // tally updates performed (Table 5.2 metric)
+  std::uint64_t sent_bytes = 0;
+  std::uint64_t sent_messages = 0;
+  std::vector<std::uint64_t> batch_sizes;
+  TraceCounters counters;
+
+  // Spatial decomposition (chapter 6).
+  std::uint64_t local_patches = 0;    // patches overlapping this rank's region
+  std::uint64_t octree_nodes = 0;     // local octree size (the memory win)
+  std::uint64_t photons_in = 0;       // in-flight photons received
+  std::uint64_t photons_out = 0;      // in-flight photons forwarded
+  std::uint64_t segments_traced = 0;  // trace segments executed
+  std::uint64_t tallies = 0;          // records applied by this rank
+};
+
+// The unified result: the populated forest (the "answer file") plus the
+// telemetry every backend collects. Backend-specific detail (per-rank
+// reports, the ownership map, the region partition) rides along where the
+// backend produces it.
+struct RunResult {
+  BinForest forest;
+  SpeedTrace trace;
+  TraceCounters counters;
+  std::vector<MemoryPoint> memory;
+
+  // Exact generator state at the end of a serial run; with the forest and
+  // counters this is everything needed to resume (sim/checkpoint.hpp).
+  std::uint64_t rng_state = 0;
+  std::uint64_t rng_mul = 0;
+  std::uint64_t rng_add = 0;
+
+  std::vector<std::uint64_t> per_thread_traced;  // shared
+  std::vector<RankReport> ranks;                 // dist-particle, dist-spatial
+  LoadBalance balance;                           // dist-particle
+  std::vector<Aabb> regions;                     // dist-spatial
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual std::string name() const = 0;
+
+  // Whether run() honors `resume`: adopting the forest, counters and RNG
+  // state of a previous result and simulating config.photons *additional*
+  // photons. Only `serial` guarantees the continuation is bitwise identical
+  // to an uninterrupted run.
+  virtual bool supports_resume() const { return false; }
+
+  virtual RunResult run(const Scene& scene, const RunConfig& config,
+                        const RunResult* resume = nullptr) = 0;
+};
+
+using BackendFactory = std::function<std::unique_ptr<Backend>()>;
+
+// Registers a backend under `name`; returns false (and leaves the existing
+// entry) when the name is taken.
+bool register_backend(const std::string& name, BackendFactory factory);
+
+// Instantiates a backend by name; nullptr for unknown names.
+std::unique_ptr<Backend> make_backend(const std::string& name);
+
+// Registered names, sorted; always includes the four built-ins.
+std::vector<std::string> backend_names();
+
+}  // namespace photon

@@ -1,0 +1,56 @@
+// The unified simulation configuration.
+//
+// One RunConfig drives every backend (serial, shared, dist-particle,
+// dist-spatial); fields a backend does not use are simply ignored. This
+// supersedes the seed's four per-substrate config structs, which had drifted
+// copies of the same knobs.
+//
+// Unification note: defaults are now backend-independent, which changed two
+// of them relative to the old DistConfig/SpatialConfig — the distributed
+// backends previously defaulted to adaptive batching with a 2000-photon
+// fixed fallback; RunConfig defaults to fixed 10000-photon batches
+// everywhere. Callers that want the chapter-5 adaptive behavior must set
+// adapt_batch (and usually a smaller `batch`) explicitly.
+#pragma once
+
+#include <cstdint>
+
+#include "core/stats.hpp"
+#include "engine/batch.hpp"
+#include "sim/tracer.hpp"
+
+namespace photon {
+
+struct RunConfig {
+  std::uint64_t photons = 100000;  // total across all workers
+  std::uint64_t seed = 0x1234ABCD330EULL;
+
+  // Parallel width: threads for `shared`, ranks for `dist-particle` and
+  // `dist-spatial`. Ignored by `serial`.
+  int workers = 2;
+
+  // Leapfrog substream for `serial` (rank of nranks); (0, 1) is the plain
+  // serial stream. Lets a serial run reproduce one rank of a parallel run.
+  int rank = 0;
+  int nranks = 1;
+
+  // Batching. `batch` is the fixed batch size (photons per batch for serial,
+  // per rank per round for the distributed backends). When `adapt_batch` is
+  // set, the engine's BatchController adapts the size to the measured rate
+  // instead (chapter 5, "Communication vs. Computation").
+  std::uint64_t batch = 10000;
+  bool adapt_batch = false;
+  BatchPolicy batch_policy{};
+
+  double max_seconds = 0.0;         // serial: stop after this much wall time when > 0
+  double sample_interval_s = 0.05;  // shared: speed-trace sampling period
+
+  // dist-particle load balancing: probe photons (k) and assignment strategy.
+  std::uint64_t lb_photons = 2000;
+  bool bestfit = true;  // false: naive contiguous ownership
+
+  SplitPolicy policy{};
+  TraceLimits limits{};
+};
+
+}  // namespace photon

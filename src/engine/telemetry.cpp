@@ -1,0 +1,19 @@
+#include "engine/telemetry.hpp"
+
+#include <thread>
+
+namespace photon {
+
+void sample_progress(SpeedSampler& sampler, const std::atomic<std::uint64_t>& progress,
+                     std::uint64_t total, double interval_s) {
+  if (total == 0) return;
+  if (interval_s <= 0.0) interval_s = 0.05;
+  while (true) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+    const std::uint64_t done = progress.load(std::memory_order_relaxed);
+    if (done >= total) return;  // finish() records the terminal point
+    sampler.sample(done);
+  }
+}
+
+}  // namespace photon

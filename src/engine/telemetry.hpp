@@ -1,0 +1,77 @@
+// Run telemetry shared by every backend: the speed trace of chapter 5 (one
+// photons-per-second point per sample), the bin-forest memory curve of
+// Fig 5.4, and counter merging. The seed carried a hand-rolled copy of this
+// collection loop in each substrate; this is the single implementation.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace photon {
+
+struct SpeedPoint {
+  double time_s = 0.0;       // wall time at end of batch
+  std::uint64_t photons = 0; // cumulative photons simulated
+  double rate = 0.0;         // photons/second over the whole run so far
+};
+
+struct SpeedTrace {
+  std::vector<SpeedPoint> points;
+  double total_time_s = 0.0;
+  std::uint64_t total_photons = 0;
+
+  double final_rate() const {
+    return total_time_s > 0.0 ? static_cast<double>(total_photons) / total_time_s : 0.0;
+  }
+};
+
+struct MemoryPoint {
+  std::uint64_t photons = 0;
+  std::uint64_t bytes = 0;
+};
+
+// Wall-clock speed-trace collector. Construction starts the clock; sample()
+// appends one point; finish() closes the trace, appending the final point
+// only when the last sample did not already record the terminal photon count
+// (the seed's shared-memory loop pushed that point twice).
+class SpeedSampler {
+ public:
+  SpeedSampler() : start_(std::chrono::steady_clock::now()) {}
+
+  double elapsed() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+  // Appends a point at the current wall time.
+  void sample(std::uint64_t done) { sample_at(elapsed(), done); }
+
+  // Appends a point at an externally agreed time (the distributed backends
+  // allreduce the elapsed time so every rank sees the same trace).
+  void sample_at(double t, std::uint64_t done) {
+    trace_.points.push_back({t, done, t > 0.0 ? static_cast<double>(done) / t : 0.0});
+  }
+
+  // Seals the trace: records totals and guarantees exactly one terminal point.
+  SpeedTrace finish(std::uint64_t total_photons) {
+    trace_.total_photons = total_photons;
+    trace_.total_time_s = elapsed();
+    if (trace_.points.empty() || trace_.points.back().photons != total_photons) {
+      trace_.points.push_back({trace_.total_time_s, total_photons, trace_.final_rate()});
+    }
+    return std::move(trace_);
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  SpeedTrace trace_;
+};
+
+// Polls `progress` every `interval_s` seconds until it reaches `total`,
+// appending one speed point per poll. Returns immediately when total == 0 (a
+// zero-photon run must not spin waiting for progress that will never come).
+void sample_progress(SpeedSampler& sampler, const std::atomic<std::uint64_t>& progress,
+                     std::uint64_t total, double interval_s);
+
+}  // namespace photon

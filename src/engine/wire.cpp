@@ -1,0 +1,84 @@
+#include "engine/wire.hpp"
+
+#include <cstring>
+
+namespace photon {
+
+namespace {
+
+template <typename T>
+Bytes pack_vector(const std::vector<T>& v) {
+  Bytes out(v.size() * sizeof(T));
+  if (!v.empty()) std::memcpy(out.data(), v.data(), out.size());
+  return out;
+}
+
+template <typename T>
+std::vector<T> unpack_vector(const Bytes& b) {
+  std::vector<T> out(b.size() / sizeof(T));
+  if (!out.empty()) std::memcpy(out.data(), b.data(), out.size() * sizeof(T));
+  return out;
+}
+
+}  // namespace
+
+WireRecord to_wire(const BounceRecord& rec) {
+  return make_wire_record(rec.patch, rec.coords, rec.channel, rec.front);
+}
+
+BounceRecord from_wire(const WireRecord& wire) {
+  BounceRecord rec;
+  rec.patch = wire.patch;
+  rec.front = wire.front != 0;
+  rec.coords.s = wire.s;
+  rec.coords.t = wire.t;
+  rec.coords.u = wire.u;
+  rec.coords.theta = wire.theta;
+  rec.channel = wire.channel;
+  return rec;
+}
+
+WireRecord make_wire_record(int patch, const BinCoords& coords, int channel, bool front) {
+  WireRecord wire;
+  wire.patch = patch;
+  wire.s = static_cast<float>(coords.s);
+  wire.t = static_cast<float>(coords.t);
+  wire.u = static_cast<float>(coords.u);
+  wire.theta = static_cast<float>(coords.theta);
+  wire.channel = static_cast<std::uint8_t>(channel);
+  wire.front = front ? 1 : 0;
+  return wire;
+}
+
+FlightWire to_wire(const PhotonFlight& flight) {
+  FlightWire w{};
+  w.px = flight.pos.x;
+  w.py = flight.pos.y;
+  w.pz = flight.pos.z;
+  w.dx = flight.dir.x;
+  w.dy = flight.dir.y;
+  w.dz = flight.dir.z;
+  w.rng_state = flight.rng.state();
+  w.bounces = flight.bounces;
+  w.channel = static_cast<std::uint8_t>(flight.channel);
+  w.pol_s = static_cast<float>(flight.pol.s);
+  return w;
+}
+
+PhotonFlight from_wire(const FlightWire& wire) {
+  PhotonFlight flight;
+  flight.pos = {wire.px, wire.py, wire.pz};
+  flight.dir = {wire.dx, wire.dy, wire.dz};
+  flight.rng.reset(wire.rng_state);
+  flight.bounces = wire.bounces;
+  flight.channel = wire.channel;
+  flight.pol = {wire.pol_s, 1.0 - wire.pol_s};
+  return flight;
+}
+
+Bytes pack_records(const std::vector<WireRecord>& records) { return pack_vector(records); }
+std::vector<WireRecord> unpack_records(const Bytes& buf) { return unpack_vector<WireRecord>(buf); }
+Bytes pack_flights(const std::vector<FlightWire>& flights) { return pack_vector(flights); }
+std::vector<FlightWire> unpack_flights(const Bytes& buf) { return unpack_vector<FlightWire>(buf); }
+
+}  // namespace photon

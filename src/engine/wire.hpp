@@ -1,0 +1,71 @@
+// Wire formats exchanged between ranks, defined once for every
+// message-passing backend (the seed duplicated these structs in
+// par/dist.cpp and par/spatial.cpp "to keep the two substrates independent").
+//
+// Two record kinds travel on the wire:
+//  - WireRecord: a packed tally destined for the bin-tree owner (the EnQueue
+//    payload of Fig 5.3).
+//  - FlightWire: an in-flight photon crossing a region boundary in the
+//    distributed-geometry decomposition (chapter 6). It carries its full RNG
+//    state so any rank can continue the path deterministically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/vec3.hpp"
+#include "material/polarization.hpp"
+#include "sim/tracer.hpp"
+
+namespace photon {
+
+using Bytes = std::vector<std::uint8_t>;
+
+// Packed bounce record as exchanged on the wire.
+struct WireRecord {
+  std::int32_t patch = -1;
+  float s = 0, t = 0, u = 0, theta = 0;
+  std::uint8_t channel = 0;
+  std::uint8_t front = 1;
+  std::uint16_t pad = 0;
+};
+static_assert(sizeof(WireRecord) == 24, "wire format is part of the protocol");
+
+WireRecord to_wire(const BounceRecord& rec);
+BounceRecord from_wire(const WireRecord& wire);
+WireRecord make_wire_record(int patch, const BinCoords& coords, int channel, bool front);
+
+// In-flight photon as exchanged between region owners.
+struct FlightWire {
+  double px, py, pz;
+  double dx, dy, dz;
+  std::uint64_t rng_state;
+  std::int32_t bounces;
+  std::uint8_t channel;
+  std::uint8_t pad[3];
+  float pol_s;
+};
+static_assert(sizeof(FlightWire) == 72, "wire format is part of the protocol");
+
+// Unpacked in-flight photon: position, heading, private RNG stream and
+// polarization state — everything a rank needs to continue the path.
+struct PhotonFlight {
+  Vec3 pos;
+  Vec3 dir;
+  Lcg48 rng;
+  int bounces = 0;
+  int channel = 0;
+  Polarization pol = Polarization::unpolarized();
+};
+
+FlightWire to_wire(const PhotonFlight& flight);
+PhotonFlight from_wire(const FlightWire& wire);
+
+// Byte-buffer (de)serialization for the all-to-all exchanges.
+Bytes pack_records(const std::vector<WireRecord>& records);
+std::vector<WireRecord> unpack_records(const Bytes& buf);
+Bytes pack_flights(const std::vector<FlightWire>& flights);
+std::vector<FlightWire> unpack_flights(const Bytes& buf);
+
+}  // namespace photon

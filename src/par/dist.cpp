@@ -1,13 +1,12 @@
 #include "par/dist.hpp"
 
-#include <chrono>
-#include <cstring>
+#include <algorithm>
 #include <mutex>
 #include <sstream>
 
+#include "engine/wire.hpp"
 #include "mp/minimpi.hpp"
 #include "sim/emitter.hpp"
-#include "sim/tracer.hpp"
 
 namespace photon {
 
@@ -27,15 +26,7 @@ class QueueSink final : public BinSink {
       forest_->record(rec.patch, rec.front, rec.coords, rec.channel);
       ++(*processed_);
     } else {
-      WireRecord wire;
-      wire.patch = rec.patch;
-      wire.s = rec.coords.s;
-      wire.t = rec.coords.t;
-      wire.u = rec.coords.u;
-      wire.theta = rec.coords.theta;
-      wire.channel = rec.channel;
-      wire.front = rec.front ? 1 : 0;
-      (*queues_)[static_cast<std::size_t>(owner_rank)].push_back(wire);
+      (*queues_)[static_cast<std::size_t>(owner_rank)].push_back(to_wire(rec));
     }
   }
 
@@ -47,38 +38,26 @@ class QueueSink final : public BinSink {
   std::uint64_t* processed_;
 };
 
-Bytes pack_queue(const std::vector<WireRecord>& q) {
-  Bytes out(q.size() * sizeof(WireRecord));
-  if (!q.empty()) std::memcpy(out.data(), q.data(), out.size());
-  return out;
-}
-
-void apply_queue(const Bytes& buf, BinForest& forest, std::uint64_t& processed) {
-  const std::size_t n = buf.size() / sizeof(WireRecord);
-  for (std::size_t i = 0; i < n; ++i) {
-    WireRecord wire;
-    std::memcpy(&wire, buf.data() + i * sizeof(WireRecord), sizeof(WireRecord));
-    BinCoords c;
-    c.s = wire.s;
-    c.t = wire.t;
-    c.u = wire.u;
-    c.theta = wire.theta;
-    forest.record(wire.patch, wire.front != 0, c, wire.channel);
+void apply_records(const Bytes& buf, BinForest& forest, std::uint64_t& processed) {
+  for (const WireRecord& wire : unpack_records(buf)) {
+    const BounceRecord rec = from_wire(wire);
+    forest.record(rec.patch, rec.front, rec.coords, rec.channel);
     ++processed;
   }
 }
 
 }  // namespace
 
-DistResult run_distributed(const Scene& scene, const DistConfig& config, int nranks) {
-  DistResult result;
+RunResult run_distributed(const Scene& scene, const RunConfig& config) {
+  const int nranks = std::max(config.workers, 1);
+  RunResult result;
   result.ranks.resize(static_cast<std::size_t>(nranks));
   std::mutex result_mutex;  // harness-side collection only
 
   run_world(nranks, [&](Comm& comm) {
     const int rank = comm.rank();
     const int P = comm.size();
-    const auto start = std::chrono::steady_clock::now();
+    SpeedSampler sampler;
 
     // --- Load balancing phase: every rank traces the same k photons with the
     // same stream and derives the identical ownership map (chapter 5).
@@ -98,13 +77,12 @@ DistResult run_distributed(const Scene& scene, const DistConfig& config, int nra
     QueueSink sink(forest, balance.owner, rank, queues, report.processed);
     ChannelCounts emitted{};
 
-    BatchController controller(config.batch);
-    SpeedTrace trace;
+    BatchController controller(config.batch_policy);
     std::uint64_t global_done = 0;
     double prev_agreed = 0.0;
 
     while (global_done < config.photons) {
-      std::uint64_t B = config.adapt_batch ? controller.size() : config.fixed_batch;
+      std::uint64_t B = config.adapt_batch ? controller.size() : config.batch;
       // Do not overshoot the global budget; every rank computes the same cap.
       const std::uint64_t remaining = config.photons - global_done;
       const std::uint64_t cap = (remaining + static_cast<std::uint64_t>(P) - 1) /
@@ -123,13 +101,13 @@ DistResult run_distributed(const Scene& scene, const DistConfig& config, int nra
       // All-to-all photon exchange.
       std::vector<Bytes> outgoing(static_cast<std::size_t>(P));
       for (int d = 0; d < P; ++d) {
-        outgoing[static_cast<std::size_t>(d)] = pack_queue(queues[static_cast<std::size_t>(d)]);
+        outgoing[static_cast<std::size_t>(d)] = pack_records(queues[static_cast<std::size_t>(d)]);
         queues[static_cast<std::size_t>(d)].clear();
       }
       const std::vector<Bytes> incoming = comm.alltoall(std::move(outgoing));
       for (int s = 0; s < P; ++s) {
         if (s == rank) continue;
-        apply_queue(incoming[static_cast<std::size_t>(s)], forest, report.processed);
+        apply_records(incoming[static_cast<std::size_t>(s)], forest, report.processed);
       }
 
       global_done += B * static_cast<std::uint64_t>(P);
@@ -138,11 +116,8 @@ DistResult run_distributed(const Scene& scene, const DistConfig& config, int nra
       // the same next batch size. The controller is fed the *per-batch* rate
       // (what Photon measures after each batch); the trace keeps the
       // cumulative rate.
-      const double elapsed =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-      const double agreed = comm.allreduce_max(elapsed);
-      const double rate = agreed > 0.0 ? static_cast<double>(global_done) / agreed : 0.0;
-      if (rank == 0) trace.points.push_back({agreed, global_done, rate});
+      const double agreed = comm.allreduce_max(sampler.elapsed());
+      if (rank == 0) sampler.sample_at(agreed, global_done);
       if (config.adapt_batch) {
         const double batch_time = agreed - prev_agreed;
         const double batch_rate =
@@ -196,14 +171,12 @@ DistResult run_distributed(const Scene& scene, const DistConfig& config, int nra
       if (rank == 0) {
         result.forest = std::move(forest);
         result.balance = balance;
-        trace.total_photons = global_done;
-        trace.total_time_s =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-        result.trace = std::move(trace);
+        result.trace = sampler.finish(global_done);
       }
     }
   });
 
+  for (const RankReport& report : result.ranks) result.counters += report.counters;
   return result;
 }
 

@@ -1,62 +1,20 @@
-// Distributed-memory parallel Photon (Fig 5.3).
+// Distributed-memory parallel Photon (Fig 5.3) — the engine's
+// `dist-particle` backend.
 //
 // Geometry (and its octree) is replicated; the bin forest is partitioned by
 // patch ownership. Every rank generates and traces its share of each batch;
 // reflections landing on trees owned elsewhere are queued per destination and
 // exchanged in one all-to-all after the particle-tracing phase, then tallied
 // (and split) by the owner. Batch size adapts to the communication medium via
-// the shared BatchController, agreed across ranks with an allreduce so every
-// rank stays in lockstep.
+// the engine's BatchController, agreed across ranks with an allreduce so
+// every rank stays in lockstep. `config.workers` sets the rank count.
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
-#include "par/batch.hpp"
-#include "par/loadbalance.hpp"
-#include "sim/simulator.hpp"
+#include "engine/backend.hpp"
 
 namespace photon {
 
-// Packed bounce record as exchanged on the wire.
-struct WireRecord {
-  std::int32_t patch = -1;
-  float s = 0, t = 0, u = 0, theta = 0;
-  std::uint8_t channel = 0;
-  std::uint8_t front = 1;
-  std::uint16_t pad = 0;
-};
-static_assert(sizeof(WireRecord) == 24, "wire format is part of the protocol");
-
-struct DistConfig {
-  std::uint64_t photons = 100000;  // total across all ranks
-  std::uint64_t lb_photons = 2000; // probe photons for load balancing (k)
-  std::uint64_t seed = 0x1234ABCD330EULL;
-  bool bestfit = true;             // false: naive contiguous ownership
-  bool adapt_batch = true;
-  BatchPolicy batch{};
-  std::uint64_t fixed_batch = 2000;  // per-rank batch when !adapt_batch
-  SplitPolicy policy{};
-  TraceLimits limits{};
-};
-
-struct RankReport {
-  std::uint64_t traced = 0;      // photons generated and traced by this rank
-  std::uint64_t processed = 0;   // tally updates performed (Table 5.2 metric)
-  std::uint64_t sent_bytes = 0;
-  std::uint64_t sent_messages = 0;
-  std::vector<std::uint64_t> batch_sizes;
-  TraceCounters counters;
-};
-
-struct DistResult {
-  BinForest forest;  // gathered on rank 0: complete answer
-  std::vector<RankReport> ranks;
-  SpeedTrace trace;
-  LoadBalance balance;
-};
-
-// Runs the Fig 5.3 algorithm on `nranks` MiniMPI ranks.
-DistResult run_distributed(const Scene& scene, const DistConfig& config, int nranks);
+// Runs the Fig 5.3 algorithm on `config.workers` MiniMPI ranks.
+RunResult run_distributed(const Scene& scene, const RunConfig& config);
 
 }  // namespace photon

@@ -1,9 +1,11 @@
 #include "par/shared.hpp"
 
+#include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <mutex>
 #include <thread>
+
+#include "sim/emitter.hpp"
 
 namespace photon {
 
@@ -26,22 +28,34 @@ class LockedForestSink final : public BinSink {
 };
 }  // namespace
 
-SharedResult run_shared(const Scene& scene, const SharedConfig& config) {
-  SharedResult result;
-  result.forest = BinForest(scene.patch_count(), config.policy);
+RunResult run_shared(const Scene& scene, const RunConfig& config,
+                     const RunResult* resume_from) {
+  RunResult result;
+  if (resume_from) {
+    result.forest = resume_from->forest;
+    result.counters = resume_from->counters;
+  } else {
+    result.forest = BinForest(scene.patch_count(), config.policy);
+  }
   std::vector<std::mutex> tree_mutexes(scene.patch_count() * 2);
 
   const Emitter emitter(scene);
   result.forest.set_total_power(emitter.total_power());
   const Tracer tracer(scene, config.limits);
 
-  const int T = config.nthreads;
+  // More threads than photons would leave the surplus idle; clamp so every
+  // spawned thread has work (and guard against a nonpositive request).
+  int T = std::max(config.workers, 1);
+  if (config.photons > 0 && static_cast<std::uint64_t>(T) > config.photons) {
+    T = static_cast<int>(config.photons);
+  }
+
   std::vector<TraceCounters> counters(static_cast<std::size_t>(T));
   std::vector<ChannelCounts> emitted(static_cast<std::size_t>(T));
   result.per_thread_traced.assign(static_cast<std::size_t>(T), 0);
   std::atomic<std::uint64_t> progress{0};
 
-  const auto start = std::chrono::steady_clock::now();
+  SpeedSampler sampler;
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(T));
@@ -58,6 +72,10 @@ SharedResult run_shared(const Scene& scene, const SharedConfig& config) {
 
       LockedForestSink sink(result.forest, tree_mutexes);
       Lcg48 rng(config.seed, tid, T);
+      // On resume, shift every leapfrog stream onto a disjoint block of the
+      // global sequence beyond the first leg's reach — otherwise a resumed
+      // leg would replay the identical photons and silently double-count.
+      if (resume_from) rng.skip(resume_from->counters.emitted * 4096);
       for (std::uint64_t i = 0; i < quota; ++i) {
         const EmissionSample emission = emitter.emit(rng);
         ++emitted[ti][static_cast<std::size_t>(emission.channel)];
@@ -68,30 +86,16 @@ SharedResult run_shared(const Scene& scene, const SharedConfig& config) {
     });
   }
 
-  // Main thread samples the speed trace while workers run.
-  while (progress.load(std::memory_order_relaxed) < config.photons) {
-    std::this_thread::sleep_for(std::chrono::duration<double>(config.sample_interval_s));
-    const double t =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-    const std::uint64_t done = progress.load(std::memory_order_relaxed);
-    result.trace.points.push_back({t, done, t > 0.0 ? static_cast<double>(done) / t : 0.0});
-    if (done >= config.photons) break;
-  }
+  // Main thread samples the speed trace while workers run; the engine
+  // sampler handles the zero-photon case and the terminal point.
+  sample_progress(sampler, progress, config.photons, config.sample_interval_s);
   for (std::thread& t : threads) t.join();
 
-  result.trace.total_photons = config.photons;
-  result.trace.total_time_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-  result.trace.points.push_back({result.trace.total_time_s, config.photons,
-                                 result.trace.final_rate()});
+  result.trace = sampler.finish(config.photons);
 
   for (int tid = 0; tid < T; ++tid) {
     const auto ti = static_cast<std::size_t>(tid);
-    result.counters.emitted += counters[ti].emitted;
-    result.counters.bounces += counters[ti].bounces;
-    result.counters.absorbed += counters[ti].absorbed;
-    result.counters.escaped += counters[ti].escaped;
-    result.counters.terminated += counters[ti].terminated;
+    result.counters += counters[ti];
     for (int c = 0; c < kNumChannels; ++c) {
       result.forest.add_emitted(c, emitted[ti][static_cast<std::size_t>(c)]);
     }

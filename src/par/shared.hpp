@@ -1,36 +1,23 @@
-// Shared-memory parallel Photon (Fig 5.2).
+// Shared-memory parallel Photon (Fig 5.2) — the engine's `shared` backend.
 //
 // All threads share the geometry and the bin forest; every tally or split
 // takes the owning tree's lock (the paper's multiple-reader/single-writer
 // protocol collapses to per-tree mutual exclusion here because every record
 // may split its bin). Each thread draws from its own leapfrogged substream
 // and traces a static share of the photons, exactly the forall loop of the
-// paper.
+// paper. `config.workers` sets the thread count.
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
-#include "sim/simulator.hpp"
+#include "engine/backend.hpp"
 
 namespace photon {
 
-struct SharedConfig {
-  std::uint64_t photons = 100000;
-  int nthreads = 2;
-  std::uint64_t seed = 0x1234ABCD330EULL;
-  double sample_interval_s = 0.05;  // speed-trace sampling period
-  SplitPolicy policy{};
-  TraceLimits limits{};
-};
-
-struct SharedResult {
-  BinForest forest;
-  SpeedTrace trace;
-  TraceCounters counters;
-  std::vector<std::uint64_t> per_thread_traced;
-};
-
-SharedResult run_shared(const Scene& scene, const SharedConfig& config);
+// When `resume_from` is non-null its forest and counters are adopted and
+// `config.photons` additional photons are traced on top, drawn from fresh
+// leapfrog streams offset past everything the first leg can have touched (so
+// nothing is replayed). Unlike `serial` the continuation is not bitwise
+// identical to an uninterrupted run.
+RunResult run_shared(const Scene& scene, const RunConfig& config,
+                     const RunResult* resume_from = nullptr);
 
 }  // namespace photon

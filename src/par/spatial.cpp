@@ -1,11 +1,11 @@
 #include "par/spatial.hpp"
 
 #include <algorithm>
-#include <cstring>
 #include <mutex>
 #include <sstream>
 
 #include "core/onb.hpp"
+#include "engine/wire.hpp"
 #include "material/brdf.hpp"
 #include "mp/minimpi.hpp"
 #include "sim/emitter.hpp"
@@ -13,75 +13,6 @@
 namespace photon {
 
 namespace {
-
-// In-flight photon as exchanged between region owners. Carries its full RNG
-// state so any rank can continue the path deterministically.
-struct FlightWire {
-  double px, py, pz;
-  double dx, dy, dz;
-  std::uint64_t rng_state;
-  std::int32_t bounces;
-  std::uint8_t channel;
-  std::uint8_t pad[3];
-  float pol_s;
-};
-static_assert(sizeof(FlightWire) == 72);
-
-// Tally record forwarded to the tree owner (same layout as par/dist.cpp's
-// exchange, duplicated here to keep the two substrates independent).
-struct RecordWire {
-  std::int32_t patch;
-  float s, t, u, theta;
-  std::uint8_t channel;
-  std::uint8_t front;
-  std::uint16_t pad;
-};
-static_assert(sizeof(RecordWire) == 24);
-
-template <typename T>
-Bytes pack(const std::vector<T>& v) {
-  Bytes out(v.size() * sizeof(T));
-  if (!v.empty()) std::memcpy(out.data(), v.data(), out.size());
-  return out;
-}
-
-template <typename T>
-std::vector<T> unpack(const Bytes& b) {
-  std::vector<T> out(b.size() / sizeof(T));
-  if (!out.empty()) std::memcpy(out.data(), b.data(), b.size());
-  return out;
-}
-
-struct Flight {
-  Vec3 pos;
-  Vec3 dir;
-  Lcg48 rng;
-  int bounces = 0;
-  int channel = 0;
-  Polarization pol = Polarization::unpolarized();
-};
-
-FlightWire to_wire(const Flight& f) {
-  FlightWire w{};
-  w.px = f.pos.x; w.py = f.pos.y; w.pz = f.pos.z;
-  w.dx = f.dir.x; w.dy = f.dir.y; w.dz = f.dir.z;
-  w.rng_state = f.rng.state();
-  w.bounces = f.bounces;
-  w.channel = static_cast<std::uint8_t>(f.channel);
-  w.pol_s = static_cast<float>(f.pol.s);
-  return w;
-}
-
-Flight from_wire(const FlightWire& w) {
-  Flight f;
-  f.pos = {w.px, w.py, w.pz};
-  f.dir = {w.dx, w.dy, w.dz};
-  f.rng.reset(w.rng_state);
-  f.bounces = w.bounces;
-  f.channel = w.channel;
-  f.pol = {w.pol_s, 1.0 - w.pol_s};
-  return f;
-}
 
 enum class SegmentEnd { kAbsorbed, kEscaped, kExitedRegion, kTerminated };
 
@@ -169,8 +100,8 @@ Lcg48 photon_stream(std::uint64_t seed, std::uint64_t photon_index) {
   return rng;
 }
 
-SerialResult run_photon_streams(const Scene& scene, const SpatialConfig& config) {
-  SerialResult result;
+RunResult run_photon_streams(const Scene& scene, const RunConfig& config) {
+  RunResult result;
   result.forest = BinForest(scene.patch_count(), config.policy);
   const Emitter emitter(scene);
   result.forest.set_total_power(emitter.total_power());
@@ -190,11 +121,14 @@ namespace {
 
 // Traces `flight` inside `region` against the local octree until it is
 // absorbed, escapes the scene, exits the region, or trips the bounce guard.
+// `epsilon` is the tracer's scene-scaled surface nudge: paths must match the
+// full-octree reference bit for bit.
 SegmentEnd trace_segment(const Scene& scene, const Octree& local_tree,
                          std::span<const Patch> local_patches,
                          const std::vector<std::int32_t>& local_to_global, const Aabb& region,
-                         const Aabb& root, const TraceLimits& limits, Flight& flight,
-                         std::vector<RecordWire>& records, TraceCounters& counters) {
+                         const Aabb& root, const TraceLimits& limits, double epsilon,
+                         PhotonFlight& flight, std::vector<WireRecord>& records,
+                         TraceCounters& counters) {
   while (true) {
     if (flight.bounces >= limits.max_bounces) {
       ++counters.terminated;
@@ -210,9 +144,10 @@ SegmentEnd trace_segment(const Scene& scene, const Octree& local_tree,
     const auto hit = local_tree.intersect(local_patches, ray, kNoHit);
     // A hit beyond the region exit belongs to some other rank's region (it
     // may not even be the globally closest hit — a closer patch may exist in
-    // the neighbouring region's octree).
-    if (!hit || hit->dist > t_exit + 1e-9) {
-      const Vec3 boundary = ray.at(t_exit + 1e-7);
+    // the neighbouring region's octree). The tolerance is a fraction of the
+    // surface nudge so both scale with the scene.
+    if (!hit || hit->dist > t_exit + 0.01 * epsilon) {
+      const Vec3 boundary = ray.at(t_exit + epsilon);
       if (!root.contains(boundary)) {
         ++counters.escaped;
         return SegmentEnd::kEscaped;
@@ -240,29 +175,23 @@ SegmentEnd trace_segment(const Scene& scene, const Octree& local_tree,
     }
     flight.channel = scatter.channel;
 
-    RecordWire rec{};
-    rec.patch = global_patch;
-    const BinCoords coords = BinCoords::from_local_dir(hit->s, hit->t, scatter.dir);
-    rec.s = coords.s;
-    rec.t = coords.t;
-    rec.u = coords.u;
-    rec.theta = coords.theta;
-    rec.channel = static_cast<std::uint8_t>(flight.channel);
-    rec.front = hit->front ? 1 : 0;
-    records.push_back(rec);
+    records.push_back(make_wire_record(
+        global_patch, BinCoords::from_local_dir(hit->s, hit->t, scatter.dir), flight.channel,
+        hit->front));
     ++counters.bounces;
     ++flight.bounces;
 
     const Vec3 hit_point = ray.at(hit->dist);
     flight.dir = frame.to_world(scatter.dir).normalized();
-    flight.pos = hit_point + side_normal * 1e-7;
+    flight.pos = hit_point + side_normal * epsilon;
   }
 }
 
 }  // namespace
 
-SpatialResult run_spatial(const Scene& scene, const SpatialConfig& config, int nranks) {
-  SpatialResult result;
+RunResult run_spatial(const Scene& scene, const RunConfig& config) {
+  const int nranks = std::max(config.workers, 1);
+  RunResult result;
   result.regions = partition_space(scene, nranks);
   result.ranks.resize(static_cast<std::size_t>(nranks));
   std::mutex result_mutex;
@@ -272,10 +201,12 @@ SpatialResult run_spatial(const Scene& scene, const SpatialConfig& config, int n
     for (const Aabb& r : result.regions) b.expand(r);
     return b;
   }();
+  const double epsilon = surface_epsilon(scene.bounds());
 
   run_world(nranks, [&](Comm& comm) {
     const int rank = comm.rank();
     const int P = comm.size();
+    SpeedSampler sampler;
     const Aabb my_region = result.regions[static_cast<std::size_t>(rank)];
 
     // Local geometry: only the patches overlapping this region get indexed.
@@ -300,31 +231,28 @@ SpatialResult run_spatial(const Scene& scene, const SpatialConfig& config, int n
     const Emitter emitter(scene);
     forest.set_total_power(emitter.total_power());
 
-    SpatialRankReport report;
+    RankReport report;
     report.local_patches = local_patches.size();
     report.octree_nodes = local_tree.node_count();
 
     TraceCounters counters;
     ChannelCounts emitted{};
-    std::vector<Flight> inbox;
+    std::vector<PhotonFlight> inbox;
     std::uint64_t next_emission = static_cast<std::uint64_t>(rank);  // ids rank, rank+P, ...
+    std::uint64_t global_injected = 0;  // rank 0's running emission total
 
-    auto apply_record = [&](const RecordWire& rec) {
-      BinCoords c;
-      c.s = rec.s;
-      c.t = rec.t;
-      c.u = rec.u;
-      c.theta = rec.theta;
-      forest.record(rec.patch, rec.front != 0, c, rec.channel);
+    auto apply_record = [&](const WireRecord& wire) {
+      const BounceRecord rec = from_wire(wire);
+      forest.record(rec.patch, rec.front, rec.coords, rec.channel);
       ++report.tallies;
     };
 
     while (true) {
       std::vector<std::vector<FlightWire>> photon_queues(static_cast<std::size_t>(P));
-      std::vector<std::vector<RecordWire>> record_queues(static_cast<std::size_t>(P));
-      std::vector<RecordWire> records;
+      std::vector<std::vector<WireRecord>> record_queues(static_cast<std::size_t>(P));
+      std::vector<WireRecord> records;
 
-      auto route_record = [&](const RecordWire& rec) {
+      auto route_record = [&](const WireRecord& rec) {
         const int owner = tree_owner[static_cast<std::size_t>(rec.patch)];
         if (owner == rank) {
           apply_record(rec);
@@ -333,13 +261,13 @@ SpatialResult run_spatial(const Scene& scene, const SpatialConfig& config, int n
         }
       };
 
-      auto run_flight = [&](Flight flight) {
+      auto run_flight = [&](PhotonFlight flight) {
         ++report.segments_traced;
         records.clear();
-        const SegmentEnd end = trace_segment(scene, local_tree, local_patches, local_to_global,
-                                             my_region, root, config.limits, flight, records,
-                                             counters);
-        for (const RecordWire& rec : records) route_record(rec);
+        const SegmentEnd end =
+            trace_segment(scene, local_tree, local_patches, local_to_global, my_region, root,
+                          config.limits, epsilon, flight, records, counters);
+        for (const WireRecord& rec : records) route_record(rec);
         if (end == SegmentEnd::kExitedRegion) {
           const int dest = region_of(result.regions, flight.pos);
           if (dest < 0) {
@@ -347,7 +275,7 @@ SpatialResult run_spatial(const Scene& scene, const SpatialConfig& config, int n
           } else if (dest == rank) {
             // Boundary rounding resolved back to us: nudge forward and retry
             // next round to guarantee progress.
-            flight.pos += flight.dir * 1e-6;
+            flight.pos += flight.dir * (10.0 * epsilon);
             const int retry = region_of(result.regions, flight.pos);
             if (retry >= 0 && retry != rank) {
               photon_queues[static_cast<std::size_t>(retry)].push_back(to_wire(flight));
@@ -366,7 +294,7 @@ SpatialResult run_spatial(const Scene& scene, const SpatialConfig& config, int n
       // over ranks is exactly [0, photons)).
       std::uint64_t injected = 0;
       while (injected < config.batch && next_emission < config.photons) {
-        Flight flight;
+        PhotonFlight flight;
         flight.rng = photon_stream(config.seed, next_emission);
         const EmissionSample emission = emitter.emit(flight.rng);
         ++emitted[static_cast<std::size_t>(emission.channel)];
@@ -375,17 +303,9 @@ SpatialResult run_spatial(const Scene& scene, const SpatialConfig& config, int n
         flight.dir = emission.dir;
         flight.channel = emission.channel;
 
-        RecordWire rec{};
-        rec.patch = emission.patch;
-        const BinCoords coords =
-            BinCoords::from_local_dir(emission.s, emission.t, emission.dir_local);
-        rec.s = coords.s;
-        rec.t = coords.t;
-        rec.u = coords.u;
-        rec.theta = coords.theta;
-        rec.channel = static_cast<std::uint8_t>(emission.channel);
-        rec.front = 1;
-        route_record(rec);
+        route_record(make_wire_record(
+            emission.patch, BinCoords::from_local_dir(emission.s, emission.t, emission.dir_local),
+            emission.channel, true));
 
         // The emission point may not even be in our region; route it like any
         // in-flight photon.
@@ -403,24 +323,24 @@ SpatialResult run_spatial(const Scene& scene, const SpatialConfig& config, int n
       }
 
       // Work the photons received last round.
-      for (const Flight& f : inbox) run_flight(f);
+      for (const PhotonFlight& f : inbox) run_flight(f);
       inbox.clear();
 
       // Exchange photons and records.
       std::vector<Bytes> out_photons(static_cast<std::size_t>(P));
       std::vector<Bytes> out_records(static_cast<std::size_t>(P));
       for (int d = 0; d < P; ++d) {
-        out_photons[static_cast<std::size_t>(d)] = pack(photon_queues[static_cast<std::size_t>(d)]);
-        out_records[static_cast<std::size_t>(d)] = pack(record_queues[static_cast<std::size_t>(d)]);
+        out_photons[static_cast<std::size_t>(d)] = pack_flights(photon_queues[static_cast<std::size_t>(d)]);
+        out_records[static_cast<std::size_t>(d)] = pack_records(record_queues[static_cast<std::size_t>(d)]);
       }
       const std::vector<Bytes> in_photons = comm.alltoall(std::move(out_photons));
       const std::vector<Bytes> in_records = comm.alltoall(std::move(out_records));
       for (int s = 0; s < P; ++s) {
-        for (const FlightWire& w : unpack<FlightWire>(in_photons[static_cast<std::size_t>(s)])) {
+        for (const FlightWire& w : unpack_flights(in_photons[static_cast<std::size_t>(s)])) {
           inbox.push_back(from_wire(w));
           ++report.photons_in;
         }
-        for (const RecordWire& rec : unpack<RecordWire>(in_records[static_cast<std::size_t>(s)])) {
+        for (const WireRecord& rec : unpack_records(in_records[static_cast<std::size_t>(s)])) {
           apply_record(rec);
         }
       }
@@ -433,6 +353,16 @@ SpatialResult run_spatial(const Scene& scene, const SpatialConfig& config, int n
               : 0;
       const std::uint64_t active =
           comm.allreduce_sum_u64(static_cast<std::uint64_t>(inbox.size()) + remaining);
+      // One speed point per exchange round. Injection runs in lockstep (every
+      // rank drains its id stripe at `batch` per round), so rank 0 derives
+      // the global emission count locally instead of paying an extra
+      // collective; the sampler time is rank-0 local for the same reason.
+      if (rank == 0) {
+        global_injected =
+            std::min(global_injected + config.batch * static_cast<std::uint64_t>(P),
+                     config.photons);
+        sampler.sample(global_injected);
+      }
       if (active == 0) break;
     }
 
@@ -471,12 +401,15 @@ SpatialResult run_spatial(const Scene& scene, const SpatialConfig& config, int n
     {
       std::lock_guard<std::mutex> lock(result_mutex);
       result.ranks[static_cast<std::size_t>(rank)] = report;
-      result.counters.emitted += counters.emitted;
-      result.counters.bounces += counters.bounces;
-      result.counters.absorbed += counters.absorbed;
-      result.counters.escaped += counters.escaped;
-      result.counters.terminated += counters.terminated;
-      if (rank == 0) result.forest = std::move(forest);
+      result.counters += counters;
+      if (rank == 0) {
+        result.forest = std::move(forest);
+        std::uint64_t total = 0;
+        for (int c = 0; c < kNumChannels; ++c) {
+          total += total_emitted[static_cast<std::size_t>(c)];
+        }
+        result.trace = sampler.finish(total);
+      }
     }
   });
 

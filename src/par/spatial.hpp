@@ -1,17 +1,19 @@
-// Distributed geometry (chapter 6, "Massive Parallelism") — the paper's
-// future-work design, implemented: "Currently, the octree representation of
-// the geometry is replicated on all nodes. This could limit the size of the
-// input geometry. Distribution of the geometry would allow computation of a
-// global illumination solution for very complex scenes... a photon is then
-// only passed to those processors that are responsible for the space the
-// photon is traveling through. The photons can then be queued and sent in a
-// batch to the appropriate processors."
+// Distributed geometry (chapter 6, "Massive Parallelism") — the engine's
+// `dist-spatial` backend, implementing the paper's future-work design:
+// "Currently, the octree representation of the geometry is replicated on all
+// nodes. This could limit the size of the input geometry. Distribution of the
+// geometry would allow computation of a global illumination solution for very
+// complex scenes... a photon is then only passed to those processors that are
+// responsible for the space the photon is traveling through. The photons can
+// then be queued and sent in a batch to the appropriate processors."
 //
 // Space is partitioned into one axis-aligned region per rank (recursive
 // bisection balancing patch counts). Each rank builds an octree over only the
 // patches overlapping its region. A photon traces inside the current region
 // until it is absorbed or crosses a region face, at which point it is queued
-// for the neighbouring owner and exchanged in the next batched all-to-all.
+// for the neighbouring owner and exchanged in the next batched all-to-all
+// (engine/wire.hpp defines the shared codec). `config.workers` sets the rank
+// count.
 //
 // Every photon carries its own RNG stream (a disjoint 4096-element block of
 // the global sequence), so its path is identical no matter which ranks
@@ -22,8 +24,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "engine/backend.hpp"
 #include "geom/scene.hpp"
-#include "sim/simulator.hpp"
 
 namespace photon {
 
@@ -40,35 +42,11 @@ int region_of(const std::vector<Aabb>& regions, const Vec3& p);
 // size 4096 exceeds the worst-case draws of one photon path.
 Lcg48 photon_stream(std::uint64_t seed, std::uint64_t photon_index);
 
-struct SpatialConfig {
-  std::uint64_t photons = 100000;
-  std::uint64_t seed = 0x1234ABCD330EULL;
-  std::uint64_t batch = 2000;  // emissions injected per rank per round
-  SplitPolicy policy{};
-  TraceLimits limits{};
-};
-
-struct SpatialRankReport {
-  std::uint64_t local_patches = 0;      // patches overlapping this region
-  std::uint64_t octree_nodes = 0;       // local octree size (the memory win)
-  std::uint64_t photons_in = 0;         // in-flight photons received
-  std::uint64_t photons_out = 0;        // in-flight photons forwarded
-  std::uint64_t segments_traced = 0;    // trace segments executed
-  std::uint64_t tallies = 0;            // records applied by this rank
-};
-
-struct SpatialResult {
-  BinForest forest;  // gathered on rank 0
-  std::vector<Aabb> regions;
-  std::vector<SpatialRankReport> ranks;
-  TraceCounters counters;  // aggregated over ranks
-};
-
-// Runs the distributed-geometry simulation on `nranks` MiniMPI ranks.
-SpatialResult run_spatial(const Scene& scene, const SpatialConfig& config, int nranks);
+// Runs the distributed-geometry simulation on `config.workers` MiniMPI ranks.
+RunResult run_spatial(const Scene& scene, const RunConfig& config);
 
 // Reference implementation: traces the same per-photon streams against the
 // full (replicated) octree. run_spatial must reproduce its per-patch tallies.
-SerialResult run_photon_streams(const Scene& scene, const SpatialConfig& config);
+RunResult run_photon_streams(const Scene& scene, const RunConfig& config);
 
 }  // namespace photon

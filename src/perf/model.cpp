@@ -36,11 +36,11 @@ WorkloadProfile profile_scene(const Scene& scene, std::uint64_t probe_photons,
   p.scene_name = scene.name();
   p.defining_polygons = scene.patch_count();
 
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = probe_photons;
   cfg.batch = std::max<std::uint64_t>(1, probe_photons / 16);
   cfg.seed = seed;
-  const SerialResult run = run_serial(scene, cfg);
+  const RunResult run = run_serial(scene, cfg);
 
   p.serial_rate = run.trace.final_rate();
   // Records per photon = emission record + reflections.

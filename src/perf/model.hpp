@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "geom/scene.hpp"
-#include "par/batch.hpp"
+#include "engine/batch.hpp"
 #include "perf/platform.hpp"
 #include "sim/simulator.hpp"
 

@@ -17,7 +17,7 @@ bool read_u64(std::istream& in, std::uint64_t& v) {
 }
 }  // namespace
 
-void save_checkpoint(const SerialResult& result, std::ostream& out) {
+void save_checkpoint(const RunResult& result, std::ostream& out) {
   write_u64(out, kCheckpointMagic);
   write_u64(out, result.rng_state);
   write_u64(out, result.rng_mul);
@@ -30,14 +30,14 @@ void save_checkpoint(const SerialResult& result, std::ostream& out) {
   result.forest.save(out);
 }
 
-bool save_checkpoint(const SerialResult& result, const std::string& path) {
+bool save_checkpoint(const RunResult& result, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return false;
   save_checkpoint(result, out);
   return static_cast<bool>(out);
 }
 
-bool load_checkpoint(std::istream& in, SerialResult& result) {
+bool load_checkpoint(std::istream& in, RunResult& result) {
   std::uint64_t magic = 0;
   if (!read_u64(in, magic) || magic != kCheckpointMagic) return false;
   if (!read_u64(in, result.rng_state) || !read_u64(in, result.rng_mul) ||
@@ -50,7 +50,7 @@ bool load_checkpoint(std::istream& in, SerialResult& result) {
   return result.forest.tree_count() > 0;
 }
 
-bool load_checkpoint(const std::string& path, SerialResult& result) {
+bool load_checkpoint(const std::string& path, RunResult& result) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return false;
   return load_checkpoint(in, result);

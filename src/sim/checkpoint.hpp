@@ -1,10 +1,11 @@
-// Checkpoint/restart for long simulations.
+// Checkpoint/restart for long simulations — an engine service that works on
+// any backend's RunResult.
 //
 // The paper's production runs simulated billions of photons over hours; a
-// checkpoint captures everything a serial run needs to continue exactly —
-// the bin forest (already the "answer file"), the trace counters, and the
-// raw RNG state — so a resumed run is bitwise identical to an uninterrupted
-// one (verified by the test suite).
+// checkpoint captures the bin forest (already the "answer file"), the trace
+// counters, and the raw RNG state. Resuming through a backend that reports
+// supports_resume() adopts all three; the `serial` backend's continuation is
+// bitwise identical to an uninterrupted run (verified by the test suite).
 #pragma once
 
 #include <iosfwd>
@@ -14,11 +15,11 @@
 
 namespace photon {
 
-void save_checkpoint(const SerialResult& result, std::ostream& out);
-bool save_checkpoint(const SerialResult& result, const std::string& path);
+void save_checkpoint(const RunResult& result, std::ostream& out);
+bool save_checkpoint(const RunResult& result, const std::string& path);
 
 // Returns false (leaving `result` unspecified) on a malformed stream.
-bool load_checkpoint(std::istream& in, SerialResult& result);
-bool load_checkpoint(const std::string& path, SerialResult& result);
+bool load_checkpoint(std::istream& in, RunResult& result);
+bool load_checkpoint(const std::string& path, RunResult& result);
 
 }  // namespace photon

@@ -1,17 +1,26 @@
 #include "sim/simulator.hpp"
 
-#include <chrono>
+#include "sim/emitter.hpp"
 
 namespace photon {
 
-SerialResult run_serial(const Scene& scene, const SerialConfig& config,
-                        const SerialResult* resume_from) {
-  SerialResult result;
+RunResult run_serial(const Scene& scene, const RunConfig& config,
+                     const RunResult* resume_from) {
+  RunResult result;
   Lcg48 rng(config.seed, config.rank, config.nranks);
   if (resume_from) {
     result.forest = resume_from->forest;
     result.counters = resume_from->counters;
-    rng.set_raw(resume_from->rng_state, resume_from->rng_mul, resume_from->rng_add);
+    if (resume_from->rng_mul != 0) {
+      rng.set_raw(resume_from->rng_state, resume_from->rng_mul, resume_from->rng_add);
+    } else {
+      // Checkpoint from a backend with no single generator state (shared,
+      // dist-*): adopting raw zeros would degenerate the LCG to a constant
+      // stream. Continue on a disjoint block of the global sequence instead,
+      // far past anything the first leg can have drawn (same 4096-element
+      // blocks as the per-photon streams).
+      rng.skip(resume_from->counters.emitted * 4096);
+    }
   } else {
     result.forest = BinForest(scene.patch_count(), config.policy);
   }
@@ -21,11 +30,14 @@ SerialResult run_serial(const Scene& scene, const SerialConfig& config,
   const Tracer tracer(scene, config.limits);
   ForestSink sink(result.forest);
 
-  const auto start = std::chrono::steady_clock::now();
+  SpeedSampler sampler;
+  BatchController controller(config.batch_policy);
   std::uint64_t done = 0;
+  double prev_t = 0.0;
   while (done < config.photons) {
-    const std::uint64_t batch =
-        config.batch < config.photons - done ? config.batch : config.photons - done;
+    std::uint64_t batch = config.adapt_batch ? controller.size() : config.batch;
+    if (batch > config.photons - done) batch = config.photons - done;
+    if (batch == 0) batch = 1;
     for (std::uint64_t i = 0; i < batch; ++i) {
       const EmissionSample emission = emitter.emit(rng);
       result.forest.add_emitted(emission.channel);
@@ -33,16 +45,18 @@ SerialResult run_serial(const Scene& scene, const SerialConfig& config,
     }
     done += batch;
 
-    const double t = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-    result.trace.points.push_back(
-        {t, done, t > 0.0 ? static_cast<double>(done) / t : 0.0});
+    const double t = sampler.elapsed();
+    sampler.sample_at(t, done);
     result.memory.push_back({done, result.forest.memory_bytes()});
+    if (config.adapt_batch) {
+      const double batch_time = t - prev_t;
+      controller.update(batch_time > 0.0 ? static_cast<double>(batch) / batch_time : 0.0);
+    }
+    prev_t = t;
     if (config.max_seconds > 0.0 && t >= config.max_seconds) break;
   }
 
-  result.trace.total_photons = done;
-  result.trace.total_time_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  result.trace = sampler.finish(done);
   result.rng_state = rng.state();
   result.rng_mul = rng.stride_mul();
   result.rng_add = rng.stride_add();

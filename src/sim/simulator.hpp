@@ -1,71 +1,21 @@
-// Serial Photon simulation driver.
+// Serial Photon simulation driver — the paper's "best serial version" that
+// every speedup in chapter 5 is measured against, and the reference
+// implementation behind the engine's `serial` backend.
 //
-// The paper's performance methodology (chapter 5) breaks a simulation into
-// batches and reports photons-per-second after each batch, giving a speed
-// trace over wall time; all speedups are measured against this "best serial
-// version". The driver also samples bin-forest memory per batch (Fig 5.4).
+// The performance methodology breaks a simulation into batches and reports
+// photons-per-second after each batch (the speed trace), sampling bin-forest
+// memory per batch (Fig 5.4). Both collections come from engine/telemetry.
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
-#include "core/stats.hpp"
-#include "hist/binforest.hpp"
-#include "sim/emitter.hpp"
-#include "sim/tracer.hpp"
+#include "engine/backend.hpp"
 
 namespace photon {
-
-struct SpeedPoint {
-  double time_s = 0.0;       // wall time at end of batch
-  std::uint64_t photons = 0; // cumulative photons simulated
-  double rate = 0.0;         // photons/second over the whole run so far
-};
-
-struct SpeedTrace {
-  std::vector<SpeedPoint> points;
-  double total_time_s = 0.0;
-  std::uint64_t total_photons = 0;
-
-  double final_rate() const {
-    return total_time_s > 0.0 ? static_cast<double>(total_photons) / total_time_s : 0.0;
-  }
-};
-
-struct MemoryPoint {
-  std::uint64_t photons = 0;
-  std::uint64_t bytes = 0;
-};
-
-struct SerialConfig {
-  std::uint64_t photons = 100000;
-  std::uint64_t batch = 10000;
-  std::uint64_t seed = 0x1234ABCD330EULL;
-  // Leapfrog substream (rank of nranks); (0, 1) is the plain serial stream.
-  int rank = 0;
-  int nranks = 1;
-  double max_seconds = 0.0;  // stop after this much wall time when > 0
-  SplitPolicy policy{};
-  TraceLimits limits{};
-};
-
-struct SerialResult {
-  BinForest forest;
-  SpeedTrace trace;
-  TraceCounters counters;
-  std::vector<MemoryPoint> memory;
-  // Exact generator state at the end of the run; with the forest and
-  // counters this is everything needed to resume (sim/checkpoint.hpp).
-  std::uint64_t rng_state = 0;
-  std::uint64_t rng_mul = 0;
-  std::uint64_t rng_add = 0;
-};
 
 // Runs the serial simulation of Fig 4.1 and returns the populated forest.
 // When `resume_from` is non-null, continues that run: its forest, counters
 // and RNG state are adopted and `config.photons` *additional* photons are
 // simulated — bitwise identical to having run them in one go.
-SerialResult run_serial(const Scene& scene, const SerialConfig& config,
-                        const SerialResult* resume_from = nullptr);
+RunResult run_serial(const Scene& scene, const RunConfig& config,
+                     const RunResult* resume_from = nullptr);
 
 }  // namespace photon

@@ -1,6 +1,15 @@
 #include "sim/tracer.hpp"
 
+#include <algorithm>
+
 namespace photon {
+
+double surface_epsilon(const Aabb& bounds) {
+  return 1e-7 * std::max(1.0, bounds.extent().length());
+}
+
+Tracer::Tracer(const Scene& scene, TraceLimits limits)
+    : scene_(&scene), limits_(limits), epsilon_(surface_epsilon(scene.bounds())) {}
 
 void Tracer::trace(const EmissionSample& emission, Lcg48& rng, BinSink& sink,
                    TraceCounters* counters) const {
@@ -56,7 +65,7 @@ void Tracer::trace(const EmissionSample& emission, Lcg48& rng, BinSink& sink,
     const Vec3 hit_point = origin + dir * hit->dist;
     dir = frame.to_world(scatter.dir).normalized();
     // Nudge off the surface to avoid re-intersecting it.
-    origin = hit_point + side_normal * 1e-7;
+    origin = hit_point + side_normal * epsilon_;
   }
   if (counters) ++counters->terminated;
 }

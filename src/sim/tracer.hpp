@@ -66,10 +66,26 @@ struct TraceCounters {
   }
 };
 
+// Merges per-worker counters into a total; every backend uses this instead of
+// hand-summing the fields.
+inline TraceCounters& operator+=(TraceCounters& a, const TraceCounters& b) {
+  a.emitted += b.emitted;
+  a.bounces += b.bounces;
+  a.absorbed += b.absorbed;
+  a.escaped += b.escaped;
+  a.terminated += b.terminated;
+  return a;
+}
+
+// Self-intersection offset for a scene of the given bounds. An absolute
+// nudge breaks at scale: too small for large scenes (the offset vanishes
+// against the coordinate magnitude and rays re-hit the surface they left),
+// needlessly coarse for tiny ones.
+double surface_epsilon(const Aabb& bounds);
+
 class Tracer {
  public:
-  explicit Tracer(const Scene& scene, TraceLimits limits = {})
-      : scene_(&scene), limits_(limits) {}
+  explicit Tracer(const Scene& scene, TraceLimits limits = {});
 
   // Traces one emitted photon to absorption. Emission is tallied on the
   // luminaire patch (UpdateBinCount directly after GeneratePhoton in
@@ -79,9 +95,15 @@ class Tracer {
 
   const Scene& scene() const { return *scene_; }
 
+  // The scene-scaled self-intersection nudge this tracer applies after every
+  // bounce. Exposed so other trace loops (the spatial decomposition's
+  // segment tracer) can reproduce photon paths exactly.
+  double epsilon() const { return epsilon_; }
+
  private:
   const Scene* scene_;
   TraceLimits limits_;
+  double epsilon_;
 };
 
 }  // namespace photon

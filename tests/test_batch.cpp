@@ -1,4 +1,4 @@
-#include "par/batch.hpp"
+#include "engine/batch.hpp"
 
 #include <gtest/gtest.h>
 

@@ -13,14 +13,14 @@ namespace {
 TEST(Checkpoint, ResumeIsBitwiseIdenticalToStraightRun) {
   const Scene s = scenes::cornell_box();
 
-  SerialConfig full;
+  RunConfig full;
   full.photons = 40000;
-  const SerialResult straight = run_serial(s, full);
+  const RunResult straight = run_serial(s, full);
 
-  SerialConfig half;
+  RunConfig half;
   half.photons = 20000;
-  const SerialResult first = run_serial(s, half);
-  const SerialResult resumed = run_serial(s, half, &first);
+  const RunResult first = run_serial(s, half);
+  const RunResult resumed = run_serial(s, half, &first);
 
   EXPECT_TRUE(resumed.forest == straight.forest);
   EXPECT_EQ(resumed.counters.emitted, straight.counters.emitted);
@@ -30,13 +30,13 @@ TEST(Checkpoint, ResumeIsBitwiseIdenticalToStraightRun) {
 
 TEST(Checkpoint, ManySmallLegsEqualOneBigRun) {
   const Scene s = scenes::furnace_box(0.4);
-  SerialConfig full;
+  RunConfig full;
   full.photons = 30000;
-  const SerialResult straight = run_serial(s, full);
+  const RunResult straight = run_serial(s, full);
 
-  SerialConfig leg;
+  RunConfig leg;
   leg.photons = 10000;
-  SerialResult acc = run_serial(s, leg);
+  RunResult acc = run_serial(s, leg);
   acc = run_serial(s, leg, &acc);
   acc = run_serial(s, leg, &acc);
   EXPECT_TRUE(acc.forest == straight.forest);
@@ -44,13 +44,13 @@ TEST(Checkpoint, ManySmallLegsEqualOneBigRun) {
 
 TEST(Checkpoint, StreamRoundTrip) {
   const Scene s = scenes::cornell_box();
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 15000;
-  const SerialResult r = run_serial(s, cfg);
+  const RunResult r = run_serial(s, cfg);
 
   std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
   save_checkpoint(r, buf);
-  SerialResult loaded;
+  RunResult loaded;
   ASSERT_TRUE(load_checkpoint(buf, loaded));
   EXPECT_TRUE(loaded.forest == r.forest);
   EXPECT_EQ(loaded.rng_state, r.rng_state);
@@ -60,19 +60,19 @@ TEST(Checkpoint, StreamRoundTrip) {
 
 TEST(Checkpoint, FileRoundTripAndResume) {
   const Scene s = scenes::cornell_box();
-  SerialConfig half;
+  RunConfig half;
   half.photons = 20000;
-  const SerialResult first = run_serial(s, half);
+  const RunResult first = run_serial(s, half);
 
   const std::string path = ::testing::TempDir() + "/photon.ck";
   ASSERT_TRUE(save_checkpoint(first, path));
-  SerialResult loaded;
+  RunResult loaded;
   ASSERT_TRUE(load_checkpoint(path, loaded));
 
-  const SerialResult resumed = run_serial(s, half, &loaded);
-  SerialConfig full;
+  const RunResult resumed = run_serial(s, half, &loaded);
+  RunConfig full;
   full.photons = 40000;
-  const SerialResult straight = run_serial(s, full);
+  const RunResult straight = run_serial(s, full);
   EXPECT_TRUE(resumed.forest == straight.forest);
   std::remove(path.c_str());
 }
@@ -80,12 +80,12 @@ TEST(Checkpoint, FileRoundTripAndResume) {
 TEST(Checkpoint, RejectsGarbage) {
   std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
   buf << "definitely not a checkpoint";
-  SerialResult r;
+  RunResult r;
   EXPECT_FALSE(load_checkpoint(buf, r));
 }
 
 TEST(Checkpoint, RejectsMissingFile) {
-  SerialResult r;
+  RunResult r;
   EXPECT_FALSE(load_checkpoint("/nonexistent_zzz/photon.ck", r));
 }
 

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "geom/scenes.hpp"
+#include "sim/simulator.hpp"
 
 namespace photon {
 namespace {
@@ -14,11 +15,12 @@ class DistSimTest : public ::testing::TestWithParam<int> {};
 TEST_P(DistSimTest, TracesTheGlobalBudget) {
   const int P = GetParam();
   const Scene s = scenes::cornell_box();
-  DistConfig cfg;
+  RunConfig cfg;
   cfg.photons = 4000;
   cfg.adapt_batch = false;
-  cfg.fixed_batch = 500;
-  const DistResult r = run_distributed(s, cfg, P);
+  cfg.batch = 500;
+  cfg.workers = P;
+  const RunResult r = run_distributed(s, cfg);
 
   std::uint64_t traced = 0;
   for (const RankReport& rep : r.ranks) traced += rep.traced;
@@ -32,20 +34,21 @@ TEST_P(DistSimTest, MatchesUnionOfSerialLeapfrogRuns) {
   // per-patch totals must equal the union of P serial leapfrog runs.
   const int P = GetParam();
   const Scene s = scenes::cornell_box();
-  DistConfig cfg;
+  RunConfig cfg;
   cfg.photons = 2000 * static_cast<std::uint64_t>(P);
   cfg.adapt_batch = false;
-  cfg.fixed_batch = 500;
-  const DistResult dist = run_distributed(s, cfg, P);
+  cfg.batch = 500;
+  cfg.workers = P;
+  const RunResult dist = run_distributed(s, cfg);
 
   std::vector<std::uint64_t> serial_tallies(s.patch_count(), 0);
   for (int rank = 0; rank < P; ++rank) {
-    SerialConfig sc;
+    RunConfig sc;
     sc.photons = 2000;
     sc.seed = cfg.seed;
     sc.rank = rank;
     sc.nranks = P;
-    const SerialResult r = run_serial(s, sc);
+    const RunResult r = run_serial(s, sc);
     const auto tallies = r.forest.patch_tallies();
     for (std::size_t p = 0; p < tallies.size(); ++p) serial_tallies[p] += tallies[p];
   }
@@ -61,10 +64,11 @@ TEST_P(DistSimTest, MatchesUnionOfSerialLeapfrogRuns) {
 TEST_P(DistSimTest, OwnershipCoversEveryPatch) {
   const int P = GetParam();
   const Scene s = scenes::cornell_box();
-  DistConfig cfg;
+  RunConfig cfg;
   cfg.photons = 1000;
   cfg.adapt_batch = false;
-  const DistResult r = run_distributed(s, cfg, P);
+  cfg.workers = P;
+  const RunResult r = run_distributed(s, cfg);
   ASSERT_EQ(r.balance.owner.size(), s.patch_count());
   for (const int o : r.balance.owner) {
     EXPECT_GE(o, 0);
@@ -75,11 +79,12 @@ TEST_P(DistSimTest, OwnershipCoversEveryPatch) {
 TEST_P(DistSimTest, ProcessedSumsToAllRecords) {
   const int P = GetParam();
   const Scene s = scenes::cornell_box();
-  DistConfig cfg;
+  RunConfig cfg;
   cfg.photons = 3000;
   cfg.adapt_batch = false;
-  cfg.fixed_batch = 250;
-  const DistResult r = run_distributed(s, cfg, P);
+  cfg.batch = 250;
+  cfg.workers = P;
+  const RunResult r = run_distributed(s, cfg);
 
   std::uint64_t processed = 0, records = 0;
   for (const RankReport& rep : r.ranks) {
@@ -95,10 +100,11 @@ TEST_P(DistSimTest, MessagesFlowWhenDistributed) {
   const int P = GetParam();
   if (P < 2) GTEST_SKIP();
   const Scene s = scenes::cornell_box();
-  DistConfig cfg;
+  RunConfig cfg;
   cfg.photons = 2000;
   cfg.adapt_batch = false;
-  const DistResult r = run_distributed(s, cfg, P);
+  cfg.workers = P;
+  const RunResult r = run_distributed(s, cfg);
   std::uint64_t bytes = 0;
   for (const RankReport& rep : r.ranks) bytes += rep.sent_bytes;
   EXPECT_GT(bytes, 0u);
@@ -108,12 +114,14 @@ INSTANTIATE_TEST_SUITE_P(RankCounts, DistSimTest, ::testing::Values(1, 2, 4));
 
 TEST(DistSim, NaiveAndBestFitBothCorrect) {
   const Scene s = scenes::cornell_box();
-  DistConfig best, naive;
+  RunConfig best, naive;
   best.photons = naive.photons = 4000;
   best.adapt_batch = naive.adapt_batch = false;
   naive.bestfit = false;
-  const DistResult rb = run_distributed(s, best, 4);
-  const DistResult rn = run_distributed(s, naive, 4);
+  best.workers = 4;
+  const RunResult rb = run_distributed(s, best);
+  naive.workers = 4;
+  const RunResult rn = run_distributed(s, naive);
 
   // Same photons traced either way; only the ownership differs.
   const auto tb = rb.forest.patch_tallies();
@@ -128,15 +136,17 @@ TEST(DistSim, BestFitBalancesProcessedCounts) {
   // Table 5.2's claim, on our harpsichord room: bin packing evens out the
   // per-processor photon processing counts relative to naive assignment.
   const Scene s = scenes::harpsichord_room();
-  DistConfig best, naive;
+  RunConfig best, naive;
   best.photons = naive.photons = 8000;
   best.adapt_batch = naive.adapt_batch = false;
-  best.fixed_batch = naive.fixed_batch = 500;
+  best.batch = naive.batch = 500;
   naive.bestfit = false;
-  const DistResult rb = run_distributed(s, best, 8);
-  const DistResult rn = run_distributed(s, naive, 8);
+  best.workers = 8;
+  const RunResult rb = run_distributed(s, best);
+  naive.workers = 8;
+  const RunResult rn = run_distributed(s, naive);
 
-  auto spread = [](const DistResult& r) {
+  auto spread = [](const RunResult& r) {
     std::uint64_t lo = UINT64_MAX, hi = 0;
     for (const RankReport& rep : r.ranks) {
       lo = std::min(lo, rep.processed);
@@ -149,11 +159,12 @@ TEST(DistSim, BestFitBalancesProcessedCounts) {
 
 TEST(DistSim, AdaptiveBatchesGrow) {
   const Scene s = scenes::cornell_box();
-  DistConfig cfg;
+  RunConfig cfg;
   cfg.photons = 30000;
   cfg.adapt_batch = true;
-  cfg.batch.initial = 500;
-  const DistResult r = run_distributed(s, cfg, 2);
+  cfg.batch_policy.initial = 500;
+  cfg.workers = 2;
+  const RunResult r = run_distributed(s, cfg);
   ASSERT_FALSE(r.ranks[0].batch_sizes.empty());
   EXPECT_EQ(r.ranks[0].batch_sizes.front(), 500u);
   // All ranks agreed on every batch size.
@@ -162,10 +173,11 @@ TEST(DistSim, AdaptiveBatchesGrow) {
 
 TEST(DistSim, GatheredForestIsComplete) {
   const Scene s = scenes::cornell_box();
-  DistConfig cfg;
+  RunConfig cfg;
   cfg.photons = 6000;
   cfg.adapt_batch = false;
-  const DistResult r = run_distributed(s, cfg, 4);
+  cfg.workers = 4;
+  const RunResult r = run_distributed(s, cfg);
   // Every patch that received probe photons must show tallies in the
   // gathered forest (owners were spread across ranks).
   const auto tallies = r.forest.patch_tallies();
@@ -178,18 +190,19 @@ TEST(DistSim, GatheredForestIsComplete) {
 
 TEST(DistSim, SingleRankDegeneratesToSerial) {
   const Scene s = scenes::cornell_box();
-  DistConfig cfg;
+  RunConfig cfg;
   cfg.photons = 3000;
   cfg.adapt_batch = false;
-  cfg.fixed_batch = 1000;
-  const DistResult dist = run_distributed(s, cfg, 1);
+  cfg.batch = 1000;
+  cfg.workers = 1;
+  const RunResult dist = run_distributed(s, cfg);
 
-  SerialConfig sc;
+  RunConfig sc;
   sc.photons = 3000;
   sc.seed = cfg.seed;
   sc.rank = 0;
   sc.nranks = 1;
-  const SerialResult serial = run_serial(s, sc);
+  const RunResult serial = run_serial(s, sc);
 
   const auto a = dist.forest.patch_tallies();
   const auto b = serial.forest.patch_tallies();

@@ -1,0 +1,189 @@
+// Engine-level contracts: backend registry lookup, cross-backend determinism
+// (the whole point of one pipeline behind pluggable backends), and the
+// BatchController clamping pins.
+#include "engine/backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "geom/scenes.hpp"
+
+namespace photon {
+namespace {
+
+TEST(BackendRegistry, BuiltinsAreRegistered) {
+  const std::vector<std::string> names = backend_names();
+  for (const char* expected : {"serial", "shared", "dist-particle", "dist-spatial"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing backend " << expected;
+  }
+  for (const std::string& name : names) {
+    const auto backend = make_backend(name);
+    ASSERT_NE(backend, nullptr) << name;
+    EXPECT_EQ(backend->name(), name);
+  }
+}
+
+TEST(BackendRegistry, UnknownNameReturnsNull) {
+  EXPECT_EQ(make_backend("cuda"), nullptr);
+  EXPECT_EQ(make_backend(""), nullptr);
+}
+
+TEST(BackendRegistry, RuntimeRegistrationAndCollision) {
+  class FakeBackend final : public Backend {
+   public:
+    std::string name() const override { return "fake"; }
+    RunResult run(const Scene&, const RunConfig&, const RunResult*) override { return {}; }
+  };
+  EXPECT_TRUE(register_backend("fake", [] { return std::make_unique<FakeBackend>(); }));
+  EXPECT_NE(make_backend("fake"), nullptr);
+  // Names are first-come-first-served; the built-ins cannot be shadowed.
+  EXPECT_FALSE(register_backend("serial", [] { return std::make_unique<FakeBackend>(); }));
+}
+
+TEST(CrossBackend, SharedWithOneWorkerMatchesSerialExactly) {
+  // A single shared-memory thread draws from stream (seed, 0, 1) — the plain
+  // serial stream — so the forests must be bitwise identical.
+  const Scene s = scenes::cornell_box();
+  RunConfig cfg;
+  cfg.photons = 3000;
+  cfg.workers = 1;
+
+  const RunResult serial = make_backend("serial")->run(s, cfg);
+  const RunResult shared = make_backend("shared")->run(s, cfg);
+
+  EXPECT_TRUE(serial.forest == shared.forest);
+  for (int c = 0; c < kNumChannels; ++c) {
+    EXPECT_EQ(serial.forest.emitted(c), shared.forest.emitted(c)) << "channel " << c;
+  }
+  EXPECT_EQ(serial.counters.bounces, shared.counters.bounces);
+  EXPECT_EQ(serial.counters.absorbed, shared.counters.absorbed);
+}
+
+TEST(CrossBackend, SharedTotalsPerChannelMatchLeapfrogUnion) {
+  // With T workers the leapfrogged emission streams partition the work
+  // differently, but the per-channel emission totals of the union of the
+  // equivalent serial leapfrog runs must be reproduced exactly.
+  const int T = 4;
+  const Scene s = scenes::cornell_box();
+  RunConfig cfg;
+  cfg.photons = 4000;
+  cfg.workers = T;
+  const RunResult shared = make_backend("shared")->run(s, cfg);
+
+  ChannelCounts expected{};
+  for (int t = 0; t < T; ++t) {
+    RunConfig sc;
+    sc.photons = cfg.photons / T;
+    sc.rank = t;
+    sc.nranks = T;
+    const RunResult r = make_backend("serial")->run(s, sc);
+    for (int c = 0; c < kNumChannels; ++c) {
+      expected[static_cast<std::size_t>(c)] += r.forest.emitted(c);
+    }
+  }
+  for (int c = 0; c < kNumChannels; ++c) {
+    EXPECT_EQ(shared.forest.emitted(c), expected[static_cast<std::size_t>(c)])
+        << "channel " << c;
+  }
+}
+
+TEST(CrossBackend, DistParticleAtOneRankMatchesSerialExactly) {
+  const Scene s = scenes::cornell_box();
+  RunConfig cfg;
+  cfg.photons = 3000;
+  cfg.workers = 1;
+  cfg.batch = 750;
+
+  const RunResult serial = make_backend("serial")->run(s, cfg);
+  const RunResult dist = make_backend("dist-particle")->run(s, cfg);
+
+  EXPECT_TRUE(serial.forest == dist.forest);
+  const auto a = serial.forest.patch_tallies();
+  const auto b = dist.forest.patch_tallies();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t p = 0; p < a.size(); ++p) EXPECT_EQ(a[p], b[p]) << "patch " << p;
+}
+
+TEST(CrossBackend, SerialResumeFromSharedCheckpointGetsFreshStream) {
+  // A shared-backend result carries no single RNG state (rng_mul == 0).
+  // Resuming it through `serial` must not adopt the raw zeros — that would
+  // degenerate the LCG to a constant stream where every photon reflects
+  // until the bounce guard trips.
+  const Scene s = scenes::cornell_box();
+  RunConfig cfg;
+  cfg.photons = 2000;
+  cfg.workers = 2;
+  const RunResult first = make_backend("shared")->run(s, cfg);
+  ASSERT_EQ(first.rng_mul, 0u);
+
+  const RunResult resumed = make_backend("serial")->run(s, cfg, &first);
+  EXPECT_EQ(resumed.counters.emitted, 2 * cfg.photons);
+  EXPECT_EQ(resumed.forest.emitted_total(), 2 * cfg.photons);
+  // The degenerate stream drives every photon into the bounce limit.
+  EXPECT_EQ(resumed.counters.terminated, first.counters.terminated);
+  EXPECT_NE(resumed.rng_mul, 0u);
+}
+
+TEST(CrossBackend, SharedResumeDoesNotReplayTheFirstLeg) {
+  // A resumed shared leg must draw fresh photons, not re-trace the first
+  // leg's streams (which would silently double-count identical samples).
+  const Scene s = scenes::cornell_box();
+  RunConfig cfg;
+  cfg.photons = 2000;
+  cfg.workers = 2;
+  const RunResult first = make_backend("shared")->run(s, cfg);
+  const RunResult resumed = make_backend("shared")->run(s, cfg, &first);
+
+  EXPECT_EQ(resumed.forest.emitted_total(), 2 * cfg.photons);
+  // A replayed leg would reproduce the first leg's counters exactly; fresh
+  // disjoint streams make that virtually impossible across all five fields.
+  const TraceCounters leg2{resumed.counters.emitted - first.counters.emitted,
+                           resumed.counters.bounces - first.counters.bounces,
+                           resumed.counters.absorbed - first.counters.absorbed,
+                           resumed.counters.escaped - first.counters.escaped,
+                           resumed.counters.terminated - first.counters.terminated};
+  EXPECT_EQ(leg2.emitted, first.counters.emitted);
+  EXPECT_FALSE(leg2.bounces == first.counters.bounces &&
+               leg2.absorbed == first.counters.absorbed &&
+               leg2.escaped == first.counters.escaped)
+      << "resumed leg reproduced the first leg's photons";
+}
+
+TEST(CrossBackend, ResumeSupportIsAdvertisedCorrectly) {
+  EXPECT_TRUE(make_backend("serial")->supports_resume());
+  EXPECT_TRUE(make_backend("shared")->supports_resume());
+  EXPECT_FALSE(make_backend("dist-particle")->supports_resume());
+  EXPECT_FALSE(make_backend("dist-spatial")->supports_resume());
+}
+
+TEST(BatchControllerClamp, GrowthClampsExactlyToMax) {
+  BatchPolicy policy;
+  policy.initial = 900;
+  policy.max_size = 1000;
+  BatchController c(policy);
+  c.update(100.0);  // 900 * 1.5 = 1350 -> clamped
+  EXPECT_EQ(c.size(), 1000u);
+  c.update(200.0);  // still improving, still clamped
+  EXPECT_EQ(c.size(), 1000u);
+}
+
+TEST(BatchControllerClamp, BackoffClampsExactlyToMin) {
+  BatchPolicy policy;
+  policy.initial = 110;
+  policy.min_size = 100;
+  BatchController c(policy);
+  c.update(100.0);  // grows to 165
+  c.update(10.0);   // 165 * 0.9 = 148
+  c.update(1.0);    // 133
+  c.update(0.1);    // 119
+  c.update(0.01);   // 107
+  c.update(0.001);  // 96 -> clamped to 100
+  EXPECT_EQ(c.size(), 100u);
+  c.update(0.0001);  // stays pinned at the floor
+  EXPECT_EQ(c.size(), 100u);
+}
+
+}  // namespace
+}  // namespace photon

@@ -102,9 +102,9 @@ TEST(Fluorescence, EndToEndChannelTransfer) {
   s.add_luminaire(light);
   s.build();
 
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 20000;
-  const SerialResult r = run_serial(s, cfg);
+  const RunResult r = run_serial(s, cfg);
 
   EXPECT_EQ(r.forest.emitted(0), 0u);
   EXPECT_EQ(r.forest.emitted(1), 0u);

@@ -16,9 +16,9 @@ TEST(Integration, AnswerFileWorkflow) {
   // Simulate, save the answer file, load it back, render two viewpoints —
   // the full Fig 4.10 workflow.
   const Scene s = scenes::cornell_box();
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 50000;
-  const SerialResult r = run_serial(s, cfg);
+  const RunResult r = run_serial(s, cfg);
 
   const std::string path = ::testing::TempDir() + "/cornell.answer";
   ASSERT_TRUE(r.forest.save(path));
@@ -63,10 +63,10 @@ float floor_coord(double x) { return static_cast<float>((x + 4.0) / 8.0); }
 
 double shadow_contrast(double occluder_height) {
   const Scene s = scenes::occluder_scene(occluder_height, 0.5, /*angular_scale=*/0.2);
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 150000;
   cfg.batch = 50000;
-  const SerialResult r = run_serial(s, cfg);
+  const RunResult r = run_serial(s, cfg);
   const BinTree& floor_tree = r.forest.tree(0, true);
   // Average density inside the geometric shadow square vs a lit strip that
   // is inside the beam footprint but clear of the shadow.
@@ -103,10 +103,10 @@ TEST(Integration, MirrorIsViewableFromAllAngles) {
   // Chapter 4: "this mirror can be viewed from all angles correctly as the
   // radiance for all angles is stored in the bin tree for the mirror."
   const Scene s = scenes::cornell_box();
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 150000;
   cfg.batch = 50000;
-  const SerialResult r = run_serial(s, cfg);
+  const RunResult r = run_serial(s, cfg);
 
   int mirror = -1;
   for (std::size_t i = 0; i < s.patch_count(); ++i) {
@@ -138,9 +138,9 @@ TEST(Integration, SceneFileToRenderPipeline) {
   ASSERT_TRUE(load_scene(path, loaded));
   loaded.build();
 
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 20000;
-  const SerialResult r = run_serial(loaded, cfg);
+  const RunResult r = run_serial(loaded, cfg);
   const Camera cam({2, 1.2, 3.8}, {2, 0, 2}, {0, 1, 0}, 60.0, 24, 24);
   EXPECT_GT(render(loaded, r.forest, cam).mean_luminance(), 0.0);
   std::remove(path.c_str());
@@ -150,9 +150,9 @@ TEST(Integration, PolarizedSkylightStaysPhysical) {
   // End-to-end run on the harpsichord room (glossy wood + mirror + collimated
   // sun): energies must stay finite and counters consistent.
   const Scene s = scenes::harpsichord_room();
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 30000;
-  const SerialResult r = run_serial(s, cfg);
+  const RunResult r = run_serial(s, cfg);
   EXPECT_EQ(r.counters.emitted, 30000u);
   EXPECT_EQ(r.counters.absorbed + r.counters.escaped + r.counters.terminated,
             r.counters.emitted);

@@ -23,9 +23,9 @@ TEST(Metrics, EmptyForest) {
 
 TEST(Metrics, CountsAreConsistent) {
   const Scene s = scenes::cornell_box();
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 60000;
-  const SerialResult r = run_serial(s, cfg);
+  const RunResult r = run_serial(s, cfg);
   const ForestMetrics m = compute_metrics(r.forest);
 
   EXPECT_EQ(m.nodes, r.forest.total_nodes());
@@ -44,9 +44,9 @@ TEST(Metrics, CountsAreConsistent) {
 
 TEST(Metrics, PatchTalliesMatchForest) {
   const Scene s = scenes::cornell_box();
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 20000;
-  const SerialResult r = run_serial(s, cfg);
+  const RunResult r = run_serial(s, cfg);
   const ForestMetrics m = compute_metrics(r.forest);
   EXPECT_EQ(m.patch_tallies, r.forest.patch_tallies());
 }
@@ -61,9 +61,9 @@ TEST(Metrics, MirrorTreeIsAngular) {
   }
   ASSERT_GE(mirror, 0);
 
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 120000;
-  const SerialResult r = run_serial(s, cfg);
+  const RunResult r = run_serial(s, cfg);
 
   const TreeMetrics mirror_m = compute_tree_metrics(r.forest.tree(mirror, true));
   const TreeMetrics floor_m = compute_tree_metrics(r.forest.tree(0, true));
@@ -72,9 +72,9 @@ TEST(Metrics, MirrorTreeIsAngular) {
 
 TEST(Metrics, TreeMetricsSumToForestMetrics) {
   const Scene s = scenes::furnace_box(0.5);
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 30000;
-  const SerialResult r = run_serial(s, cfg);
+  const RunResult r = run_serial(s, cfg);
 
   const ForestMetrics total = compute_metrics(r.forest);
   std::uint64_t nodes = 0, leaves = 0;
@@ -90,7 +90,7 @@ TEST(Metrics, TreeMetricsSumToForestMetrics) {
 TEST(Metrics, ConcentrationOrdersScenes) {
   // The cornell box concentrates tallies on fewer patches than the lab —
   // the quantity that drives shared-memory contention in the perf model.
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 30000;
   const ForestMetrics cornell =
       compute_metrics(run_serial(scenes::cornell_box(), cfg).forest);

@@ -21,9 +21,9 @@ class FurnaceSweep : public ::testing::TestWithParam<double> {};
 TEST_P(FurnaceSweep, PathLengthMatchesGeometricSeries) {
   const double rho = GetParam();
   const Scene s = scenes::furnace_box(rho);
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 30000;
-  const SerialResult r = run_serial(s, cfg);
+  const RunResult r = run_serial(s, cfg);
   // E[bounces] = rho / (1 - rho); tolerance grows with the tail at high rho.
   const double expected = rho / (1.0 - rho);
   EXPECT_NEAR(r.counters.bounces_per_photon(), expected, 0.05 * (1.0 + expected));
@@ -33,10 +33,10 @@ TEST_P(FurnaceSweep, PathLengthMatchesGeometricSeries) {
 TEST_P(FurnaceSweep, EquilibriumRadianceMatchesAnalytic) {
   const double rho = GetParam();
   const Scene s = scenes::furnace_box(rho);
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 120000;
   cfg.batch = 40000;
-  const SerialResult r = run_serial(s, cfg);
+  const RunResult r = run_serial(s, cfg);
 
   const double expected = 1.0 / ((1.0 - rho) * kPi);
   Lcg48 rng(17);
@@ -74,10 +74,10 @@ double plates_form_factor(double gap) {
 TEST_P(PlatesSweep, CaptureFractionMatchesFormFactor) {
   const double gap = GetParam();
   const Scene s = scenes::parallel_plates(gap);
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 150000;
   cfg.batch = 50000;
-  const SerialResult r = run_serial(s, cfg);
+  const RunResult r = run_serial(s, cfg);
 
   const double f = plates_form_factor(gap);
   const double caught =
@@ -104,9 +104,9 @@ TEST_P(SunScaleSweep, BeamFootprintMatchesCone) {
   s.add_luminaire(light, {}, scale);
   s.build();
 
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 30000;
-  const SerialResult r = run_serial(s, cfg);
+  const RunResult r = run_serial(s, cfg);
 
   // Maximum distance from the source footprint edge a photon can land:
   const double spread = h * std::tan(std::asin(scale));
@@ -152,9 +152,9 @@ TEST_P(AbsorptionSweep, FloorReflectionCountMatchesAlbedo) {
   s.add_luminaire(light, {}, 0.2);  // narrow beam: everything hits the floor
   s.build();
 
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 40000;
-  const SerialResult r = run_serial(s, cfg);
+  const RunResult r = run_serial(s, cfg);
   // One bounce per photon with probability `albedo` (re-hits of the floor
   // are impossible: reflected photons fly up and escape).
   EXPECT_NEAR(r.counters.bounces_per_photon(), albedo, 0.01);

@@ -24,9 +24,9 @@ TEST_P(SceneRenderTest, SimulatesAndRenders) {
   const SceneCase& param = GetParam();
   const Scene scene = scenes::by_name(param.name);
 
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 60000;
-  const SerialResult r = run_serial(scene, cfg);
+  const RunResult r = run_serial(scene, cfg);
 
   // Physics sanity: photons bounce (no absorbed-at-the-source bug), counters
   // are consistent, and the forest actually accumulated light.
@@ -58,9 +58,9 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(SceneRender, ClosedScenesDoNotLeak) {
   for (const char* name : {"cornell"}) {
     const Scene scene = scenes::by_name(name);
-    SerialConfig cfg;
+    RunConfig cfg;
     cfg.photons = 20000;
-    const SerialResult r = run_serial(scene, cfg);
+    const RunResult r = run_serial(scene, cfg);
     EXPECT_EQ(r.counters.escaped, 0u) << name << " leaks photons";
   }
 }
@@ -70,9 +70,9 @@ TEST(SceneRender, RoomScenesLeakOnlyThroughSkylights) {
   // absorption (including on luminaire panel backs), never by escaping.
   for (const char* name : {"harpsichord", "lab"}) {
     const Scene scene = scenes::by_name(name);
-    SerialConfig cfg;
+    RunConfig cfg;
     cfg.photons = 20000;
-    const SerialResult r = run_serial(scene, cfg);
+    const RunResult r = run_serial(scene, cfg);
     EXPECT_EQ(r.counters.escaped, 0u) << name;
   }
 }

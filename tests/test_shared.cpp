@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "geom/scenes.hpp"
+#include "sim/simulator.hpp"
 
 namespace photon {
 namespace {
@@ -13,10 +14,10 @@ class SharedSimTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(SharedSimTest, TracesExactlyTheRequestedPhotons) {
   const Scene s = scenes::cornell_box();
-  SharedConfig cfg;
+  RunConfig cfg;
   cfg.photons = 4001;  // deliberately not divisible by the thread count
-  cfg.nthreads = GetParam();
-  const SharedResult r = run_shared(s, cfg);
+  cfg.workers = GetParam();
+  const RunResult r = run_shared(s, cfg);
 
   EXPECT_EQ(r.counters.emitted, cfg.photons);
   EXPECT_EQ(r.forest.emitted_total(), cfg.photons);
@@ -27,22 +28,22 @@ TEST_P(SharedSimTest, TracesExactlyTheRequestedPhotons) {
 
 TEST_P(SharedSimTest, StaticSplitIsEven) {
   const Scene s = scenes::cornell_box();
-  SharedConfig cfg;
+  RunConfig cfg;
   cfg.photons = 4000;
-  cfg.nthreads = GetParam();
-  const SharedResult r = run_shared(s, cfg);
+  cfg.workers = GetParam();
+  const RunResult r = run_shared(s, cfg);
   for (const std::uint64_t t : r.per_thread_traced) {
     EXPECT_NEAR(static_cast<double>(t),
-                static_cast<double>(cfg.photons) / cfg.nthreads, 1.0);
+                static_cast<double>(cfg.photons) / cfg.workers, 1.0);
   }
 }
 
 TEST_P(SharedSimTest, TalliesConserveRecords) {
   const Scene s = scenes::cornell_box();
-  SharedConfig cfg;
+  RunConfig cfg;
   cfg.photons = 5000;
-  cfg.nthreads = GetParam();
-  const SharedResult r = run_shared(s, cfg);
+  cfg.workers = GetParam();
+  const RunResult r = run_shared(s, cfg);
 
   // Total records = emission tallies + reflection tallies. Splits only
   // redistribute (one photon of rounding per split at most).
@@ -57,18 +58,18 @@ TEST_P(SharedSimTest, MatchesUnionOfSerialLeapfrogRuns) {
   // must therefore agree with the union of those serial runs.
   const int T = GetParam();
   const Scene s = scenes::cornell_box();
-  SharedConfig cfg;
+  RunConfig cfg;
   cfg.photons = 3000 * static_cast<std::uint64_t>(T);
-  cfg.nthreads = T;
-  const SharedResult shared = run_shared(s, cfg);
+  cfg.workers = T;
+  const RunResult shared = run_shared(s, cfg);
 
   std::vector<std::uint64_t> serial_tallies(s.patch_count(), 0);
   for (int t = 0; t < T; ++t) {
-    SerialConfig sc;
+    RunConfig sc;
     sc.photons = 3000;
     sc.rank = t;
     sc.nranks = T;
-    const SerialResult r = run_serial(s, sc);
+    const RunResult r = run_serial(s, sc);
     const auto tallies = r.forest.patch_tallies();
     for (std::size_t p = 0; p < tallies.size(); ++p) serial_tallies[p] += tallies[p];
   }
@@ -88,11 +89,11 @@ INSTANTIATE_TEST_SUITE_P(ThreadCounts, SharedSimTest, ::testing::Values(1, 2, 4)
 
 TEST(SharedSim, SpeedTraceIsPopulated) {
   const Scene s = scenes::cornell_box();
-  SharedConfig cfg;
+  RunConfig cfg;
   cfg.photons = 20000;
-  cfg.nthreads = 2;
+  cfg.workers = 2;
   cfg.sample_interval_s = 0.01;
-  const SharedResult r = run_shared(s, cfg);
+  const RunResult r = run_shared(s, cfg);
   EXPECT_FALSE(r.trace.points.empty());
   EXPECT_GT(r.trace.final_rate(), 0.0);
   EXPECT_EQ(r.trace.points.back().photons, cfg.photons);
@@ -103,10 +104,10 @@ TEST(SharedSim, FurnacePhysicsSurvivesConcurrency) {
   // reorder tallies but cannot lose photons.
   const double rho = 0.5;
   const Scene s = scenes::furnace_box(rho);
-  SharedConfig cfg;
+  RunConfig cfg;
   cfg.photons = 30000;
-  cfg.nthreads = 4;
-  const SharedResult r = run_shared(s, cfg);
+  cfg.workers = 4;
+  const RunResult r = run_shared(s, cfg);
   EXPECT_NEAR(r.counters.bounces_per_photon(), rho / (1.0 - rho), 0.07);
 }
 

@@ -14,10 +14,10 @@ constexpr double kPi = 3.14159265358979323846;
 
 TEST(Simulator, RunsRequestedPhotons) {
   const Scene s = scenes::cornell_box();
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 5000;
   cfg.batch = 1000;
-  const SerialResult r = run_serial(s, cfg);
+  const RunResult r = run_serial(s, cfg);
   EXPECT_EQ(r.counters.emitted, 5000u);
   EXPECT_EQ(r.trace.total_photons, 5000u);
   EXPECT_EQ(r.forest.emitted_total(), 5000u);
@@ -27,21 +27,21 @@ TEST(Simulator, RunsRequestedPhotons) {
 
 TEST(Simulator, DeterministicForSameSeed) {
   const Scene s = scenes::cornell_box();
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 3000;
-  const SerialResult a = run_serial(s, cfg);
-  const SerialResult b = run_serial(s, cfg);
+  const RunResult a = run_serial(s, cfg);
+  const RunResult b = run_serial(s, cfg);
   EXPECT_TRUE(a.forest == b.forest);
   EXPECT_EQ(a.counters.bounces, b.counters.bounces);
 }
 
 TEST(Simulator, DifferentSeedsDiffer) {
   const Scene s = scenes::cornell_box();
-  SerialConfig a_cfg, b_cfg;
+  RunConfig a_cfg, b_cfg;
   a_cfg.photons = b_cfg.photons = 2000;
   b_cfg.seed = a_cfg.seed + 1;
-  const SerialResult a = run_serial(s, a_cfg);
-  const SerialResult b = run_serial(s, b_cfg);
+  const RunResult a = run_serial(s, a_cfg);
+  const RunResult b = run_serial(s, b_cfg);
   EXPECT_FALSE(a.forest == b.forest);
 }
 
@@ -50,10 +50,10 @@ TEST(Simulator, FurnaceRadianceIsAnalytic) {
   // B = M / (1 - rho), radiance L = B / pi, identical everywhere.
   const double rho = 0.5;
   const Scene s = scenes::furnace_box(rho);
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 150000;
   cfg.batch = 50000;
-  const SerialResult r = run_serial(s, cfg);
+  const RunResult r = run_serial(s, cfg);
 
   const double expected = 1.0 / ((1.0 - rho) * kPi);
   Lcg48 rng(4711);
@@ -78,9 +78,9 @@ TEST(Simulator, FurnaceEnergyBalance) {
   // geometric series: E[bounces] = rho / (1 - rho).
   const double rho = 0.6;
   const Scene s = scenes::furnace_box(rho);
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 40000;
-  const SerialResult r = run_serial(s, cfg);
+  const RunResult r = run_serial(s, cfg);
   EXPECT_NEAR(r.counters.bounces_per_photon(), rho / (1.0 - rho), 0.05);
   EXPECT_EQ(r.counters.escaped, 0u);
 }
@@ -90,10 +90,10 @@ TEST(Simulator, ParallelPlatesFormFactor) {
   // square equals the analytic form factor (Howell C-11).
   const double gap = 1.0;
   const Scene s = scenes::parallel_plates(gap);
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 200000;
   cfg.batch = 50000;
-  const SerialResult r = run_serial(s, cfg);
+  const RunResult r = run_serial(s, cfg);
 
   // Analytic form factor between directly opposed unit squares, distance c:
   // with X = a/c = 1, Y = b/c = 1:
@@ -140,10 +140,10 @@ TEST(Simulator, MemoryGrowthSlowsAfterBuildup) {
 
 TEST(Simulator, SpeedTraceIsMonotone) {
   const Scene s = scenes::cornell_box();
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 8000;
   cfg.batch = 1000;
-  const SerialResult r = run_serial(s, cfg);
+  const RunResult r = run_serial(s, cfg);
   for (std::size_t i = 1; i < r.trace.points.size(); ++i) {
     EXPECT_GE(r.trace.points[i].time_s, r.trace.points[i - 1].time_s);
     EXPECT_GT(r.trace.points[i].photons, r.trace.points[i - 1].photons);
@@ -153,11 +153,11 @@ TEST(Simulator, SpeedTraceIsMonotone) {
 
 TEST(Simulator, MaxSecondsStopsEarly) {
   const Scene s = scenes::computer_lab();
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 50'000'000;  // far more than fits in the budget
   cfg.batch = 2000;
   cfg.max_seconds = 0.2;
-  const SerialResult r = run_serial(s, cfg);
+  const RunResult r = run_serial(s, cfg);
   EXPECT_LT(r.trace.total_photons, cfg.photons);
   EXPECT_GT(r.trace.total_photons, 0u);
 }
@@ -165,13 +165,13 @@ TEST(Simulator, MaxSecondsStopsEarly) {
 TEST(Simulator, LeapfrogRanksPartitionWork) {
   // Streams (seed, r, P) are disjoint, so per-rank runs must differ.
   const Scene s = scenes::cornell_box();
-  SerialConfig a, b;
+  RunConfig a, b;
   a.photons = b.photons = 2000;
   a.rank = 0;
   b.rank = 1;
   a.nranks = b.nranks = 2;
-  const SerialResult ra = run_serial(s, a);
-  const SerialResult rb = run_serial(s, b);
+  const RunResult ra = run_serial(s, a);
+  const RunResult rb = run_serial(s, b);
   EXPECT_FALSE(ra.forest == rb.forest);
 }
 
@@ -187,10 +187,10 @@ TEST(Simulator, MirrorSceneBinsAngularly) {
   }
   ASSERT_GE(mirror_patch, 0);
 
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 120000;
   cfg.batch = 40000;
-  const SerialResult r = run_serial(s, cfg);
+  const RunResult r = run_serial(s, cfg);
 
   auto angular_fraction = [&](int patch) {
     int angular = 0, total = 0;

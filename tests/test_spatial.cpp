@@ -90,12 +90,13 @@ TEST_P(SpatialSimTest, MatchesFullOctreeReference) {
   // answer. Per-photon RNG streams make the comparison exact.
   const int P = GetParam();
   const Scene s = scenes::cornell_box();
-  SpatialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 4000;
   cfg.batch = 500;
 
-  const SpatialResult spatial = run_spatial(s, cfg, P);
-  const SerialResult reference = run_photon_streams(s, cfg);
+  cfg.workers = P;
+  const RunResult spatial = run_spatial(s, cfg);
+  const RunResult reference = run_photon_streams(s, cfg);
 
   EXPECT_EQ(spatial.counters.emitted, reference.counters.emitted);
   EXPECT_EQ(spatial.counters.bounces, reference.counters.bounces);
@@ -114,11 +115,12 @@ TEST_P(SpatialSimTest, MatchesFullOctreeReference) {
 TEST_P(SpatialSimTest, OpenSceneEscapesAreCounted) {
   const int P = GetParam();
   const Scene s = scenes::floor_and_light();
-  SpatialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 2000;
   cfg.batch = 250;
-  const SpatialResult spatial = run_spatial(s, cfg, P);
-  const SerialResult reference = run_photon_streams(s, cfg);
+  cfg.workers = P;
+  const RunResult spatial = run_spatial(s, cfg);
+  const RunResult reference = run_photon_streams(s, cfg);
   EXPECT_EQ(spatial.counters.escaped, reference.counters.escaped);
   EXPECT_EQ(spatial.counters.absorbed, reference.counters.absorbed);
 }
@@ -129,11 +131,12 @@ TEST(SpatialSim, GeometryIsActuallyDistributed) {
   // The point of the exercise (chapter 6): each rank indexes only part of
   // the scene.
   const Scene s = scenes::computer_lab();
-  SpatialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 2000;
-  const SpatialResult r = run_spatial(s, cfg, 8);
+  cfg.workers = 8;
+  const RunResult r = run_spatial(s, cfg);
   std::uint64_t max_local = 0;
-  for (const SpatialRankReport& rep : r.ranks) {
+  for (const RankReport& rep : r.ranks) {
     max_local = std::max(max_local, rep.local_patches);
   }
   // Boundary-straddling patches are duplicated, but nobody should hold the
@@ -143,11 +146,12 @@ TEST(SpatialSim, GeometryIsActuallyDistributed) {
 
 TEST(SpatialSim, PhotonsAreRoutedBetweenRegions) {
   const Scene s = scenes::cornell_box();
-  SpatialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 3000;
-  const SpatialResult r = run_spatial(s, cfg, 4);
+  cfg.workers = 4;
+  const RunResult r = run_spatial(s, cfg);
   std::uint64_t routed = 0, received = 0;
-  for (const SpatialRankReport& rep : r.ranks) {
+  for (const RankReport& rep : r.ranks) {
     routed += rep.photons_out;
     received += rep.photons_in;
   }
@@ -157,21 +161,23 @@ TEST(SpatialSim, PhotonsAreRoutedBetweenRegions) {
 
 TEST(SpatialSim, TalliesLandOnOwners) {
   const Scene s = scenes::cornell_box();
-  SpatialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 3000;
-  const SpatialResult r = run_spatial(s, cfg, 4);
+  cfg.workers = 4;
+  const RunResult r = run_spatial(s, cfg);
   std::uint64_t tallies = 0;
-  for (const SpatialRankReport& rep : r.ranks) tallies += rep.tallies;
+  for (const RankReport& rep : r.ranks) tallies += rep.tallies;
   // Every record (emission + bounce) applied exactly once.
   EXPECT_EQ(tallies, r.counters.emitted + r.counters.bounces);
 }
 
 TEST(SpatialSim, SingleRankIsTheReference) {
   const Scene s = scenes::cornell_box();
-  SpatialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 2000;
-  const SpatialResult spatial = run_spatial(s, cfg, 1);
-  const SerialResult reference = run_photon_streams(s, cfg);
+  cfg.workers = 1;
+  const RunResult spatial = run_spatial(s, cfg);
+  const RunResult reference = run_photon_streams(s, cfg);
   const auto a = spatial.forest.patch_tallies();
   const auto b = reference.forest.patch_tallies();
   for (std::size_t p = 0; p < a.size(); ++p) {

@@ -52,10 +52,10 @@ TEST(Viewer, MissGivesBackground) {
 
 TEST(Viewer, RenderedCornellIsNotBlack) {
   const Scene s = scenes::cornell_box();
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 60000;
   cfg.batch = 20000;
-  const SerialResult r = run_serial(s, cfg);
+  const RunResult r = run_serial(s, cfg);
 
   const Camera cam({2.75, 2.75, 5.2}, {2.75, 2.75, 0.0}, {0, 1, 0}, 55.0, 64, 64);
   const Image img = render(s, r.forest, cam);
@@ -65,10 +65,10 @@ TEST(Viewer, RenderedCornellIsNotBlack) {
 
 TEST(Viewer, FurnaceRendersUniformly) {
   const Scene s = scenes::furnace_box(0.5);
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 120000;
   cfg.batch = 40000;
-  const SerialResult r = run_serial(s, cfg);
+  const RunResult r = run_serial(s, cfg);
 
   const Camera cam({1.0, 1.0, 1.0}, {1.9, 1.2, 1.1}, {0, 1, 0}, 70.0, 32, 32);
   const Image img = render(s, r.forest, cam);
@@ -86,9 +86,9 @@ TEST(Viewer, SameAnswerFileSupportsManyViewpoints) {
   // Fig 4.10: once simulated, any viewpoint renders from the same answer
   // file with no recomputation.
   const Scene s = scenes::cornell_box();
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 40000;
-  const SerialResult r = run_serial(s, cfg);
+  const RunResult r = run_serial(s, cfg);
 
   const Camera front({2.75, 2.75, 5.2}, {2.75, 2.75, 0}, {0, 1, 0}, 55.0, 32, 32);
   const Camera corner({0.8, 4.5, 4.8}, {3.0, 1.5, 1.5}, {0, 1, 0}, 55.0, 32, 32);
@@ -103,9 +103,9 @@ TEST(Viewer, SameAnswerFileSupportsManyViewpoints) {
 
 TEST(Viewer, EmissiveSurfaceVisiblyBright) {
   const Scene s = scenes::cornell_box();
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 50000;
-  const SerialResult r = run_serial(s, cfg);
+  const RunResult r = run_serial(s, cfg);
 
   // Looking straight up at the ceiling light from below.
   const Camera up({2.75, 1.0, 2.75}, {2.75, 5.4, 2.75}, {0, 0, 1}, 30.0, 16, 16);
@@ -126,9 +126,9 @@ TEST(Viewer, BackgroundBehindOpenScene) {
 
 TEST(Viewer, SupersamplingIsDeterministic) {
   const Scene s = scenes::cornell_box();
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 20000;
-  const SerialResult r = run_serial(s, cfg);
+  const RunResult r = run_serial(s, cfg);
   const Camera cam({2.75, 2.75, 5.2}, {2.75, 2.75, 0}, {0, 1, 0}, 55.0, 24, 24);
 
   ViewOptions opts;
@@ -144,9 +144,9 @@ TEST(Viewer, SupersamplingIsDeterministic) {
 
 TEST(Viewer, ThreadedRenderMatchesSerial) {
   const Scene s = scenes::cornell_box();
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 20000;
-  const SerialResult r = run_serial(s, cfg);
+  const RunResult r = run_serial(s, cfg);
   const Camera cam({2.75, 2.75, 5.2}, {2.75, 2.75, 0}, {0, 1, 0}, 55.0, 32, 24);
 
   ViewOptions serial_opts;
@@ -165,9 +165,9 @@ TEST(Viewer, SupersamplingIsUnbiased) {
   // Jittered supersampling must change per-pixel values (it averages across
   // histogram patch boundaries) without shifting the overall exposure.
   const Scene s = scenes::cornell_box();
-  SerialConfig cfg;
+  RunConfig cfg;
   cfg.photons = 40000;
-  const SerialResult r = run_serial(s, cfg);
+  const RunResult r = run_serial(s, cfg);
   const Camera cam({2.75, 2.75, 5.2}, {2.75, 2.75, 0}, {0, 1, 0}, 55.0, 48, 48);
 
   ViewOptions sharp;
