@@ -1,0 +1,147 @@
+// bench_hotpath — the canonical photon hot-path benchmark.
+//
+// Runs the full emit→trace→tally pipeline on every bundled scene through the
+// serial and shared backends and reports photons/sec, intersections/sec and
+// ns/bounce, writing the numbers as machine-readable JSON (BENCH_hotpath.json)
+// so every PR leaves a comparable trajectory point. Intersections are derived
+// from the trace counters: each loop iteration of Tracer::trace casts exactly
+// one ray, which either escapes, is absorbed, or records a bounce — photons
+// that trip the bounce guard cast one ray per recorded bounce.
+//
+//   bench_hotpath [--photons=N] [--workers=N] [--out=FILE] [--label=NAME]
+//
+// --label tags the run block in the JSON (e.g. "seed" vs "flat"), so before/
+// after artifacts can be concatenated into one trajectory file.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "engine/backend.hpp"
+#include "geom/scenes.hpp"
+
+namespace {
+
+using namespace photon;
+
+struct Row {
+  std::string scene;
+  std::string backend;
+  int workers = 1;
+  std::uint64_t photons = 0;
+  std::uint64_t intersections = 0;
+  std::uint64_t bounces = 0;
+  double wall_s = 0.0;
+  double photons_per_sec = 0.0;
+  double intersections_per_sec = 0.0;
+  double ns_per_bounce = 0.0;
+};
+
+Row run_one(const Scene& scene, const std::string& scene_name, const std::string& backend_name,
+            std::uint64_t photons, int workers) {
+  const auto backend = make_backend(backend_name);
+  RunConfig cfg;
+  cfg.photons = photons;
+  cfg.workers = workers;
+  const RunResult result = backend->run(scene, cfg);
+
+  Row row;
+  row.scene = scene_name;
+  row.backend = backend_name;
+  row.workers = backend_name == "serial" ? 1 : workers;
+  row.photons = result.counters.emitted;
+  // One ray cast per trace-loop iteration; see the header comment.
+  row.intersections =
+      result.counters.bounces + result.counters.absorbed + result.counters.escaped;
+  row.bounces = result.counters.bounces;
+  row.wall_s = result.trace.total_time_s;
+  if (row.wall_s > 0.0) {
+    row.photons_per_sec = static_cast<double>(row.photons) / row.wall_s;
+    row.intersections_per_sec = static_cast<double>(row.intersections) / row.wall_s;
+  }
+  if (row.bounces > 0) {
+    row.ns_per_bounce = row.wall_s * 1e9 / static_cast<double>(row.bounces);
+  }
+  return row;
+}
+
+const char* arg_str(int argc, char** argv, const char* name, const char* fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
+
+void write_json(std::FILE* f, const std::string& label, std::uint64_t photons,
+                const std::vector<Row>& rows) {
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"hotpath\",\n");
+  std::fprintf(f, "  \"label\": \"%s\",\n", label.c_str());
+  std::fprintf(f, "  \"photons_requested\": %llu,\n",
+               static_cast<unsigned long long>(photons));
+  std::fprintf(f, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"scene\": \"%s\", \"backend\": \"%s\", \"workers\": %d, "
+                 "\"photons\": %llu, \"intersections\": %llu, \"bounces\": %llu, "
+                 "\"wall_s\": %.6f, \"photons_per_sec\": %.1f, "
+                 "\"intersections_per_sec\": %.1f, \"ns_per_bounce\": %.1f}%s\n",
+                 r.scene.c_str(), r.backend.c_str(), r.workers,
+                 static_cast<unsigned long long>(r.photons),
+                 static_cast<unsigned long long>(r.intersections),
+                 static_cast<unsigned long long>(r.bounces), r.wall_s, r.photons_per_sec,
+                 r.intersections_per_sec, r.ns_per_bounce,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t photons = benchutil::arg_u64(argc, argv, "photons", 200000);
+  const int workers = static_cast<int>(benchutil::arg_u64(argc, argv, "workers", 4));
+  const std::string out = arg_str(argc, argv, "out", "BENCH_hotpath.json");
+  const std::string label = arg_str(argc, argv, "label", "current");
+
+  benchutil::header("hot path: photons/sec per scene and backend");
+  std::printf("%-12s %-8s %3s %10s %12s %14s %10s\n", "scene", "backend", "W", "photons",
+              "photons/s", "intersect/s", "ns/bounce");
+  benchutil::rule();
+
+  struct SceneSpec {
+    const char* name;
+    Scene scene;
+  };
+  std::vector<SceneSpec> specs;
+  specs.push_back({"cornell", scenes::cornell_box()});
+  specs.push_back({"harpsichord", scenes::harpsichord_room()});
+  specs.push_back({"lab", scenes::computer_lab()});
+
+  std::vector<Row> rows;
+  for (const SceneSpec& spec : specs) {
+    for (const char* backend : {"serial", "shared"}) {
+      const Row row = run_one(spec.scene, spec.name, backend, photons, workers);
+      std::printf("%-12s %-8s %3d %10llu %12.0f %14.0f %10.1f\n", row.scene.c_str(),
+                  row.backend.c_str(), row.workers,
+                  static_cast<unsigned long long>(row.photons), row.photons_per_sec,
+                  row.intersections_per_sec, row.ns_per_bounce);
+      rows.push_back(row);
+    }
+  }
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", out.c_str());
+    return 1;
+  }
+  write_json(f, label, photons, rows);
+  std::fclose(f);
+  std::printf("\nwrote %s (label=%s)\n", out.c_str(), label.c_str());
+  return 0;
+}

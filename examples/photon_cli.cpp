@@ -8,10 +8,12 @@
 //       Print geometry/material/luminaire statistics.
 //   photon_cli simulate <scene> <answer-file> [--backend=NAME] [--photons=N]
 //                        [--seed=N] [--workers=N] [--batch=N] [--adapt]
-//                        [--checkpoint=FILE] [--resume=FILE]
+//                        [--checkpoint=FILE] [--resume=FILE] [--report=json]
 //       Run the simulation on the selected backend (serial | shared |
 //       dist-particle | dist-spatial) and write the answer file, optionally
-//       checkpointing so long runs can continue later.
+//       checkpointing so long runs can continue later. --report=json replaces
+//       the human-readable summary with one machine-readable JSON object on
+//       stdout (the bench harness consumes it).
 //   photon_cli render <scene> <answer-file> <out.ppm>
 //                        [--eye=x,y,z] [--look=x,y,z] [--fov=deg]
 //                        [--size=WxH] [--spp=N] [--threads=N]
@@ -119,6 +121,15 @@ int cmd_simulate(int argc, char** argv, const std::string& spec, const std::stri
     return 1;
   }
 
+  const char* report = find_arg(argc, argv, "report");
+  const bool json_report = report && std::strcmp(report, "json") == 0;
+  if (report && !json_report) {
+    // Validate before the run: a typo'd format must not discard hours of
+    // simulation.
+    std::fprintf(stderr, "error: unknown report format '%s' (supported: json)\n", report);
+    return 1;
+  }
+
   RunConfig config;
   config.photons = arg_u64(argc, argv, "photons", 500000);
   config.seed = arg_u64(argc, argv, "seed", config.seed);
@@ -141,33 +152,56 @@ int cmd_simulate(int argc, char** argv, const std::string& spec, const std::stri
       return 1;
     }
     resume_ptr = &resume;
-    std::printf("resuming from %s (%llu photons so far)\n", path,
-                static_cast<unsigned long long>(resume.counters.emitted));
+    if (!json_report) {
+      std::printf("resuming from %s (%llu photons so far)\n", path,
+                  static_cast<unsigned long long>(resume.counters.emitted));
+    }
   }
 
   const RunResult result = backend->run(scene, config, resume_ptr);
-  std::printf("backend %s: simulated %llu photons (%.0f/s), %.2f bounces/photon\n",
-              backend->name().c_str(),
-              static_cast<unsigned long long>(result.counters.emitted),
-              result.trace.final_rate(), result.counters.bounces_per_photon());
-
   const ForestMetrics metrics = compute_metrics(result.forest);
-  std::printf("forest: %llu bins, depth <= %d, %.1f photons/bin, %.1f%% angular splits\n",
-              static_cast<unsigned long long>(metrics.leaves), metrics.max_depth,
-              metrics.mean_tally_per_leaf, 100.0 * metrics.angular_split_fraction);
+
+  if (json_report) {
+    std::printf(
+        "{\"scene\": \"%s\", \"backend\": \"%s\", \"photons\": %llu, "
+        "\"workers\": %d, \"seed\": %llu, \"wall_s\": %.6f, "
+        "\"photons_per_sec\": %.1f, \"bounces\": %llu, "
+        "\"bounces_per_photon\": %.4f, \"absorbed\": %llu, \"escaped\": %llu, "
+        "\"bins\": %llu, \"forest_depth\": %d, \"mean_tally_per_leaf\": %.2f, "
+        "\"forest_bytes\": %llu}\n",
+        scene.name().c_str(), backend->name().c_str(),
+        static_cast<unsigned long long>(result.counters.emitted), config.workers,
+        static_cast<unsigned long long>(config.seed), result.trace.total_time_s,
+        result.trace.final_rate(),
+        static_cast<unsigned long long>(result.counters.bounces),
+        result.counters.bounces_per_photon(),
+        static_cast<unsigned long long>(result.counters.absorbed),
+        static_cast<unsigned long long>(result.counters.escaped),
+        static_cast<unsigned long long>(metrics.leaves), metrics.max_depth,
+        metrics.mean_tally_per_leaf,
+        static_cast<unsigned long long>(result.forest.memory_bytes()));
+  } else {
+    std::printf("backend %s: simulated %llu photons (%.0f/s), %.2f bounces/photon\n",
+                backend->name().c_str(),
+                static_cast<unsigned long long>(result.counters.emitted),
+                result.trace.final_rate(), result.counters.bounces_per_photon());
+    std::printf("forest: %llu bins, depth <= %d, %.1f photons/bin, %.1f%% angular splits\n",
+                static_cast<unsigned long long>(metrics.leaves), metrics.max_depth,
+                metrics.mean_tally_per_leaf, 100.0 * metrics.angular_split_fraction);
+  }
 
   if (const char* path = find_arg(argc, argv, "checkpoint")) {
     if (!save_checkpoint(result, path)) {
       std::fprintf(stderr, "error: cannot write checkpoint '%s'\n", path);
       return 1;
     }
-    std::printf("checkpoint: %s\n", path);
+    if (!json_report) std::printf("checkpoint: %s\n", path);
   }
   if (!result.forest.save(answer)) {
     std::fprintf(stderr, "error: cannot write answer file '%s'\n", answer.c_str());
     return 1;
   }
-  std::printf("answer file: %s\n", answer.c_str());
+  if (!json_report) std::printf("answer file: %s\n", answer.c_str());
   return 0;
 }
 
@@ -217,7 +251,7 @@ int usage() {
                "       photon_cli info <scene>\n"
                "       photon_cli simulate <scene> <answer> [--backend=NAME] [--photons=N]\n"
                "                  [--seed=N] [--workers=N] [--batch=N] [--adapt]\n"
-               "                  [--checkpoint=FILE] [--resume=FILE]\n"
+               "                  [--checkpoint=FILE] [--resume=FILE] [--report=json]\n"
                "       photon_cli render <scene> <answer> <out.ppm> [--eye=x,y,z]\n"
                "                  [--look=x,y,z] [--fov=deg] [--size=WxH] [--spp=N]"
                " [--threads=N]\n");

@@ -74,9 +74,17 @@ bool register_backend(const std::string& name, BackendFactory factory) {
 }
 
 std::unique_ptr<Backend> make_backend(const std::string& name) {
-  std::lock_guard<std::mutex> lock(registry_mutex());
-  const auto it = factory_map().find(name);
-  return it != factory_map().end() ? it->second() : nullptr;
+  // Copy the factory out before invoking it: a registered factory may itself
+  // call back into the registry (e.g. a decorator wrapping another backend),
+  // which would deadlock on the non-recursive mutex if still held.
+  BackendFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    const auto it = factory_map().find(name);
+    if (it == factory_map().end()) return nullptr;
+    factory = it->second;
+  }
+  return factory();
 }
 
 std::vector<std::string> backend_names() {

@@ -45,6 +45,12 @@ struct RunConfig {
   double max_seconds = 0.0;         // serial: stop after this much wall time when > 0
   double sample_interval_s = 0.05;  // shared: speed-trace sampling period
 
+  // shared: BounceRecords buffered per worker before a per-tree batched flush
+  // (engine/sink.hpp). 1 collapses to one lock per record; values are clamped
+  // to >= 1. Buffering never changes any single tree's record order, so
+  // shared@1 stays bitwise identical to serial at any threshold.
+  std::uint64_t sink_buffer = 256;
+
   // dist-particle load balancing: probe photons (k) and assignment strategy.
   std::uint64_t lb_photons = 2000;
   bool bestfit = true;  // false: naive contiguous ownership

@@ -1,0 +1,48 @@
+#include "engine/sink.hpp"
+
+#include <algorithm>
+
+namespace photon {
+
+BufferedForestSink::BufferedForestSink(BinForest& forest, std::vector<std::mutex>& tree_mutexes,
+                                       std::size_t flush_threshold)
+    : forest_(&forest),
+      mutexes_(&tree_mutexes),
+      threshold_(std::max<std::size_t>(flush_threshold, 1)) {
+  buffer_.reserve(threshold_);
+  order_.reserve(threshold_);
+}
+
+BufferedForestSink::~BufferedForestSink() { flush(); }
+
+void BufferedForestSink::flush() {
+  const std::size_t n = buffer_.size();
+  if (n == 0) return;
+
+  // Group records by target tree, stably: equal trees keep recording order.
+  order_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) order_[i] = static_cast<std::uint32_t>(i);
+  std::sort(order_.begin(), order_.end(), [this](std::uint32_t a, std::uint32_t b) {
+    const int ta = BinForest::tree_index(buffer_[a].patch, buffer_[a].front);
+    const int tb = BinForest::tree_index(buffer_[b].patch, buffer_[b].front);
+    return ta != tb ? ta < tb : a < b;
+  });
+
+  std::size_t i = 0;
+  while (i < n) {
+    const BounceRecord& first = buffer_[order_[i]];
+    const int tree_idx = BinForest::tree_index(first.patch, first.front);
+    std::lock_guard<std::mutex> lock((*mutexes_)[static_cast<std::size_t>(tree_idx)]);
+    BinTree& tree = forest_->tree_at(tree_idx);
+    do {
+      const BounceRecord& rec = buffer_[order_[i]];
+      tree.record(rec.coords, rec.channel);
+      ++i;
+    } while (i < n &&
+             BinForest::tree_index(buffer_[order_[i]].patch, buffer_[order_[i]].front) ==
+                 tree_idx);
+  }
+  buffer_.clear();
+}
+
+}  // namespace photon

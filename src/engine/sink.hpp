@@ -1,0 +1,58 @@
+// BufferedForestSink — batched, contention-light tallying for the shared
+// backend (and any future backend that funnels BounceRecords into a locked
+// BinForest).
+//
+// The seed's LockedForestSink took one mutex acquisition per recorded bounce;
+// at millions of bounces/sec across threads that lock traffic dominates the
+// hot path. This sink accumulates records in a thread-private buffer and, at
+// a configurable threshold (RunConfig::sink_buffer), groups them by target
+// tree and applies each tree's batch under that tree's mutex — one lock per
+// distinct tree per flush instead of one per record.
+//
+// Ordering guarantee: within one sink, records bound for the same tree are
+// applied in the order they were recorded (the grouping sort is stable).
+// Trees are independent histograms, so reordering *across* trees cannot
+// change any tree's final state — at one worker the flushed forest is bitwise
+// identical to the serial ForestSink result.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "hist/binforest.hpp"
+#include "sim/tracer.hpp"
+
+namespace photon {
+
+class BufferedForestSink final : public BinSink {
+ public:
+  // `flush_threshold` is clamped to >= 1; 1 degenerates to lock-per-record.
+  // Buffer capacity is reserved up front, so the record path never allocates.
+  BufferedForestSink(BinForest& forest, std::vector<std::mutex>& tree_mutexes,
+                     std::size_t flush_threshold);
+  ~BufferedForestSink() override;
+
+  BufferedForestSink(const BufferedForestSink&) = delete;
+  BufferedForestSink& operator=(const BufferedForestSink&) = delete;
+
+  void record(const BounceRecord& rec) override {
+    buffer_.push_back(rec);
+    if (buffer_.size() >= threshold_) flush();
+  }
+
+  // Applies every buffered record; must be (and is, via the destructor)
+  // called before the forest is read.
+  void flush();
+
+  std::size_t threshold() const { return threshold_; }
+
+ private:
+  BinForest* forest_;
+  std::vector<std::mutex>* mutexes_;
+  std::vector<BounceRecord> buffer_;
+  std::vector<std::uint32_t> order_;  // scratch for the per-tree grouping sort
+  std::size_t threshold_;
+};
+
+}  // namespace photon

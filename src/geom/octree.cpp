@@ -2,12 +2,83 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <utility>
 
 namespace photon {
 
+namespace {
+
+// Build-time node; flattened into the CSR arrays once the topology is final.
+struct TempNode {
+  Aabb box;
+  std::array<std::int32_t, 8> children{-1, -1, -1, -1, -1, -1, -1, -1};
+  std::vector<std::int32_t> items;
+  bool leaf = true;
+};
+
+std::int32_t build_temp(std::span<const Patch> patches, std::vector<TempNode>& temp,
+                        const Aabb& box, std::vector<std::int32_t> items, int depth,
+                        int max_depth, const Octree::BuildParams& params, int& deepest) {
+  const auto idx = static_cast<std::int32_t>(temp.size());
+  temp.push_back(TempNode{});
+  temp[static_cast<std::size_t>(idx)].box = box;
+  deepest = std::max(deepest, depth);
+
+  if (static_cast<int>(items.size()) <= params.max_leaf_items || depth >= max_depth) {
+    temp[static_cast<std::size_t>(idx)].items = std::move(items);
+    return idx;
+  }
+
+  // Partition items into octants by bounding-box overlap; a patch may appear
+  // in several children (duplicated references, not duplicated geometry).
+  // Each child's stored box is tightened to the union of its items' bounds
+  // clipped against the octant: every hit point a subtree is responsible for
+  // lies inside some assigned patch's bounds AND inside the octant, so the
+  // shrunken box still encloses all of them while the slab test culls the
+  // octant's empty space (walls and furniture leave most of a room empty).
+  std::array<std::vector<std::int32_t>, 8> child_items;
+  std::array<Aabb, 8> child_boxes;
+  std::array<Aabb, 8> tight_boxes;
+  for (int o = 0; o < 8; ++o) child_boxes[o] = box.octant(o);
+  bool useful_split = false;
+  for (const std::int32_t item : items) {
+    const Aabb pb = patches[static_cast<std::size_t>(item)].bounds();
+    for (int o = 0; o < 8; ++o) {
+      if (child_boxes[o].overlaps(pb)) {
+        child_items[o].push_back(item);
+        tight_boxes[o].expand(Aabb{max(pb.lo, child_boxes[o].lo), min(pb.hi, child_boxes[o].hi)});
+      }
+    }
+  }
+  for (int o = 0; o < 8; ++o) {
+    if (child_items[o].size() < items.size()) useful_split = true;
+  }
+  if (!useful_split) {
+    // Every child would hold every item (e.g. a large patch spanning the
+    // node); subdividing further only multiplies work.
+    temp[static_cast<std::size_t>(idx)].items = std::move(items);
+    return idx;
+  }
+
+  temp[static_cast<std::size_t>(idx)].leaf = false;
+  for (int o = 0; o < 8; ++o) {
+    if (child_items[o].empty()) continue;
+    const std::int32_t child = build_temp(patches, temp, tight_boxes[o],
+                                          std::move(child_items[o]), depth + 1, max_depth,
+                                          params, deepest);
+    temp[static_cast<std::size_t>(idx)].children[static_cast<std::size_t>(o)] = child;
+  }
+  return idx;
+}
+
+}  // namespace
+
 void Octree::build(std::span<const Patch> patches, const BuildParams& params) {
   nodes_.clear();
+  item_offsets_.clear();
+  item_ids_.clear();
+  packed_.clear();
   depth_ = 0;
   bounds_ = Aabb{};
   std::vector<std::int32_t> all(patches.size());
@@ -18,117 +89,133 @@ void Octree::build(std::span<const Patch> patches, const BuildParams& params) {
   if (patches.empty()) return;
   // Pad so axis-aligned patches on the boundary sit strictly inside.
   bounds_ = bounds_.padded(1e-6 * (1.0 + bounds_.extent().length()));
-  build_node(patches, bounds_, std::move(all), 0, params);
-}
 
-std::int32_t Octree::build_node(std::span<const Patch> patches, const Aabb& box,
-                                std::vector<std::int32_t> items, int depth,
-                                const BuildParams& params) {
-  const auto idx = static_cast<std::int32_t>(nodes_.size());
-  nodes_.push_back(Node{box, -1, {}});
-  depth_ = std::max(depth_, depth);
+  const int max_depth = std::min(params.max_depth, kMaxDepth);
+  std::vector<TempNode> temp;
+  temp.reserve(patches.size());
+  build_temp(patches, temp, bounds_, std::move(all), 0, max_depth, params, depth_);
 
-  if (static_cast<int>(items.size()) <= params.max_leaf_items || depth >= params.max_depth) {
-    nodes_[idx].items = std::move(items);
-    return idx;
-  }
-
-  // Partition items into octants by bounding-box overlap; a patch may appear
-  // in several children (duplicated references, not duplicated geometry).
-  std::array<std::vector<std::int32_t>, 8> child_items;
-  std::array<Aabb, 8> child_boxes;
-  for (int o = 0; o < 8; ++o) child_boxes[o] = box.octant(o);
-  bool useful_split = false;
-  for (const std::int32_t item : items) {
-    const Aabb pb = patches[static_cast<std::size_t>(item)].bounds();
+  // Flatten breadth-first: each interior node's non-empty children become one
+  // consecutive block, located through the octant bitmask + popcount. BFS
+  // order keeps the heavily-traversed upper levels densely packed.
+  std::vector<std::int32_t> flat_to_temp;
+  flat_to_temp.reserve(temp.size());
+  nodes_.reserve(temp.size());
+  flat_to_temp.push_back(0);
+  nodes_.push_back(Node{temp[0].box, -1, 0});
+  for (std::size_t flat = 0; flat < nodes_.size(); ++flat) {
+    const TempNode& t = temp[static_cast<std::size_t>(flat_to_temp[flat])];
+    if (t.leaf) continue;
+    nodes_[flat].first_child = static_cast<std::int32_t>(nodes_.size());
+    std::uint8_t mask = 0;
     for (int o = 0; o < 8; ++o) {
-      if (child_boxes[o].overlaps(pb)) child_items[o].push_back(item);
+      const std::int32_t child = t.children[static_cast<std::size_t>(o)];
+      if (child < 0) continue;
+      mask = static_cast<std::uint8_t>(mask | (1u << o));
+      flat_to_temp.push_back(child);
+      nodes_.push_back(Node{temp[static_cast<std::size_t>(child)].box, -1, 0});
     }
-  }
-  for (int o = 0; o < 8; ++o) {
-    if (child_items[o].size() < items.size()) useful_split = true;
-  }
-  if (!useful_split) {
-    // Every child would hold every item (e.g. a large patch spanning the
-    // node); subdividing further only multiplies work.
-    nodes_[idx].items = std::move(items);
-    return idx;
+    nodes_[flat].child_mask = mask;
   }
 
-  // Reserve 8 consecutive child slots. Build children one by one; build_node
-  // appends, so record positions first.
-  const auto first_child = static_cast<std::int32_t>(nodes_.size());
-  nodes_[idx].first_child = first_child;
-  // Placeholder children to keep indices consecutive.
-  for (int o = 0; o < 8; ++o) nodes_.push_back(Node{child_boxes[o], -1, {}});
-  for (int o = 0; o < 8; ++o) {
-    if (child_items[o].empty()) continue;
-    if (static_cast<int>(child_items[o].size()) <= params.max_leaf_items ||
-        depth + 1 >= params.max_depth) {
-      nodes_[static_cast<std::size_t>(first_child + o)].items = std::move(child_items[o]);
-      depth_ = std::max(depth_, depth + 1);
-    } else {
-      // Recursive build appends nodes; graft the subtree root's content onto
-      // the reserved slot.
-      const std::int32_t sub = build_node(patches, child_boxes[o], std::move(child_items[o]),
-                                          depth + 1, params);
-      nodes_[static_cast<std::size_t>(first_child + o)].first_child = nodes_[static_cast<std::size_t>(sub)].first_child;
-      nodes_[static_cast<std::size_t>(first_child + o)].items = std::move(nodes_[static_cast<std::size_t>(sub)].items);
-      // The subtree root slot `sub` stays as a dead placeholder; its children
-      // remain reachable through first_child. This wastes one node per inner
-      // recursion but keeps build code simple and traversal unaffected.
-    }
+  item_offsets_.reserve(nodes_.size() + 1);
+  for (std::size_t flat = 0; flat < nodes_.size(); ++flat) {
+    item_offsets_.push_back(static_cast<std::uint32_t>(item_ids_.size()));
+    const TempNode& t = temp[static_cast<std::size_t>(flat_to_temp[flat])];
+    item_ids_.insert(item_ids_.end(), t.items.begin(), t.items.end());
   }
-  return idx;
-}
+  item_offsets_.push_back(static_cast<std::uint32_t>(item_ids_.size()));
 
-void Octree::intersect_node(std::span<const Patch> patches, std::int32_t node_idx, const Ray& ray,
-                            double tmin, double tmax, SceneHit& best) const {
-  const Node& node = nodes_[static_cast<std::size_t>(node_idx)];
-
-  for (const std::int32_t item : node.items) {
-    const Patch& p = patches[static_cast<std::size_t>(item)];
-    if (auto hit = p.intersect(ray, best.dist)) {
-      best.patch = item;
-      best.dist = hit->dist;
-      best.s = hit->s;
-      best.t = hit->t;
-      best.front = hit->front;
-    }
-  }
-
-  if (node.first_child < 0) return;
-
-  // Order children front-to-back by their slab-entry parameter.
-  std::array<std::pair<double, int>, 8> order;
-  int n = 0;
-  for (int o = 0; o < 8; ++o) {
-    const Node& child = nodes_[static_cast<std::size_t>(node.first_child + o)];
-    if (child.first_child < 0 && child.items.empty()) continue;
-    double t0 = 0.0, t1 = 0.0;
-    if (child.box.hit(ray, tmax, t0, t1) && t1 >= tmin) {
-      order[static_cast<std::size_t>(n++)] = {t0, o};
-    }
-  }
-  std::sort(order.begin(), order.begin() + n);
-  for (int i = 0; i < n; ++i) {
-    // Early exit: every remaining child starts beyond the best hit.
-    if (best.dist < order[static_cast<std::size_t>(i)].first) return;
-    intersect_node(patches, node.first_child + order[static_cast<std::size_t>(i)].second, ray,
-                   tmin, tmax, best);
+  packed_.reserve(item_ids_.size());
+  for (const std::int32_t id : item_ids_) {
+    const Patch& p = patches[static_cast<std::size_t>(id)];
+    packed_.push_back(PackedPatch{p.normal(), p.plane_d(), p.s_axis(), p.s_base(),
+                                  p.t_axis(), p.t_base(), id});
   }
 }
 
-std::optional<SceneHit> Octree::intersect(std::span<const Patch> patches, const Ray& ray,
-                                          double tmax) const {
-  if (nodes_.empty()) return std::nullopt;
-  double t0 = 0.0, t1 = 0.0;
-  if (!nodes_[0].box.hit(ray, tmax, t0, t1)) return std::nullopt;
-  SceneHit best;
+template <bool Count>
+bool Octree::intersect_impl(std::span<const Patch> patches, const Ray& ray, double tmax,
+                            SceneHit& best, TraversalStats* stats) const {
+  best.patch = -1;
   best.dist = tmax;
-  intersect_node(patches, 0, ray, t0, t1, best);
-  if (best.patch < 0) return std::nullopt;
-  return best;
+  if (nodes_.empty()) return false;
+  double t0 = 0.0, t1 = 0.0;
+  if (!nodes_[0].box.hit(ray, tmax, t0, t1)) return false;
+
+  // Octant-XOR front-to-back order: flipping the child index bits on the axes
+  // where the ray direction is negative makes ascending visit index a valid
+  // front-to-back sequence over axis-aligned octants.
+  const unsigned dir_mask = (ray.dir.x < 0.0 ? 1u : 0u) | (ray.dir.y < 0.0 ? 2u : 0u) |
+                            (ray.dir.z < 0.0 ? 4u : 0u);
+
+  struct Entry {
+    std::int32_t node;
+    double t_enter;
+  };
+  std::array<Entry, 8 * (kMaxDepth + 1)> stack;
+  int sp = 0;
+  stack[0] = {0, t0};
+  sp = 1;
+
+  PatchHit hit;
+  while (sp > 0) {
+    const Entry e = stack[static_cast<std::size_t>(--sp)];
+    // The best hit may have improved since this node was pushed.
+    if (e.t_enter > best.dist) continue;
+    const Node& node = nodes_[static_cast<std::size_t>(e.node)];
+    if constexpr (Count) ++stats->nodes_visited;
+
+    const std::uint32_t item_begin = item_offsets_[static_cast<std::size_t>(e.node)];
+    const std::uint32_t item_end = item_offsets_[static_cast<std::size_t>(e.node) + 1];
+    if constexpr (Count) stats->patch_tests += item_end - item_begin;
+    for (std::uint32_t i = item_begin; i < item_end; ++i) {
+      // Same arithmetic as Patch::intersect, on the streamed packed copy —
+      // the equivalence suite pins the two bitwise.
+      const PackedPatch& pp = packed_[i];
+      const double denom = dot(ray.dir, pp.normal);
+      if (denom == 0.0) continue;
+      const double dist = (pp.plane_d - dot(ray.origin, pp.normal)) / denom;
+      if (!(dist > kRayEpsilon && dist < best.dist)) continue;
+      const Vec3 p = ray.origin + ray.dir * dist;
+      const double s = dot(p, pp.s_axis) + pp.s_base;
+      if (s < 0.0 || s > 1.0) continue;
+      const double t = dot(p, pp.t_axis) + pp.t_base;
+      if (t < 0.0 || t > 1.0) continue;
+      best.patch = pp.id;
+      best.dist = dist;
+      best.s = s;
+      best.t = t;
+      best.front = denom < 0.0;
+    }
+
+    if (node.first_child < 0) continue;
+    // Push in reverse visit order so the nearest child pops first. Clipping
+    // the slab test to the running best.dist prunes children that start
+    // beyond the closest hit found so far.
+    for (int k = 7; k >= 0; --k) {
+      const unsigned o = static_cast<unsigned>(k) ^ dir_mask;
+      if (!(node.child_mask & (1u << o))) continue;
+      const std::int32_t child =
+          node.first_child +
+          std::popcount(static_cast<unsigned>(node.child_mask) & ((1u << o) - 1u));
+      double c0 = 0.0, c1 = 0.0;
+      if (nodes_[static_cast<std::size_t>(child)].box.hit(ray, best.dist, c0, c1)) {
+        stack[static_cast<std::size_t>(sp++)] = {child, c0};
+      }
+    }
+  }
+  return best.patch >= 0;
+}
+
+bool Octree::intersect(std::span<const Patch> patches, const Ray& ray, double tmax,
+                       SceneHit& best) const {
+  return intersect_impl<false>(patches, ray, tmax, best, nullptr);
+}
+
+bool Octree::intersect_counted(std::span<const Patch> patches, const Ray& ray, double tmax,
+                               SceneHit& best, TraversalStats& stats) const {
+  return intersect_impl<true>(patches, ray, tmax, best, &stats);
 }
 
 }  // namespace photon

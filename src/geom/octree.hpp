@@ -4,9 +4,16 @@
 // through. When an intersection is detected, it is the closest intersection
 // and further testing is not needed."
 //
-// Children are visited front-to-back along the ray; the traversal terminates
-// as soon as a hit is found whose distance precedes the entry of every
-// remaining node.
+// The index is stored pointer-free for the hot path: nodes live in one flat
+// array with their non-empty children packed consecutively (an octant bitmask
+// plus a popcount locates a child), and leaf item lists are a CSR pair
+// (`item_offsets`/`item_ids`) instead of a heap vector per node. Traversal is
+// iterative with an explicit stack and visits children front-to-back in XOR
+// octant order derived from the ray's direction signs — no per-node sort.
+// Because children are axis-aligned octants of their parent, that order is a
+// correct front-to-back sequence, so the first accepted hit that precedes
+// every remaining node entry is the closest. The brute-force reference scan
+// (Scene::intersect_brute) stays as the equivalence-test seam.
 #pragma once
 
 #include <cstdint>
@@ -28,10 +35,19 @@ struct SceneHit {
 
 class Octree {
  public:
+  // Defaults tuned against the bundled scenes (bench_octree_params sweeps
+  // them): with the packed streamed leaf tests, patch tests are cheap and
+  // node visits (random box reads + stack traffic) are the expensive unit, so
+  // moderately fat leaves beat the classic small-leaf shape by ~2x.
   struct BuildParams {
-    int max_depth = 10;
-    int max_leaf_items = 8;
+    int max_depth = 12;
+    int max_leaf_items = 12;
   };
+
+  // Explicit traversal stack bound: at most 7 siblings deferred per level on
+  // the path down, so 8 * (max depth + 1) is comfortably safe. Build depth is
+  // clamped to kMaxDepth.
+  static constexpr int kMaxDepth = 24;
 
   Octree() = default;
 
@@ -42,24 +58,66 @@ class Octree {
   const Aabb& bounds() const { return bounds_; }
   std::size_t node_count() const { return nodes_.size(); }
   int depth() const { return depth_; }
+  // Total patch references across all leaves (a patch overlapping several
+  // octants is referenced once per leaf).
+  std::size_t item_ref_count() const { return item_ids_.size(); }
 
-  // Closest hit over all indexed patches, or nullopt.
+  // Closest hit over all indexed patches written to `best`; returns false and
+  // leaves `best` cleared (patch < 0, dist = tmax) when nothing is hit before
+  // tmax. This is the allocation-free fast path the tracer uses.
+  bool intersect(std::span<const Patch> patches, const Ray& ray, double tmax,
+                 SceneHit& best) const;
+
+  // Deterministic traversal-work counters. Wall clocks are noisy; nodes
+  // visited and patch tests per ray are not, so the bench/test layers use the
+  // counted variant to pin traversal quality.
+  struct TraversalStats {
+    std::uint64_t nodes_visited = 0;
+    std::uint64_t patch_tests = 0;
+  };
+  bool intersect_counted(std::span<const Patch> patches, const Ray& ray, double tmax,
+                         SceneHit& best, TraversalStats& stats) const;
+
+  // Convenience wrapper over the fast path.
   std::optional<SceneHit> intersect(std::span<const Patch> patches, const Ray& ray,
-                                    double tmax = kNoHit) const;
+                                    double tmax = kNoHit) const {
+    SceneHit best;
+    if (!intersect(patches, ray, tmax, best)) return std::nullopt;
+    return best;
+  }
 
  private:
   struct Node {
     Aabb box;
-    std::int32_t first_child = -1;  // index of 8 consecutive children, -1 for leaf
-    std::vector<std::int32_t> items;
+    std::int32_t first_child = -1;  // base of the packed non-empty children; -1 for leaf
+    std::uint8_t child_mask = 0;    // bit o set when octant o has a child
   };
 
-  std::int32_t build_node(std::span<const Patch> patches, const Aabb& box,
-                          std::vector<std::int32_t> items, int depth, const BuildParams& params);
-  void intersect_node(std::span<const Patch> patches, std::int32_t node_idx, const Ray& ray,
-                      double tmin, double tmax, SceneHit& best) const;
+  // Per leaf reference, a sequential copy of the patch's precomputed hit-test
+  // constants (Patch::plane_d/s_axis/t_axis). Leaf tests stream through this
+  // array line by line instead of chasing cold 136-byte Patch objects by
+  // index — the duplication (one copy per referencing leaf) buys coherence.
+  struct PackedPatch {
+    Vec3 normal;
+    double plane_d;
+    Vec3 s_axis;
+    double s_base;
+    Vec3 t_axis;
+    double t_base;
+    std::int32_t id;
+  };
+
+  template <bool Count>
+  bool intersect_impl(std::span<const Patch> patches, const Ray& ray, double tmax,
+                      SceneHit& best, TraversalStats* stats) const;
 
   std::vector<Node> nodes_;
+  // CSR leaf item lists: node i's items are item_ids_[item_offsets_[i] ..
+  // item_offsets_[i + 1]), with packed_[k] holding the hit-test constants for
+  // item_ids_[k].
+  std::vector<std::uint32_t> item_offsets_;
+  std::vector<std::int32_t> item_ids_;
+  std::vector<PackedPatch> packed_;
   Aabb bounds_;
   int depth_ = 0;
 };

@@ -14,6 +14,11 @@ Patch::Patch(const Vec3& origin, const Vec3& edge_s, const Vec3& edge_t, int mat
   g22_ = dot(edge_t_, edge_t_);
   const double det = g11_ * g22_ - g12_ * g12_;
   inv_det_ = det != 0.0 ? 1.0 / det : 0.0;
+  plane_d_ = dot(origin_, normal_);
+  s_axis_ = (edge_s_ * g22_ - edge_t_ * g12_) * inv_det_;
+  t_axis_ = (edge_t_ * g11_ - edge_s_ * g12_) * inv_det_;
+  s_base_ = -dot(origin_, s_axis_);
+  t_base_ = -dot(origin_, t_axis_);
 }
 
 Patch Patch::from_corners(const Vec3& p00, const Vec3& p10, const Vec3& p01, int material_id) {
@@ -35,20 +40,6 @@ void Patch::to_bilinear(const Vec3& p, double& s, double& t) const {
   const double pt = dot(d, edge_t_);
   s = (g22_ * ps - g12_ * pt) * inv_det_;
   t = (g11_ * pt - g12_ * ps) * inv_det_;
-}
-
-std::optional<PatchHit> Patch::intersect(const Ray& ray, double tmax) const {
-  const double denom = dot(ray.dir, normal_);
-  if (denom == 0.0) return std::nullopt;  // parallel to the plane
-  const double dist = dot(origin_ - ray.origin, normal_) / denom;
-  if (dist <= kRayEpsilon || dist >= tmax) return std::nullopt;
-
-  PatchHit hit;
-  hit.dist = dist;
-  to_bilinear(ray.at(dist), hit.s, hit.t);
-  if (hit.s < 0.0 || hit.s > 1.0 || hit.t < 0.0 || hit.t > 1.0) return std::nullopt;
-  hit.front = denom < 0.0;
-  return hit;
 }
 
 }  // namespace photon

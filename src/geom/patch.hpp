@@ -47,8 +47,46 @@ class Patch {
   // (r^2, theta) are measured in this frame.
   Onb frame() const { return Onb::from_normal(normal_); }
 
-  // Closest intersection with `ray` in (kRayEpsilon, tmax), or nullopt.
-  std::optional<PatchHit> intersect(const Ray& ray, double tmax = kNoHit) const;
+  // Constants of the hit test, precomputed once at construction so the hot
+  // loop does no Gram solve: the hit plane is dot(p, normal) == plane_d, and
+  // the bilinear coordinates are affine in the hit point,
+  //   s = dot(p, s_axis) + s_base,   t = dot(p, t_axis) + t_base.
+  double plane_d() const { return plane_d_; }
+  const Vec3& s_axis() const { return s_axis_; }
+  const Vec3& t_axis() const { return t_axis_; }
+  double s_base() const { return s_base_; }
+  double t_base() const { return t_base_; }
+
+  // Closest intersection with `ray` in (kRayEpsilon, tmax) written to `hit`;
+  // returns false (leaving `hit` untouched) on a miss. Inlined allocation-free
+  // fast path — the octree traversal runs this test per candidate patch (on
+  // its packed copy of the same constants), so the arithmetic here is the
+  // bitwise reference for the equivalence suite.
+  bool intersect(const Ray& ray, double tmax, PatchHit& hit) const {
+    const double denom = dot(ray.dir, normal_);
+    if (denom == 0.0) return false;  // parallel to the plane
+    const double dist = (plane_d_ - dot(ray.origin, normal_)) / denom;
+    if (!(dist > kRayEpsilon && dist < tmax)) return false;
+
+    const Vec3 p = ray.origin + ray.dir * dist;
+    const double s = dot(p, s_axis_) + s_base_;
+    if (s < 0.0 || s > 1.0) return false;
+    const double t = dot(p, t_axis_) + t_base_;
+    if (t < 0.0 || t > 1.0) return false;
+
+    hit.dist = dist;
+    hit.s = s;
+    hit.t = t;
+    hit.front = denom < 0.0;
+    return true;
+  }
+
+  // Convenience wrapper over the fast path.
+  std::optional<PatchHit> intersect(const Ray& ray, double tmax = kNoHit) const {
+    PatchHit hit;
+    if (!intersect(ray, tmax, hit)) return std::nullopt;
+    return hit;
+  }
 
   // Inverse of point_at for points on the patch plane: world -> (s, t).
   void to_bilinear(const Vec3& p, double& s, double& t) const;
@@ -60,6 +98,10 @@ class Patch {
   Vec3 normal_;
   // Precomputed Gram inverse for bilinear inversion.
   double g11_ = 0.0, g12_ = 0.0, g22_ = 0.0, inv_det_ = 0.0;
+  // Precomputed hit-test constants (see plane_d()/s_axis() above).
+  Vec3 s_axis_;
+  Vec3 t_axis_;
+  double plane_d_ = 0.0, s_base_ = 0.0, t_base_ = 0.0;
   double area_ = 0.0;
   int material_id_ = 0;
 };

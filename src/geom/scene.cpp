@@ -20,13 +20,14 @@ void Scene::build(const Octree::BuildParams& params) { octree_.build(patches_, p
 std::optional<SceneHit> Scene::intersect_brute(const Ray& ray, double tmax) const {
   SceneHit best;
   best.dist = tmax;
+  PatchHit hit;
   for (std::size_t i = 0; i < patches_.size(); ++i) {
-    if (auto hit = patches_[i].intersect(ray, best.dist)) {
+    if (patches_[i].intersect(ray, best.dist, hit)) {
       best.patch = static_cast<int>(i);
-      best.dist = hit->dist;
-      best.s = hit->s;
-      best.t = hit->t;
-      best.front = hit->front;
+      best.dist = hit.dist;
+      best.s = hit.s;
+      best.t = hit.t;
+      best.front = hit.front;
     }
   }
   if (best.patch < 0) return std::nullopt;

@@ -71,6 +71,12 @@ class Scene {
     return octree_.intersect(patches_, ray, tmax);
   }
 
+  // Allocation-free fast path: closest hit written to `best`, false on a
+  // miss. The tracer's inner loop uses this instead of the optional wrapper.
+  bool intersect(const Ray& ray, double tmax, SceneHit& best) const {
+    return octree_.intersect(patches_, ray, tmax, best);
+  }
+
   // Reference linear scan, for octree equivalence tests.
   std::optional<SceneHit> intersect_brute(const Ray& ray, double tmax = kNoHit) const;
 

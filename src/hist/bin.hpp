@@ -47,6 +47,11 @@ struct BinCoords {
     double th = std::atan2(dir_local.y, dir_local.x);
     if (th < 0.0) th += kTwoPi;
     c.theta = static_cast<float>(th);
+    // Theta is periodic on the half-open [0, 2pi). A tiny negative atan2
+    // result makes th + 2pi round to exactly float(2pi), which would land on
+    // (or, after region midpoint arithmetic, beyond) the closed upper edge of
+    // the root bin region; wrap it back to the equivalent 0.
+    if (c.theta >= static_cast<float>(kTwoPi)) c.theta = 0.0f;
     return c;
   }
 };

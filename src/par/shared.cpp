@@ -5,28 +5,10 @@
 #include <mutex>
 #include <thread>
 
+#include "engine/sink.hpp"
 #include "sim/emitter.hpp"
 
 namespace photon {
-
-namespace {
-// Sink that serializes access per tree: Lock(bin); Split(bin); UnLock(bin).
-class LockedForestSink final : public BinSink {
- public:
-  LockedForestSink(BinForest& forest, std::vector<std::mutex>& tree_mutexes)
-      : forest_(&forest), mutexes_(&tree_mutexes) {}
-
-  void record(const BounceRecord& rec) override {
-    const int idx = BinForest::tree_index(rec.patch, rec.front);
-    std::lock_guard<std::mutex> lock((*mutexes_)[static_cast<std::size_t>(idx)]);
-    forest_->tree_at(idx).record(rec.coords, rec.channel);
-  }
-
- private:
-  BinForest* forest_;
-  std::vector<std::mutex>* mutexes_;
-};
-}  // namespace
 
 RunResult run_shared(const Scene& scene, const RunConfig& config,
                      const RunResult* resume_from) {
@@ -70,7 +52,11 @@ RunResult run_shared(const Scene& scene, const RunConfig& config,
                                       : 0;
       const std::uint64_t quota = base + extra;
 
-      LockedForestSink sink(result.forest, tree_mutexes);
+      // Batched tallying: records accumulate thread-locally and flush to each
+      // tree under its mutex (engine/sink.hpp), killing per-bounce lock
+      // traffic. Destruction at thread exit flushes the tail.
+      BufferedForestSink sink(result.forest, tree_mutexes,
+                              static_cast<std::size_t>(config.sink_buffer));
       Lcg48 rng(config.seed, tid, T);
       // On resume, shift every leapfrog stream onto a disjoint block of the
       // global sequence beyond the first leg's reach — otherwise a resumed

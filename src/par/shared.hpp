@@ -1,9 +1,10 @@
 // Shared-memory parallel Photon (Fig 5.2) — the engine's `shared` backend.
 //
-// All threads share the geometry and the bin forest; every tally or split
-// takes the owning tree's lock (the paper's multiple-reader/single-writer
-// protocol collapses to per-tree mutual exclusion here because every record
-// may split its bin). Each thread draws from its own leapfrogged substream
+// All threads share the geometry and the bin forest; tallies are buffered
+// per worker and flushed in per-tree batches under the owning tree's lock
+// (engine/sink.hpp — the paper's multiple-reader/single-writer protocol
+// collapses to per-tree mutual exclusion because every record may split its
+// bin; batching amortizes it). Each thread draws from its own leapfrogged substream
 // and traces a static share of the photons, exactly the forall loop of the
 // paper. `config.workers` sets the thread count.
 #pragma once

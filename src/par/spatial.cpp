@@ -141,12 +141,13 @@ SegmentEnd trace_segment(const Scene& scene, const Octree& local_tree,
       t_exit = 0.0;
     }
 
-    const auto hit = local_tree.intersect(local_patches, ray, kNoHit);
+    SceneHit hit;
+    const bool have_hit = local_tree.intersect(local_patches, ray, kNoHit, hit);
     // A hit beyond the region exit belongs to some other rank's region (it
     // may not even be the globally closest hit — a closer patch may exist in
     // the neighbouring region's octree). The tolerance is a fraction of the
     // surface nudge so both scale with the scene.
-    if (!hit || hit->dist > t_exit + 0.01 * epsilon) {
+    if (!have_hit || hit.dist > t_exit + 0.01 * epsilon) {
       const Vec3 boundary = ray.at(t_exit + epsilon);
       if (!root.contains(boundary)) {
         ++counters.escaped;
@@ -156,15 +157,15 @@ SegmentEnd trace_segment(const Scene& scene, const Octree& local_tree,
       return SegmentEnd::kExitedRegion;
     }
 
-    const int global_patch = local_to_global[static_cast<std::size_t>(hit->patch)];
+    const int global_patch = local_to_global[static_cast<std::size_t>(hit.patch)];
     const Patch& patch = scene.patch(global_patch);
     const Material& mat = scene.material_of(patch);
-    if (!hit->front && !mat.two_sided) {
+    if (!hit.front && !mat.two_sided) {
       ++counters.absorbed;
       return SegmentEnd::kAbsorbed;
     }
 
-    const Vec3 side_normal = hit->front ? patch.normal() : -patch.normal();
+    const Vec3 side_normal = hit.front ? patch.normal() : -patch.normal();
     const Onb frame = Onb::from_normal(side_normal);
     const Vec3 wi_local = frame.to_local(flight.dir);
     const ScatterSample scatter =
@@ -176,12 +177,12 @@ SegmentEnd trace_segment(const Scene& scene, const Octree& local_tree,
     flight.channel = scatter.channel;
 
     records.push_back(make_wire_record(
-        global_patch, BinCoords::from_local_dir(hit->s, hit->t, scatter.dir), flight.channel,
-        hit->front));
+        global_patch, BinCoords::from_local_dir(hit.s, hit.t, scatter.dir), flight.channel,
+        hit.front));
     ++counters.bounces;
     ++flight.bounces;
 
-    const Vec3 hit_point = ray.at(hit->dist);
+    const Vec3 hit_point = ray.at(hit.dist);
     flight.dir = frame.to_world(scatter.dir).normalized();
     flight.pos = hit_point + side_normal * epsilon;
   }

@@ -28,23 +28,23 @@ void Tracer::trace(const EmissionSample& emission, Lcg48& rng, BinSink& sink,
   int channel = emission.channel;  // may shift at fluorescent surfaces
   Polarization pol = Polarization::unpolarized();
 
+  SceneHit hit;
   for (int bounce = 0; bounce < limits_.max_bounces; ++bounce) {
-    const auto hit = scene_->intersect(Ray(origin, dir));
-    if (!hit) {
+    if (!scene_->intersect(Ray(origin, dir), kNoHit, hit)) {
       if (counters) ++counters->escaped;
       return;
     }
 
-    const Patch& patch = scene_->patch(hit->patch);
+    const Patch& patch = scene_->patch(hit.patch);
     const Material& mat = scene_->material_of(patch);
-    if (!hit->front && !mat.two_sided) {
+    if (!hit.front && !mat.two_sided) {
       // Back side of a one-sided surface: opaque, photon absorbed.
       if (counters) ++counters->absorbed;
       return;
     }
 
     // Local frame on the side that was hit.
-    const Vec3 side_normal = hit->front ? patch.normal() : -patch.normal();
+    const Vec3 side_normal = hit.front ? patch.normal() : -patch.normal();
     const Onb frame = Onb::from_normal(side_normal);
     const Vec3 wi_local = frame.to_local(dir);  // z < 0: heading into the surface
 
@@ -55,14 +55,14 @@ void Tracer::trace(const EmissionSample& emission, Lcg48& rng, BinSink& sink,
     }
     channel = scatter.channel;
 
-    rec.patch = hit->patch;
-    rec.front = hit->front;
-    rec.coords = BinCoords::from_local_dir(hit->s, hit->t, scatter.dir);
+    rec.patch = hit.patch;
+    rec.front = hit.front;
+    rec.coords = BinCoords::from_local_dir(hit.s, hit.t, scatter.dir);
     rec.channel = static_cast<std::uint8_t>(channel);
     sink.record(rec);
     if (counters) ++counters->bounces;
 
-    const Vec3 hit_point = origin + dir * hit->dist;
+    const Vec3 hit_point = origin + dir * hit.dist;
     dir = frame.to_world(scatter.dir).normalized();
     // Nudge off the surface to avoid re-intersecting it.
     origin = hit_point + side_normal * epsilon_;

@@ -64,6 +64,23 @@ TEST(BinCoords, FromLocalDir) {
   EXPECT_NEAR(c.theta, 3.0 * kTwoPi / 4.0, 1e-6);
 }
 
+TEST(BinCoords, ThetaStaysInsideHalfOpenInterval) {
+  // Regression: a direction a hair below the +x axis gives a tiny negative
+  // atan2; th + 2pi is then a double just under 2pi whose float rounding is
+  // exactly float(2pi) — on the closed upper edge of the root region rather
+  // than inside the half-open [0, 2pi). from_local_dir must wrap it to the
+  // periodically equivalent 0.
+  const BinCoords c = BinCoords::from_local_dir(0.5, 0.5, Vec3{0.7, -1e-18, 0.5});
+  EXPECT_GE(c.theta, 0.0f);
+  EXPECT_LT(c.theta, static_cast<float>(kTwoPi));
+  EXPECT_FLOAT_EQ(c.theta, 0.0f);
+
+  // The wrap must not disturb angles genuinely close to (but below) 2pi.
+  const BinCoords lo = BinCoords::from_local_dir(0.5, 0.5, Vec3{0.7, -1e-4, 0.5});
+  EXPECT_LT(lo.theta, static_cast<float>(kTwoPi));
+  EXPECT_GT(lo.theta, 6.28f);
+}
+
 TEST(BinTree, StartsAsSingleLeaf) {
   const BinTree tree;
   EXPECT_EQ(tree.node_count(), 1u);

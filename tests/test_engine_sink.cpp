@@ -1,0 +1,140 @@
+// BufferedForestSink contracts: batching may reorder records *across* trees
+// but never within one, so a single worker stays bitwise identical to the
+// serial ForestSink at any flush threshold, and multi-worker runs conserve
+// per-tree record totals.
+#include "engine/sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <vector>
+
+#include "engine/backend.hpp"
+#include "geom/scenes.hpp"
+#include "par/shared.hpp"
+#include "sim/simulator.hpp"
+
+namespace photon {
+namespace {
+
+BounceRecord make_record(Lcg48& rng, int n_patches) {
+  BounceRecord rec;
+  rec.patch = static_cast<std::int32_t>(rng.uniform() * n_patches);
+  if (rec.patch >= n_patches) rec.patch = n_patches - 1;
+  rec.front = rng.uniform() < 0.7;
+  rec.coords = BinCoords::from_local_dir(
+      rng.uniform(), rng.uniform(),
+      Vec3{rng.uniform() * 2 - 1, rng.uniform() * 2 - 1, 0.2 + rng.uniform()});
+  rec.channel = static_cast<std::uint8_t>(rng.uniform() * 3);
+  return rec;
+}
+
+TEST(BufferedForestSink, MatchesDirectForestSinkBitwise) {
+  const int n_patches = 7;
+  const int n_records = 5000;
+  BinForest direct(n_patches);
+  BinForest buffered(n_patches);
+  std::vector<std::mutex> mutexes(2 * n_patches);
+
+  ForestSink direct_sink(direct);
+  {
+    // Deliberately awkward threshold so the final flush happens mid-buffer
+    // through the destructor.
+    BufferedForestSink buffered_sink(buffered, mutexes, 33);
+    Lcg48 rng_a(42);
+    Lcg48 rng_b(42);
+    for (int i = 0; i < n_records; ++i) {
+      direct_sink.record(make_record(rng_a, n_patches));
+      buffered_sink.record(make_record(rng_b, n_patches));
+    }
+  }  // destructor flushes the tail
+
+  EXPECT_TRUE(direct == buffered);
+}
+
+TEST(BufferedForestSink, ExplicitFlushDrainsEverything) {
+  const int n_patches = 3;
+  BinForest forest(n_patches);
+  std::vector<std::mutex> mutexes(2 * n_patches);
+  BufferedForestSink sink(forest, mutexes, 1000000);  // never auto-flushes
+  Lcg48 rng(9);
+  for (int i = 0; i < 123; ++i) sink.record(make_record(rng, n_patches));
+  EXPECT_EQ(forest.total_tally_all(), 0u);  // still buffered
+  sink.flush();
+  EXPECT_EQ(forest.total_tally_all(), 123u);
+  sink.flush();  // idempotent on an empty buffer
+  EXPECT_EQ(forest.total_tally_all(), 123u);
+}
+
+TEST(BufferedForestSink, ThresholdIsClampedToOne) {
+  const int n_patches = 2;
+  BinForest forest(n_patches);
+  std::vector<std::mutex> mutexes(2 * n_patches);
+  BufferedForestSink sink(forest, mutexes, 0);
+  EXPECT_EQ(sink.threshold(), 1u);
+  Lcg48 rng(5);
+  sink.record(make_record(rng, n_patches));
+  // Threshold 1 flushes on every record — nothing left buffered.
+  EXPECT_EQ(forest.total_tally_all(), 1u);
+}
+
+class BufferedSharedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BufferedSharedTest, OneWorkerIsBitwiseSerialAtAnyThreshold) {
+  const Scene s = scenes::cornell_box();
+  RunConfig cfg;
+  cfg.photons = 3000;
+  cfg.workers = 1;
+  cfg.sink_buffer = GetParam();
+
+  const RunResult serial = run_serial(s, cfg);
+  const RunResult shared = run_shared(s, cfg);
+  EXPECT_TRUE(serial.forest == shared.forest)
+      << "sink_buffer=" << cfg.sink_buffer << " broke shared@1 determinism";
+  EXPECT_EQ(serial.counters.bounces, shared.counters.bounces);
+}
+
+TEST_P(BufferedSharedTest, FourWorkersConservePerTreeTotals) {
+  // Thread t draws stream (seed, t, 4) — the union of the equivalent serial
+  // leapfrog runs. Buffered flushing must conserve each tree's record count
+  // (up to split-redistribution rounding, bounded by that tree's node count).
+  const int T = 4;
+  const Scene s = scenes::cornell_box();
+  RunConfig cfg;
+  cfg.photons = 2000 * static_cast<std::uint64_t>(T);
+  cfg.workers = T;
+  cfg.sink_buffer = GetParam();
+  const RunResult shared = run_shared(s, cfg);
+
+  std::vector<std::uint64_t> expected(shared.forest.tree_count(), 0);
+  for (int t = 0; t < T; ++t) {
+    RunConfig sc;
+    sc.photons = cfg.photons / T;
+    sc.rank = t;
+    sc.nranks = T;
+    const RunResult r = run_serial(s, sc);
+    for (std::size_t i = 0; i < r.forest.tree_count(); ++i) {
+      for (int ch = 0; ch < kNumChannels; ++ch) {
+        expected[i] += r.forest.tree_at(static_cast<int>(i)).total_tally(ch);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < shared.forest.tree_count(); ++i) {
+    std::uint64_t got = 0;
+    for (int ch = 0; ch < kNumChannels; ++ch) {
+      got += shared.forest.tree_at(static_cast<int>(i)).total_tally(ch);
+    }
+    // Both sides redistribute tallies on splits with up to one photon of
+    // rounding per split; bound by the combined node counts (the existing
+    // shared-backend suite uses the same forest-wide bound).
+    const double tol = static_cast<double>(shared.forest.total_nodes());
+    EXPECT_NEAR(static_cast<double>(got), static_cast<double>(expected[i]), tol)
+        << "tree " << i << " sink_buffer=" << cfg.sink_buffer;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, BufferedSharedTest,
+                         ::testing::Values(1u, 4u, 256u));
+
+}  // namespace
+}  // namespace photon

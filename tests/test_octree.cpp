@@ -82,11 +82,16 @@ TEST(Octree, RespectsMaxDepth) {
 
 class OctreeEquivalenceTest : public ::testing::TestWithParam<const char*> {};
 
-TEST_P(OctreeEquivalenceTest, MatchesBruteForceOnScenes) {
+// The flattened traversal runs the exact same hit arithmetic as
+// Patch::intersect on its packed per-leaf constants, so against the brute
+// scan the agreement must be bitwise — patch, dist, s, t and front — not
+// merely approximate. Any divergence means the packed copy or the traversal
+// pruning drifted from the reference.
+TEST_P(OctreeEquivalenceTest, MatchesBruteForceBitwiseOnScenes) {
   const Scene scene = scenes::by_name(GetParam());
   Lcg48 rng(999);
   int hits = 0;
-  for (int i = 0; i < 500; ++i) {
+  for (int i = 0; i < 1500; ++i) {
     // Rays from inside the scene bounds.
     const Aabb b = scene.bounds();
     const Vec3 e = b.extent();
@@ -100,14 +105,49 @@ TEST_P(OctreeEquivalenceTest, MatchesBruteForceOnScenes) {
     ASSERT_EQ(fast.has_value(), slow.has_value()) << "ray " << i;
     if (fast) {
       ++hits;
-      EXPECT_EQ(fast->patch, slow->patch) << "ray " << i;
-      EXPECT_NEAR(fast->dist, slow->dist, 1e-9);
-      EXPECT_NEAR(fast->s, slow->s, 1e-9);
-      EXPECT_NEAR(fast->t, slow->t, 1e-9);
-      EXPECT_EQ(fast->front, slow->front);
+      ASSERT_EQ(fast->patch, slow->patch) << "ray " << i;
+      EXPECT_EQ(fast->dist, slow->dist) << "ray " << i;
+      EXPECT_EQ(fast->s, slow->s) << "ray " << i;
+      EXPECT_EQ(fast->t, slow->t) << "ray " << i;
+      EXPECT_EQ(fast->front, slow->front) << "ray " << i;
     }
   }
-  EXPECT_GT(hits, 100) << "test exercised too few hits to be meaningful";
+  EXPECT_GT(hits, 300) << "test exercised too few hits to be meaningful";
+}
+
+// Rays from *outside* the bounds and grazing directions, plus a capped-tmax
+// sweep — the pruning paths (root slab miss, child slab clipped by the
+// running best, early pop-time rejection) all have to agree with brute force.
+TEST_P(OctreeEquivalenceTest, MatchesBruteForceOnFuzzedRays) {
+  const Scene scene = scenes::by_name(GetParam());
+  const Aabb b = scene.bounds();
+  const Vec3 c = b.center();
+  const Vec3 e = b.extent();
+  const double diag = e.length();
+  Lcg48 rng(77);
+  for (int i = 0; i < 1500; ++i) {
+    // Origins in a shell around the scene (some inside, some far outside).
+    const double scale = 0.2 + 2.0 * rng.uniform();
+    const Vec3 origin = c + Vec3{(rng.uniform() - 0.5) * e.x * scale,
+                                 (rng.uniform() - 0.5) * e.y * scale,
+                                 (rng.uniform() - 0.5) * e.z * scale};
+    Vec3 dir{rng.uniform() * 2 - 1, rng.uniform() * 2 - 1, rng.uniform() * 2 - 1};
+    if (i % 3 == 0) dir.z *= 1e-4;  // grazing, nearly axis-parallel
+    if (dir.length_squared() < 1e-9) continue;
+    const Ray ray(origin, dir.normalized());
+    const double tmax = i % 2 == 0 ? kNoHit : diag * rng.uniform();
+
+    const auto fast = scene.intersect(ray, tmax);
+    const auto slow = scene.intersect_brute(ray, tmax);
+    ASSERT_EQ(fast.has_value(), slow.has_value()) << "ray " << i;
+    if (fast) {
+      ASSERT_EQ(fast->patch, slow->patch) << "ray " << i;
+      EXPECT_EQ(fast->dist, slow->dist) << "ray " << i;
+      EXPECT_EQ(fast->s, slow->s) << "ray " << i;
+      EXPECT_EQ(fast->t, slow->t) << "ray " << i;
+      EXPECT_EQ(fast->front, slow->front) << "ray " << i;
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Scenes, OctreeEquivalenceTest,
@@ -136,6 +176,70 @@ TEST(Octree, MatchesBruteForceOnRandomSoup) {
       EXPECT_NEAR(fast->dist, best.dist, 1e-9);
     }
   }
+}
+
+TEST(Octree, RebuildReplacesAllFlattenedState) {
+  // Regression: build() must clear the packed hit-test array along with the
+  // node/CSR arrays — a rebuild that appends to stale packed entries makes
+  // every leaf read the previous build's constants.
+  const auto patches = random_patch_soup(300, 4711);
+  Octree tree;
+  tree.build(patches);  // first build, default params
+  Octree::BuildParams params;
+  params.max_leaf_items = 2;
+  params.max_depth = 8;
+  tree.build(patches, params);  // rebuild in place with a different shape
+
+  Lcg48 rng(808);
+  for (int i = 0; i < 400; ++i) {
+    const Ray ray = random_ray(rng);
+    const auto fast = tree.intersect(patches, ray);
+
+    SceneHit best;
+    best.dist = kNoHit;
+    PatchHit hit;
+    for (std::size_t p = 0; p < patches.size(); ++p) {
+      if (patches[p].intersect(ray, best.dist, hit)) {
+        best.patch = static_cast<int>(p);
+        best.dist = hit.dist;
+      }
+    }
+    ASSERT_EQ(fast.has_value(), best.patch >= 0) << "ray " << i;
+    if (fast) {
+      EXPECT_EQ(fast->patch, best.patch) << "ray " << i;
+      EXPECT_EQ(fast->dist, best.dist) << "ray " << i;
+    }
+  }
+}
+
+TEST(Octree, CountedTraversalPrunesMostPatchTests) {
+  // The whole point of the index: far fewer patch tests than the linear scan.
+  // The counted traversal is the deterministic work meter the bench uses;
+  // pin that it (a) agrees with the fast path and (b) actually prunes.
+  const Scene scene = scenes::computer_lab();
+  Lcg48 rng(31);
+  const Aabb b = scene.bounds();
+  const Vec3 e = b.extent();
+  Octree::TraversalStats stats;
+  const int rays = 400;
+  for (int i = 0; i < rays; ++i) {
+    const Vec3 origin = b.lo + Vec3{rng.uniform() * e.x, rng.uniform() * e.y, rng.uniform() * e.z};
+    Vec3 dir{rng.uniform() * 2 - 1, rng.uniform() * 2 - 1, rng.uniform() * 2 - 1};
+    if (dir.length_squared() < 1e-9) continue;
+    const Ray ray(origin, dir.normalized());
+    SceneHit counted;
+    const bool hit = scene.octree().intersect_counted(scene.patches(), ray, kNoHit, counted, stats);
+    const auto fast = scene.intersect(ray);
+    ASSERT_EQ(hit, fast.has_value()) << "ray " << i;
+    if (hit) {
+      EXPECT_EQ(counted.patch, fast->patch);
+      EXPECT_EQ(counted.dist, fast->dist);
+    }
+  }
+  const double tests_per_ray = static_cast<double>(stats.patch_tests) / rays;
+  EXPECT_LT(tests_per_ray, static_cast<double>(scene.patch_count()) / 10.0)
+      << "octree is testing a large fraction of the scene per ray";
+  EXPECT_GT(stats.nodes_visited, 0u);
 }
 
 TEST(Octree, TmaxCutsOffDistantHits) {
