@@ -1,13 +1,38 @@
-// Ablation: batched photon forwarding vs per-photon messages ("To save on
-// message overhead and increase performance, photons are queued and batched
-// for transmission"). Measures the real MiniMPI substrate both ways, and the
-// modeled 1997 cost for context.
+// bench_comm_batching — the distributed comm-path benchmark.
+//
+// Part 1 (ablation): batched photon forwarding vs per-photon messages ("To
+// save on message overhead and increase performance, photons are queued and
+// batched for transmission"), on the real MiniMPI substrate and in the
+// modeled 1997 cost.
+//
+// Part 2 (sweep): the real dist-particle / dist-spatial backends on every
+// bundled scene at P ∈ {2, 4, 8}, measuring photons/s, wire traffic
+// (bytes/photon, messages per exchange round) and the overlap telemetry
+// (wait_seconds = wall time blocked in recv; overlap_pct = share of total
+// rank-time NOT blocked in recv). Writes BENCH_comm.json so every PR leaves a
+// comparable trajectory point, same convention as bench_hotpath:
+//
+//   bench_comm_batching [--photons=N] [--batch=N] [--reps=N] [--sweep-reps=N]
+//                       [--out=FILE] [--label=NAME] [--skip-ablation]
+//
+// --reps controls the ablation's exchange count; --sweep-reps the
+// best-of-N repetitions of every scene/backend/P cell in the sweep.
+//
+// --label tags the run block (e.g. "seed" vs "current") so before/after
+// artifacts can be concatenated into one trajectory file.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "engine/backend.hpp"
+#include "geom/scenes.hpp"
 #include "mp/minimpi.hpp"
+#include "par/dist.hpp"
+#include "par/spatial.hpp"
 #include "perf/platform.hpp"
 
 using namespace photon;
@@ -44,12 +69,7 @@ double run_per_photon(int records, int reps) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const int records = static_cast<int>(benchutil::arg_u64(argc, argv, "records", 2000));
-  const int reps = static_cast<int>(benchutil::arg_u64(argc, argv, "reps", 50));
-
+void run_ablation(int records, int reps) {
   benchutil::header("Ablation — Batched vs Per-Photon Forwarding");
   const double batched = run_batched(records, reps);
   const double per_photon = run_per_photon(records, reps);
@@ -68,7 +88,148 @@ int main(int argc, char** argv) {
   std::printf("  one message per batch   : %8.4f s\n", modeled_batched);
   std::printf("  one message per photon  : %8.4f s  (%.0fx slower)\n", modeled_per_photon,
               modeled_per_photon / modeled_batched);
-  std::printf("\nShape to check: batching wins by a large factor in both the real substrate\n"
-              "and the 1997 model — the design choice behind Fig 5.3's queue exchange.\n");
+}
+
+struct Row {
+  std::string scene;
+  std::string backend;
+  int ranks = 0;
+  std::uint64_t photons = 0;
+  std::uint64_t sent_bytes = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t rounds = 0;
+  double wall_s = 0.0;
+  double photons_per_sec = 0.0;
+  double wait_seconds = 0.0;  // summed over ranks
+  double overlap_pct = 0.0;
+};
+
+Row run_backend(const Scene& scene, const std::string& scene_name,
+                const std::string& backend, int P, std::uint64_t photons,
+                std::uint64_t batch, int reps) {
+  RunConfig cfg;
+  cfg.photons = photons;
+  cfg.workers = P;
+  cfg.batch = batch;
+  cfg.adapt_batch = false;
+  Row best;
+  for (int rep = 0; rep < reps; ++rep) {
+    const RunResult r = backend == "dist-particle" ? run_distributed(scene, cfg)
+                                                   : run_spatial(scene, cfg);
+    Row row;
+    row.scene = scene_name;
+    row.backend = backend;
+    row.ranks = P;
+    row.photons = r.counters.emitted;
+    for (const RankReport& report : r.ranks) {
+      row.sent_bytes += report.sent_bytes;
+      row.messages += report.sent_messages;
+      row.rounds = std::max(row.rounds, report.rounds);
+      row.wait_seconds += report.wait_seconds;
+    }
+    row.wall_s = r.trace.total_time_s;
+    if (row.wall_s > 0.0) {
+      row.photons_per_sec = static_cast<double>(row.photons) / row.wall_s;
+      row.overlap_pct =
+          100.0 * (1.0 - row.wait_seconds / (static_cast<double>(P) * row.wall_s));
+    }
+    if (rep == 0 || row.wall_s < best.wall_s) best = row;
+  }
+  return best;
+}
+
+void write_json(std::FILE* f, const std::string& label, std::uint64_t photons,
+                std::uint64_t batch, const std::vector<Row>& rows) {
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"comm\",\n");
+  std::fprintf(f, "  \"label\": \"%s\",\n", benchutil::json_escape(label).c_str());
+  std::fprintf(f, "  \"photons_requested\": %llu,\n",
+               static_cast<unsigned long long>(photons));
+  std::fprintf(f, "  \"batch\": %llu,\n", static_cast<unsigned long long>(batch));
+  std::fprintf(f, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"scene\": \"%s\", \"backend\": \"%s\", \"ranks\": %d, "
+                 "\"photons\": %llu, \"wall_s\": %.6f, \"photons_per_sec\": %.1f, "
+                 "\"sent_bytes\": %llu, \"bytes_per_photon\": %.2f, "
+                 "\"messages\": %llu, \"rounds\": %llu, \"messages_per_batch\": %.2f, "
+                 "\"wait_seconds\": %.6f, \"overlap_pct\": %.2f}%s\n",
+                 r.scene.c_str(), r.backend.c_str(), r.ranks,
+                 static_cast<unsigned long long>(r.photons), r.wall_s, r.photons_per_sec,
+                 static_cast<unsigned long long>(r.sent_bytes),
+                 r.photons ? static_cast<double>(r.sent_bytes) /
+                                 static_cast<double>(r.photons)
+                           : 0.0,
+                 static_cast<unsigned long long>(r.messages),
+                 static_cast<unsigned long long>(r.rounds),
+                 r.rounds ? static_cast<double>(r.messages) / static_cast<double>(r.rounds)
+                          : 0.0,
+                 r.wait_seconds, r.overlap_pct, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int records = static_cast<int>(benchutil::arg_u64(argc, argv, "records", 2000));
+  const int ablation_reps = static_cast<int>(benchutil::arg_u64(argc, argv, "reps", 50));
+  const std::uint64_t photons = benchutil::arg_u64(argc, argv, "photons", 40000);
+  const std::uint64_t batch = benchutil::arg_u64(argc, argv, "batch", 500);
+  const int sweep_reps =
+      std::max(1, static_cast<int>(benchutil::arg_u64(argc, argv, "sweep-reps", 3)));
+  const std::string out = benchutil::arg_str(argc, argv, "out", "BENCH_comm.json");
+  const std::string label = benchutil::arg_str(argc, argv, "label", "current");
+  bool skip_ablation = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--skip-ablation") == 0) skip_ablation = true;
+  }
+
+  if (!skip_ablation) run_ablation(records, ablation_reps);
+
+  benchutil::header("Distributed backends — wire traffic and overlap");
+  std::printf("%-12s %-13s %2s %10s %8s %9s %8s %8s\n", "scene", "backend", "P", "photons/s",
+              "B/photon", "msg/batch", "wait_s", "overlap%");
+  benchutil::rule();
+
+  struct SceneSpec {
+    const char* name;
+    Scene scene;
+  };
+  std::vector<SceneSpec> specs;
+  specs.push_back({"cornell", scenes::cornell_box()});
+  specs.push_back({"harpsichord", scenes::harpsichord_room()});
+  specs.push_back({"lab", scenes::computer_lab()});
+
+  std::vector<Row> rows;
+  for (const SceneSpec& spec : specs) {
+    for (const char* backend : {"dist-particle", "dist-spatial"}) {
+      for (const int P : {2, 4, 8}) {
+        const Row row =
+            run_backend(spec.scene, spec.name, backend, P, photons, batch, sweep_reps);
+        std::printf("%-12s %-13s %2d %10.0f %8.2f %9.2f %8.4f %8.2f\n", row.scene.c_str(),
+                    row.backend.c_str(), row.ranks, row.photons_per_sec,
+                    row.photons ? static_cast<double>(row.sent_bytes) /
+                                      static_cast<double>(row.photons)
+                                : 0.0,
+                    row.rounds ? static_cast<double>(row.messages) /
+                                     static_cast<double>(row.rounds)
+                               : 0.0,
+                    row.wait_seconds, row.overlap_pct);
+        rows.push_back(row);
+      }
+    }
+  }
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", out.c_str());
+    return 1;
+  }
+  write_json(f, label, photons, batch, rows);
+  std::fclose(f);
+  std::printf("\nwrote %s (label=%s)\n", out.c_str(), label.c_str());
   return 0;
 }

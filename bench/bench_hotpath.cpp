@@ -65,21 +65,11 @@ Row run_one(const Scene& scene, const std::string& scene_name, const std::string
   return row;
 }
 
-const char* arg_str(int argc, char** argv, const char* name, const char* fallback) {
-  const std::string prefix = std::string("--") + name + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return argv[i] + prefix.size();
-    }
-  }
-  return fallback;
-}
-
 void write_json(std::FILE* f, const std::string& label, std::uint64_t photons,
                 const std::vector<Row>& rows) {
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"hotpath\",\n");
-  std::fprintf(f, "  \"label\": \"%s\",\n", label.c_str());
+  std::fprintf(f, "  \"label\": \"%s\",\n", benchutil::json_escape(label).c_str());
   std::fprintf(f, "  \"photons_requested\": %llu,\n",
                static_cast<unsigned long long>(photons));
   std::fprintf(f, "  \"runs\": [\n");
@@ -106,8 +96,8 @@ void write_json(std::FILE* f, const std::string& label, std::uint64_t photons,
 int main(int argc, char** argv) {
   const std::uint64_t photons = benchutil::arg_u64(argc, argv, "photons", 200000);
   const int workers = static_cast<int>(benchutil::arg_u64(argc, argv, "workers", 4));
-  const std::string out = arg_str(argc, argv, "out", "BENCH_hotpath.json");
-  const std::string label = arg_str(argc, argv, "label", "current");
+  const std::string out = benchutil::arg_str(argc, argv, "out", "BENCH_hotpath.json");
+  const std::string label = benchutil::arg_str(argc, argv, "label", "current");
 
   benchutil::header("hot path: photons/sec per scene and backend");
   std::printf("%-12s %-8s %3s %10s %12s %14s %10s\n", "scene", "backend", "W", "photons",

@@ -31,6 +31,37 @@ inline double arg_double(int argc, char** argv, const char* name, double fallbac
   return fallback;
 }
 
+inline const char* arg_str(int argc, char** argv, const char* name, const char* fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
+
+// Escapes a user-supplied string for embedding in a JSON string literal
+// (quotes, backslashes, control characters) so a --label like `run "v2"`
+// cannot corrupt the bench artifact.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
 inline void header(const char* title) {
   std::printf("\n=== %s ===\n", title);
 }

@@ -8,12 +8,18 @@
 //       Print geometry/material/luminaire statistics.
 //   photon_cli simulate <scene> <answer-file> [--backend=NAME] [--photons=N]
 //                        [--seed=N] [--workers=N] [--batch=N] [--adapt]
+//                        [--split-z=S] [--split-min=N] [--split-leaf=N]
+//                        [--split-growth=G] [--max-bounces=N]
 //                        [--checkpoint=FILE] [--resume=FILE] [--report=json]
 //       Run the simulation on the selected backend (serial | shared |
 //       dist-particle | dist-spatial) and write the answer file, optionally
-//       checkpointing so long runs can continue later. --report=json replaces
-//       the human-readable summary with one machine-readable JSON object on
-//       stdout (the bench harness consumes it).
+//       checkpointing so long runs can continue later. The --split-* flags
+//       set the adaptive-histogram SplitPolicy (significance threshold in
+//       sigma, minimum count before testing, count-driven leaf threshold and
+//       its per-depth growth); --max-bounces guards pathological mirror
+//       corridors. --report=json replaces the human-readable summary with one
+//       machine-readable JSON object on stdout (the bench harness consumes
+//       it).
 //   photon_cli render <scene> <answer-file> <out.ppm>
 //                        [--eye=x,y,z] [--look=x,y,z] [--fov=deg]
 //                        [--size=WxH] [--spp=N] [--threads=N]
@@ -135,6 +141,31 @@ int cmd_simulate(int argc, char** argv, const std::string& spec, const std::stri
   config.seed = arg_u64(argc, argv, "seed", config.seed);
   config.workers = static_cast<int>(arg_u64(argc, argv, "workers", 2));
   config.batch = arg_u64(argc, argv, "batch", config.batch);
+  config.policy.z = arg_double(argc, argv, "split-z", config.policy.z);
+  config.policy.min_count = arg_u64(argc, argv, "split-min", config.policy.min_count);
+  config.policy.max_leaf_count = arg_u64(argc, argv, "split-leaf", config.policy.max_leaf_count);
+  config.policy.count_growth =
+      arg_double(argc, argv, "split-growth", config.policy.count_growth);
+  config.limits.max_bounces =
+      static_cast<int>(arg_u64(argc, argv, "max-bounces",
+                               static_cast<std::uint64_t>(config.limits.max_bounces)));
+  if (config.policy.z <= 0.0 || config.policy.min_count < 1 ||
+      config.policy.max_leaf_count < 1 || config.policy.count_growth < 1.0 ||
+      config.limits.max_bounces < 1) {
+    std::fprintf(stderr,
+                 "error: --split-z must be > 0, --split-min/--split-leaf/--max-bounces >= 1, "
+                 "--split-growth >= 1\n");
+    return 1;
+  }
+  // The parallel RNG scheme assigns each photon a disjoint 4096-element block
+  // (par/spatial's photon_stream, and every resume skip); at a handful of
+  // draws per bounce, paths beyond ~512 bounces could bleed into the next
+  // photon's block and silently correlate streams.
+  if (config.limits.max_bounces > 512) {
+    std::fprintf(stderr,
+                 "error: --max-bounces must be <= 512 (per-photon RNG blocks are 4096 draws)\n");
+    return 1;
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--adapt") == 0) config.adapt_batch = true;
   }
@@ -164,14 +195,19 @@ int cmd_simulate(int argc, char** argv, const std::string& spec, const std::stri
   if (json_report) {
     std::printf(
         "{\"scene\": \"%s\", \"backend\": \"%s\", \"photons\": %llu, "
-        "\"workers\": %d, \"seed\": %llu, \"wall_s\": %.6f, "
+        "\"workers\": %d, \"seed\": %llu, "
+        "\"split_z\": %.4f, \"split_min\": %llu, \"split_leaf\": %llu, "
+        "\"split_growth\": %.4f, \"max_bounces\": %d, \"wall_s\": %.6f, "
         "\"photons_per_sec\": %.1f, \"bounces\": %llu, "
         "\"bounces_per_photon\": %.4f, \"absorbed\": %llu, \"escaped\": %llu, "
         "\"bins\": %llu, \"forest_depth\": %d, \"mean_tally_per_leaf\": %.2f, "
         "\"forest_bytes\": %llu}\n",
         scene.name().c_str(), backend->name().c_str(),
         static_cast<unsigned long long>(result.counters.emitted), config.workers,
-        static_cast<unsigned long long>(config.seed), result.trace.total_time_s,
+        static_cast<unsigned long long>(config.seed), config.policy.z,
+        static_cast<unsigned long long>(config.policy.min_count),
+        static_cast<unsigned long long>(config.policy.max_leaf_count),
+        config.policy.count_growth, config.limits.max_bounces, result.trace.total_time_s,
         result.trace.final_rate(),
         static_cast<unsigned long long>(result.counters.bounces),
         result.counters.bounces_per_photon(),
@@ -251,6 +287,8 @@ int usage() {
                "       photon_cli info <scene>\n"
                "       photon_cli simulate <scene> <answer> [--backend=NAME] [--photons=N]\n"
                "                  [--seed=N] [--workers=N] [--batch=N] [--adapt]\n"
+               "                  [--split-z=S] [--split-min=N] [--split-leaf=N]\n"
+               "                  [--split-growth=G] [--max-bounces=N]\n"
                "                  [--checkpoint=FILE] [--resume=FILE] [--report=json]\n"
                "       photon_cli render <scene> <answer> <out.ppm> [--eye=x,y,z]\n"
                "                  [--look=x,y,z] [--fov=deg] [--size=WxH] [--spp=N]"

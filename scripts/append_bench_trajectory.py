@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Append one JSONL trajectory row per bench artifact.
+
+Usage: append_bench_trajectory.py TRAJECTORY_FILE BENCH_JSON [BENCH_JSON...]
+
+Each BENCH_JSON (a bench_hotpath / bench_comm_batching output, or a
+checked-in artifact with baseline/current blocks) becomes one line in
+TRAJECTORY_FILE tagged with the commit and timestamp from the
+environment (GITHUB_SHA / SOURCE_DATE_EPOCH when set), so successive CI
+runs accumulate a cross-PR perf history instead of overwriting it.
+"""
+import json
+import os
+import sys
+import time
+
+
+def rows_of(data):
+    """The freshest `runs` array, whichever shape the artifact has."""
+    if "runs" in data:
+        return data["runs"]
+    if "current" in data:
+        return data["current"].get("runs", [])
+    return []
+
+
+def seen_keys(trajectory):
+    """(bench, commit) pairs already in the file — re-runs of the same commit
+    (whose exact-key cache restore already contains its own rows) must not
+    append duplicates."""
+    keys = set()
+    if os.path.exists(trajectory):
+        with open(trajectory) as f:
+            for raw in f:
+                try:
+                    row = json.loads(raw)
+                except json.JSONDecodeError:
+                    continue
+                keys.add((row.get("bench"), row.get("commit")))
+    return keys
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    trajectory, benches = argv[1], argv[2:]
+    commit = os.environ.get("GITHUB_SHA", "local")
+    stamp = int(os.environ.get("SOURCE_DATE_EPOCH", time.time()))
+    seen = seen_keys(trajectory)
+    appended = 0
+    with open(trajectory, "a") as out:
+        for path in benches:
+            if not os.path.exists(path):
+                print(f"skip (missing): {path}", file=sys.stderr)
+                continue
+            with open(path) as f:
+                data = json.load(f)
+            bench = data.get("bench", os.path.basename(path))
+            if (bench, commit) in seen:
+                print(f"skip (already recorded): {bench} @ {commit}", file=sys.stderr)
+                continue
+            line = {
+                "bench": bench,
+                "commit": commit,
+                "timestamp": stamp,
+                "label": data.get("label", "current"),
+                "runs": rows_of(data),
+            }
+            out.write(json.dumps(line, sort_keys=True) + "\n")
+            appended += 1
+    print(f"appended {appended} row(s) to {trajectory}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -36,18 +36,25 @@ class SharedBackend final : public Backend {
 class DistParticleBackend final : public Backend {
  public:
   std::string name() const override { return "dist-particle"; }
+  // Resume folds the checkpoint into the partitioned trees (BinForest merge)
+  // and continues on a disjoint RNG block — statistically independent, not
+  // the bitwise continuation serial guarantees.
+  bool supports_resume() const override { return true; }
   RunResult run(const Scene& scene, const RunConfig& config,
-                const RunResult* /*resume*/) override {
-    return run_distributed(scene, config);
+                const RunResult* resume) override {
+    return run_distributed(scene, config, resume);
   }
 };
 
 class DistSpatialBackend final : public Backend {
  public:
   std::string name() const override { return "dist-spatial"; }
+  // Resume folds the checkpoint into the partitioned trees and continues the
+  // per-photon id sequence where the checkpoint stopped.
+  bool supports_resume() const override { return true; }
   RunResult run(const Scene& scene, const RunConfig& config,
-                const RunResult* /*resume*/) override {
-    return run_spatial(scene, config);
+                const RunResult* resume) override {
+    return run_spatial(scene, config, resume);
   }
 };
 

@@ -37,6 +37,11 @@ struct RankReport {
   std::uint64_t processed = 0;  // tally updates performed (Table 5.2 metric)
   std::uint64_t sent_bytes = 0;
   std::uint64_t sent_messages = 0;
+  std::uint64_t rounds = 0;     // exchange rounds executed
+  // Wall time blocked in recv on the overlapped record exchange only (the
+  // overlap metric) — synchronous photon migration and the tree gather ride
+  // other tags, and collective skew lives in the allreduce barriers.
+  double wait_seconds = 0.0;
   std::vector<std::uint64_t> batch_sizes;
   TraceCounters counters;
 

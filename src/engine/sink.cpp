@@ -45,4 +45,12 @@ void BufferedForestSink::flush() {
   buffer_.clear();
 }
 
+void RouterSink::apply_incoming(const Bytes& buf) {
+  for_each_wire<WireRecord>(buf, [&](const WireRecord& wire) {
+    const BounceRecord rec = from_wire(wire);
+    forest_->record(rec.patch, rec.front, rec.coords, rec.channel);
+    ++(*applied_);
+  });
+}
+
 }  // namespace photon

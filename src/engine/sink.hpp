@@ -20,6 +20,7 @@
 #include <mutex>
 #include <vector>
 
+#include "engine/wire.hpp"
 #include "hist/binforest.hpp"
 #include "sim/tracer.hpp"
 
@@ -53,6 +54,47 @@ class BufferedForestSink final : public BinSink {
   std::vector<BounceRecord> buffer_;
   std::vector<std::uint32_t> order_;  // scratch for the per-tree grouping sort
   std::size_t threshold_;
+};
+
+// RouterSink — the distributed backends' record router (EnQueue of Fig 5.3),
+// in the same engine-service family as BufferedForestSink. A record whose
+// patch this rank owns is tallied into the local forest immediately; a
+// foreign record is serialized in place into the per-destination WireBuffer
+// (one copy, straight into the bytes the exchange will send). Both par/dist
+// and par/spatial previously hand-rolled this with per-destination
+// std::vector<WireRecord> queues re-packed every batch.
+//
+// The sink holds no queue of its own: WireBuffer::take() surrenders batch k's
+// bytes to the split-phase exchange and leaves the same buffer refillable, so
+// the sink keeps serializing batch k+1 while batch k drains.
+class RouterSink final : public BinSink {
+ public:
+  // `owner[p]` is the rank owning patch p's trees; `applied` counts records
+  // tallied locally by this rank (the Table 5.2 "processed" metric).
+  RouterSink(BinForest& forest, const std::vector<int>& owner, int rank, WireBuffer& wire,
+             std::uint64_t& applied)
+      : forest_(&forest), owner_(&owner), rank_(rank), wire_(&wire), applied_(&applied) {}
+
+  void record(const BounceRecord& rec) override {
+    const int owner_rank = (*owner_)[static_cast<std::size_t>(rec.patch)];
+    if (owner_rank == rank_) {
+      forest_->record(rec.patch, rec.front, rec.coords, rec.channel);
+      ++(*applied_);
+    } else {
+      wire_->append(owner_rank, to_wire(rec));
+    }
+  }
+
+  // Tallies every WireRecord in an incoming exchange buffer. Records arriving
+  // here were routed by their producer, so they are applied unconditionally.
+  void apply_incoming(const Bytes& buf);
+
+ private:
+  BinForest* forest_;
+  const std::vector<int>* owner_;
+  int rank_;
+  WireBuffer* wire_;
+  std::uint64_t* applied_;
 };
 
 }  // namespace photon

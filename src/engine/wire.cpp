@@ -81,4 +81,26 @@ std::vector<WireRecord> unpack_records(const Bytes& buf) { return unpack_vector<
 Bytes pack_flights(const std::vector<FlightWire>& flights) { return pack_vector(flights); }
 std::vector<FlightWire> unpack_flights(const Bytes& buf) { return unpack_vector<FlightWire>(buf); }
 
+WireBuffer::WireBuffer(int destinations)
+    : bufs_(static_cast<std::size_t>(destinations > 0 ? destinations : 0)) {}
+
+bool WireBuffer::empty() const {
+  for (const Bytes& b : bufs_) {
+    if (!b.empty()) return false;
+  }
+  return true;
+}
+
+std::size_t WireBuffer::total_bytes() const {
+  std::size_t n = 0;
+  for (const Bytes& b : bufs_) n += b.size();
+  return n;
+}
+
+std::vector<Bytes> WireBuffer::take() {
+  std::vector<Bytes> out(bufs_.size());
+  out.swap(bufs_);
+  return out;
+}
+
 }  // namespace photon

@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
+#include <type_traits>
 #include <vector>
 
 #include "core/rng.hpp"
@@ -67,5 +69,63 @@ Bytes pack_records(const std::vector<WireRecord>& records);
 std::vector<WireRecord> unpack_records(const Bytes& buf);
 Bytes pack_flights(const std::vector<FlightWire>& flights);
 std::vector<FlightWire> unpack_flights(const Bytes& buf);
+
+// Number of `T`-sized wire records held by a byte buffer.
+template <typename T>
+std::size_t wire_count(const Bytes& buf) {
+  return buf.size() / sizeof(T);
+}
+
+// Zero-copy iteration over a packed byte buffer: invokes `fn(const T&)` once
+// per record without materializing a std::vector<T>. Records are copied into
+// a stack local (a fixed-size memcpy the compiler folds into plain loads), so
+// the walk is alignment- and aliasing-safe regardless of the buffer origin.
+template <typename T, typename Fn>
+void for_each_wire(const Bytes& buf, Fn&& fn) {
+  static_assert(std::is_trivially_copyable_v<T>, "wire records must be PODs");
+  const std::size_t n = wire_count<T>(buf);
+  for (std::size_t i = 0; i < n; ++i) {
+    T rec;
+    std::memcpy(&rec, buf.data() + i * sizeof(T), sizeof(T));
+    fn(rec);
+  }
+}
+
+// Per-destination wire serializer: records are appended straight into the
+// byte buffer that will go on the wire, so the record path performs exactly
+// one copy (struct -> outgoing Bytes). The seed staged every record through a
+// std::vector<WireRecord> and re-packed the whole queue into a fresh Bytes
+// every batch — two extra full copies plus two allocations per destination
+// per round.
+class WireBuffer {
+ public:
+  explicit WireBuffer(int destinations);
+
+  int destinations() const { return static_cast<int>(bufs_.size()); }
+
+  template <typename T>
+  void append(int dest, const T& rec) {
+    static_assert(std::is_trivially_copyable_v<T>, "wire records must be PODs");
+    Bytes& b = bufs_[static_cast<std::size_t>(dest)];
+    const std::size_t off = b.size();
+    b.resize(off + sizeof(T));
+    std::memcpy(b.data() + off, &rec, sizeof(T));
+  }
+
+  const Bytes& buffer(int dest) const { return bufs_[static_cast<std::size_t>(dest)]; }
+
+  bool empty() const;
+  std::size_t total_bytes() const;
+
+  // Surrenders the per-destination buffers to the transport (they are moved
+  // onward, never copied) and leaves this WireBuffer empty with the same
+  // destination count — immediately refillable, so batch k+1 serializes here
+  // while the surrendered batch-k bytes drain through the exchange (the two
+  // batches never share a buffer).
+  std::vector<Bytes> take();
+
+ private:
+  std::vector<Bytes> bufs_;
+};
 
 }  // namespace photon

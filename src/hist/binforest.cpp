@@ -1,8 +1,10 @@
 #include "hist/binforest.hpp"
 
+#include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <stdexcept>
 
 namespace photon {
 
@@ -103,6 +105,67 @@ bool BinForest::load(const std::string& path, BinForest& forest) {
   if (!in) return false;
   forest = load(in);
   return forest.tree_count() > 0;
+}
+
+void BinForest::append_framed_tree(Bytes& out, int idx) const {
+  const auto frame_idx = static_cast<std::int32_t>(idx);
+  const std::size_t off = out.size();
+  out.resize(off + sizeof(frame_idx));
+  std::memcpy(out.data() + off, &frame_idx, sizeof(frame_idx));
+  trees_[static_cast<std::size_t>(idx)].save(out);
+}
+
+void BinForest::replace_framed_trees(const Bytes& buf) {
+  const std::uint8_t* p = buf.data();
+  const std::uint8_t* const end = p + buf.size();
+  while (p != end) {
+    if (static_cast<std::size_t>(end - p) < sizeof(std::int32_t)) {
+      throw std::runtime_error("BinForest: truncated tree frame");
+    }
+    std::int32_t idx = 0;
+    std::memcpy(&idx, p, sizeof(idx));
+    p += sizeof(idx);
+    if (idx < 0 || static_cast<std::size_t>(idx) >= trees_.size()) {
+      throw std::runtime_error("BinForest: tree frame index out of range");
+    }
+    trees_[static_cast<std::size_t>(idx)] = BinTree::load(p, end);
+  }
+}
+
+Bytes BinForest::pack_owned_trees(const std::vector<int>& owner, int rank) const {
+  Bytes out;
+  for (std::size_t p = 0; p < patch_count(); ++p) {
+    if (owner[p] != rank) continue;
+    for (int side = 0; side < 2; ++side) {
+      append_framed_tree(out, static_cast<int>(2 * p) + side);
+    }
+  }
+  return out;
+}
+
+void BinForest::merge_owned_trees(const BinForest& other, const std::vector<int>& owner,
+                                  int rank) {
+  if (trees_.size() != other.trees_.size()) {
+    throw std::invalid_argument("BinForest::merge_owned_trees: tree counts differ");
+  }
+  for (std::size_t p = 0; p < patch_count(); ++p) {
+    if (owner[p] != rank) continue;
+    for (int side = 0; side < 2; ++side) {
+      const int idx = static_cast<int>(2 * p) + side;
+      trees_[static_cast<std::size_t>(idx)].merge(other.tree_at(idx));
+    }
+  }
+}
+
+void BinForest::merge(const BinForest& other) {
+  if (trees_.size() != other.trees_.size()) {
+    throw std::invalid_argument("BinForest::merge: tree counts differ");
+  }
+  for (std::size_t i = 0; i < trees_.size(); ++i) trees_[i].merge(other.trees_[i]);
+  for (std::size_t c = 0; c < emitted_.size(); ++c) emitted_[c] += other.emitted_[c];
+  if (total_power_.r == 0.0 && total_power_.g == 0.0 && total_power_.b == 0.0) {
+    total_power_ = other.total_power_;
+  }
 }
 
 bool BinForest::operator==(const BinForest& other) const {

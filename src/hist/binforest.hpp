@@ -74,6 +74,33 @@ class BinForest {
   // Replaces tree `idx` (used when gathering distributed results).
   void replace_tree(int idx, BinTree&& tree) { trees_[static_cast<std::size_t>(idx)] = std::move(tree); }
 
+  // Binary tree transport for the distributed gather: appends one framed tree
+  // ([int32 idx][BinTree bytes]) to `out`, and replaces every framed tree
+  // found in `buf`. Frames with an out-of-range index are rejected
+  // (std::runtime_error), as are truncated buffers.
+  void append_framed_tree(Bytes& out, int idx) const;
+  void replace_framed_trees(const Bytes& buf);
+
+  // Both sides (2p, 2p+1) of every patch p with owner[p] == rank — the
+  // distributed backends' per-rank tree selection, shared so the
+  // patch-to-tree convention lives in one place.
+  //
+  // Frames this rank's owned trees for the gather to rank 0:
+  Bytes pack_owned_trees(const std::vector<int>& owner, int rank) const;
+  // Folds `other`'s owned trees into this forest's (tally-conserving
+  // BinTree::merge; a virgin tree adopts the source wholesale) — the
+  // checkpoint-resume fold into a fresh partition:
+  void merge_owned_trees(const BinForest& other, const std::vector<int>& owner, int rank);
+
+  // Whole-forest additive fold: every tree is merged (BinTree::merge —
+  // tally-conserving), emission counts add, and the total power is adopted
+  // from `other` when unset here. Tree counts must match. Note the
+  // distributed backends' resume path is merge_owned_trees above (each rank
+  // folds only its owned trees; emission totals travel separately through the
+  // gather's allreduce) — this full fold is for single-forest consumers
+  // combining independent answer files.
+  void merge(const BinForest& other);
+
   bool operator==(const BinForest& other) const;
 
  private:

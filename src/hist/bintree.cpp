@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <istream>
 #include <ostream>
+#include <stdexcept>
 
 namespace photon {
 
@@ -45,7 +47,9 @@ int BinTree::record(const BinCoords& c, int channel) {
 void BinTree::maybe_split(int leaf_idx) {
   if (nodes_.size() + 2 > max_nodes_) return;
   BinNode& leaf = nodes_[static_cast<std::size_t>(leaf_idx)];
-  if (leaf.split_n < policy_.min_count) return;
+  // The == 0 guard matters when min_count is (mis)configured to 0: an empty
+  // leaf would otherwise pass every gate and divide 0/0 below.
+  if (leaf.split_n == 0 || leaf.split_n < policy_.min_count) return;
   // Evaluate the significance test only when the count doubles (n a power of
   // two): testing after every photon is a sequential test whose cumulative
   // false-positive rate grows without bound; geometric checkpoints keep it
@@ -177,6 +181,136 @@ BinTree BinTree::load(std::istream& in) {
   in.read(reinterpret_cast<char*>(tree.nodes_.data()),
           static_cast<std::streamsize>(n * sizeof(BinNode)));
   return tree;
+}
+
+namespace {
+
+template <typename T>
+void append_raw(Bytes& out, const T& v) {
+  const std::size_t off = out.size();
+  out.resize(off + sizeof(T));
+  std::memcpy(out.data() + off, &v, sizeof(T));
+}
+
+template <typename T>
+T read_raw(const std::uint8_t*& p, const std::uint8_t* end) {
+  if (static_cast<std::size_t>(end - p) < sizeof(T)) {
+    throw std::runtime_error("BinTree: truncated byte buffer");
+  }
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  p += sizeof(T);
+  return v;
+}
+
+}  // namespace
+
+void BinTree::save(Bytes& out) const {
+  // Same layout as the stream form: count, policy scalars, raw node array.
+  append_raw<std::uint64_t>(out, nodes_.size());
+  append_raw(out, policy_.z);
+  append_raw(out, policy_.min_count);
+  const std::size_t off = out.size();
+  out.resize(off + nodes_.size() * sizeof(BinNode));
+  std::memcpy(out.data() + off, nodes_.data(), nodes_.size() * sizeof(BinNode));
+}
+
+BinTree BinTree::load(const std::uint8_t*& p, const std::uint8_t* end) {
+  BinTree tree;
+  const auto n = read_raw<std::uint64_t>(p, end);
+  tree.policy_.z = read_raw<double>(p, end);
+  tree.policy_.min_count = read_raw<std::uint64_t>(p, end);
+  if (n == 0 || n > static_cast<std::size_t>(end - p) / sizeof(BinNode)) {
+    throw std::runtime_error("BinTree: truncated byte buffer");
+  }
+  tree.nodes_.resize(n);
+  std::memcpy(tree.nodes_.data(), p, n * sizeof(BinNode));
+  p += n * sizeof(BinNode);
+  return tree;
+}
+
+namespace {
+
+// Integer share of `c` proportional to `f`, never exceeding `c`.
+std::uint32_t apportion(std::uint32_t c, double f) {
+  const auto share = static_cast<std::uint32_t>(std::llround(f * static_cast<double>(c)));
+  return share > c ? c : share;
+}
+
+}  // namespace
+
+void BinTree::merge(const BinTree& other) {
+  const BinNode& root = nodes_[0];
+  if (nodes_.size() == 1 && root.split_n == 0 && root.total_tally() == 0) {
+    // Virgin tree: adopt the other structure wholesale (the checkpoint-into-
+    // fresh-partition case must be lossless).
+    nodes_ = other.nodes_;
+    return;
+  }
+  for (const BinNode& node : other.nodes_) {
+    if (!node.is_leaf()) continue;
+    if (node.total_tally() == 0 && node.split_n == 0) continue;
+    deposit(node.region, node);
+  }
+}
+
+void BinTree::deposit(const BinRegion& region, const BinNode& counts) {
+  struct Item {
+    int idx;
+    BinRegion r;
+    BinNode c;  // only the count fields are read
+  };
+  std::vector<Item> stack{{0, region, counts}};
+  while (!stack.empty()) {
+    Item item = std::move(stack.back());
+    stack.pop_back();
+    BinNode& n = nodes_[static_cast<std::size_t>(item.idx)];
+    if (n.is_leaf()) {
+      for (std::size_t ch = 0; ch < n.tally.size(); ++ch) n.tally[ch] += item.c.tally[ch];
+      n.split_n += item.c.split_n;
+      for (std::size_t a = 0; a < n.split_left.size(); ++a) {
+        n.split_left[a] = std::min(n.split_left[a] + item.c.split_left[a], n.split_n);
+      }
+      continue;
+    }
+    const int axis = n.axis;
+    const auto ai = static_cast<std::size_t>(axis);
+    const double mid = n.region.mid(axis);
+    const double lo = item.r.lo[ai], hi = item.r.hi[ai];
+    const double extent = hi - lo;
+    // Fraction of the deposited region in the lower daughter along the node's
+    // split axis.
+    const double f = extent <= 0.0 ? (lo < mid ? 1.0 : 0.0)
+                                   : std::clamp((mid - lo) / extent, 0.0, 1.0);
+    if (f >= 1.0) {
+      item.idx = n.left;
+      stack.push_back(std::move(item));
+      continue;
+    }
+    if (f <= 0.0) {
+      item.idx = n.right;
+      stack.push_back(std::move(item));
+      continue;
+    }
+    // The region straddles the split: apportion every counter by overlap,
+    // remainder to the right daughter, and clip the region at the midplane.
+    BinNode cl{}, cr{};
+    for (std::size_t ch = 0; ch < item.c.tally.size(); ++ch) {
+      cl.tally[ch] = apportion(item.c.tally[ch], f);
+      cr.tally[ch] = item.c.tally[ch] - cl.tally[ch];
+    }
+    cl.split_n = apportion(item.c.split_n, f);
+    cr.split_n = item.c.split_n - cl.split_n;
+    for (std::size_t a = 0; a < item.c.split_left.size(); ++a) {
+      cl.split_left[a] = std::min(apportion(item.c.split_left[a], f), cl.split_n);
+      cr.split_left[a] = std::min(item.c.split_left[a] - cl.split_left[a], cr.split_n);
+    }
+    BinRegion rl = item.r, rr = item.r;
+    rl.hi[ai] = static_cast<float>(mid);
+    rr.lo[ai] = static_cast<float>(mid);
+    if (cl.total_tally() > 0 || cl.split_n > 0) stack.push_back({n.left, rl, cl});
+    if (cr.total_tally() > 0 || cr.split_n > 0) stack.push_back({n.right, rr, cr});
+  }
 }
 
 bool BinTree::operator==(const BinTree& other) const {

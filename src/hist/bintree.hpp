@@ -18,6 +18,8 @@
 
 namespace photon {
 
+using Bytes = std::vector<std::uint8_t>;
+
 class BinTree {
  public:
   explicit BinTree(SplitPolicy policy = {}, std::uint32_t max_nodes = 1u << 22);
@@ -52,10 +54,32 @@ class BinTree {
   void save(std::ostream& out) const;
   static BinTree load(std::istream& in);
 
+  // Same binary format, but appended to / consumed from a raw byte buffer —
+  // the distributed gather path frames trees this way so a rank's owned trees
+  // go on the wire without any std::ostringstream/std::string staging.
+  void save(Bytes& out) const;
+  // Advances `p` past the consumed frame; throws std::runtime_error on a
+  // truncated buffer.
+  static BinTree load(const std::uint8_t*& p, const std::uint8_t* end);
+
+  // Additive fold of `other` into this tree (the distributed-resume
+  // primitive). Every tally of `other` is conserved: each of other's leaves
+  // is deposited into this tree's structure, splitting counts between
+  // daughters in proportion to region overlap when other's leaf straddles one
+  // of our splits (integer apportioning, remainder to the right daughter).
+  // Speculative split counters fold the same way, so a merged leaf keeps
+  // refining with the combined evidence. As a special case, merging into a
+  // virgin tree (a single untouched root leaf) adopts `other`'s structure
+  // wholesale — a checkpoint folded into a fresh partitioned forest loses
+  // nothing. This tree's structure is otherwise preserved (merge never
+  // splits).
+  void merge(const BinTree& other);
+
   bool operator==(const BinTree& other) const;
 
  private:
   void maybe_split(int leaf);
+  void deposit(const BinRegion& region, const BinNode& counts);
 
   std::vector<BinNode> nodes_;
   SplitPolicy policy_;

@@ -1,7 +1,9 @@
 #include "mp/minimpi.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
+#include <stdexcept>
 #include <thread>
 
 namespace photon {
@@ -17,28 +19,41 @@ struct Mailbox {
 class World {
  public:
   explicit World(int nranks)
-      : nranks_(nranks), boxes_(static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks)),
+      : nranks_(nranks),
+        boxes_(static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks) *
+               static_cast<std::size_t>(kNumTags)),
         reduce_slots_(static_cast<std::size_t>(nranks), 0.0) {}
 
   int size() const { return nranks_; }
 
-  void deliver(int src, int dst, Bytes msg) {
-    Mailbox& box = boxes_[static_cast<std::size_t>(src) * static_cast<std::size_t>(nranks_) +
-                          static_cast<std::size_t>(dst)];
-    {
-      std::lock_guard<std::mutex> lock(box.m);
-      box.q.push_back(std::move(msg));
-    }
-    box.cv.notify_one();
+  Mailbox& box(int src, int dst, int tag) {
+    return boxes_[(static_cast<std::size_t>(src) * static_cast<std::size_t>(nranks_) +
+                   static_cast<std::size_t>(dst)) *
+                      static_cast<std::size_t>(kNumTags) +
+                  static_cast<std::size_t>(tag)];
   }
 
-  Bytes take(int src, int dst) {
-    Mailbox& box = boxes_[static_cast<std::size_t>(src) * static_cast<std::size_t>(nranks_) +
-                          static_cast<std::size_t>(dst)];
-    std::unique_lock<std::mutex> lock(box.m);
-    box.cv.wait(lock, [&] { return !box.q.empty(); });
-    Bytes msg = std::move(box.q.front());
-    box.q.pop_front();
+  void deliver(int src, int dst, int tag, Bytes msg) {
+    Mailbox& b = box(src, dst, tag);
+    {
+      std::lock_guard<std::mutex> lock(b.m);
+      b.q.push_back(std::move(msg));
+    }
+    b.cv.notify_one();
+  }
+
+  // Pops the next message from (src,tag); time spent blocked on an empty
+  // mailbox is accumulated into `wait_s` (the overlap telemetry).
+  Bytes take(int src, int dst, int tag, double& wait_s) {
+    Mailbox& b = box(src, dst, tag);
+    std::unique_lock<std::mutex> lock(b.m);
+    if (b.q.empty()) {
+      const auto start = std::chrono::steady_clock::now();
+      b.cv.wait(lock, [&] { return !b.q.empty(); });
+      wait_s += std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    }
+    Bytes msg = std::move(b.q.front());
+    b.q.pop_front();
     return msg;
   }
 
@@ -91,33 +106,49 @@ class World {
 
 int Comm::size() const { return world_->size(); }
 
-void Comm::send(int dst, Bytes msg) {
+void Comm::send(int dst, Bytes msg, int tag) {
+  if (tag < 0 || tag >= kNumTags) throw std::invalid_argument("MiniMPI: tag out of range");
   if (dst != rank_) {
     bytes_sent_ += msg.size();
     ++messages_sent_;
     world_->total_bytes.fetch_add(msg.size(), std::memory_order_relaxed);
     world_->total_messages.fetch_add(1, std::memory_order_relaxed);
   }
-  world_->deliver(rank_, dst, std::move(msg));
+  world_->deliver(rank_, dst, tag, std::move(msg));
 }
 
-Bytes Comm::recv(int src) { return world_->take(src, rank_); }
+Bytes Comm::recv(int src, int tag) {
+  if (tag < 0 || tag >= kNumTags) throw std::invalid_argument("MiniMPI: tag out of range");
+  return world_->take(src, rank_, tag, wait_by_tag_[static_cast<std::size_t>(tag)]);
+}
 
 void Comm::barrier() { world_->barrier(); }
 
-std::vector<Bytes> Comm::alltoall(std::vector<Bytes> outgoing) {
+PendingExchange Comm::alltoall_start(std::vector<Bytes> outgoing, int tag) {
   const int P = size();
-  std::vector<Bytes> incoming(static_cast<std::size_t>(P));
-  incoming[static_cast<std::size_t>(rank_)] = std::move(outgoing[static_cast<std::size_t>(rank_)]);
+  Bytes self = std::move(outgoing[static_cast<std::size_t>(rank_)]);
   for (int d = 0; d < P; ++d) {
     if (d == rank_) continue;
-    send(d, std::move(outgoing[static_cast<std::size_t>(d)]));
+    send(d, std::move(outgoing[static_cast<std::size_t>(d)]), tag);
   }
+  return PendingExchange(this, tag, std::move(self));
+}
+
+std::vector<Bytes> PendingExchange::finish() {
+  if (finished_) throw std::logic_error("MiniMPI: PendingExchange finished twice");
+  finished_ = true;
+  const int P = comm_->size();
+  std::vector<Bytes> incoming(static_cast<std::size_t>(P));
+  incoming[static_cast<std::size_t>(comm_->rank())] = std::move(self_);
   for (int s = 0; s < P; ++s) {
-    if (s == rank_) continue;
-    incoming[static_cast<std::size_t>(s)] = recv(s);
+    if (s == comm_->rank()) continue;
+    incoming[static_cast<std::size_t>(s)] = comm_->recv(s, tag_);
   }
   return incoming;
+}
+
+std::vector<Bytes> Comm::alltoall(std::vector<Bytes> outgoing, int tag) {
+  return alltoall_start(std::move(outgoing), tag).finish();
 }
 
 double Comm::allreduce_sum(double v) { return world_->allreduce(rank_, v, false); }

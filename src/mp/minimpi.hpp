@@ -3,13 +3,17 @@
 // The paper implements distributed Photon on MPI; this environment has no MPI
 // installation, so the distributed algorithm (Fig 5.3) runs against this
 // substrate instead: ranks are threads, each with logically private state,
-// exchanging byte buffers through per-(src,dst) mailboxes. Provided
+// exchanging byte buffers through per-(src,dst,tag) mailboxes. Provided
 // primitives mirror the MPI subset the paper needs — buffered point-to-point
-// send/recv, barrier, all-to-all (the photon queue exchange), and allreduce
-// (batch-size agreement) — plus traffic counters that feed the performance
-// model. See DESIGN.md, "Substitutions".
+// send/recv (MPI_Send/MPI_Recv with a small tag space), barrier, all-to-all
+// (the photon queue exchange, MPI_Alltoallv), a split-phase all-to-all
+// (MPI_Ialltoallv: alltoall_start posts the sends and returns immediately;
+// PendingExchange::finish is the matching MPI_Wait) and allreduce (batch-size
+// agreement) — plus traffic counters and a blocked-receive clock that feed
+// the performance model. See DESIGN.md, "Substitutions".
 #pragma once
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -27,6 +31,50 @@ struct WorldStats {
 };
 
 class World;
+class Comm;
+
+// Message channels: a send on one tag can never be received on another, so
+// two in-flight exchanges (e.g. the spatial backend's synchronous photon
+// migration and its overlapped record drain) keep their streams separate.
+inline constexpr int kNumTags = 4;
+
+// Handle for a split-phase all-to-all started with Comm::alltoall_start. The
+// outgoing buffers are already on the wire when the handle is returned; the
+// incoming buffers are claimed by finish(). Exactly one finish() per handle,
+// on the owning rank, before that rank starts another exchange on the same
+// tag (mailboxes are FIFO per (src,dst,tag)).
+class PendingExchange {
+ public:
+  // Moves transfer the one finish() permit: the moved-from handle reads as
+  // already finished, so two handles can never drain the same exchange.
+  PendingExchange(PendingExchange&& other) noexcept
+      : comm_(other.comm_), tag_(other.tag_), self_(std::move(other.self_)),
+        finished_(other.finished_) {
+    other.finished_ = true;
+  }
+  PendingExchange& operator=(PendingExchange&& other) noexcept {
+    comm_ = other.comm_;
+    tag_ = other.tag_;
+    self_ = std::move(other.self_);
+    finished_ = other.finished_;
+    other.finished_ = true;
+    return *this;
+  }
+  PendingExchange(const PendingExchange&) = delete;
+  PendingExchange& operator=(const PendingExchange&) = delete;
+
+  // Blocks until every rank's buffer has arrived; incoming[s] is from rank s.
+  std::vector<Bytes> finish();
+
+ private:
+  friend class Comm;
+  PendingExchange(Comm* comm, int tag, Bytes self) : comm_(comm), tag_(tag), self_(std::move(self)) {}
+
+  Comm* comm_;
+  int tag_;
+  Bytes self_;
+  bool finished_ = false;
+};
 
 // Per-rank communicator handle. Not thread-safe across ranks by design: each
 // rank owns exactly one Comm, like an MPI process.
@@ -36,16 +84,22 @@ class Comm {
   int size() const;
 
   // Buffered, non-blocking send (MPI_Send with buffering semantics).
-  void send(int dst, Bytes msg);
-  // Blocking receive of the next message from `src` (MPI_Recv).
-  Bytes recv(int src);
+  void send(int dst, Bytes msg, int tag = 0);
+  // Blocking receive of the next message from `src` on `tag` (MPI_Recv).
+  Bytes recv(int src, int tag = 0);
 
   void barrier();
 
   // Exchanges one buffer with every rank (MPI_Alltoallv): outgoing[d] goes to
   // rank d (outgoing[rank()] is delivered to self); returns incoming[s] from
   // each rank s. Counts as size()-1 messages.
-  std::vector<Bytes> alltoall(std::vector<Bytes> outgoing);
+  std::vector<Bytes> alltoall(std::vector<Bytes> outgoing, int tag = 0);
+
+  // Split-phase all-to-all (MPI_Ialltoallv + MPI_Wait): posts every outgoing
+  // buffer immediately and returns; the caller keeps computing and claims the
+  // incoming buffers later with PendingExchange::finish(). This is what lets
+  // a rank trace batch k+1 while batch k's records drain.
+  PendingExchange alltoall_start(std::vector<Bytes> outgoing, int tag = 0);
 
   double allreduce_sum(double v);
   double allreduce_max(double v);
@@ -55,8 +109,22 @@ class Comm {
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::uint64_t messages_sent() const { return messages_sent_; }
 
+  // Wall time this rank has spent blocked in recv (mailbox empty — the
+  // compute/communication overlap metric: a fully overlapped exchange finds
+  // every buffer already delivered and adds nothing here). Accounted per tag,
+  // so an overlapped exchange's waits can be read separately from a
+  // deliberately synchronous one on another tag. Barrier and allreduce waits
+  // are deliberately excluded; they measure load skew, not exchange latency.
+  double wait_seconds(int tag) const { return wait_by_tag_[static_cast<std::size_t>(tag)]; }
+  double wait_seconds() const {
+    double total = 0.0;
+    for (const double w : wait_by_tag_) total += w;
+    return total;
+  }
+
  private:
   friend class World;
+  friend class PendingExchange;
   friend WorldStats run_world(int nranks, const std::function<void(Comm&)>& fn);
   Comm(World* world, int rank) : world_(world), rank_(rank) {}
 
@@ -64,6 +132,7 @@ class Comm {
   int rank_;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t messages_sent_ = 0;
+  std::array<double, kNumTags> wait_by_tag_{};
 };
 
 // Runs `fn` on `nranks` concurrent ranks and joins them. The first exception

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <mutex>
-#include <sstream>
+#include <optional>
 
+#include "engine/sink.hpp"
 #include "engine/wire.hpp"
 #include "mp/minimpi.hpp"
 #include "sim/emitter.hpp"
@@ -12,74 +13,72 @@ namespace photon {
 
 namespace {
 
-// Sink used during particle tracing: owned records are tallied immediately,
-// foreign records are queued per owning rank (EnQueue in Fig 5.3).
-class QueueSink final : public BinSink {
- public:
-  QueueSink(BinForest& forest, const std::vector<int>& owner, int rank,
-            std::vector<std::vector<WireRecord>>& queues, std::uint64_t& processed)
-      : forest_(&forest), owner_(&owner), rank_(rank), queues_(&queues), processed_(&processed) {}
-
-  void record(const BounceRecord& rec) override {
-    const int owner_rank = (*owner_)[static_cast<std::size_t>(rec.patch)];
-    if (owner_rank == rank_) {
-      forest_->record(rec.patch, rec.front, rec.coords, rec.channel);
-      ++(*processed_);
-    } else {
-      (*queues_)[static_cast<std::size_t>(owner_rank)].push_back(to_wire(rec));
-    }
-  }
-
- private:
-  BinForest* forest_;
-  const std::vector<int>* owner_;
-  int rank_;
-  std::vector<std::vector<WireRecord>>* queues_;
-  std::uint64_t* processed_;
-};
-
-void apply_records(const Bytes& buf, BinForest& forest, std::uint64_t& processed) {
-  for (const WireRecord& wire : unpack_records(buf)) {
-    const BounceRecord rec = from_wire(wire);
-    forest.record(rec.patch, rec.front, rec.coords, rec.channel);
-    ++processed;
-  }
-}
+// Message channels: batched records ride tag 0 (overlapped exchange); the
+// end-of-run tree gather uses its own tag so its recv waits do not pollute
+// the record-path overlap telemetry.
+constexpr int kTagRecords = 0;
+constexpr int kTagGather = 1;
 
 }  // namespace
 
-RunResult run_distributed(const Scene& scene, const RunConfig& config) {
+RunResult run_distributed(const Scene& scene, const RunConfig& config,
+                          const RunResult* resume) {
   const int nranks = std::max(config.workers, 1);
+  const std::uint64_t resume_emitted = resume ? resume->counters.emitted : 0;
   RunResult result;
   result.ranks.resize(static_cast<std::size_t>(nranks));
   std::mutex result_mutex;  // harness-side collection only
+
+  // --- Load balancing phase (chapter 5): every rank derives the identical
+  // ownership map from the same probe stream, so the map is a pure function
+  // of (scene, config). On MPI the P copies of this trace run concurrently on
+  // P processors and cost one probe of wall time; on the threaded substrate
+  // they would serialize into P redundant copies, so it is computed once and
+  // shared — same setup-phase treatment as partition_space in par/spatial.
+  const std::vector<std::uint64_t> loads =
+      measure_patch_loads(scene, config.lb_photons, config.seed ^ 0x9E3779B97F4A7C15ULL);
+  const LoadBalance balance =
+      config.bestfit ? assign_bestfit(loads, nranks) : assign_naive(loads, nranks);
 
   run_world(nranks, [&](Comm& comm) {
     const int rank = comm.rank();
     const int P = comm.size();
     SpeedSampler sampler;
 
-    // --- Load balancing phase: every rank traces the same k photons with the
-    // same stream and derives the identical ownership map (chapter 5).
-    const std::vector<std::uint64_t> loads =
-        measure_patch_loads(scene, config.lb_photons, config.seed ^ 0x9E3779B97F4A7C15ULL);
-    const LoadBalance balance =
-        config.bestfit ? assign_bestfit(loads, P) : assign_naive(loads, P);
-
     BinForest forest(scene.patch_count(), config.policy);
     const Emitter emitter(scene);
     forest.set_total_power(emitter.total_power());
     const Tracer tracer(scene, config.limits);
     Lcg48 rng(config.seed, rank, P);
+    if (resume) {
+      // Continue on a disjoint block of the global sequence, past anything
+      // the first leg can have drawn (same 4096-element budget as the
+      // per-photon streams), and fold the checkpoint's owned trees into this
+      // rank's virgin partition (lossless — virgin trees adopt wholesale).
+      rng.skip(resume_emitted * 4096);
+      forest.merge_owned_trees(resume->forest, balance.owner, rank);
+    }
 
     RankReport report;
-    std::vector<std::vector<WireRecord>> queues(static_cast<std::size_t>(P));
-    QueueSink sink(forest, balance.owner, rank, queues, report.processed);
+    // One outgoing WireBuffer suffices for the overlap: take() surrenders
+    // batch k's bytes to the exchange and leaves the buffer refillable, so
+    // the sink serializes batch k+1 while batch k drains.
+    WireBuffer wire(P);
+    RouterSink sink(forest, balance.owner, rank, wire, report.processed);
     ChannelCounts emitted{};
 
     BatchController controller(config.batch_policy);
     std::uint64_t global_done = 0;
     double prev_agreed = 0.0;
+    std::optional<PendingExchange> pending;  // batch k-1's records in flight
+
+    const auto drain = [&](PendingExchange& exchange) {
+      const std::vector<Bytes> incoming = exchange.finish();
+      for (int s = 0; s < P; ++s) {
+        if (s == rank) continue;
+        sink.apply_incoming(incoming[static_cast<std::size_t>(s)]);
+      }
+    };
 
     while (global_done < config.photons) {
       std::uint64_t B = config.adapt_batch ? controller.size() : config.batch;
@@ -89,7 +88,8 @@ RunResult run_distributed(const Scene& scene, const RunConfig& config) {
                                 static_cast<std::uint64_t>(P);
       if (B > cap) B = cap;
 
-      // Particle tracing phase.
+      // Particle tracing phase. Records owned here are tallied immediately;
+      // foreign records are serialized straight into the outgoing bytes.
       for (std::uint64_t i = 0; i < B; ++i) {
         const EmissionSample emission = emitter.emit(rng);
         ++emitted[static_cast<std::size_t>(emission.channel)];
@@ -98,17 +98,11 @@ RunResult run_distributed(const Scene& scene, const RunConfig& config) {
       report.traced += B;
       report.batch_sizes.push_back(B);
 
-      // All-to-all photon exchange.
-      std::vector<Bytes> outgoing(static_cast<std::size_t>(P));
-      for (int d = 0; d < P; ++d) {
-        outgoing[static_cast<std::size_t>(d)] = pack_records(queues[static_cast<std::size_t>(d)]);
-        queues[static_cast<std::size_t>(d)].clear();
-      }
-      const std::vector<Bytes> incoming = comm.alltoall(std::move(outgoing));
-      for (int s = 0; s < P; ++s) {
-        if (s == rank) continue;
-        apply_records(incoming[static_cast<std::size_t>(s)], forest, report.processed);
-      }
+      // Overlapped all-to-all: the previous batch's records crossed the wire
+      // while this batch was tracing — drain them now, then post this batch.
+      if (pending) drain(*pending);
+      pending.emplace(comm.alltoall_start(wire.take(), kTagRecords));
+      ++report.rounds;
 
       global_done += B * static_cast<std::uint64_t>(P);
 
@@ -129,7 +123,12 @@ RunResult run_distributed(const Scene& scene, const RunConfig& config) {
       prev_agreed = agreed;
     }
 
-    // --- Gather: owned trees to rank 0, emission totals via allreduce.
+    // Final batch's records are still in flight; every rank ran the same
+    // number of rounds, so the drain matches pending sends exactly.
+    if (pending) drain(*pending);
+
+    // --- Gather: owned trees to rank 0 (binary frames, no stream staging),
+    // emission totals via allreduce.
     ChannelCounts total_emitted{};
     for (int c = 0; c < kNumChannels; ++c) {
       total_emitted[static_cast<std::size_t>(c)] =
@@ -137,33 +136,22 @@ RunResult run_distributed(const Scene& scene, const RunConfig& config) {
     }
 
     if (rank != 0) {
-      std::ostringstream buf(std::ios::binary);
-      for (std::size_t p = 0; p < scene.patch_count(); ++p) {
-        if (balance.owner[p] != rank) continue;
-        for (int side = 0; side < 2; ++side) {
-          const std::int32_t idx = static_cast<std::int32_t>(2 * p) + side;
-          buf.write(reinterpret_cast<const char*>(&idx), sizeof(idx));
-          forest.tree_at(idx).save(buf);
-        }
-      }
-      const std::string str = buf.str();
-      comm.send(0, Bytes(str.begin(), str.end()));
+      comm.send(0, forest.pack_owned_trees(balance.owner, rank), kTagGather);
     } else {
       for (int src = 1; src < P; ++src) {
-        const Bytes buf = comm.recv(src);
-        std::istringstream in(std::string(buf.begin(), buf.end()), std::ios::binary);
-        std::int32_t idx = 0;
-        while (in.read(reinterpret_cast<char*>(&idx), sizeof(idx))) {
-          forest.replace_tree(idx, BinTree::load(in));
-        }
+        forest.replace_framed_trees(comm.recv(src, kTagGather));
       }
       for (int c = 0; c < kNumChannels; ++c) {
         forest.add_emitted(c, total_emitted[static_cast<std::size_t>(c)]);
+        if (resume) forest.add_emitted(c, resume->forest.emitted(c));
       }
     }
 
     report.sent_bytes = comm.bytes_sent();
     report.sent_messages = comm.messages_sent();
+    // Record-exchange waits only: the overlap metric. Gather waits live on
+    // their own tag and load skew lives in the allreduce barriers.
+    report.wait_seconds = comm.wait_seconds(kTagRecords);
 
     {
       std::lock_guard<std::mutex> lock(result_mutex);
@@ -177,6 +165,7 @@ RunResult run_distributed(const Scene& scene, const RunConfig& config) {
   });
 
   for (const RankReport& report : result.ranks) result.counters += report.counters;
+  if (resume) result.counters += resume->counters;
   return result;
 }
 

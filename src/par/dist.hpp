@@ -3,18 +3,25 @@
 //
 // Geometry (and its octree) is replicated; the bin forest is partitioned by
 // patch ownership. Every rank generates and traces its share of each batch;
-// reflections landing on trees owned elsewhere are queued per destination and
-// exchanged in one all-to-all after the particle-tracing phase, then tallied
-// (and split) by the owner. Batch size adapts to the communication medium via
-// the engine's BatchController, agreed across ranks with an allreduce so
-// every rank stays in lockstep. `config.workers` sets the rank count.
+// reflections landing on trees owned elsewhere are serialized in place into
+// per-destination wire buffers (engine/sink.hpp's RouterSink) and exchanged
+// with a split-phase all-to-all: batch k's bytes drain while batch k+1
+// traces, and the incoming buffers are tallied by the owner one batch behind.
+// Batch size adapts to the communication medium via the engine's
+// BatchController, agreed across ranks with an allreduce so every rank stays
+// in lockstep. `config.workers` sets the rank count.
 #pragma once
 
 #include "engine/backend.hpp"
 
 namespace photon {
 
-// Runs the Fig 5.3 algorithm on `config.workers` MiniMPI ranks.
-RunResult run_distributed(const Scene& scene, const RunConfig& config);
+// Runs the Fig 5.3 algorithm on `config.workers` MiniMPI ranks. A `resume`
+// result (a loaded checkpoint from any backend) is folded into the
+// partitioned trees before tracing `config.photons` additional photons on a
+// disjoint block of the random sequence; the continuation is statistically
+// independent but not the bitwise continuation a serial resume guarantees.
+RunResult run_distributed(const Scene& scene, const RunConfig& config,
+                          const RunResult* resume = nullptr);
 
 }  // namespace photon

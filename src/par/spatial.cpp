@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <mutex>
-#include <sstream>
+#include <optional>
 
 #include "core/onb.hpp"
+#include "engine/sink.hpp"
 #include "engine/wire.hpp"
 #include "material/brdf.hpp"
 #include "mp/minimpi.hpp"
@@ -15,6 +16,15 @@ namespace photon {
 namespace {
 
 enum class SegmentEnd { kAbsorbed, kEscaped, kExitedRegion, kTerminated };
+
+// Message channels of the spatial exchange: photon migration is synchronous
+// (next round's tracing depends on it); record tallies ride one round behind
+// on their own tag so they drain while the next round traces; the tree
+// gather gets a third tag so its recv waits stay out of the record-path
+// overlap telemetry.
+constexpr int kTagPhotons = 0;
+constexpr int kTagRecords = 1;
+constexpr int kTagGather = 2;
 
 }  // namespace
 
@@ -121,14 +131,15 @@ namespace {
 
 // Traces `flight` inside `region` against the local octree until it is
 // absorbed, escapes the scene, exits the region, or trips the bounce guard.
+// Bounce records go straight into `sink` (a RouterSink: owned tallies apply
+// immediately, foreign ones serialize into the outgoing wire bytes).
 // `epsilon` is the tracer's scene-scaled surface nudge: paths must match the
 // full-octree reference bit for bit.
 SegmentEnd trace_segment(const Scene& scene, const Octree& local_tree,
                          std::span<const Patch> local_patches,
                          const std::vector<std::int32_t>& local_to_global, const Aabb& region,
                          const Aabb& root, const TraceLimits& limits, double epsilon,
-                         PhotonFlight& flight, std::vector<WireRecord>& records,
-                         TraceCounters& counters) {
+                         PhotonFlight& flight, BinSink& sink, TraceCounters& counters) {
   while (true) {
     if (flight.bounces >= limits.max_bounces) {
       ++counters.terminated;
@@ -176,9 +187,12 @@ SegmentEnd trace_segment(const Scene& scene, const Octree& local_tree,
     }
     flight.channel = scatter.channel;
 
-    records.push_back(make_wire_record(
-        global_patch, BinCoords::from_local_dir(hit.s, hit.t, scatter.dir), flight.channel,
-        hit.front));
+    BounceRecord rec;
+    rec.patch = global_patch;
+    rec.front = hit.front;
+    rec.coords = BinCoords::from_local_dir(hit.s, hit.t, scatter.dir);
+    rec.channel = static_cast<std::uint8_t>(flight.channel);
+    sink.record(rec);
     ++counters.bounces;
     ++flight.bounces;
 
@@ -190,8 +204,14 @@ SegmentEnd trace_segment(const Scene& scene, const Octree& local_tree,
 
 }  // namespace
 
-RunResult run_spatial(const Scene& scene, const RunConfig& config) {
+RunResult run_spatial(const Scene& scene, const RunConfig& config, const RunResult* resume) {
   const int nranks = std::max(config.workers, 1);
+  const std::uint64_t resume_emitted = resume ? resume->counters.emitted : 0;
+  // Photon ids continue where the checkpoint stopped: ids index disjoint RNG
+  // blocks, so the resumed leg is the exact continuation of the same global
+  // photon sequence.
+  const std::uint64_t first_photon = resume_emitted;
+  const std::uint64_t last_photon = resume_emitted + config.photons;
   RunResult result;
   result.regions = partition_space(scene, nranks);
   result.ranks.resize(static_cast<std::size_t>(nranks));
@@ -231,6 +251,11 @@ RunResult run_spatial(const Scene& scene, const RunConfig& config) {
     BinForest forest(scene.patch_count(), config.policy);
     const Emitter emitter(scene);
     forest.set_total_power(emitter.total_power());
+    if (resume) {
+      // Fold the checkpoint's owned trees into this rank's virgin partition
+      // (lossless — virgin trees adopt the checkpoint structure wholesale).
+      forest.merge_owned_trees(resume->forest, tree_owner, rank);
+    }
 
     RankReport report;
     report.local_patches = local_patches.size();
@@ -239,36 +264,32 @@ RunResult run_spatial(const Scene& scene, const RunConfig& config) {
     TraceCounters counters;
     ChannelCounts emitted{};
     std::vector<PhotonFlight> inbox;
-    std::uint64_t next_emission = static_cast<std::uint64_t>(rank);  // ids rank, rank+P, ...
+    std::uint64_t next_emission = first_photon + static_cast<std::uint64_t>(rank);
     std::uint64_t global_injected = 0;  // rank 0's running emission total
 
-    auto apply_record = [&](const WireRecord& wire) {
-      const BounceRecord rec = from_wire(wire);
-      forest.record(rec.patch, rec.front, rec.coords, rec.channel);
-      ++report.tallies;
+    // Owned records are tallied as they are produced; foreign records
+    // serialize straight into the outgoing bytes and ride one round behind
+    // the photon migration on their own tag (take() surrenders each round's
+    // bytes to the exchange and leaves the buffer refillable).
+    WireBuffer record_wire(P);
+    RouterSink sink(forest, tree_owner, rank, record_wire, report.tallies);
+    WireBuffer photon_wire(P);
+    std::optional<PendingExchange> pending_records;
+
+    const auto drain_records = [&](PendingExchange& exchange) {
+      const std::vector<Bytes> in_records = exchange.finish();
+      for (int s = 0; s < P; ++s) {
+        if (s == rank) continue;
+        sink.apply_incoming(in_records[static_cast<std::size_t>(s)]);
+      }
     };
 
     while (true) {
-      std::vector<std::vector<FlightWire>> photon_queues(static_cast<std::size_t>(P));
-      std::vector<std::vector<WireRecord>> record_queues(static_cast<std::size_t>(P));
-      std::vector<WireRecord> records;
-
-      auto route_record = [&](const WireRecord& rec) {
-        const int owner = tree_owner[static_cast<std::size_t>(rec.patch)];
-        if (owner == rank) {
-          apply_record(rec);
-        } else {
-          record_queues[static_cast<std::size_t>(owner)].push_back(rec);
-        }
-      };
-
       auto run_flight = [&](PhotonFlight flight) {
         ++report.segments_traced;
-        records.clear();
         const SegmentEnd end =
             trace_segment(scene, local_tree, local_patches, local_to_global, my_region, root,
-                          config.limits, epsilon, flight, records, counters);
-        for (const WireRecord& rec : records) route_record(rec);
+                          config.limits, epsilon, flight, sink, counters);
         if (end == SegmentEnd::kExitedRegion) {
           const int dest = region_of(result.regions, flight.pos);
           if (dest < 0) {
@@ -279,22 +300,22 @@ RunResult run_spatial(const Scene& scene, const RunConfig& config) {
             flight.pos += flight.dir * (10.0 * epsilon);
             const int retry = region_of(result.regions, flight.pos);
             if (retry >= 0 && retry != rank) {
-              photon_queues[static_cast<std::size_t>(retry)].push_back(to_wire(flight));
+              photon_wire.append(retry, to_wire(flight));
               ++report.photons_out;
             } else {
               ++counters.escaped;
             }
           } else {
-            photon_queues[static_cast<std::size_t>(dest)].push_back(to_wire(flight));
+            photon_wire.append(dest, to_wire(flight));
             ++report.photons_out;
           }
         }
       };
 
       // Inject a batch of fresh emissions (ids striped by rank so the union
-      // over ranks is exactly [0, photons)).
+      // over ranks is exactly [first_photon, last_photon)).
       std::uint64_t injected = 0;
-      while (injected < config.batch && next_emission < config.photons) {
+      while (injected < config.batch && next_emission < last_photon) {
         PhotonFlight flight;
         flight.rng = photon_stream(config.seed, next_emission);
         const EmissionSample emission = emitter.emit(flight.rng);
@@ -304,9 +325,12 @@ RunResult run_spatial(const Scene& scene, const RunConfig& config) {
         flight.dir = emission.dir;
         flight.channel = emission.channel;
 
-        route_record(make_wire_record(
-            emission.patch, BinCoords::from_local_dir(emission.s, emission.t, emission.dir_local),
-            emission.channel, true));
+        BounceRecord birth;
+        birth.patch = emission.patch;
+        birth.front = true;
+        birth.coords = BinCoords::from_local_dir(emission.s, emission.t, emission.dir_local);
+        birth.channel = static_cast<std::uint8_t>(emission.channel);
+        sink.record(birth);
 
         // The emission point may not even be in our region; route it like any
         // in-flight photon.
@@ -314,7 +338,7 @@ RunResult run_spatial(const Scene& scene, const RunConfig& config) {
         if (start_region == rank) {
           run_flight(std::move(flight));
         } else if (start_region >= 0) {
-          photon_queues[static_cast<std::size_t>(start_region)].push_back(to_wire(flight));
+          photon_wire.append(start_region, to_wire(flight));
           ++report.photons_out;
         } else {
           ++counters.escaped;
@@ -327,29 +351,27 @@ RunResult run_spatial(const Scene& scene, const RunConfig& config) {
       for (const PhotonFlight& f : inbox) run_flight(f);
       inbox.clear();
 
-      // Exchange photons and records.
-      std::vector<Bytes> out_photons(static_cast<std::size_t>(P));
-      std::vector<Bytes> out_records(static_cast<std::size_t>(P));
-      for (int d = 0; d < P; ++d) {
-        out_photons[static_cast<std::size_t>(d)] = pack_flights(photon_queues[static_cast<std::size_t>(d)]);
-        out_records[static_cast<std::size_t>(d)] = pack_records(record_queues[static_cast<std::size_t>(d)]);
-      }
-      const std::vector<Bytes> in_photons = comm.alltoall(std::move(out_photons));
-      const std::vector<Bytes> in_records = comm.alltoall(std::move(out_records));
+      // Photon migration is synchronous: next round's tracing needs it.
+      const std::vector<Bytes> in_photons =
+          comm.alltoall(photon_wire.take(), kTagPhotons);
       for (int s = 0; s < P; ++s) {
-        for (const FlightWire& w : unpack_flights(in_photons[static_cast<std::size_t>(s)])) {
-          inbox.push_back(from_wire(w));
-          ++report.photons_in;
-        }
-        for (const WireRecord& rec : unpack_records(in_records[static_cast<std::size_t>(s)])) {
-          apply_record(rec);
-        }
+        for_each_wire<FlightWire>(in_photons[static_cast<std::size_t>(s)],
+                                  [&](const FlightWire& w) {
+                                    inbox.push_back(from_wire(w));
+                                    ++report.photons_in;
+                                  });
       }
+
+      // Records overlap one full round: the batch posted last round drained
+      // while this round traced — tally it now, then post this round's batch.
+      if (pending_records) drain_records(*pending_records);
+      pending_records.emplace(comm.alltoall_start(record_wire.take(), kTagRecords));
+      ++report.rounds;
 
       // Terminate when no photons are in flight and all emissions are done.
       const std::uint64_t remaining =
-          next_emission < config.photons
-              ? (config.photons - next_emission + static_cast<std::uint64_t>(P) - 1) /
+          next_emission < last_photon
+              ? (last_photon - next_emission + static_cast<std::uint64_t>(P) - 1) /
                     static_cast<std::uint64_t>(P)
               : 0;
       const std::uint64_t active =
@@ -367,41 +389,38 @@ RunResult run_spatial(const Scene& scene, const RunConfig& config) {
       if (active == 0) break;
     }
 
-    // Gather owned trees and totals on rank 0 (same protocol as par/dist).
+    // The last round's records are still in flight; every rank left the loop
+    // on the same round, so the drain matches the pending sends exactly.
+    if (pending_records) drain_records(*pending_records);
+
+    // Gather owned trees and totals on rank 0 (binary frames, same protocol
+    // as par/dist).
     ChannelCounts total_emitted{};
     for (int c = 0; c < kNumChannels; ++c) {
       total_emitted[static_cast<std::size_t>(c)] =
           comm.allreduce_sum_u64(emitted[static_cast<std::size_t>(c)]);
     }
     if (rank != 0) {
-      std::ostringstream buf(std::ios::binary);
-      for (std::size_t p = 0; p < scene.patch_count(); ++p) {
-        if (tree_owner[p] != rank) continue;
-        for (int side = 0; side < 2; ++side) {
-          const std::int32_t idx = static_cast<std::int32_t>(2 * p) + side;
-          buf.write(reinterpret_cast<const char*>(&idx), sizeof(idx));
-          forest.tree_at(idx).save(buf);
-        }
-      }
-      const std::string str = buf.str();
-      comm.send(0, Bytes(str.begin(), str.end()));
+      comm.send(0, forest.pack_owned_trees(tree_owner, rank), kTagGather);
     } else {
       for (int src = 1; src < P; ++src) {
-        const Bytes buf = comm.recv(src);
-        std::istringstream in(std::string(buf.begin(), buf.end()), std::ios::binary);
-        std::int32_t idx = 0;
-        while (in.read(reinterpret_cast<char*>(&idx), sizeof(idx))) {
-          forest.replace_tree(idx, BinTree::load(in));
-        }
+        forest.replace_framed_trees(comm.recv(src, kTagGather));
       }
       for (int c = 0; c < kNumChannels; ++c) {
         forest.add_emitted(c, total_emitted[static_cast<std::size_t>(c)]);
+        if (resume) forest.add_emitted(c, resume->forest.emitted(c));
       }
     }
 
+    report.sent_bytes = comm.bytes_sent();
+    report.sent_messages = comm.messages_sent();
+    // Record-exchange waits only (the overlap metric): photon migration is
+    // synchronous by design and the gather rides its own tag.
+    report.wait_seconds = comm.wait_seconds(kTagRecords);
+
     {
       std::lock_guard<std::mutex> lock(result_mutex);
-      result.ranks[static_cast<std::size_t>(rank)] = report;
+      result.ranks[static_cast<std::size_t>(rank)] = std::move(report);
       result.counters += counters;
       if (rank == 0) {
         result.forest = std::move(forest);
@@ -414,6 +433,7 @@ RunResult run_spatial(const Scene& scene, const RunConfig& config) {
     }
   });
 
+  if (resume) result.counters += resume->counters;
   return result;
 }
 

@@ -43,7 +43,11 @@ int region_of(const std::vector<Aabb>& regions, const Vec3& p);
 Lcg48 photon_stream(std::uint64_t seed, std::uint64_t photon_index);
 
 // Runs the distributed-geometry simulation on `config.workers` MiniMPI ranks.
-RunResult run_spatial(const Scene& scene, const RunConfig& config);
+// A `resume` result (a loaded checkpoint) is folded into the partitioned
+// trees, and photon ids continue where the checkpoint stopped — the resumed
+// leg draws the exact continuation of the same global per-photon streams.
+RunResult run_spatial(const Scene& scene, const RunConfig& config,
+                      const RunResult* resume = nullptr);
 
 // Reference implementation: traces the same per-photon streams against the
 // full (replicated) octree. run_spatial must reproduce its per-patch tallies.

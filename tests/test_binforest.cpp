@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstring>
 #include <sstream>
+#include <stdexcept>
 
 #include "core/rng.hpp"
 #include "core/sampling.hpp"
@@ -169,6 +172,110 @@ TEST(BinForest, ReplaceTree) {
   replacement.record(coords(0.5, 0.5, 0.5, 1), 2);
   f.replace_tree(BinForest::tree_index(1, true), std::move(replacement));
   EXPECT_EQ(f.tree(1, true).total_tally(2), 1u);
+}
+
+// Populates `f` with `n` random records drawn from `rng` and matching
+// emission counts.
+void populate(BinForest& f, Lcg48& rng, int n) {
+  for (int i = 0; i < n; ++i) {
+    const int channel = static_cast<int>(rng.uniform_int(3));
+    f.record(static_cast<int>(rng.uniform_int(f.patch_count())), rng.uniform() < 0.5,
+             coords(rng.uniform(), rng.uniform(), rng.uniform(), rng.uniform() * kTwoPi),
+             channel);
+    f.add_emitted(channel);
+  }
+}
+
+TEST(BinForestMerge, ConservesEveryTallyAndEmission) {
+  // The distributed-resume primitive: folding B into A must conserve every
+  // channel's total tally and emission count exactly — no photon gained or
+  // lost, whatever the two tree structures look like.
+  Lcg48 rng(99);
+  for (int trial = 0; trial < 5; ++trial) {
+    BinForest a(5), b(5);
+    populate(a, rng, 4000);
+    populate(b, rng, 2500);
+
+    std::array<std::uint64_t, 3> expect_tally{}, expect_emitted{};
+    for (int c = 0; c < 3; ++c) {
+      expect_tally[static_cast<std::size_t>(c)] = a.total_tally(c) + b.total_tally(c);
+      expect_emitted[static_cast<std::size_t>(c)] = a.emitted(c) + b.emitted(c);
+    }
+    a.merge(b);
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_EQ(a.total_tally(c), expect_tally[static_cast<std::size_t>(c)])
+          << "trial " << trial << " channel " << c;
+      EXPECT_EQ(a.emitted(c), expect_emitted[static_cast<std::size_t>(c)])
+          << "trial " << trial << " channel " << c;
+    }
+  }
+}
+
+TEST(BinForestMerge, IntoVirginForestIsLossless) {
+  // Folding a checkpoint into a fresh partitioned forest must preserve the
+  // refined structure exactly, not collapse it to root bins.
+  Lcg48 rng(3);
+  BinForest checkpoint(4);
+  populate(checkpoint, rng, 6000);
+  checkpoint.set_total_power({2, 2, 2});
+
+  BinForest fresh(4);
+  fresh.merge(checkpoint);
+  EXPECT_TRUE(fresh == checkpoint);
+  EXPECT_EQ(fresh.total_power().r, 2.0);
+}
+
+TEST(BinForestMerge, MergedTreeKeepsRefining) {
+  // After a merge the speculative split counters carry the combined evidence:
+  // recording into the merged tree must still be able to split leaves.
+  Lcg48 rng(11);
+  BinForest a(1), b(1);
+  populate(a, rng, 500);
+  populate(b, rng, 500);
+  a.merge(b);
+  const std::uint64_t nodes_before = a.total_nodes();
+  populate(a, rng, 4000);
+  EXPECT_GT(a.total_nodes(), nodes_before);
+}
+
+TEST(BinForestMerge, RejectsMismatchedForests) {
+  BinForest a(2), b(3);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(BinForest, FramedTreeRoundTrip) {
+  // The gather path's binary framing: selected trees travel as
+  // [idx][BinTree bytes] frames and land via replace_framed_trees.
+  Lcg48 rng(42);
+  BinForest src(4);
+  populate(src, rng, 5000);
+
+  Bytes buf;
+  src.append_framed_tree(buf, 2);
+  src.append_framed_tree(buf, 5);
+  src.append_framed_tree(buf, 7);
+
+  BinForest dst(4);
+  dst.replace_framed_trees(buf);
+  EXPECT_TRUE(dst.tree_at(2) == src.tree_at(2));
+  EXPECT_TRUE(dst.tree_at(5) == src.tree_at(5));
+  EXPECT_TRUE(dst.tree_at(7) == src.tree_at(7));
+  EXPECT_EQ(dst.tree_at(0).total_tally(0) + dst.tree_at(0).total_tally(1) +
+                dst.tree_at(0).total_tally(2),
+            0u);
+}
+
+TEST(BinForest, FramedTreeRejectsCorruptBuffers) {
+  BinForest f(2);
+  Bytes buf;
+  f.append_framed_tree(buf, 1);
+  Bytes truncated(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(buf.size() - 7));
+  EXPECT_THROW(f.replace_framed_trees(truncated), std::runtime_error);
+
+  Bytes bad_index = buf;
+  const std::int32_t idx = 99;
+  std::memcpy(bad_index.data(), &idx, sizeof(idx));
+  EXPECT_THROW(f.replace_framed_trees(bad_index), std::runtime_error);
 }
 
 }  // namespace

@@ -298,5 +298,17 @@ TEST(BinTree, CountEstimateUsesLeafMeasure) {
   EXPECT_NEAR(est.measure, kTwoPi, 1e-5);
 }
 
+TEST(BinTree, DegenerateZeroPolicyDoesNotExplode) {
+  // A (mis)configured min_count = max_leaf_count = 0 must not divide 0/0 in
+  // the split redistribution or split recursively on the first record.
+  SplitPolicy policy;
+  policy.min_count = 0;
+  policy.max_leaf_count = 0;
+  BinTree tree(policy);
+  for (int i = 0; i < 100; ++i) tree.record(coords(0.3, 0.6, 0.2, 2.0), 1);
+  EXPECT_EQ(tree.total_tally(1), 100u);
+  EXPECT_LT(tree.node_count(), 1000u);
+}
+
 }  // namespace
 }  // namespace photon

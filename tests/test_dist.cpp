@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <tuple>
 
 #include "geom/scenes.hpp"
 #include "sim/simulator.hpp"
@@ -186,6 +187,81 @@ TEST(DistSim, GatheredForestIsComplete) {
                                                [](std::uint64_t t) { return t > 0; }));
   EXPECT_GT(nonzero, s.patch_count() / 2);
   EXPECT_FALSE(r.trace.points.empty());
+}
+
+// Determinism through the RouterSink/overlap path: rank count x batch size
+// (the exchange threshold) must never make a run irreproducible.
+class DistDeterminismTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(DistDeterminismTest, RepeatedRunsAreBitwiseIdentical) {
+  const auto [P, batch] = GetParam();
+  const Scene s = scenes::cornell_box();
+  RunConfig cfg;
+  cfg.photons = 600;
+  cfg.adapt_batch = false;
+  cfg.batch = batch;
+  cfg.workers = P;
+  const RunResult a = run_distributed(s, cfg);
+  const RunResult b = run_distributed(s, cfg);
+  EXPECT_TRUE(a.forest == b.forest) << "P=" << P << " batch=" << batch;
+  EXPECT_EQ(a.counters.bounces, b.counters.bounces);
+}
+
+INSTANTIATE_TEST_SUITE_P(RanksAndBatches, DistDeterminismTest,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(1u, 64u, 4096u)));
+
+class DistSerialEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DistSerialEquivalenceTest, OneRankIsBitwiseSerialAtAnyBatch) {
+  // The acceptance bar for the zero-copy/overlap rework: dist@1 stays
+  // bitwise identical to serial at every exchange threshold.
+  const Scene s = scenes::cornell_box();
+  RunConfig cfg;
+  cfg.photons = 1500;
+  cfg.adapt_batch = false;
+  cfg.batch = GetParam();
+  cfg.workers = 1;
+  const RunResult dist = run_distributed(s, cfg);
+
+  RunConfig sc;
+  sc.photons = cfg.photons;
+  sc.seed = cfg.seed;
+  sc.rank = 0;
+  sc.nranks = 1;
+  const RunResult serial = run_serial(s, sc);
+  EXPECT_TRUE(dist.forest == serial.forest) << "batch=" << cfg.batch;
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, DistSerialEquivalenceTest,
+                         ::testing::Values(1u, 64u, 4096u));
+
+TEST(DistSim, ResumeConservesAndReproduces) {
+  // Distributed resume: the checkpoint's trees fold into the partitions
+  // (BinForest/BinTree merge) and the continuation adds exactly
+  // config.photons more photons on a disjoint stream.
+  const Scene s = scenes::cornell_box();
+  RunConfig leg1_cfg;
+  leg1_cfg.photons = 2000;
+  leg1_cfg.adapt_batch = false;
+  leg1_cfg.batch = 500;
+  leg1_cfg.workers = 4;
+  const RunResult leg1 = run_distributed(s, leg1_cfg);
+
+  RunConfig leg2_cfg = leg1_cfg;
+  leg2_cfg.photons = 1000;
+  const RunResult resumed = run_distributed(s, leg2_cfg, &leg1);
+  const RunResult resumed_again = run_distributed(s, leg2_cfg, &leg1);
+
+  EXPECT_EQ(resumed.forest.emitted_total(), 3000u);
+  EXPECT_EQ(resumed.counters.emitted, 3000u);
+  // Every tally of both legs survives the fold (merge conserves counts).
+  std::uint64_t leg2_records = 0;
+  for (const RankReport& rep : resumed.ranks) leg2_records += rep.processed;
+  EXPECT_EQ(resumed.forest.total_tally_all(),
+            leg1.forest.total_tally_all() + leg2_records);
+  EXPECT_TRUE(resumed.forest == resumed_again.forest);
 }
 
 TEST(DistSim, SingleRankDegeneratesToSerial) {

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 namespace photon {
 namespace {
@@ -155,6 +157,123 @@ TEST_P(MiniMpiTest, TrafficCountersExcludeSelf) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RankCounts, MiniMpiTest, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST_P(MiniMpiTest, TagsKeepStreamsSeparate) {
+  // A send on one tag must never be received on another: post photon-style
+  // traffic on tag 0 and record-style traffic on tag 1 in interleaved order,
+  // then drain them in the opposite order.
+  const int P = GetParam();
+  if (P < 2) GTEST_SKIP();
+  run_world(P, [&](Comm& comm) {
+    const int next = (comm.rank() + 1) % P;
+    const int prev = (comm.rank() + P - 1) % P;
+    comm.send(next, make_payload(comm.rank(), next, 100), 0);
+    comm.send(next, make_payload(comm.rank(), next, 200), 1);
+    int tag = -1;
+    const Bytes rec = comm.recv(prev, 1);  // drain tag 1 first
+    std::memcpy(&tag, rec.data() + 8, 4);
+    EXPECT_EQ(tag, 200);
+    const Bytes photon = comm.recv(prev, 0);
+    std::memcpy(&tag, photon.data() + 8, 4);
+    EXPECT_EQ(tag, 100);
+  });
+}
+
+TEST_P(MiniMpiTest, SplitPhaseAlltoallDeliversEverything) {
+  const int P = GetParam();
+  run_world(P, [&](Comm& comm) {
+    std::vector<Bytes> out(static_cast<std::size_t>(P));
+    for (int d = 0; d < P; ++d) out[static_cast<std::size_t>(d)] = make_payload(comm.rank(), d);
+    PendingExchange pending = comm.alltoall_start(std::move(out));
+    // Simulated compute between start and finish.
+    comm.barrier();
+    const std::vector<Bytes> in = pending.finish();
+    ASSERT_EQ(in.size(), static_cast<std::size_t>(P));
+    for (int s = 0; s < P; ++s) {
+      int src = -1, dst = -1;
+      std::memcpy(&src, in[static_cast<std::size_t>(s)].data(), 4);
+      std::memcpy(&dst, in[static_cast<std::size_t>(s)].data() + 4, 4);
+      EXPECT_EQ(src, s);
+      EXPECT_EQ(dst, comm.rank());
+    }
+  });
+}
+
+TEST_P(MiniMpiTest, OverlappedExchangesDrainInOrder) {
+  // Two exchanges in flight on the same tag finish in FIFO order.
+  const int P = GetParam();
+  run_world(P, [&](Comm& comm) {
+    std::vector<Bytes> round1(static_cast<std::size_t>(P)), round2(static_cast<std::size_t>(P));
+    for (int d = 0; d < P; ++d) {
+      round1[static_cast<std::size_t>(d)] = make_payload(comm.rank(), d, 1);
+      round2[static_cast<std::size_t>(d)] = make_payload(comm.rank(), d, 2);
+    }
+    PendingExchange first = comm.alltoall_start(std::move(round1));
+    PendingExchange second = comm.alltoall_start(std::move(round2));
+    int tag = -1;
+    for (const Bytes& b : first.finish()) {
+      std::memcpy(&tag, b.data() + 8, 4);
+      EXPECT_EQ(tag, 1);
+    }
+    for (const Bytes& b : second.finish()) {
+      std::memcpy(&tag, b.data() + 8, 4);
+      EXPECT_EQ(tag, 2);
+    }
+  });
+}
+
+TEST(MiniMpi, FinishTwiceThrows) {
+  run_world(2, [](Comm& comm) {
+    PendingExchange pending = comm.alltoall_start(std::vector<Bytes>(2));
+    pending.finish();
+    EXPECT_THROW(pending.finish(), std::logic_error);
+  });
+}
+
+TEST(MiniMpi, TagOutOfRangeThrows) {
+  run_world(1, [](Comm& comm) {
+    EXPECT_THROW(comm.send(0, Bytes(), kNumTags), std::invalid_argument);
+    EXPECT_THROW(comm.recv(0, -1), std::invalid_argument);
+  });
+}
+
+TEST(MiniMpi, WaitSecondsCountsBlockedRecv) {
+  // Rank 1 blocks in recv (on tag 1) while rank 0 sleeps before sending: the
+  // wait clock must record the block, attributed to the waited-on tag only.
+  // The flag + sleep keeps the assertion off a scheduler race: rank 0 only
+  // starts its sleep once rank 1 is at most a few instructions from recv, so
+  // any nonzero wait is expected and asserted as > 0 (not a duration bound).
+  double waited = -1.0, waited_other_tag = -1.0, unwaited = -1.0;
+  std::atomic<bool> receiver_ready{false};
+  run_world(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      while (!receiver_ready.load()) std::this_thread::yield();
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      comm.send(1, Bytes(8), 1);
+    } else {
+      receiver_ready.store(true);
+      comm.recv(0, 1);
+      waited = comm.wait_seconds(1);
+      waited_other_tag = comm.wait_seconds(0);
+    }
+  });
+  EXPECT_GT(waited, 0.0);
+  EXPECT_DOUBLE_EQ(waited_other_tag, 0.0);
+
+  // A pre-delivered message costs nothing: the barrier orders rank 0's send
+  // before rank 1's recv, so the fast path adds exactly zero wait.
+  run_world(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, Bytes(8));
+      comm.barrier();
+    } else {
+      comm.barrier();  // after the barrier the message is certainly delivered
+      comm.recv(0);
+      unwaited = comm.wait_seconds();
+    }
+  });
+  EXPECT_DOUBLE_EQ(unwaited, 0.0);
+}
 
 TEST(MiniMpi, ExceptionPropagates) {
   EXPECT_THROW(run_world(2,

@@ -4,6 +4,7 @@
 
 #include <numeric>
 #include <set>
+#include <tuple>
 
 #include "geom/scenes.hpp"
 
@@ -180,6 +181,72 @@ TEST(SpatialSim, SingleRankIsTheReference) {
   const RunResult reference = run_photon_streams(s, cfg);
   const auto a = spatial.forest.patch_tallies();
   const auto b = reference.forest.patch_tallies();
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    EXPECT_EQ(a[p], b[p]) << "patch " << p;
+  }
+}
+
+// Determinism through the RouterSink/overlapped-record path: rank count x
+// injection batch size must never make a run irreproducible.
+class SpatialDeterminismTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(SpatialDeterminismTest, RepeatedRunsAreBitwiseIdentical) {
+  const auto [P, batch] = GetParam();
+  const Scene s = scenes::cornell_box();
+  RunConfig cfg;
+  cfg.photons = 600;
+  cfg.batch = batch;
+  cfg.workers = P;
+  const RunResult a = run_spatial(s, cfg);
+  const RunResult b = run_spatial(s, cfg);
+  EXPECT_TRUE(a.forest == b.forest) << "P=" << P << " batch=" << batch;
+  EXPECT_EQ(a.counters.bounces, b.counters.bounces);
+}
+
+INSTANTIATE_TEST_SUITE_P(RanksAndBatches, SpatialDeterminismTest,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(1u, 64u, 4096u)));
+
+TEST(SpatialSim, OneRankIsBitwiseReferenceAtAnyBatch) {
+  for (const std::uint64_t batch : {1ull, 64ull, 4096ull}) {
+    const Scene s = scenes::cornell_box();
+    RunConfig cfg;
+    cfg.photons = 1000;
+    cfg.batch = batch;
+    cfg.workers = 1;
+    const RunResult spatial = run_spatial(s, cfg);
+    const RunResult reference = run_photon_streams(s, cfg);
+    EXPECT_TRUE(spatial.forest == reference.forest) << "batch=" << batch;
+  }
+}
+
+TEST(SpatialSim, ResumeContinuesThePhotonSequence) {
+  // Spatial resume continues the per-photon id sequence, so leg1 + resumed
+  // leg2 must reproduce a straight run of the combined budget exactly
+  // (per-patch tallies are conserved by the merge fold and paths are
+  // id-deterministic).
+  const Scene s = scenes::cornell_box();
+  RunConfig leg1_cfg;
+  leg1_cfg.photons = 1500;
+  leg1_cfg.batch = 250;
+  leg1_cfg.workers = 4;
+  const RunResult leg1 = run_spatial(s, leg1_cfg);
+
+  RunConfig leg2_cfg = leg1_cfg;
+  leg2_cfg.photons = 1500;
+  const RunResult resumed = run_spatial(s, leg2_cfg, &leg1);
+
+  RunConfig straight_cfg = leg1_cfg;
+  straight_cfg.photons = 3000;
+  const RunResult straight = run_spatial(s, straight_cfg);
+
+  EXPECT_EQ(resumed.counters.emitted, straight.counters.emitted);
+  EXPECT_EQ(resumed.counters.bounces, straight.counters.bounces);
+  EXPECT_EQ(resumed.forest.emitted_total(), 3000u);
+  const auto a = resumed.forest.patch_tallies();
+  const auto b = straight.forest.patch_tallies();
+  ASSERT_EQ(a.size(), b.size());
   for (std::size_t p = 0; p < a.size(); ++p) {
     EXPECT_EQ(a[p], b[p]) << "patch " << p;
   }

@@ -1,0 +1,165 @@
+// WireBuffer / RouterSink contracts: records serialized in place into the
+// per-destination byte buffers must round-trip bit for bit against the legacy
+// vector-staged pack/unpack path, and the router must tally owned records
+// locally while forwarding foreign ones untouched.
+#include "engine/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "engine/sink.hpp"
+
+namespace photon {
+namespace {
+
+WireRecord random_record(Lcg48& rng, int n_patches) {
+  WireRecord w;
+  w.patch = static_cast<std::int32_t>(rng.uniform_int(static_cast<std::uint64_t>(n_patches)));
+  w.s = static_cast<float>(rng.uniform());
+  w.t = static_cast<float>(rng.uniform());
+  w.u = static_cast<float>(rng.uniform());
+  w.theta = static_cast<float>(rng.uniform() * kTwoPi);
+  w.channel = static_cast<std::uint8_t>(rng.uniform_int(3));
+  w.front = static_cast<std::uint8_t>(rng.uniform_int(2));
+  return w;
+}
+
+FlightWire random_flight(Lcg48& rng) {
+  FlightWire f{};
+  f.px = rng.uniform();
+  f.py = rng.uniform();
+  f.pz = rng.uniform();
+  f.dx = rng.uniform() * 2 - 1;
+  f.dy = rng.uniform() * 2 - 1;
+  f.dz = rng.uniform() * 2 - 1;
+  f.rng_state = rng.next_bits();
+  f.bounces = static_cast<std::int32_t>(rng.uniform_int(100));
+  f.channel = static_cast<std::uint8_t>(rng.uniform_int(3));
+  f.pol_s = static_cast<float>(rng.uniform());
+  return f;
+}
+
+TEST(WireBuffer, RoundTripsRecordsAgainstLegacyPack) {
+  // Fuzz: the in-place append must produce byte-identical buffers to the
+  // vector-staged pack_records it replaces, for every destination.
+  Lcg48 rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int P = 1 + static_cast<int>(rng.uniform_int(7));
+    WireBuffer wire(P);
+    std::vector<std::vector<WireRecord>> staged(static_cast<std::size_t>(P));
+    const int n = static_cast<int>(rng.uniform_int(400));
+    for (int i = 0; i < n; ++i) {
+      const int dest = static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(P)));
+      const WireRecord w = random_record(rng, 64);
+      wire.append(dest, w);
+      staged[static_cast<std::size_t>(dest)].push_back(w);
+    }
+    for (int d = 0; d < P; ++d) {
+      const Bytes legacy = pack_records(staged[static_cast<std::size_t>(d)]);
+      EXPECT_EQ(wire.buffer(d), legacy) << "trial " << trial << " dest " << d;
+      // And the zero-copy walk sees exactly the staged sequence.
+      std::size_t i = 0;
+      for_each_wire<WireRecord>(wire.buffer(d), [&](const WireRecord& got) {
+        ASSERT_LT(i, staged[static_cast<std::size_t>(d)].size());
+        EXPECT_EQ(0, std::memcmp(&got, &staged[static_cast<std::size_t>(d)][i],
+                                 sizeof(WireRecord)));
+        ++i;
+      });
+      EXPECT_EQ(i, staged[static_cast<std::size_t>(d)].size());
+    }
+  }
+}
+
+TEST(WireBuffer, RoundTripsFlightsAgainstLegacyPack) {
+  Lcg48 rng(77);
+  WireBuffer wire(3);
+  std::vector<FlightWire> staged;
+  for (int i = 0; i < 257; ++i) {
+    const FlightWire f = random_flight(rng);
+    wire.append(1, f);
+    staged.push_back(f);
+  }
+  EXPECT_EQ(wire.buffer(1), pack_flights(staged));
+  const std::vector<FlightWire> back = unpack_flights(wire.buffer(1));
+  ASSERT_EQ(back.size(), staged.size());
+  for (std::size_t i = 0; i < staged.size(); ++i) {
+    EXPECT_EQ(0, std::memcmp(&back[i], &staged[i], sizeof(FlightWire)));
+  }
+}
+
+TEST(WireBuffer, TakeSurrendersAndResets) {
+  WireBuffer wire(2);
+  wire.append(0, WireRecord{});
+  wire.append(1, WireRecord{});
+  wire.append(1, WireRecord{});
+  EXPECT_FALSE(wire.empty());
+  EXPECT_EQ(wire.total_bytes(), 3 * sizeof(WireRecord));
+
+  const std::vector<Bytes> out = wire.take();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].size(), sizeof(WireRecord));
+  EXPECT_EQ(out[1].size(), 2 * sizeof(WireRecord));
+  EXPECT_TRUE(wire.empty());
+  EXPECT_EQ(wire.destinations(), 2);
+  wire.append(0, WireRecord{});  // usable immediately after take()
+  EXPECT_EQ(wire.total_bytes(), sizeof(WireRecord));
+}
+
+TEST(RouterSink, RoutesOwnedLocallyAndForeignToWire) {
+  const int n_patches = 6;
+  BinForest forest(n_patches);
+  const std::vector<int> owner = {0, 1, 2, 0, 1, 2};
+  WireBuffer wire(3);
+  std::uint64_t applied = 0;
+  RouterSink sink(forest, owner, /*rank=*/1, wire, applied);
+
+  Lcg48 rng(5);
+  std::uint64_t local = 0;
+  std::vector<std::uint64_t> foreign(3, 0);
+  for (int i = 0; i < 1000; ++i) {
+    const WireRecord w = random_record(rng, n_patches);
+    sink.record(from_wire(w));
+    const int o = owner[static_cast<std::size_t>(w.patch)];
+    if (o == 1) {
+      ++local;
+    } else {
+      ++foreign[static_cast<std::size_t>(o)];
+    }
+  }
+  EXPECT_EQ(applied, local);
+  EXPECT_EQ(forest.total_tally_all(), local);
+  EXPECT_TRUE(wire.buffer(1).empty());  // never routes to self
+  EXPECT_EQ(wire_count<WireRecord>(wire.buffer(0)), foreign[0]);
+  EXPECT_EQ(wire_count<WireRecord>(wire.buffer(2)), foreign[2]);
+
+  // Applying a foreign buffer on its owner tallies every record exactly once.
+  BinForest other(n_patches);
+  std::uint64_t other_applied = 0;
+  RouterSink other_sink(other, owner, /*rank=*/0, wire, other_applied);
+  other_sink.apply_incoming(wire.buffer(0));
+  EXPECT_EQ(other_applied, foreign[0]);
+  EXPECT_EQ(other.total_tally_all(), foreign[0]);
+}
+
+TEST(RouterSink, KeepsRoutingIntoTheBufferAfterTake) {
+  // The overlap contract: take() hands batch k to the exchange and the sink
+  // keeps serializing batch k+1 into the same (now empty) WireBuffer.
+  BinForest forest(2);
+  const std::vector<int> owner = {1, 1};
+  WireBuffer wire(2);
+  std::uint64_t applied = 0;
+  RouterSink sink(forest, owner, /*rank=*/0, wire, applied);
+  sink.record(BounceRecord{.patch = 0});
+  const std::vector<Bytes> batch_k = wire.take();
+  sink.record(BounceRecord{.patch = 1});
+  sink.record(BounceRecord{.patch = 1});
+  EXPECT_EQ(batch_k[1].size(), sizeof(WireRecord));
+  EXPECT_EQ(wire_count<WireRecord>(wire.buffer(1)), 2u);
+  EXPECT_EQ(applied, 0u);
+}
+
+}  // namespace
+}  // namespace photon
