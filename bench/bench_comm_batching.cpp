@@ -138,37 +138,25 @@ Row run_backend(const Scene& scene, const std::string& scene_name,
   return best;
 }
 
-void write_json(std::FILE* f, const std::string& label, std::uint64_t photons,
-                std::uint64_t batch, const std::vector<Row>& rows) {
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"comm\",\n");
-  std::fprintf(f, "  \"label\": \"%s\",\n", benchutil::json_escape(label).c_str());
-  std::fprintf(f, "  \"photons_requested\": %llu,\n",
-               static_cast<unsigned long long>(photons));
-  std::fprintf(f, "  \"batch\": %llu,\n", static_cast<unsigned long long>(batch));
-  std::fprintf(f, "  \"runs\": [\n");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
-    std::fprintf(f,
-                 "    {\"scene\": \"%s\", \"backend\": \"%s\", \"ranks\": %d, "
-                 "\"photons\": %llu, \"wall_s\": %.6f, \"photons_per_sec\": %.1f, "
-                 "\"sent_bytes\": %llu, \"bytes_per_photon\": %.2f, "
-                 "\"messages\": %llu, \"rounds\": %llu, \"messages_per_batch\": %.2f, "
-                 "\"wait_seconds\": %.6f, \"overlap_pct\": %.2f}%s\n",
-                 r.scene.c_str(), r.backend.c_str(), r.ranks,
-                 static_cast<unsigned long long>(r.photons), r.wall_s, r.photons_per_sec,
-                 static_cast<unsigned long long>(r.sent_bytes),
-                 r.photons ? static_cast<double>(r.sent_bytes) /
-                                 static_cast<double>(r.photons)
-                           : 0.0,
-                 static_cast<unsigned long long>(r.messages),
-                 static_cast<unsigned long long>(r.rounds),
-                 r.rounds ? static_cast<double>(r.messages) / static_cast<double>(r.rounds)
+std::string row_json(const Row& r) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\"scene\": \"%s\", \"backend\": \"%s\", \"ranks\": %d, "
+                "\"photons\": %llu, \"wall_s\": %.6f, \"photons_per_sec\": %.1f, "
+                "\"sent_bytes\": %llu, \"bytes_per_photon\": %.2f, "
+                "\"messages\": %llu, \"rounds\": %llu, \"messages_per_batch\": %.2f, "
+                "\"wait_seconds\": %.6f, \"overlap_pct\": %.2f}",
+                r.scene.c_str(), r.backend.c_str(), r.ranks,
+                static_cast<unsigned long long>(r.photons), r.wall_s, r.photons_per_sec,
+                static_cast<unsigned long long>(r.sent_bytes),
+                r.photons ? static_cast<double>(r.sent_bytes) / static_cast<double>(r.photons)
                           : 0.0,
-                 r.wait_seconds, r.overlap_pct, i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n");
-  std::fprintf(f, "}\n");
+                static_cast<unsigned long long>(r.messages),
+                static_cast<unsigned long long>(r.rounds),
+                r.rounds ? static_cast<double>(r.messages) / static_cast<double>(r.rounds)
+                         : 0.0,
+                r.wait_seconds, r.overlap_pct);
+  return buf;
 }
 
 }  // namespace
@@ -194,17 +182,8 @@ int main(int argc, char** argv) {
               "B/photon", "msg/batch", "wait_s", "overlap%");
   benchutil::rule();
 
-  struct SceneSpec {
-    const char* name;
-    Scene scene;
-  };
-  std::vector<SceneSpec> specs;
-  specs.push_back({"cornell", scenes::cornell_box()});
-  specs.push_back({"harpsichord", scenes::harpsichord_room()});
-  specs.push_back({"lab", scenes::computer_lab()});
-
   std::vector<Row> rows;
-  for (const SceneSpec& spec : specs) {
+  for (const benchutil::NamedScene& spec : benchutil::bundled_scenes()) {
     for (const char* backend : {"dist-particle", "dist-spatial"}) {
       for (const int P : {2, 4, 8}) {
         const Row row =
@@ -223,13 +202,16 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::FILE* f = std::fopen(out.c_str(), "w");
-  if (!f) {
-    std::fprintf(stderr, "error: cannot write '%s'\n", out.c_str());
-    return 1;
-  }
-  write_json(f, label, photons, batch, rows);
-  std::fclose(f);
-  std::printf("\nwrote %s (label=%s)\n", out.c_str(), label.c_str());
-  return 0;
+  std::vector<std::string> row_strings;
+  row_strings.reserve(rows.size());
+  for (const Row& r : rows) row_strings.push_back(row_json(r));
+  char photons_field[64], batch_field[64];
+  std::snprintf(photons_field, sizeof(photons_field), "\"photons_requested\": %llu",
+                static_cast<unsigned long long>(photons));
+  std::snprintf(batch_field, sizeof(batch_field), "\"batch\": %llu",
+                static_cast<unsigned long long>(batch));
+  return benchutil::write_json_artifact(out, "comm", label, {photons_field, batch_field},
+                                        row_strings)
+             ? 0
+             : 1;
 }

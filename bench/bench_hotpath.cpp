@@ -18,7 +18,7 @@
 
 #include "bench_util.hpp"
 #include "engine/backend.hpp"
-#include "geom/scenes.hpp"
+#include "geom/octree.hpp"
 
 namespace {
 
@@ -65,30 +65,19 @@ Row run_one(const Scene& scene, const std::string& scene_name, const std::string
   return row;
 }
 
-void write_json(std::FILE* f, const std::string& label, std::uint64_t photons,
-                const std::vector<Row>& rows) {
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"hotpath\",\n");
-  std::fprintf(f, "  \"label\": \"%s\",\n", benchutil::json_escape(label).c_str());
-  std::fprintf(f, "  \"photons_requested\": %llu,\n",
-               static_cast<unsigned long long>(photons));
-  std::fprintf(f, "  \"runs\": [\n");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
-    std::fprintf(f,
-                 "    {\"scene\": \"%s\", \"backend\": \"%s\", \"workers\": %d, "
-                 "\"photons\": %llu, \"intersections\": %llu, \"bounces\": %llu, "
-                 "\"wall_s\": %.6f, \"photons_per_sec\": %.1f, "
-                 "\"intersections_per_sec\": %.1f, \"ns_per_bounce\": %.1f}%s\n",
-                 r.scene.c_str(), r.backend.c_str(), r.workers,
-                 static_cast<unsigned long long>(r.photons),
-                 static_cast<unsigned long long>(r.intersections),
-                 static_cast<unsigned long long>(r.bounces), r.wall_s, r.photons_per_sec,
-                 r.intersections_per_sec, r.ns_per_bounce,
-                 i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n");
-  std::fprintf(f, "}\n");
+std::string row_json(const Row& r) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\"scene\": \"%s\", \"backend\": \"%s\", \"workers\": %d, "
+                "\"photons\": %llu, \"intersections\": %llu, \"bounces\": %llu, "
+                "\"wall_s\": %.6f, \"photons_per_sec\": %.1f, "
+                "\"intersections_per_sec\": %.1f, \"ns_per_bounce\": %.1f}",
+                r.scene.c_str(), r.backend.c_str(), r.workers,
+                static_cast<unsigned long long>(r.photons),
+                static_cast<unsigned long long>(r.intersections),
+                static_cast<unsigned long long>(r.bounces), r.wall_s, r.photons_per_sec,
+                r.intersections_per_sec, r.ns_per_bounce);
+  return buf;
 }
 
 }  // namespace
@@ -100,38 +89,28 @@ int main(int argc, char** argv) {
   const std::string label = benchutil::arg_str(argc, argv, "label", "current");
 
   benchutil::header("hot path: photons/sec per scene and backend");
+  std::printf("leaf kernel: %s, %d doubles/step\n", kernel_backend(), kernel_lane_width());
   std::printf("%-12s %-8s %3s %10s %12s %14s %10s\n", "scene", "backend", "W", "photons",
               "photons/s", "intersect/s", "ns/bounce");
   benchutil::rule();
 
-  struct SceneSpec {
-    const char* name;
-    Scene scene;
-  };
-  std::vector<SceneSpec> specs;
-  specs.push_back({"cornell", scenes::cornell_box()});
-  specs.push_back({"harpsichord", scenes::harpsichord_room()});
-  specs.push_back({"lab", scenes::computer_lab()});
-
-  std::vector<Row> rows;
-  for (const SceneSpec& spec : specs) {
+  std::vector<std::string> rows;
+  for (const benchutil::NamedScene& spec : benchutil::bundled_scenes()) {
     for (const char* backend : {"serial", "shared"}) {
       const Row row = run_one(spec.scene, spec.name, backend, photons, workers);
       std::printf("%-12s %-8s %3d %10llu %12.0f %14.0f %10.1f\n", row.scene.c_str(),
                   row.backend.c_str(), row.workers,
                   static_cast<unsigned long long>(row.photons), row.photons_per_sec,
                   row.intersections_per_sec, row.ns_per_bounce);
-      rows.push_back(row);
+      rows.push_back(row_json(row));
     }
   }
 
-  std::FILE* f = std::fopen(out.c_str(), "w");
-  if (!f) {
-    std::fprintf(stderr, "error: cannot write '%s'\n", out.c_str());
-    return 1;
-  }
-  write_json(f, label, photons, rows);
-  std::fclose(f);
-  std::printf("\nwrote %s (label=%s)\n", out.c_str(), label.c_str());
-  return 0;
+  char field[128];
+  std::snprintf(field, sizeof(field), "\"photons_requested\": %llu",
+                static_cast<unsigned long long>(photons));
+  char kernel[128];
+  std::snprintf(kernel, sizeof(kernel), "\"kernel\": \"%s\", \"kernel_lanes\": %d",
+                kernel_backend(), kernel_lane_width());
+  return benchutil::write_json_artifact(out, "hotpath", label, {field, kernel}, rows) ? 0 : 1;
 }

@@ -32,7 +32,7 @@ double measure_rays_per_second(const Scene& s, const Octree& tree, int rays) {
   const auto start = std::chrono::steady_clock::now();
   std::uint64_t hits = 0;
   for (int i = 0; i < rays; ++i) {
-    if (tree.intersect(s.patches(), random_interior_ray(s, rng))) ++hits;
+    if (tree.intersect(random_interior_ray(s, rng))) ++hits;
   }
   const double dt =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
@@ -75,5 +75,24 @@ int main(int argc, char** argv) {
   std::printf(
       "Shape to check: small leaves + enough depth beat brute force; beyond the\n"
       "sweet spot extra depth only duplicates boundary-straddling patches.\n");
+
+  benchutil::header("Parallel build — per-octant task decomposition (default params)");
+  std::printf("%8s | %12s | %10s\n", "workers", "build ms", "nodes");
+  benchutil::rule();
+  const int build_reps = 20;
+  for (const int workers : {1, 2, 4, 8}) {
+    Octree tree;
+    Octree::BuildParams params;
+    params.workers = workers;
+    const auto start = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < build_reps; ++rep) tree.build(s.patches(), params);
+    const double dt =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    std::printf("%8d | %12.3f | %10zu\n", workers, dt * 1e3 / build_reps, tree.node_count());
+  }
+  benchutil::rule();
+  std::printf(
+      "Built arrays are bitwise-identical at every worker count (tested); on a\n"
+      "single-core container the parallel rows only measure task overhead.\n");
   return 0;
 }

@@ -1,0 +1,205 @@
+// Portable fixed-width double-precision SIMD shim for the octree leaf kernel.
+//
+// Exactly one backend is selected at compile time:
+//
+//   AVX    4 doubles/step (__AVX2__ or __AVX__; the build system compiles
+//          geom/octree.cpp with -mavx2 when the configure machine can run it)
+//   SSE2   2 doubles/step (baseline x86-64, no extra flags needed)
+//   scalar 4 doubles/step in plain arrays (non-x86 targets, or forced with
+//          -DPHOTON_SIMD=OFF at configure time -> PHOTON_SIMD_SCALAR)
+//
+// Every backend performs the same IEEE-754 double operations per lane in the
+// same order, so a kernel written against this shim produces bit-identical
+// results on all three — the octree equivalence suite relies on that. Fused
+// multiply-add is deliberately absent from the API (and the build passes
+// -ffp-contract=off on the kernel TU): contraction would change rounding and
+// break the bitwise contract with the scalar reference in Patch::intersect.
+//
+// The API is the minimal set the leaf kernel needs: load/splat/store,
+// +,-,*,/, ordered comparisons producing an opaque Mask, mask AND, and
+// select(mask, a, b). Horizontal reductions are left to the caller (store to
+// a stack array and loop over kLanes — width is 2 or 4, a scalar tail is both
+// simpler and deterministic across widths).
+#pragma once
+
+#include <cstdint>
+
+#if !defined(PHOTON_SIMD_SCALAR) && (defined(__AVX2__) || defined(__AVX__))
+#define PHOTON_SIMD_BACKEND_AVX 1
+#include <immintrin.h>
+#elif !defined(PHOTON_SIMD_SCALAR) && defined(__SSE2__)
+#define PHOTON_SIMD_BACKEND_SSE2 1
+#include <emmintrin.h>
+#else
+#define PHOTON_SIMD_BACKEND_SCALAR 1
+#endif
+
+namespace photon::simd {
+
+#if defined(PHOTON_SIMD_BACKEND_AVX)
+
+inline constexpr int kLanes = 4;
+inline constexpr const char* kBackendName = "avx";
+
+struct Vd {
+  __m256d v;
+};
+struct Mask {
+  __m256d v;  // all-ones / all-zeros per lane
+};
+
+inline Vd load(const double* p) { return {_mm256_loadu_pd(p)}; }
+inline Vd splat(double x) { return {_mm256_set1_pd(x)}; }
+inline void store(double* p, Vd a) { _mm256_storeu_pd(p, a.v); }
+
+inline Vd operator+(Vd a, Vd b) { return {_mm256_add_pd(a.v, b.v)}; }
+inline Vd operator-(Vd a, Vd b) { return {_mm256_sub_pd(a.v, b.v)}; }
+inline Vd operator*(Vd a, Vd b) { return {_mm256_mul_pd(a.v, b.v)}; }
+inline Vd operator/(Vd a, Vd b) { return {_mm256_div_pd(a.v, b.v)}; }
+
+// Ordered, non-signaling compares: a lane holding NaN (e.g. 0/0 from a
+// padding sentinel) compares false, exactly like the scalar `<` it mirrors.
+inline Mask lt(Vd a, Vd b) { return {_mm256_cmp_pd(a.v, b.v, _CMP_LT_OQ)}; }
+inline Mask gt(Vd a, Vd b) { return {_mm256_cmp_pd(a.v, b.v, _CMP_GT_OQ)}; }
+inline Mask le(Vd a, Vd b) { return {_mm256_cmp_pd(a.v, b.v, _CMP_LE_OQ)}; }
+inline Mask ge(Vd a, Vd b) { return {_mm256_cmp_pd(a.v, b.v, _CMP_GE_OQ)}; }
+inline Mask neq(Vd a, Vd b) { return {_mm256_cmp_pd(a.v, b.v, _CMP_NEQ_OQ)}; }
+
+inline Mask operator&(Mask a, Mask b) { return {_mm256_and_pd(a.v, b.v)}; }
+inline Vd select(Mask m, Vd a, Vd b) { return {_mm256_blendv_pd(b.v, a.v, m.v)}; }
+inline bool any(Mask m) { return _mm256_movemask_pd(m.v) != 0; }
+
+#elif defined(PHOTON_SIMD_BACKEND_SSE2)
+
+inline constexpr int kLanes = 2;
+inline constexpr const char* kBackendName = "sse2";
+
+struct Vd {
+  __m128d v;
+};
+struct Mask {
+  __m128d v;
+};
+
+inline Vd load(const double* p) { return {_mm_loadu_pd(p)}; }
+inline Vd splat(double x) { return {_mm_set1_pd(x)}; }
+inline void store(double* p, Vd a) { _mm_storeu_pd(p, a.v); }
+
+inline Vd operator+(Vd a, Vd b) { return {_mm_add_pd(a.v, b.v)}; }
+inline Vd operator-(Vd a, Vd b) { return {_mm_sub_pd(a.v, b.v)}; }
+inline Vd operator*(Vd a, Vd b) { return {_mm_mul_pd(a.v, b.v)}; }
+inline Vd operator/(Vd a, Vd b) { return {_mm_div_pd(a.v, b.v)}; }
+
+inline Mask lt(Vd a, Vd b) { return {_mm_cmplt_pd(a.v, b.v)}; }
+inline Mask gt(Vd a, Vd b) { return {_mm_cmpgt_pd(a.v, b.v)}; }
+inline Mask le(Vd a, Vd b) { return {_mm_cmple_pd(a.v, b.v)}; }
+inline Mask ge(Vd a, Vd b) { return {_mm_cmpge_pd(a.v, b.v)}; }
+// _mm_cmpneq_pd is unordered (true when NaN); mirror the ordered scalar `!=`
+// by also requiring both operands ordered.
+inline Mask neq(Vd a, Vd b) {
+  return {_mm_and_pd(_mm_cmpneq_pd(a.v, b.v), _mm_cmpord_pd(a.v, b.v))};
+}
+
+inline Mask operator&(Mask a, Mask b) { return {_mm_and_pd(a.v, b.v)}; }
+inline Vd select(Mask m, Vd a, Vd b) {
+  return {_mm_or_pd(_mm_and_pd(m.v, a.v), _mm_andnot_pd(m.v, b.v))};
+}
+inline bool any(Mask m) { return _mm_movemask_pd(m.v) != 0; }
+
+#else  // PHOTON_SIMD_BACKEND_SCALAR
+
+inline constexpr int kLanes = 4;
+inline constexpr const char* kBackendName = "scalar";
+
+struct Vd {
+  double v[kLanes];
+};
+struct Mask {
+  bool v[kLanes];
+};
+
+inline Vd load(const double* p) {
+  Vd r;
+  for (int l = 0; l < kLanes; ++l) r.v[l] = p[l];
+  return r;
+}
+inline Vd splat(double x) {
+  Vd r;
+  for (int l = 0; l < kLanes; ++l) r.v[l] = x;
+  return r;
+}
+inline void store(double* p, Vd a) {
+  for (int l = 0; l < kLanes; ++l) p[l] = a.v[l];
+}
+
+inline Vd operator+(Vd a, Vd b) {
+  Vd r;
+  for (int l = 0; l < kLanes; ++l) r.v[l] = a.v[l] + b.v[l];
+  return r;
+}
+inline Vd operator-(Vd a, Vd b) {
+  Vd r;
+  for (int l = 0; l < kLanes; ++l) r.v[l] = a.v[l] - b.v[l];
+  return r;
+}
+inline Vd operator*(Vd a, Vd b) {
+  Vd r;
+  for (int l = 0; l < kLanes; ++l) r.v[l] = a.v[l] * b.v[l];
+  return r;
+}
+inline Vd operator/(Vd a, Vd b) {
+  Vd r;
+  for (int l = 0; l < kLanes; ++l) r.v[l] = a.v[l] / b.v[l];
+  return r;
+}
+
+inline Mask lt(Vd a, Vd b) {
+  Mask r;
+  for (int l = 0; l < kLanes; ++l) r.v[l] = a.v[l] < b.v[l];
+  return r;
+}
+inline Mask gt(Vd a, Vd b) {
+  Mask r;
+  for (int l = 0; l < kLanes; ++l) r.v[l] = a.v[l] > b.v[l];
+  return r;
+}
+inline Mask le(Vd a, Vd b) {
+  Mask r;
+  for (int l = 0; l < kLanes; ++l) r.v[l] = a.v[l] <= b.v[l];
+  return r;
+}
+inline Mask ge(Vd a, Vd b) {
+  Mask r;
+  for (int l = 0; l < kLanes; ++l) r.v[l] = a.v[l] >= b.v[l];
+  return r;
+}
+// C++ `!=` on doubles is unordered-true for NaN; require both operands
+// ordered to mirror the AVX _CMP_NEQ_OQ / SSE2 ordered-neq semantics.
+inline Mask neq(Vd a, Vd b) {
+  Mask r;
+  for (int l = 0; l < kLanes; ++l) {
+    r.v[l] = a.v[l] == a.v[l] && b.v[l] == b.v[l] && a.v[l] != b.v[l];
+  }
+  return r;
+}
+
+inline Mask operator&(Mask a, Mask b) {
+  Mask r;
+  for (int l = 0; l < kLanes; ++l) r.v[l] = a.v[l] && b.v[l];
+  return r;
+}
+inline Vd select(Mask m, Vd a, Vd b) {
+  Vd r;
+  for (int l = 0; l < kLanes; ++l) r.v[l] = m.v[l] ? a.v[l] : b.v[l];
+  return r;
+}
+inline bool any(Mask m) {
+  for (int l = 0; l < kLanes; ++l) {
+    if (m.v[l]) return true;
+  }
+  return false;
+}
+
+#endif
+
+}  // namespace photon::simd

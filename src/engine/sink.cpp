@@ -19,28 +19,28 @@ void BufferedForestSink::flush() {
   const std::size_t n = buffer_.size();
   if (n == 0) return;
 
-  // Group records by target tree, stably: equal trees keep recording order.
+  // Group records by target tree, stably: one precomputed key per record —
+  // tree index in the high half, recording position in the low half — so the
+  // sort is a single integer compare instead of re-deriving tree_index twice
+  // per comparison, and equal trees keep recording order by construction.
   order_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) order_[i] = static_cast<std::uint32_t>(i);
-  std::sort(order_.begin(), order_.end(), [this](std::uint32_t a, std::uint32_t b) {
-    const int ta = BinForest::tree_index(buffer_[a].patch, buffer_[a].front);
-    const int tb = BinForest::tree_index(buffer_[b].patch, buffer_[b].front);
-    return ta != tb ? ta < tb : a < b;
-  });
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto tree =
+        static_cast<std::uint64_t>(BinForest::tree_index(buffer_[i].patch, buffer_[i].front));
+    order_[i] = (tree << 32) | static_cast<std::uint32_t>(i);
+  }
+  std::sort(order_.begin(), order_.end());
 
   std::size_t i = 0;
   while (i < n) {
-    const BounceRecord& first = buffer_[order_[i]];
-    const int tree_idx = BinForest::tree_index(first.patch, first.front);
+    const int tree_idx = static_cast<int>(order_[i] >> 32);
     std::lock_guard<std::mutex> lock((*mutexes_)[static_cast<std::size_t>(tree_idx)]);
     BinTree& tree = forest_->tree_at(tree_idx);
     do {
-      const BounceRecord& rec = buffer_[order_[i]];
+      const BounceRecord& rec = buffer_[static_cast<std::uint32_t>(order_[i])];
       tree.record(rec.coords, rec.channel);
       ++i;
-    } while (i < n &&
-             BinForest::tree_index(buffer_[order_[i]].patch, buffer_[order_[i]].front) ==
-                 tree_idx);
+    } while (i < n && static_cast<int>(order_[i] >> 32) == tree_idx);
   }
   buffer_.clear();
 }

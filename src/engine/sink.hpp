@@ -52,7 +52,8 @@ class BufferedForestSink final : public BinSink {
   BinForest* forest_;
   std::vector<std::mutex>* mutexes_;
   std::vector<BounceRecord> buffer_;
-  std::vector<std::uint32_t> order_;  // scratch for the per-tree grouping sort
+  // Scratch for the per-tree grouping sort: (tree_index << 32) | position.
+  std::vector<std::uint64_t> order_;
   std::size_t threshold_;
 };
 

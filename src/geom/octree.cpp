@@ -2,10 +2,17 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <bit>
+#include <thread>
 #include <utility>
 
+#include "core/simd.hpp"
+
 namespace photon {
+
+int kernel_lane_width() { return simd::kLanes; }
+const char* kernel_backend() { return simd::kBackendName; }
 
 namespace {
 
@@ -16,6 +23,36 @@ struct TempNode {
   std::vector<std::int32_t> items;
   bool leaf = true;
 };
+
+// Partition items into octants by bounding-box overlap; a patch may appear
+// in several children (duplicated references, not duplicated geometry).
+// Each child's stored box is tightened to the union of its items' bounds
+// clipped against the octant: every hit point a subtree is responsible for
+// lies inside some assigned patch's bounds AND inside the octant, so the
+// shrunken box still encloses all of them while the slab test culls the
+// octant's empty space (walls and furniture leave most of a room empty).
+// Returns false when every child would hold every item (e.g. a large patch
+// spanning the node) — subdividing further only multiplies work.
+bool partition_octants(std::span<const Patch> patches, const Aabb& box,
+                       const std::vector<std::int32_t>& items,
+                       std::array<std::vector<std::int32_t>, 8>& child_items,
+                       std::array<Aabb, 8>& tight_boxes) {
+  std::array<Aabb, 8> child_boxes;
+  for (int o = 0; o < 8; ++o) child_boxes[o] = box.octant(o);
+  for (const std::int32_t item : items) {
+    const Aabb pb = patches[static_cast<std::size_t>(item)].bounds();
+    for (int o = 0; o < 8; ++o) {
+      if (child_boxes[o].overlaps(pb)) {
+        child_items[o].push_back(item);
+        tight_boxes[o].expand(Aabb{max(pb.lo, child_boxes[o].lo), min(pb.hi, child_boxes[o].hi)});
+      }
+    }
+  }
+  for (int o = 0; o < 8; ++o) {
+    if (child_items[o].size() < items.size()) return true;
+  }
+  return false;
+}
 
 std::int32_t build_temp(std::span<const Patch> patches, std::vector<TempNode>& temp,
                         const Aabb& box, std::vector<std::int32_t> items, int depth,
@@ -30,33 +67,9 @@ std::int32_t build_temp(std::span<const Patch> patches, std::vector<TempNode>& t
     return idx;
   }
 
-  // Partition items into octants by bounding-box overlap; a patch may appear
-  // in several children (duplicated references, not duplicated geometry).
-  // Each child's stored box is tightened to the union of its items' bounds
-  // clipped against the octant: every hit point a subtree is responsible for
-  // lies inside some assigned patch's bounds AND inside the octant, so the
-  // shrunken box still encloses all of them while the slab test culls the
-  // octant's empty space (walls and furniture leave most of a room empty).
   std::array<std::vector<std::int32_t>, 8> child_items;
-  std::array<Aabb, 8> child_boxes;
   std::array<Aabb, 8> tight_boxes;
-  for (int o = 0; o < 8; ++o) child_boxes[o] = box.octant(o);
-  bool useful_split = false;
-  for (const std::int32_t item : items) {
-    const Aabb pb = patches[static_cast<std::size_t>(item)].bounds();
-    for (int o = 0; o < 8; ++o) {
-      if (child_boxes[o].overlaps(pb)) {
-        child_items[o].push_back(item);
-        tight_boxes[o].expand(Aabb{max(pb.lo, child_boxes[o].lo), min(pb.hi, child_boxes[o].hi)});
-      }
-    }
-  }
-  for (int o = 0; o < 8; ++o) {
-    if (child_items[o].size() < items.size()) useful_split = true;
-  }
-  if (!useful_split) {
-    // Every child would hold every item (e.g. a large patch spanning the
-    // node); subdividing further only multiplies work.
+  if (!partition_octants(patches, box, items, child_items, tight_boxes)) {
     temp[static_cast<std::size_t>(idx)].items = std::move(items);
     return idx;
   }
@@ -72,13 +85,108 @@ std::int32_t build_temp(std::span<const Patch> patches, std::vector<TempNode>& t
   return idx;
 }
 
+// Builds the temp topology with the root's non-empty octants decomposed as
+// independent tasks over `workers` threads. Each octant subtree is built into
+// its own arena by the same recursion the serial path uses (the DFS touches
+// no shared state), then the arenas are stitched onto the root in octant
+// order with child indices rebased. The stitched topology — and therefore the
+// BFS-flattened node/CSR/SoA arrays — is identical for every worker count,
+// including the workers == 1 path that runs the same tasks inline.
+void build_temp_root(std::span<const Patch> patches, std::vector<TempNode>& temp,
+                     const Aabb& box, std::vector<std::int32_t> items, int max_depth,
+                     const Octree::BuildParams& params, int& deepest, int workers) {
+  temp.push_back(TempNode{});
+  temp[0].box = box;
+  deepest = 0;
+
+  if (static_cast<int>(items.size()) <= params.max_leaf_items || 0 >= max_depth) {
+    temp[0].items = std::move(items);
+    return;
+  }
+
+  std::array<std::vector<std::int32_t>, 8> child_items;
+  std::array<Aabb, 8> tight_boxes;
+  if (!partition_octants(patches, box, items, child_items, tight_boxes)) {
+    temp[0].items = std::move(items);
+    return;
+  }
+
+  struct Subtree {
+    std::vector<TempNode> temp;
+    int deepest = 0;
+  };
+  std::array<Subtree, 8> sub;
+  std::vector<int> tasks;
+  tasks.reserve(8);
+  for (int o = 0; o < 8; ++o) {
+    if (!child_items[o].empty()) tasks.push_back(o);
+  }
+
+  const auto run_task = [&](int o) {
+    build_temp(patches, sub[static_cast<std::size_t>(o)].temp, tight_boxes[o],
+               std::move(child_items[static_cast<std::size_t>(o)]), 1, max_depth, params,
+               sub[static_cast<std::size_t>(o)].deepest);
+  };
+
+  const int T = std::min<int>(workers, static_cast<int>(tasks.size()));
+  if (T <= 1) {
+    for (const int o : tasks) run_task(o);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(T));
+    for (int t = 0; t < T; ++t) {
+      threads.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < tasks.size(); i = next.fetch_add(1)) {
+          run_task(tasks[i]);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  temp[0].leaf = false;
+  for (const int o : tasks) {
+    Subtree& s = sub[static_cast<std::size_t>(o)];
+    const auto offset = static_cast<std::int32_t>(temp.size());
+    temp[0].children[static_cast<std::size_t>(o)] = offset;
+    for (TempNode& n : s.temp) {
+      for (std::int32_t& c : n.children) {
+        if (c >= 0) c += offset;
+      }
+      temp.push_back(std::move(n));
+    }
+    deepest = std::max(deepest, s.deepest);
+  }
+}
+
 }  // namespace
+
+void Octree::LeafSoA::clear() {
+  nx.clear(); ny.clear(); nz.clear(); plane_d.clear();
+  sx.clear(); sy.clear(); sz.clear(); s_base.clear();
+  tx.clear(); ty.clear(); tz.clear(); t_base.clear();
+  id.clear();
+}
+
+void Octree::LeafSoA::resize(std::size_t lanes) {
+  // Zero-filled growth: a freshly resized lane is a valid sentinel (zero
+  // normal -> denom == 0 -> rejected) until the fill loop overwrites it.
+  nx.assign(lanes, 0.0); ny.assign(lanes, 0.0); nz.assign(lanes, 0.0);
+  plane_d.assign(lanes, 0.0);
+  sx.assign(lanes, 0.0); sy.assign(lanes, 0.0); sz.assign(lanes, 0.0);
+  s_base.assign(lanes, 0.0);
+  tx.assign(lanes, 0.0); ty.assign(lanes, 0.0); tz.assign(lanes, 0.0);
+  t_base.assign(lanes, 0.0);
+  id.assign(lanes, -1);
+}
 
 void Octree::build(std::span<const Patch> patches, const BuildParams& params) {
   nodes_.clear();
   item_offsets_.clear();
   item_ids_.clear();
-  packed_.clear();
+  lane_offsets_.clear();
+  soa_.clear();
   depth_ = 0;
   bounds_ = Aabb{};
   std::vector<std::int32_t> all(patches.size());
@@ -91,9 +199,17 @@ void Octree::build(std::span<const Patch> patches, const BuildParams& params) {
   bounds_ = bounds_.padded(1e-6 * (1.0 + bounds_.extent().length()));
 
   const int max_depth = std::min(params.max_depth, kMaxDepth);
+  int workers = params.workers;
+  if (workers <= 0) workers = static_cast<int>(std::thread::hardware_concurrency());
+  if (workers < 1) workers = 1;
+  // Small builds finish in well under the cost of spawning a thread pool;
+  // only the auto setting is gated (an explicit workers request — e.g. the
+  // determinism tests — always takes the task-decomposed path).
+  constexpr std::size_t kParallelBuildMinItems = 2048;
+  if (params.workers <= 0 && patches.size() < kParallelBuildMinItems) workers = 1;
   std::vector<TempNode> temp;
   temp.reserve(patches.size());
-  build_temp(patches, temp, bounds_, std::move(all), 0, max_depth, params, depth_);
+  build_temp_root(patches, temp, bounds_, std::move(all), max_depth, params, depth_, workers);
 
   // Flatten breadth-first: each interior node's non-empty children become one
   // consecutive block, located through the octant bitmask + popcount. BFS
@@ -126,17 +242,139 @@ void Octree::build(std::span<const Patch> patches, const BuildParams& params) {
   }
   item_offsets_.push_back(static_cast<std::uint32_t>(item_ids_.size()));
 
-  packed_.reserve(item_ids_.size());
-  for (const std::int32_t id : item_ids_) {
-    const Patch& p = patches[static_cast<std::size_t>(id)];
-    packed_.push_back(PackedPatch{p.normal(), p.plane_d(), p.s_axis(), p.s_base(),
-                                  p.t_axis(), p.t_base(), id});
+  // SoA leaf blocks: per node, the CSR item list padded up to the kernel lane
+  // width. Only the real-item lanes are overwritten; the padding keeps the
+  // sentinel constants resize() installed.
+  constexpr std::uint32_t W = static_cast<std::uint32_t>(simd::kLanes);
+  lane_offsets_.reserve(nodes_.size() + 1);
+  std::uint32_t lanes = 0;
+  for (std::size_t flat = 0; flat < nodes_.size(); ++flat) {
+    lane_offsets_.push_back(lanes);
+    const std::uint32_t count = item_offsets_[flat + 1] - item_offsets_[flat];
+    lanes += (count + W - 1) / W * W;
+  }
+  lane_offsets_.push_back(lanes);
+  soa_.resize(lanes);
+  for (std::size_t flat = 0; flat < nodes_.size(); ++flat) {
+    std::uint32_t lane = lane_offsets_[flat];
+    for (std::uint32_t i = item_offsets_[flat]; i < item_offsets_[flat + 1]; ++i, ++lane) {
+      const std::int32_t pid = item_ids_[i];
+      const Patch::HitConstants c = patches[static_cast<std::size_t>(pid)].hit_constants();
+      soa_.nx[lane] = c.normal.x;
+      soa_.ny[lane] = c.normal.y;
+      soa_.nz[lane] = c.normal.z;
+      soa_.plane_d[lane] = c.plane_d;
+      soa_.sx[lane] = c.s_axis.x;
+      soa_.sy[lane] = c.s_axis.y;
+      soa_.sz[lane] = c.s_axis.z;
+      soa_.s_base[lane] = c.s_base;
+      soa_.tx[lane] = c.t_axis.x;
+      soa_.ty[lane] = c.t_axis.y;
+      soa_.tz[lane] = c.t_axis.z;
+      soa_.t_base[lane] = c.t_base;
+      soa_.id[lane] = pid;
+    }
   }
 }
 
+namespace {
+
+// Per-ray constants splatted once per traversal.
+struct RayLanes {
+  simd::Vd ox, oy, oz;  // origin
+  simd::Vd dx, dy, dz;  // direction
+  simd::Vd eps, zero, one;
+};
+
+// Closest accepted hit in the lane block [begin, end) against the running
+// best, written back into `best`. Semantics mirror the scalar reference loop
+// (Patch::intersect streamed over the leaf in item order) bit for bit:
+//
+//  - each lane runs the identical IEEE double arithmetic in the identical
+//    association order (no FMA: the shim has none and the TU is compiled with
+//    -ffp-contract=off), so an accepted lane's dist/s/t equal the scalar's;
+//  - acceptance is the same predicate chain (denom != 0, dist in
+//    (kRayEpsilon, best), s and t in [0, 1]) — padding sentinels fail the
+//    denom test exactly like a parallel patch, and the 0/0 -> NaN lanes the
+//    sentinel division produces fail every ordered compare;
+//  - the scalar loop's "last strict improvement wins" update means the final
+//    winner is the minimum distance, ties resolved to the earliest item in
+//    leaf order. The per-lane running minimum uses the same strict compare
+//    (earliest block wins a tie within a lane) and the horizontal tail picks
+//    the lowest distance, then the lowest lane index on equality — the same
+//    winner the sequential scan selects.
+inline void leaf_closest(const Octree::LeafSoA& soa, const Ray& ray, const RayLanes& rl,
+                         std::uint32_t begin, std::uint32_t end, SceneHit& best) {
+  simd::Vd vbest = simd::splat(best.dist);
+  simd::Vd vwin = simd::splat(-1.0);
+  double iota[simd::kLanes];
+  for (int l = 0; l < simd::kLanes; ++l) iota[l] = static_cast<double>(l);
+  simd::Vd vlane = simd::load(iota) + simd::splat(static_cast<double>(begin));
+  const simd::Vd vstep = simd::splat(static_cast<double>(simd::kLanes));
+
+  for (std::uint32_t k = begin; k < end; k += static_cast<std::uint32_t>(simd::kLanes)) {
+    const simd::Vd nx = simd::load(&soa.nx[k]);
+    const simd::Vd ny = simd::load(&soa.ny[k]);
+    const simd::Vd nz = simd::load(&soa.nz[k]);
+    const simd::Vd denom = rl.dx * nx + rl.dy * ny + rl.dz * nz;
+    const simd::Vd dist =
+        (simd::load(&soa.plane_d[k]) - (rl.ox * nx + rl.oy * ny + rl.oz * nz)) / denom;
+    const simd::Vd px = rl.ox + rl.dx * dist;
+    const simd::Vd py = rl.oy + rl.dy * dist;
+    const simd::Vd pz = rl.oz + rl.dz * dist;
+    const simd::Vd s =
+        px * simd::load(&soa.sx[k]) + py * simd::load(&soa.sy[k]) +
+        pz * simd::load(&soa.sz[k]) + simd::load(&soa.s_base[k]);
+    const simd::Vd t =
+        px * simd::load(&soa.tx[k]) + py * simd::load(&soa.ty[k]) +
+        pz * simd::load(&soa.tz[k]) + simd::load(&soa.t_base[k]);
+    const simd::Mask m = simd::neq(denom, rl.zero) & simd::gt(dist, rl.eps) &
+                         simd::lt(dist, vbest) & simd::ge(s, rl.zero) & simd::le(s, rl.one) &
+                         simd::ge(t, rl.zero) & simd::le(t, rl.one);
+    vbest = simd::select(m, dist, vbest);
+    vwin = simd::select(m, vlane, vwin);
+    vlane = vlane + vstep;
+  }
+
+  double lane_dist[simd::kLanes];
+  double lane_win[simd::kLanes];
+  simd::store(lane_dist, vbest);
+  simd::store(lane_win, vwin);
+  std::int64_t win = -1;
+  double win_dist = best.dist;
+  for (int l = 0; l < simd::kLanes; ++l) {
+    if (lane_win[l] < 0.0) continue;  // lane never accepted a candidate
+    const auto idx = static_cast<std::int64_t>(lane_win[l]);
+    if (lane_dist[l] < win_dist || (lane_dist[l] == win_dist && win >= 0 && idx < win)) {
+      win_dist = lane_dist[l];
+      win = idx;
+    }
+  }
+  if (win < 0) return;
+
+  // Re-derive the winner's hit scalars with the identical arithmetic — bitwise
+  // equal to what its lane computed, and to Patch::intersect on the original.
+  const auto w = static_cast<std::size_t>(win);
+  const double denom = ray.dir.x * soa.nx[w] + ray.dir.y * soa.ny[w] + ray.dir.z * soa.nz[w];
+  const double dist =
+      (soa.plane_d[w] - (ray.origin.x * soa.nx[w] + ray.origin.y * soa.ny[w] +
+                         ray.origin.z * soa.nz[w])) /
+      denom;
+  const double px = ray.origin.x + ray.dir.x * dist;
+  const double py = ray.origin.y + ray.dir.y * dist;
+  const double pz = ray.origin.z + ray.dir.z * dist;
+  best.patch = soa.id[w];
+  best.dist = dist;
+  best.s = px * soa.sx[w] + py * soa.sy[w] + pz * soa.sz[w] + soa.s_base[w];
+  best.t = px * soa.tx[w] + py * soa.ty[w] + pz * soa.tz[w] + soa.t_base[w];
+  best.front = denom < 0.0;
+}
+
+}  // namespace
+
 template <bool Count>
-bool Octree::intersect_impl(std::span<const Patch> patches, const Ray& ray, double tmax,
-                            SceneHit& best, TraversalStats* stats) const {
+bool Octree::intersect_impl(const Ray& ray, double tmax, SceneHit& best,
+                            TraversalStats* stats) const {
   best.patch = -1;
   best.dist = tmax;
   if (nodes_.empty()) return false;
@@ -149,6 +387,17 @@ bool Octree::intersect_impl(std::span<const Patch> patches, const Ray& ray, doub
   const unsigned dir_mask = (ray.dir.x < 0.0 ? 1u : 0u) | (ray.dir.y < 0.0 ? 2u : 0u) |
                             (ray.dir.z < 0.0 ? 4u : 0u);
 
+  RayLanes rl;
+  rl.ox = simd::splat(ray.origin.x);
+  rl.oy = simd::splat(ray.origin.y);
+  rl.oz = simd::splat(ray.origin.z);
+  rl.dx = simd::splat(ray.dir.x);
+  rl.dy = simd::splat(ray.dir.y);
+  rl.dz = simd::splat(ray.dir.z);
+  rl.eps = simd::splat(kRayEpsilon);
+  rl.zero = simd::splat(0.0);
+  rl.one = simd::splat(1.0);
+
   struct Entry {
     std::int32_t node;
     double t_enter;
@@ -158,7 +407,6 @@ bool Octree::intersect_impl(std::span<const Patch> patches, const Ray& ray, doub
   stack[0] = {0, t0};
   sp = 1;
 
-  PatchHit hit;
   while (sp > 0) {
     const Entry e = stack[static_cast<std::size_t>(--sp)];
     // The best hit may have improved since this node was pushed.
@@ -166,28 +414,14 @@ bool Octree::intersect_impl(std::span<const Patch> patches, const Ray& ray, doub
     const Node& node = nodes_[static_cast<std::size_t>(e.node)];
     if constexpr (Count) ++stats->nodes_visited;
 
-    const std::uint32_t item_begin = item_offsets_[static_cast<std::size_t>(e.node)];
-    const std::uint32_t item_end = item_offsets_[static_cast<std::size_t>(e.node) + 1];
-    if constexpr (Count) stats->patch_tests += item_end - item_begin;
-    for (std::uint32_t i = item_begin; i < item_end; ++i) {
-      // Same arithmetic as Patch::intersect, on the streamed packed copy —
-      // the equivalence suite pins the two bitwise.
-      const PackedPatch& pp = packed_[i];
-      const double denom = dot(ray.dir, pp.normal);
-      if (denom == 0.0) continue;
-      const double dist = (pp.plane_d - dot(ray.origin, pp.normal)) / denom;
-      if (!(dist > kRayEpsilon && dist < best.dist)) continue;
-      const Vec3 p = ray.origin + ray.dir * dist;
-      const double s = dot(p, pp.s_axis) + pp.s_base;
-      if (s < 0.0 || s > 1.0) continue;
-      const double t = dot(p, pp.t_axis) + pp.t_base;
-      if (t < 0.0 || t > 1.0) continue;
-      best.patch = pp.id;
-      best.dist = dist;
-      best.s = s;
-      best.t = t;
-      best.front = denom < 0.0;
+    const std::uint32_t lane_begin = lane_offsets_[static_cast<std::size_t>(e.node)];
+    const std::uint32_t lane_end = lane_offsets_[static_cast<std::size_t>(e.node) + 1];
+    if constexpr (Count) {
+      // Real patch references, not padded lanes — identical on every backend.
+      stats->patch_tests += item_offsets_[static_cast<std::size_t>(e.node) + 1] -
+                            item_offsets_[static_cast<std::size_t>(e.node)];
     }
+    if (lane_begin < lane_end) leaf_closest(soa_, ray, rl, lane_begin, lane_end, best);
 
     if (node.first_child < 0) continue;
     // Push in reverse visit order so the nearest child pops first. Clipping
@@ -208,14 +442,33 @@ bool Octree::intersect_impl(std::span<const Patch> patches, const Ray& ray, doub
   return best.patch >= 0;
 }
 
-bool Octree::intersect(std::span<const Patch> patches, const Ray& ray, double tmax,
-                       SceneHit& best) const {
-  return intersect_impl<false>(patches, ray, tmax, best, nullptr);
+bool Octree::intersect(const Ray& ray, double tmax, SceneHit& best) const {
+  return intersect_impl<false>(ray, tmax, best, nullptr);
 }
 
-bool Octree::intersect_counted(std::span<const Patch> patches, const Ray& ray, double tmax,
-                               SceneHit& best, TraversalStats& stats) const {
-  return intersect_impl<true>(patches, ray, tmax, best, &stats);
+bool Octree::intersect_counted(const Ray& ray, double tmax, SceneHit& best,
+                               TraversalStats& stats) const {
+  return intersect_impl<true>(ray, tmax, best, &stats);
+}
+
+bool Octree::identical_to(const Octree& other) const {
+  if (nodes_.size() != other.nodes_.size() || depth_ != other.depth_) return false;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& a = nodes_[i];
+    const Node& b = other.nodes_[i];
+    if (a.box.lo != b.box.lo || a.box.hi != b.box.hi || a.first_child != b.first_child ||
+        a.child_mask != b.child_mask) {
+      return false;
+    }
+  }
+  return item_offsets_ == other.item_offsets_ && item_ids_ == other.item_ids_ &&
+         lane_offsets_ == other.lane_offsets_ && soa_.nx == other.soa_.nx &&
+         soa_.ny == other.soa_.ny && soa_.nz == other.soa_.nz &&
+         soa_.plane_d == other.soa_.plane_d && soa_.sx == other.soa_.sx &&
+         soa_.sy == other.soa_.sy && soa_.sz == other.soa_.sz &&
+         soa_.s_base == other.soa_.s_base && soa_.tx == other.soa_.tx &&
+         soa_.ty == other.soa_.ty && soa_.tz == other.soa_.tz &&
+         soa_.t_base == other.soa_.t_base && soa_.id == other.soa_.id;
 }
 
 }  // namespace photon

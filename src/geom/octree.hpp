@@ -14,6 +14,20 @@
 // correct front-to-back sequence, so the first accepted hit that precedes
 // every remaining node entry is the closest. The brute-force reference scan
 // (Scene::intersect_brute) stays as the equivalence-test seam.
+//
+// Leaf hit tests are data-parallel: each leaf's patch hit-test constants live
+// in structure-of-arrays blocks (one contiguous double array per constant,
+// see LeafSoA) padded to the SIMD lane width with never-hit sentinels, and
+// the kernel tests kernel_lane_width() patches per step with a branchless
+// min-reduction (core/simd.hpp; AVX/SSE2/scalar selected at configure time).
+// Every backend performs identical IEEE double operations per lane, so the
+// accepted hit is bitwise-equal to the scalar Patch::intersect reference on
+// all of them. Queries answer entirely from this packed snapshot — they do
+// not read the Patch array the index was built from.
+//
+// build() decomposes per top-level octant across threads
+// (BuildParams::workers); subtree arenas are stitched in octant order, so the
+// flattened node/CSR/SoA arrays are bitwise-identical for any worker count.
 #pragma once
 
 #include <cstdint>
@@ -33,15 +47,24 @@ struct SceneHit {
   bool front = true;
 };
 
+// Compile-time kernel selection of the leaf-intersection TU: lane width in
+// doubles (4 for AVX, 2 for SSE2, 4 for the scalar fallback) and the backend
+// name, for bench artifacts and diagnostics.
+int kernel_lane_width();
+const char* kernel_backend();
+
 class Octree {
  public:
   // Defaults tuned against the bundled scenes (bench_octree_params sweeps
-  // them): with the packed streamed leaf tests, patch tests are cheap and
+  // them): with the SoA lane-parallel leaf tests, patch tests are cheap and
   // node visits (random box reads + stack traffic) are the expensive unit, so
   // moderately fat leaves beat the classic small-leaf shape by ~2x.
   struct BuildParams {
     int max_depth = 12;
     int max_leaf_items = 12;
+    // Build threads for the per-octant task decomposition; <= 0 means one per
+    // hardware thread. The built arrays are bitwise-identical for any value.
+    int workers = 0;
   };
 
   // Explicit traversal stack bound: at most 7 siblings deferred per level on
@@ -61,30 +84,59 @@ class Octree {
   // Total patch references across all leaves (a patch overlapping several
   // octants is referenced once per leaf).
   std::size_t item_ref_count() const { return item_ids_.size(); }
+  // Total SoA lanes including the per-leaf padding to the kernel lane width.
+  std::size_t lane_count() const { return soa_.id.size(); }
 
   // Closest hit over all indexed patches written to `best`; returns false and
   // leaves `best` cleared (patch < 0, dist = tmax) when nothing is hit before
-  // tmax. This is the allocation-free fast path the tracer uses.
-  bool intersect(std::span<const Patch> patches, const Ray& ray, double tmax,
-                 SceneHit& best) const;
+  // tmax. This is the allocation-free fast path the tracer uses. Queries
+  // answer from the packed SoA snapshot taken at build() time.
+  bool intersect(const Ray& ray, double tmax, SceneHit& best) const;
 
   // Deterministic traversal-work counters. Wall clocks are noisy; nodes
   // visited and patch tests per ray are not, so the bench/test layers use the
-  // counted variant to pin traversal quality.
+  // counted variant to pin traversal quality. patch_tests counts real patch
+  // references, not padded lanes — the numbers are identical across kernel
+  // backends and lane widths.
   struct TraversalStats {
     std::uint64_t nodes_visited = 0;
     std::uint64_t patch_tests = 0;
   };
-  bool intersect_counted(std::span<const Patch> patches, const Ray& ray, double tmax,
-                         SceneHit& best, TraversalStats& stats) const;
+  bool intersect_counted(const Ray& ray, double tmax, SceneHit& best,
+                         TraversalStats& stats) const;
 
   // Convenience wrapper over the fast path.
-  std::optional<SceneHit> intersect(std::span<const Patch> patches, const Ray& ray,
-                                    double tmax = kNoHit) const {
+  std::optional<SceneHit> intersect(const Ray& ray, double tmax = kNoHit) const {
     SceneHit best;
-    if (!intersect(patches, ray, tmax, best)) return std::nullopt;
+    if (!intersect(ray, tmax, best)) return std::nullopt;
     return best;
   }
+
+  // Structure-of-arrays leaf storage: lane k of a leaf's block holds a
+  // sequential copy of one referenced patch's precomputed hit-test constants
+  // (Patch::hit_constants()), one contiguous array per scalar so the kernel
+  // loads a full vector of each with a single unit-stride read. Blocks are
+  // padded to the kernel lane width with sentinel lanes (all-zero constants:
+  // denom == 0 rejects them exactly like the scalar parallel-plane test;
+  // id == -1). The duplication (one copy per referencing leaf) buys
+  // coherence, same trade the previous AoS packed array made.
+  struct LeafSoA {
+    std::vector<double> nx, ny, nz, plane_d;
+    std::vector<double> sx, sy, sz, s_base;
+    std::vector<double> tx, ty, tz, t_base;
+    std::vector<std::int32_t> id;  // global patch id; -1 in padding lanes
+
+    void clear();
+    void resize(std::size_t lanes);
+  };
+
+  // CSR views, exposed for the build-determinism tests and analysis tools.
+  std::span<const std::uint32_t> item_offsets() const { return item_offsets_; }
+  std::span<const std::int32_t> item_ids() const { return item_ids_; }
+
+  // True when every flattened array (nodes, CSR item lists, lane offsets and
+  // SoA constants) is bitwise-equal — the parallel-build determinism pin.
+  bool identical_to(const Octree& other) const;
 
  private:
   struct Node {
@@ -93,31 +145,20 @@ class Octree {
     std::uint8_t child_mask = 0;    // bit o set when octant o has a child
   };
 
-  // Per leaf reference, a sequential copy of the patch's precomputed hit-test
-  // constants (Patch::plane_d/s_axis/t_axis). Leaf tests stream through this
-  // array line by line instead of chasing cold 136-byte Patch objects by
-  // index — the duplication (one copy per referencing leaf) buys coherence.
-  struct PackedPatch {
-    Vec3 normal;
-    double plane_d;
-    Vec3 s_axis;
-    double s_base;
-    Vec3 t_axis;
-    double t_base;
-    std::int32_t id;
-  };
-
   template <bool Count>
-  bool intersect_impl(std::span<const Patch> patches, const Ray& ray, double tmax,
-                      SceneHit& best, TraversalStats* stats) const;
+  bool intersect_impl(const Ray& ray, double tmax, SceneHit& best,
+                      TraversalStats* stats) const;
 
   std::vector<Node> nodes_;
   // CSR leaf item lists: node i's items are item_ids_[item_offsets_[i] ..
-  // item_offsets_[i + 1]), with packed_[k] holding the hit-test constants for
-  // item_ids_[k].
+  // item_offsets_[i + 1]).
   std::vector<std::uint32_t> item_offsets_;
   std::vector<std::int32_t> item_ids_;
-  std::vector<PackedPatch> packed_;
+  // SoA leaf blocks: node i's lanes are [lane_offsets_[i], lane_offsets_[i+1])
+  // in soa_, a multiple of the kernel lane width (items padded with
+  // sentinels). Same item order as the CSR lists.
+  std::vector<std::uint32_t> lane_offsets_;
+  LeafSoA soa_;
   Aabb bounds_;
   int depth_ = 0;
 };

@@ -57,6 +57,21 @@ class Patch {
   double s_base() const { return s_base_; }
   double t_base() const { return t_base_; }
 
+  // The full constant set as one bundle — what an acceleration structure
+  // copies out per patch reference (the octree's SoA leaf blocks scatter
+  // exactly these thirteen scalars into lane-contiguous arrays).
+  struct HitConstants {
+    Vec3 normal;
+    double plane_d;
+    Vec3 s_axis;
+    double s_base;
+    Vec3 t_axis;
+    double t_base;
+  };
+  HitConstants hit_constants() const {
+    return {normal_, plane_d_, s_axis_, s_base_, t_axis_, t_base_};
+  }
+
   // Closest intersection with `ray` in (kRayEpsilon, tmax) written to `hit`;
   // returns false (leaving `hit` untouched) on a miss. Inlined allocation-free
   // fast path — the octree traversal runs this test per candidate patch (on

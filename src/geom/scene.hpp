@@ -68,13 +68,13 @@ class Scene {
   const Octree& octree() const { return octree_; }
 
   std::optional<SceneHit> intersect(const Ray& ray, double tmax = kNoHit) const {
-    return octree_.intersect(patches_, ray, tmax);
+    return octree_.intersect(ray, tmax);
   }
 
   // Allocation-free fast path: closest hit written to `best`, false on a
   // miss. The tracer's inner loop uses this instead of the optional wrapper.
   bool intersect(const Ray& ray, double tmax, SceneHit& best) const {
-    return octree_.intersect(patches_, ray, tmax, best);
+    return octree_.intersect(ray, tmax, best);
   }
 
   // Reference linear scan, for octree equivalence tests.

@@ -136,7 +136,6 @@ namespace {
 // `epsilon` is the tracer's scene-scaled surface nudge: paths must match the
 // full-octree reference bit for bit.
 SegmentEnd trace_segment(const Scene& scene, const Octree& local_tree,
-                         std::span<const Patch> local_patches,
                          const std::vector<std::int32_t>& local_to_global, const Aabb& region,
                          const Aabb& root, const TraceLimits& limits, double epsilon,
                          PhotonFlight& flight, BinSink& sink, TraceCounters& counters) {
@@ -153,7 +152,7 @@ SegmentEnd trace_segment(const Scene& scene, const Octree& local_tree,
     }
 
     SceneHit hit;
-    const bool have_hit = local_tree.intersect(local_patches, ray, kNoHit, hit);
+    const bool have_hit = local_tree.intersect(ray, kNoHit, hit);
     // A hit beyond the region exit belongs to some other rank's region (it
     // may not even be the globally closest hit — a closer patch may exist in
     // the neighbouring region's octree). The tolerance is a fraction of the
@@ -288,7 +287,7 @@ RunResult run_spatial(const Scene& scene, const RunConfig& config, const RunResu
       auto run_flight = [&](PhotonFlight flight) {
         ++report.segments_traced;
         const SegmentEnd end =
-            trace_segment(scene, local_tree, local_patches, local_to_global, my_region, root,
+            trace_segment(scene, local_tree, local_to_global, my_region, root,
                           config.limits, epsilon, flight, sink, counters);
         if (end == SegmentEnd::kExitedRegion) {
           const int dest = region_of(result.regions, flight.pos);

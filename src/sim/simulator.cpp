@@ -57,6 +57,13 @@ RunResult run_serial(const Scene& scene, const RunConfig& config,
   }
 
   result.trace = sampler.finish(done);
+  if (config.adapt_batch) {
+    // Surface the controller's size sequence (the Table 5.3 telemetry) the
+    // same way the distributed backends do, as rank 0's report.
+    result.ranks.resize(1);
+    result.ranks[0].traced = done;
+    result.ranks[0].batch_sizes = controller.history();
+  }
   result.rng_state = rng.state();
   result.rng_mul = rng.stride_mul();
   result.rng_add = rng.stride_add();

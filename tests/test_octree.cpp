@@ -36,7 +36,7 @@ TEST(Octree, EmptyInput) {
   Octree tree;
   tree.build(std::vector<Patch>{});
   EXPECT_FALSE(tree.built());
-  EXPECT_FALSE(tree.intersect(std::vector<Patch>{}, Ray({0, 0, 0}, {0, 0, 1})).has_value());
+  EXPECT_FALSE(tree.intersect(Ray({0, 0, 0}, {0, 0, 1})).has_value());
 }
 
 TEST(Octree, SinglePatch) {
@@ -44,7 +44,7 @@ TEST(Octree, SinglePatch) {
   Octree tree;
   tree.build(patches);
   ASSERT_TRUE(tree.built());
-  const auto hit = tree.intersect(patches, Ray({0.5, 0.5, 1}, {0, 0, -1}));
+  const auto hit = tree.intersect(Ray({0.5, 0.5, 1}, {0, 0, -1}));
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->patch, 0);
   EXPECT_NEAR(hit->dist, 1.0, 1e-12);
@@ -57,7 +57,7 @@ TEST(Octree, ReturnsClosestOfStackedPatches) {
   }
   Octree tree;
   tree.build(patches);
-  const auto hit = tree.intersect(patches, Ray({0.5, 0.5, 10}, {0, 0, -1}));
+  const auto hit = tree.intersect(Ray({0.5, 0.5, 10}, {0, 0, -1}));
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->patch, 4);  // top-most (z=4) patch is closest from above
   EXPECT_NEAR(hit->dist, 6.0, 1e-12);
@@ -160,7 +160,7 @@ TEST(Octree, MatchesBruteForceOnRandomSoup) {
   Lcg48 rng(555);
   for (int i = 0; i < 800; ++i) {
     const Ray ray = random_ray(rng);
-    const auto fast = tree.intersect(patches, ray);
+    const auto fast = tree.intersect(ray);
 
     SceneHit best;
     best.dist = kNoHit;
@@ -193,7 +193,7 @@ TEST(Octree, RebuildReplacesAllFlattenedState) {
   Lcg48 rng(808);
   for (int i = 0; i < 400; ++i) {
     const Ray ray = random_ray(rng);
-    const auto fast = tree.intersect(patches, ray);
+    const auto fast = tree.intersect(ray);
 
     SceneHit best;
     best.dist = kNoHit;
@@ -228,7 +228,7 @@ TEST(Octree, CountedTraversalPrunesMostPatchTests) {
     if (dir.length_squared() < 1e-9) continue;
     const Ray ray(origin, dir.normalized());
     SceneHit counted;
-    const bool hit = scene.octree().intersect_counted(scene.patches(), ray, kNoHit, counted, stats);
+    const bool hit = scene.octree().intersect_counted(ray, kNoHit, counted, stats);
     const auto fast = scene.intersect(ray);
     ASSERT_EQ(hit, fast.has_value()) << "ray " << i;
     if (hit) {
@@ -246,8 +246,81 @@ TEST(Octree, TmaxCutsOffDistantHits) {
   std::vector<Patch> patches{Patch({0, 0, 0}, {1, 0, 0}, {0, 1, 0}, 0)};
   Octree tree;
   tree.build(patches);
-  EXPECT_FALSE(tree.intersect(patches, Ray({0.5, 0.5, 5}, {0, 0, -1}), 4.0).has_value());
-  EXPECT_TRUE(tree.intersect(patches, Ray({0.5, 0.5, 5}, {0, 0, -1}), 6.0).has_value());
+  EXPECT_FALSE(tree.intersect(Ray({0.5, 0.5, 5}, {0, 0, -1}), 4.0).has_value());
+  EXPECT_TRUE(tree.intersect(Ray({0.5, 0.5, 5}, {0, 0, -1}), 6.0).has_value());
+}
+
+TEST(Octree, ParallelBuildIsBitwiseIdenticalToSerial) {
+  // build() decomposes per top-level octant across threads; the stitched
+  // arenas must flatten to the same node/CSR/SoA arrays for ANY worker count
+  // — not approximately, bitwise. Cover a real architectural scene and a
+  // random soup, at thread counts below and above the 8-octant task count.
+  const Scene lab = scenes::computer_lab();
+  const auto soup = random_patch_soup(600, 909);
+  for (const auto& patches : {std::vector<Patch>(lab.patches().begin(), lab.patches().end()),
+                              soup}) {
+    Octree serial;
+    Octree::BuildParams params;
+    params.workers = 1;
+    serial.build(patches, params);
+    for (const int workers : {2, 4, 8, 16}) {
+      Octree parallel;
+      params.workers = workers;
+      parallel.build(patches, params);
+      ASSERT_TRUE(parallel.identical_to(serial)) << "workers=" << workers;
+      EXPECT_EQ(parallel.node_count(), serial.node_count());
+      EXPECT_EQ(parallel.depth(), serial.depth());
+      EXPECT_EQ(parallel.item_ref_count(), serial.item_ref_count());
+    }
+  }
+}
+
+TEST(Octree, ParallelBuildAnswersIdenticalQueries) {
+  // Belt and braces over the structural pin: traversal through a
+  // parallel-built tree returns the same hits as through the serial build.
+  const auto patches = random_patch_soup(400, 1234);
+  Octree::BuildParams params;
+  params.workers = 1;
+  Octree serial;
+  serial.build(patches, params);
+  params.workers = 4;
+  Octree parallel;
+  parallel.build(patches, params);
+  Lcg48 rng(42);
+  for (int i = 0; i < 500; ++i) {
+    const Ray ray = random_ray(rng);
+    const auto a = serial.intersect(ray);
+    const auto b = parallel.intersect(ray);
+    ASSERT_EQ(a.has_value(), b.has_value()) << "ray " << i;
+    if (a) {
+      EXPECT_EQ(a->patch, b->patch);
+      EXPECT_EQ(a->dist, b->dist);
+      EXPECT_EQ(a->s, b->s);
+      EXPECT_EQ(a->t, b->t);
+    }
+  }
+}
+
+TEST(Octree, SoALanePaddingInvariants) {
+  // Every leaf block is padded up to the kernel lane width, so the total lane
+  // count is a multiple of the width, at least the real reference count, and
+  // at most one-partial-block-per-node above it. The kernel itself must
+  // report a sane compile-time configuration.
+  const int W = kernel_lane_width();
+  ASSERT_GE(W, 1);
+  ASSERT_LE(W, 8);
+  EXPECT_STRNE(kernel_backend(), "");
+  const Scene scene = scenes::computer_lab();
+  const Octree& tree = scene.octree();
+  EXPECT_EQ(tree.lane_count() % static_cast<std::size_t>(W), 0u);
+  EXPECT_GE(tree.lane_count(), tree.item_ref_count());
+  EXPECT_LE(tree.lane_count(),
+            tree.item_ref_count() + tree.node_count() * static_cast<std::size_t>(W - 1));
+  // CSR and lane layouts describe the same item partition.
+  const auto offsets = tree.item_offsets();
+  ASSERT_EQ(offsets.size(), tree.node_count() + 1);
+  EXPECT_EQ(offsets.back(), tree.item_ref_count());
+  ASSERT_EQ(tree.item_ids().size(), tree.item_ref_count());
 }
 
 TEST(Octree, SceneBoundsCoverAllPatches) {
