@@ -6,7 +6,8 @@
 // modeled 1997 cost.
 //
 // Part 2 (sweep): the real dist-particle / dist-spatial backends on every
-// bundled scene at P ∈ {2, 4, 8}, measuring photons/s, wire traffic
+// bundled scene at P ∈ {2, 4, 8} — plus the hybrid backend at groups ∈
+// {2, 4, 8} × 2 threads per group — measuring photons/s, wire traffic
 // (bytes/photon, messages per exchange round) and the overlap telemetry
 // (wait_seconds = wall time blocked in recv; overlap_pct = share of total
 // rank-time NOT blocked in recv). Writes BENCH_comm.json so every PR leaves a
@@ -32,6 +33,7 @@
 #include "geom/scenes.hpp"
 #include "mp/minimpi.hpp"
 #include "par/dist.hpp"
+#include "par/hybrid.hpp"
 #include "par/spatial.hpp"
 #include "perf/platform.hpp"
 
@@ -93,7 +95,8 @@ void run_ablation(int records, int reps) {
 struct Row {
   std::string scene;
   std::string backend;
-  int ranks = 0;
+  int ranks = 0;    // MiniMPI ranks: processes for dist-*, groups for hybrid
+  int threads = 1;  // shared-memory threads per rank (hybrid only; 1 else)
   std::uint64_t photons = 0;
   std::uint64_t sent_bytes = 0;
   std::uint64_t messages = 0;
@@ -105,21 +108,33 @@ struct Row {
 };
 
 Row run_backend(const Scene& scene, const std::string& scene_name,
-                const std::string& backend, int P, std::uint64_t photons,
+                const std::string& backend, int P, int threads, std::uint64_t photons,
                 std::uint64_t batch, int reps) {
   RunConfig cfg;
   cfg.photons = photons;
-  cfg.workers = P;
   cfg.batch = batch;
   cfg.adapt_batch = false;
+  if (backend == "hybrid") {
+    cfg.groups = P;
+    cfg.workers = threads;
+    // Hybrid's `batch` is the GLOBAL ids-per-window size; the flat backends
+    // trace `batch` per rank per round. Scale so every backend exchanges
+    // after the same number of photons — the rows' per-round columns
+    // (msg/batch, wait_s, overlap%) compare like for like.
+    cfg.batch = batch * static_cast<std::uint64_t>(P);
+  } else {
+    cfg.workers = P;
+  }
   Row best;
   for (int rep = 0; rep < reps; ++rep) {
     const RunResult r = backend == "dist-particle" ? run_distributed(scene, cfg)
+                        : backend == "hybrid"      ? run_hybrid(scene, cfg)
                                                    : run_spatial(scene, cfg);
     Row row;
     row.scene = scene_name;
     row.backend = backend;
     row.ranks = P;
+    row.threads = threads;
     row.photons = r.counters.emitted;
     for (const RankReport& report : r.ranks) {
       row.sent_bytes += report.sent_bytes;
@@ -142,11 +157,12 @@ std::string row_json(const Row& r) {
   char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "{\"scene\": \"%s\", \"backend\": \"%s\", \"ranks\": %d, "
+                "\"threads_per_group\": %d, "
                 "\"photons\": %llu, \"wall_s\": %.6f, \"photons_per_sec\": %.1f, "
                 "\"sent_bytes\": %llu, \"bytes_per_photon\": %.2f, "
                 "\"messages\": %llu, \"rounds\": %llu, \"messages_per_batch\": %.2f, "
                 "\"wait_seconds\": %.6f, \"overlap_pct\": %.2f}",
-                r.scene.c_str(), r.backend.c_str(), r.ranks,
+                r.scene.c_str(), r.backend.c_str(), r.ranks, r.threads,
                 static_cast<unsigned long long>(r.photons), r.wall_s, r.photons_per_sec,
                 static_cast<unsigned long long>(r.sent_bytes),
                 r.photons ? static_cast<double>(r.sent_bytes) / static_cast<double>(r.photons)
@@ -178,18 +194,22 @@ int main(int argc, char** argv) {
   if (!skip_ablation) run_ablation(records, ablation_reps);
 
   benchutil::header("Distributed backends — wire traffic and overlap");
-  std::printf("%-12s %-13s %2s %10s %8s %9s %8s %8s\n", "scene", "backend", "P", "photons/s",
-              "B/photon", "msg/batch", "wait_s", "overlap%");
+  std::printf("%-12s %-13s %2s %2s %10s %8s %9s %8s %8s\n", "scene", "backend", "P", "T",
+              "photons/s", "B/photon", "msg/batch", "wait_s", "overlap%");
   benchutil::rule();
 
   std::vector<Row> rows;
   for (const benchutil::NamedScene& spec : benchutil::bundled_scenes()) {
-    for (const char* backend : {"dist-particle", "dist-spatial"}) {
+    for (const char* backend : {"dist-particle", "dist-spatial", "hybrid"}) {
+      // Hybrid runs each MiniMPI rank as a 2-thread group: same rank counts
+      // as the flat backends, so rows compare message-path cost directly.
+      const int threads = std::strcmp(backend, "hybrid") == 0 ? 2 : 1;
       for (const int P : {2, 4, 8}) {
         const Row row =
-            run_backend(spec.scene, spec.name, backend, P, photons, batch, sweep_reps);
-        std::printf("%-12s %-13s %2d %10.0f %8.2f %9.2f %8.4f %8.2f\n", row.scene.c_str(),
-                    row.backend.c_str(), row.ranks, row.photons_per_sec,
+            run_backend(spec.scene, spec.name, backend, P, threads, photons, batch,
+                        sweep_reps);
+        std::printf("%-12s %-13s %2d %2d %10.0f %8.2f %9.2f %8.4f %8.2f\n", row.scene.c_str(),
+                    row.backend.c_str(), row.ranks, row.threads, row.photons_per_sec,
                     row.photons ? static_cast<double>(row.sent_bytes) /
                                       static_cast<double>(row.photons)
                                 : 0.0,

@@ -7,17 +7,21 @@
 //   photon_cli info <scene>
 //       Print geometry/material/luminaire statistics.
 //   photon_cli simulate <scene> <answer-file> [--backend=NAME] [--photons=N]
-//                        [--seed=N] [--workers=N] [--batch=N] [--adapt]
-//                        [--split-z=S] [--split-min=N] [--split-leaf=N]
-//                        [--split-growth=G] [--max-bounces=N]
-//                        [--checkpoint=FILE] [--resume=FILE] [--report=json]
+//                        [--seed=N] [--workers=N] [--groups=N] [--batch=N]
+//                        [--adapt] [--split-z=S] [--split-min=N]
+//                        [--split-leaf=N] [--split-growth=G] [--max-bounces=N]
+//                        [--checkpoint=FILE] [--resume=FILE] [--trace=FILE]
+//                        [--report=json]
 //       Run the simulation on the selected backend (serial | shared |
-//       dist-particle | dist-spatial) and write the answer file, optionally
-//       checkpointing so long runs can continue later. The --split-* flags
-//       set the adaptive-histogram SplitPolicy (significance threshold in
-//       sigma, minimum count before testing, count-driven leaf threshold and
-//       its per-depth growth); --max-bounces guards pathological mirror
-//       corridors. --report=json replaces the human-readable summary with one
+//       dist-particle | dist-spatial | hybrid) and write the answer file,
+//       optionally checkpointing so long runs can continue later. The hybrid
+//       backend runs --groups message-passing groups of --workers threads
+//       each. The --split-* flags set the adaptive-histogram SplitPolicy
+//       (significance threshold in sigma, minimum count before testing,
+//       count-driven leaf threshold and its per-depth growth); --max-bounces
+//       guards pathological mirror corridors. --trace streams the per-batch
+//       speed trace to a JSONL file instead of holding it in memory (long
+//       runs). --report=json replaces the human-readable summary with one
 //       machine-readable JSON object on stdout (the bench harness consumes
 //       it).
 //   photon_cli render <scene> <answer-file> <out.ppm>
@@ -139,8 +143,18 @@ int cmd_simulate(int argc, char** argv, const std::string& spec, const std::stri
   RunConfig config;
   config.photons = arg_u64(argc, argv, "photons", 500000);
   config.seed = arg_u64(argc, argv, "seed", config.seed);
-  config.workers = static_cast<int>(arg_u64(argc, argv, "workers", 2));
+  // Validate before the int narrowing: a 2^32+1 request must error, not
+  // silently wrap to 1 worker.
+  const std::uint64_t workers_arg = arg_u64(argc, argv, "workers", 2);
+  const std::uint64_t groups_arg = arg_u64(argc, argv, "groups", 2);
+  if (workers_arg < 1 || workers_arg > 4096 || groups_arg < 1 || groups_arg > 4096) {
+    std::fprintf(stderr, "error: --workers and --groups must be in [1, 4096]\n");
+    return 1;
+  }
+  config.workers = static_cast<int>(workers_arg);
+  config.groups = static_cast<int>(groups_arg);
   config.batch = arg_u64(argc, argv, "batch", config.batch);
+  if (const char* trace = find_arg(argc, argv, "trace")) config.trace_path = trace;
   config.policy.z = arg_double(argc, argv, "split-z", config.policy.z);
   config.policy.min_count = arg_u64(argc, argv, "split-min", config.policy.min_count);
   config.policy.max_leaf_count = arg_u64(argc, argv, "split-leaf", config.policy.max_leaf_count);
@@ -195,7 +209,7 @@ int cmd_simulate(int argc, char** argv, const std::string& spec, const std::stri
   if (json_report) {
     std::printf(
         "{\"scene\": \"%s\", \"backend\": \"%s\", \"photons\": %llu, "
-        "\"workers\": %d, \"seed\": %llu, "
+        "\"workers\": %d, \"groups\": %d, \"seed\": %llu, "
         "\"split_z\": %.4f, \"split_min\": %llu, \"split_leaf\": %llu, "
         "\"split_growth\": %.4f, \"max_bounces\": %d, \"wall_s\": %.6f, "
         "\"photons_per_sec\": %.1f, \"bounces\": %llu, "
@@ -204,7 +218,7 @@ int cmd_simulate(int argc, char** argv, const std::string& spec, const std::stri
         "\"forest_bytes\": %llu}\n",
         scene.name().c_str(), backend->name().c_str(),
         static_cast<unsigned long long>(result.counters.emitted), config.workers,
-        static_cast<unsigned long long>(config.seed), config.policy.z,
+        config.groups, static_cast<unsigned long long>(config.seed), config.policy.z,
         static_cast<unsigned long long>(config.policy.min_count),
         static_cast<unsigned long long>(config.policy.max_leaf_count),
         config.policy.count_growth, config.limits.max_bounces, result.trace.total_time_s,
@@ -286,10 +300,11 @@ int usage() {
                "       photon_cli backends\n"
                "       photon_cli info <scene>\n"
                "       photon_cli simulate <scene> <answer> [--backend=NAME] [--photons=N]\n"
-               "                  [--seed=N] [--workers=N] [--batch=N] [--adapt]\n"
+               "                  [--seed=N] [--workers=N] [--groups=N] [--batch=N] [--adapt]\n"
                "                  [--split-z=S] [--split-min=N] [--split-leaf=N]\n"
                "                  [--split-growth=G] [--max-bounces=N]\n"
-               "                  [--checkpoint=FILE] [--resume=FILE] [--report=json]\n"
+               "                  [--checkpoint=FILE] [--resume=FILE] [--trace=FILE]\n"
+               "                  [--report=json]\n"
                "       photon_cli render <scene> <answer> <out.ppm> [--eye=x,y,z]\n"
                "                  [--look=x,y,z] [--fov=deg] [--size=WxH] [--spp=N]"
                " [--threads=N]\n");

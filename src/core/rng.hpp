@@ -78,4 +78,21 @@ class Lcg48 {
   std::uint64_t add_ = kC;  // per-draw increment
 };
 
+// Number of global-sequence elements reserved per photon by the block-split
+// scheme below; exceeds the worst-case draws of one photon path (photon_cli
+// caps --max-bounces at 512 to preserve this).
+inline constexpr std::uint64_t kPhotonStreamBlock = 4096;
+
+// Per-photon RNG stream: photon `photon_index` owns the disjoint
+// 4096-element block starting at element photon_index * 4096 of the global
+// sequence. A photon's draws are then independent of every other photon's
+// draw count, so its path is identical no matter which rank, thread, or
+// batch executes it — the foundation of the shape-invariant backends
+// (dist-spatial, hybrid) and of the serial `photon_streams` reference mode.
+inline Lcg48 photon_stream(std::uint64_t seed, std::uint64_t photon_index) {
+  Lcg48 rng(seed);
+  rng.skip(photon_index * kPhotonStreamBlock);
+  return rng;
+}
+
 }  // namespace photon

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "par/dist.hpp"
+#include "par/hybrid.hpp"
 #include "par/shared.hpp"
 #include "par/spatial.hpp"
 #include "sim/simulator.hpp"
@@ -58,6 +59,19 @@ class DistSpatialBackend final : public Backend {
   }
 };
 
+class HybridBackend final : public Backend {
+ public:
+  std::string name() const override { return "hybrid"; }
+  // Resume folds the checkpoint into the partitioned trees and continues the
+  // per-photon id sequence; when the first leg ended on a batch-window
+  // boundary the continuation is bitwise identical to an uninterrupted run.
+  bool supports_resume() const override { return true; }
+  RunResult run(const Scene& scene, const RunConfig& config,
+                const RunResult* resume) override {
+    return run_hybrid(scene, config, resume);
+  }
+};
+
 std::mutex& registry_mutex() {
   static std::mutex m;
   return m;
@@ -69,6 +83,7 @@ std::map<std::string, BackendFactory>& factory_map() {
       {"shared", [] { return std::make_unique<SharedBackend>(); }},
       {"dist-particle", [] { return std::make_unique<DistParticleBackend>(); }},
       {"dist-spatial", [] { return std::make_unique<DistSpatialBackend>(); }},
+      {"hybrid", [] { return std::make_unique<HybridBackend>(); }},
   };
   return factories;
 }

@@ -10,9 +10,15 @@
 //                 all-to-all record exchange (Fig 5.3)
 //   dist-spatial  partitioned geometry; photons migrate between region
 //                 owners (chapter 6, "Massive Parallelism")
+//   hybrid        message passing between groups, shared memory within them
+//                 (the paper's cluster-of-multiprocessors target): groups ×
+//                 workers threads, bitwise shape-invariant (par/hybrid.hpp)
 //
 // Backends are selected by name through make_backend(); additional backends
-// can be registered at runtime with register_backend().
+// can be registered at runtime with register_backend(). Every registered
+// backend is exercised by the cross-backend conformance suite
+// (tests/test_conformance.cpp): determinism, conservation, and — where the
+// backend contracts it — bitwise equality with the serial reference.
 #pragma once
 
 #include <functional>
@@ -44,6 +50,15 @@ struct RankReport {
   double wait_seconds = 0.0;
   std::vector<std::uint64_t> batch_sizes;
   TraceCounters counters;
+
+  // Exact generator state of this rank's leapfrogged stream at the end of
+  // the run (dist-particle). Checkpointed so a resume at the same rank count
+  // restores each stream in place — the bitwise continuation. Zero when the
+  // backend has no per-rank stream (spatial/hybrid photons carry their own
+  // disjoint blocks and need no state).
+  std::uint64_t rng_state = 0;
+  std::uint64_t rng_mul = 0;
+  std::uint64_t rng_add = 0;
 
   // Spatial decomposition (chapter 6).
   std::uint64_t local_patches = 0;    // patches overlapping this rank's region
@@ -101,7 +116,7 @@ bool register_backend(const std::string& name, BackendFactory factory);
 // Instantiates a backend by name; nullptr for unknown names.
 std::unique_ptr<Backend> make_backend(const std::string& name);
 
-// Registered names, sorted; always includes the four built-ins.
+// Registered names, sorted; always includes the five built-ins.
 std::vector<std::string> backend_names();
 
 }  // namespace photon

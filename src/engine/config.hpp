@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "core/stats.hpp"
 #include "engine/batch.hpp"
@@ -26,24 +27,47 @@ struct RunConfig {
   std::uint64_t seed = 0x1234ABCD330EULL;
 
   // Parallel width: threads for `shared`, ranks for `dist-particle` and
-  // `dist-spatial`. Ignored by `serial`.
+  // `dist-spatial`, threads per group for `hybrid`. Ignored by `serial`.
   int workers = 2;
+
+  // Message-passing groups for the `hybrid` backend (groups × workers total
+  // threads: each MiniMPI rank is one multiprocessor "box" running `workers`
+  // shared-memory threads). Ignored by every other backend.
+  int groups = 1;
+
+  // serial: draw each photon from its own disjoint 4096-element RNG block
+  // (par/spatial's photon_stream) instead of one continuous stream. This is
+  // the bitwise reference the shape-invariant backends (`hybrid`,
+  // `dist-spatial`@1) are pinned against: photon i's path no longer depends
+  // on how many draws photons 0..i-1 consumed, so any decomposition of the
+  // id space can reproduce it exactly.
+  bool photon_streams = false;
 
   // Leapfrog substream for `serial` (rank of nranks); (0, 1) is the plain
   // serial stream. Lets a serial run reproduce one rank of a parallel run.
   int rank = 0;
   int nranks = 1;
 
-  // Batching. `batch` is the fixed batch size (photons per batch for serial,
-  // per rank per round for the distributed backends). When `adapt_batch` is
-  // set, the engine's BatchController adapts the size to the measured rate
-  // instead (chapter 5, "Communication vs. Computation").
+  // Batching. `batch` is the fixed batch size: photons per batch for serial,
+  // per rank per round for dist-particle/dist-spatial, and the GLOBAL ids
+  // per window for hybrid (shared by all groups — shape-independent, which
+  // is what makes hybrid's schedule, and so its result, bitwise invariant).
+  // When `adapt_batch` is set, the engine's BatchController adapts the size
+  // to the measured rate instead (chapter 5, "Communication vs.
+  // Computation"); hybrid ignores adapt_batch (par/hybrid.hpp).
   std::uint64_t batch = 10000;
   bool adapt_batch = false;
   BatchPolicy batch_policy{};
 
   double max_seconds = 0.0;         // serial: stop after this much wall time when > 0
   double sample_interval_s = 0.05;  // shared: speed-trace sampling period
+
+  // When non-empty, every speed-trace point streams to this file (JSONL, one
+  // point per line, appended as it is sampled) instead of accumulating in
+  // RunResult::trace.points — a multi-hour run's telemetry no longer grows
+  // resident memory. Totals (total_photons/total_time_s/final_rate) are still
+  // filled in the returned trace.
+  std::string trace_path;
 
   // shared: BounceRecords buffered per worker before a per-tree batched flush
   // (engine/sink.hpp). 1 collapses to one lock per record; values are clamped

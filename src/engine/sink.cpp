@@ -53,4 +53,17 @@ void RouterSink::apply_incoming(const Bytes& buf) {
   });
 }
 
+void OrderedRouterSink::apply_batch(const std::vector<BounceRecord>& held,
+                                    const std::vector<Bytes>& incoming) {
+  const int sources = static_cast<int>(incoming.size());
+  for (int s = 0; s < sources; ++s) {
+    if (s == rank_) {
+      for (const BounceRecord& rec : held) apply_record(rec);
+    } else {
+      for_each_wire<WireRecord>(incoming[static_cast<std::size_t>(s)],
+                                [&](const WireRecord& wire) { apply_record(from_wire(wire)); });
+    }
+  }
+}
+
 }  // namespace photon

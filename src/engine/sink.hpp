@@ -98,4 +98,59 @@ class RouterSink final : public BinSink {
   std::uint64_t* applied_;
 };
 
+// OrderedRouterSink — RouterSink's canonically-ordered sibling, used by the
+// backends that promise a *reproducible interleaving* of local and foreign
+// records (dist-particle's bitwise resume, hybrid's shape invariance).
+//
+// RouterSink tallies owned records the instant they are traced, so a tree's
+// record order interleaves "my trace position" with "whenever a drain ran" —
+// reproducible run to run, but dependent on the batch pipeline's phase.
+// This sink instead *holds* owned records per batch and applies one batch
+// window atomically in source-rank order: rank 0's slice, rank 1's slice, …
+// (its own held slice in place of incoming[rank]). Per-tree record order is
+// then a pure function of the batch schedule — independent of pipeline depth,
+// and, when ranks trace contiguous id slices, equal to global photon-id
+// order.
+class OrderedRouterSink final : public BinSink {
+ public:
+  OrderedRouterSink(BinForest& forest, const std::vector<int>& owner, int rank,
+                    WireBuffer& wire, std::uint64_t& applied)
+      : forest_(&forest), owner_(&owner), rank_(rank), wire_(&wire), applied_(&applied) {}
+
+  // Owned records are held for apply_batch; foreign records serialize in
+  // place into the outgoing wire (same zero-copy path as RouterSink).
+  void record(const BounceRecord& rec) override {
+    const int owner_rank = (*owner_)[static_cast<std::size_t>(rec.patch)];
+    if (owner_rank == rank_) {
+      held_.push_back(rec);
+    } else {
+      wire_->append(owner_rank, to_wire(rec));
+    }
+  }
+
+  // Surrenders the records held since the last take (the WireBuffer::take
+  // idiom): batch k's held slice stays applicable while batch k+1 records
+  // into the same sink.
+  std::vector<BounceRecord> take_held() { return std::move(held_); }
+
+  // Applies one batch window in canonical source order: for each source rank
+  // s, incoming[s]'s records — except s == rank, whose slot is `held` (this
+  // rank's own records for the window, taken via take_held). incoming[rank]
+  // is ignored (self-delivery is empty on the record tag).
+  void apply_batch(const std::vector<BounceRecord>& held, const std::vector<Bytes>& incoming);
+
+ private:
+  void apply_record(const BounceRecord& rec) {
+    forest_->record(rec.patch, rec.front, rec.coords, rec.channel);
+    ++(*applied_);
+  }
+
+  BinForest* forest_;
+  const std::vector<int>* owner_;
+  int rank_;
+  WireBuffer* wire_;
+  std::uint64_t* applied_;
+  std::vector<BounceRecord> held_;
+};
+
 }  // namespace photon

@@ -1,8 +1,46 @@
 #include "engine/telemetry.hpp"
 
+#include <cinttypes>
+#include <cstdio>
 #include <thread>
 
 namespace photon {
+
+// "w", not "a": each run owns its trace file. Points append per batch within
+// the run; a stale file from a previous run must not prefix this one (the
+// photon sequence would reset mid-file and break monotonic consumers).
+TraceWriter::TraceWriter(const std::string& path) : file_(std::fopen(path.c_str(), "w")) {
+  if (!file_) {
+    // The run proceeds (telemetry must never kill a simulation), but losing
+    // the trace silently would defeat the flag's purpose — say so up front,
+    // not after the multi-hour run.
+    std::fprintf(stderr, "warning: cannot open trace file '%s'; speed trace disabled\n",
+                 path.c_str());
+  }
+}
+
+TraceWriter::~TraceWriter() {
+  if (file_) std::fclose(file_);
+}
+
+void TraceWriter::write(const SpeedPoint& p) {
+  if (!file_) return;
+  // %.17g round-trips an IEEE-754 double exactly, so parse() reproduces the
+  // in-memory point bit for bit.
+  std::fprintf(file_, "{\"t\": %.17g, \"photons\": %" PRIu64 ", \"rate\": %.17g}\n", p.time_s,
+               p.photons, p.rate);
+  std::fflush(file_);  // one point per batch; a crash must not lose the tail
+}
+
+bool TraceWriter::parse(const std::string& line, SpeedPoint& out) {
+  SpeedPoint p;
+  if (std::sscanf(line.c_str(), "{\"t\": %lg, \"photons\": %" SCNu64 ", \"rate\": %lg}",
+                  &p.time_s, &p.photons, &p.rate) != 3) {
+    return false;
+  }
+  out = p;
+  return true;
+}
 
 void sample_progress(SpeedSampler& sampler, const std::atomic<std::uint64_t>& progress,
                      std::uint64_t total, double interval_s) {

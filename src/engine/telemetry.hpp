@@ -7,6 +7,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
 #include <vector>
 
 namespace photon {
@@ -32,13 +35,43 @@ struct MemoryPoint {
   std::uint64_t bytes = 0;
 };
 
+// Append-per-point trace writer: streams SpeedPoints to a JSONL file
+// ({"t": ..., "photons": ..., "rate": ...} per line, doubles at full %.17g
+// round-trip precision) so long runs stop accumulating telemetry in RAM.
+// Opened by SpeedSampler when RunConfig::trace_path is set.
+class TraceWriter {
+ public:
+  explicit TraceWriter(const std::string& path);
+  ~TraceWriter();
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+  void write(const SpeedPoint& p);
+
+  // Parses one JSONL line previously produced by write(); returns false when
+  // the line is not a trace point. Lives here so the round-trip (write ->
+  // parse reproduces the in-memory point bitwise) has one owner.
+  static bool parse(const std::string& line, SpeedPoint& out);
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
 // Wall-clock speed-trace collector. Construction starts the clock; sample()
 // appends one point; finish() closes the trace, appending the final point
 // only when the last sample did not already record the terminal photon count
 // (the seed's shared-memory loop pushed that point twice).
+//
+// Constructed with a non-empty `trace_path`, every point streams to that file
+// through a TraceWriter instead of accumulating in the in-memory trace; the
+// returned SpeedTrace then carries only the totals.
 class SpeedSampler {
  public:
   SpeedSampler() : start_(std::chrono::steady_clock::now()) {}
+  explicit SpeedSampler(const std::string& trace_path) : SpeedSampler() {
+    if (!trace_path.empty()) writer_ = std::make_unique<TraceWriter>(trace_path);
+  }
 
   double elapsed() const {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
@@ -50,15 +83,22 @@ class SpeedSampler {
   // Appends a point at an externally agreed time (the distributed backends
   // allreduce the elapsed time so every rank sees the same trace).
   void sample_at(double t, std::uint64_t done) {
-    trace_.points.push_back({t, done, t > 0.0 ? static_cast<double>(done) / t : 0.0});
+    const SpeedPoint p{t, done, t > 0.0 ? static_cast<double>(done) / t : 0.0};
+    last_photons_ = done;
+    have_points_ = true;
+    if (writer_) {
+      writer_->write(p);
+    } else {
+      trace_.points.push_back(p);
+    }
   }
 
   // Seals the trace: records totals and guarantees exactly one terminal point.
   SpeedTrace finish(std::uint64_t total_photons) {
     trace_.total_photons = total_photons;
     trace_.total_time_s = elapsed();
-    if (trace_.points.empty() || trace_.points.back().photons != total_photons) {
-      trace_.points.push_back({trace_.total_time_s, total_photons, trace_.final_rate()});
+    if (!have_points_ || last_photons_ != total_photons) {
+      sample_at(trace_.total_time_s, total_photons);
     }
     return std::move(trace_);
   }
@@ -66,6 +106,9 @@ class SpeedSampler {
  private:
   std::chrono::steady_clock::time_point start_;
   SpeedTrace trace_;
+  std::unique_ptr<TraceWriter> writer_;
+  std::uint64_t last_photons_ = 0;
+  bool have_points_ = false;
 };
 
 // Polls `progress` every `interval_s` seconds until it reaches `total`,

@@ -95,8 +95,16 @@ BinForest BinForest::load(std::istream& in) {
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
   in.read(reinterpret_cast<char*>(forest.emitted_.data()), sizeof(forest.emitted_));
   in.read(reinterpret_cast<char*>(&forest.total_power_), sizeof(forest.total_power_));
-  forest.trees_.reserve(n);
-  for (std::uint64_t i = 0; i < n; ++i) forest.trees_.push_back(BinTree::load(in));
+  // Cap the tree count (two trees per patch; 2^24 exceeds any bundled or
+  // plausible scene) and bail on the first malformed tree: a corrupt file
+  // must come back as the empty forest (tree_count() == 0), not crash. No
+  // up-front reserve — the count is untrusted, and the first bad tree stops
+  // the loop long before growth costs anything.
+  if (!in || n > (1ULL << 24)) return BinForest{};
+  for (std::uint64_t i = 0; i < n; ++i) {
+    forest.trees_.push_back(BinTree::load(in));
+    if (!in) return BinForest{};
+  }
   return forest;
 }
 

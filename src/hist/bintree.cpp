@@ -171,15 +171,63 @@ void BinTree::save(std::ostream& out) const {
             static_cast<std::streamsize>(n * sizeof(BinNode)));
 }
 
+namespace {
+
+// Hard cap on serialized node counts: well above any tree the recorder can
+// grow (max_nodes defaults to 2^22) and small enough that a corrupt count
+// cannot force a giant allocation before validation rejects it.
+constexpr std::uint64_t kMaxSerializedNodes = 1ULL << 26;
+
+// Structural sanity of a deserialized node array: children must point
+// strictly forward (construction appends daughters after their parent, so
+// this also guarantees acyclicity — every traversal terminates), interior
+// nodes need a valid split axis, leaves must have no dangling child.
+bool nodes_are_sane(const std::vector<BinNode>& nodes) {
+  if (nodes.empty()) return false;
+  const auto n = static_cast<std::int32_t>(nodes.size());
+  for (std::int32_t i = 0; i < n; ++i) {
+    const BinNode& node = nodes[static_cast<std::size_t>(i)];
+    if (node.is_leaf()) {
+      if (node.right >= 0) return false;
+    } else {
+      if (node.left <= i || node.left >= n || node.right <= i || node.right >= n) return false;
+      if (node.axis < 0 || node.axis >= kBinDims) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 BinTree BinTree::load(std::istream& in) {
   BinTree tree;
   std::uint64_t n = 0;
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
   in.read(reinterpret_cast<char*>(&tree.policy_.z), sizeof(tree.policy_.z));
   in.read(reinterpret_cast<char*>(&tree.policy_.min_count), sizeof(tree.policy_.min_count));
-  tree.nodes_.resize(n);
-  in.read(reinterpret_cast<char*>(tree.nodes_.data()),
-          static_cast<std::streamsize>(n * sizeof(BinNode)));
+  if (!in || n == 0 || n > kMaxSerializedNodes) {
+    in.setstate(std::ios::failbit);
+    return BinTree{};
+  }
+  // Chunked read: the count is untrusted, so a corrupt value must hit the
+  // short-read check after at most one ~5 MB chunk of over-allocation — not
+  // commit gigabytes up front.
+  constexpr std::uint64_t kChunkNodes = 1ULL << 16;
+  for (std::uint64_t got = 0; got < n; ) {
+    const std::uint64_t take = std::min(kChunkNodes, n - got);
+    tree.nodes_.resize(static_cast<std::size_t>(got + take));
+    in.read(reinterpret_cast<char*>(tree.nodes_.data() + got),
+            static_cast<std::streamsize>(take * sizeof(BinNode)));
+    if (static_cast<std::uint64_t>(in.gcount()) != take * sizeof(BinNode)) {
+      in.setstate(std::ios::failbit);
+      return BinTree{};
+    }
+    got += take;
+  }
+  if (!in || !nodes_are_sane(tree.nodes_)) {
+    in.setstate(std::ios::failbit);
+    return BinTree{};
+  }
   return tree;
 }
 
@@ -226,6 +274,9 @@ BinTree BinTree::load(const std::uint8_t*& p, const std::uint8_t* end) {
   tree.nodes_.resize(n);
   std::memcpy(tree.nodes_.data(), p, n * sizeof(BinNode));
   p += n * sizeof(BinNode);
+  if (!nodes_are_sane(tree.nodes_)) {
+    throw std::runtime_error("BinTree: corrupt node array");
+  }
   return tree;
 }
 

@@ -7,6 +7,7 @@
 #include "engine/sink.hpp"
 #include "engine/wire.hpp"
 #include "mp/minimpi.hpp"
+#include "par/gather.hpp"
 #include "sim/emitter.hpp"
 
 namespace photon {
@@ -43,7 +44,7 @@ RunResult run_distributed(const Scene& scene, const RunConfig& config,
   run_world(nranks, [&](Comm& comm) {
     const int rank = comm.rank();
     const int P = comm.size();
-    SpeedSampler sampler;
+    SpeedSampler sampler(rank == 0 ? config.trace_path : std::string());
 
     BinForest forest(scene.patch_count(), config.policy);
     const Emitter emitter(scene);
@@ -51,12 +52,24 @@ RunResult run_distributed(const Scene& scene, const RunConfig& config,
     const Tracer tracer(scene, config.limits);
     Lcg48 rng(config.seed, rank, P);
     if (resume) {
-      // Continue on a disjoint block of the global sequence, past anything
-      // the first leg can have drawn (same 4096-element budget as the
-      // per-photon streams), and fold the checkpoint's owned trees into this
-      // rank's virgin partition (lossless — virgin trees adopt wholesale).
-      rng.skip(resume_emitted * 4096);
+      // Fold the checkpoint's owned trees into this rank's virgin partition
+      // (lossless — virgin trees adopt wholesale), then restore the stream.
+      // A checkpoint taken at the same rank count carries each rank's exact
+      // generator state, so every stream continues in place — with a fixed
+      // batch size and a first leg that ended on a batch boundary, the
+      // continuation is bitwise identical to an uninterrupted run. A
+      // checkpoint from another shape (or another backend) has no state for
+      // this stream: continue on a disjoint block of the global sequence,
+      // past anything the first leg can have drawn (same 4096-element budget
+      // as the per-photon streams) — statistically independent.
       forest.merge_owned_trees(resume->forest, balance.owner, rank);
+      if (resume->ranks.size() == static_cast<std::size_t>(P) &&
+          resume->ranks[static_cast<std::size_t>(rank)].rng_mul != 0) {
+        const RankReport& prev = resume->ranks[static_cast<std::size_t>(rank)];
+        rng.set_raw(prev.rng_state, prev.rng_mul, prev.rng_add);
+      } else {
+        rng.skip(resume_emitted * kPhotonStreamBlock);
+      }
     }
 
     RankReport report;
@@ -64,21 +77,18 @@ RunResult run_distributed(const Scene& scene, const RunConfig& config,
     // batch k's bytes to the exchange and leaves the buffer refillable, so
     // the sink serializes batch k+1 while batch k drains.
     WireBuffer wire(P);
-    RouterSink sink(forest, balance.owner, rank, wire, report.processed);
+    // Owned records are held per batch and applied with the batch's incoming
+    // records in canonical source-rank order: per-tree record order is then
+    // a pure function of the batch schedule (not of the pipeline phase),
+    // which is what makes the checkpoint continuation above reproducible.
+    OrderedRouterSink sink(forest, balance.owner, rank, wire, report.processed);
     ChannelCounts emitted{};
 
     BatchController controller(config.batch_policy);
     std::uint64_t global_done = 0;
     double prev_agreed = 0.0;
+    std::vector<BounceRecord> held_prev;     // batch k-1's owned records
     std::optional<PendingExchange> pending;  // batch k-1's records in flight
-
-    const auto drain = [&](PendingExchange& exchange) {
-      const std::vector<Bytes> incoming = exchange.finish();
-      for (int s = 0; s < P; ++s) {
-        if (s == rank) continue;
-        sink.apply_incoming(incoming[static_cast<std::size_t>(s)]);
-      }
-    };
 
     while (global_done < config.photons) {
       std::uint64_t B = config.adapt_batch ? controller.size() : config.batch;
@@ -88,8 +98,10 @@ RunResult run_distributed(const Scene& scene, const RunConfig& config,
                                 static_cast<std::uint64_t>(P);
       if (B > cap) B = cap;
 
-      // Particle tracing phase. Records owned here are tallied immediately;
-      // foreign records are serialized straight into the outgoing bytes.
+      // Particle tracing phase. Records owned here are held for the batch
+      // apply; foreign records are serialized straight into the outgoing
+      // bytes. Tracing never reads the forest, so deferring the owned
+      // tallies cannot change any path.
       for (std::uint64_t i = 0; i < B; ++i) {
         const EmissionSample emission = emitter.emit(rng);
         ++emitted[static_cast<std::size_t>(emission.channel)];
@@ -99,8 +111,10 @@ RunResult run_distributed(const Scene& scene, const RunConfig& config,
       report.batch_sizes.push_back(B);
 
       // Overlapped all-to-all: the previous batch's records crossed the wire
-      // while this batch was tracing — drain them now, then post this batch.
-      if (pending) drain(*pending);
+      // while this batch was tracing — apply that batch now (own slice plus
+      // incoming, in source-rank order), then post this batch.
+      if (pending) sink.apply_batch(held_prev, pending->finish());
+      held_prev = sink.take_held();
       pending.emplace(comm.alltoall_start(wire.take(), kTagRecords));
       ++report.rounds;
 
@@ -125,33 +139,23 @@ RunResult run_distributed(const Scene& scene, const RunConfig& config,
 
     // Final batch's records are still in flight; every rank ran the same
     // number of rounds, so the drain matches pending sends exactly.
-    if (pending) drain(*pending);
+    if (pending) sink.apply_batch(held_prev, pending->finish());
 
-    // --- Gather: owned trees to rank 0 (binary frames, no stream staging),
-    // emission totals via allreduce.
-    ChannelCounts total_emitted{};
-    for (int c = 0; c < kNumChannels; ++c) {
-      total_emitted[static_cast<std::size_t>(c)] =
-          comm.allreduce_sum_u64(emitted[static_cast<std::size_t>(c)]);
-    }
-
-    if (rank != 0) {
-      comm.send(0, forest.pack_owned_trees(balance.owner, rank), kTagGather);
-    } else {
-      for (int src = 1; src < P; ++src) {
-        forest.replace_framed_trees(comm.recv(src, kTagGather));
-      }
-      for (int c = 0; c < kNumChannels; ++c) {
-        forest.add_emitted(c, total_emitted[static_cast<std::size_t>(c)]);
-        if (resume) forest.add_emitted(c, resume->forest.emitted(c));
-      }
-    }
+    // Gather: owned trees to rank 0 as binary frames, emission totals via
+    // allreduce (par/gather.hpp — shared with hybrid and dist-spatial).
+    gather_partitioned_forest(comm, forest, balance.owner, emitted,
+                              resume ? &resume->forest : nullptr, kTagGather);
 
     report.sent_bytes = comm.bytes_sent();
     report.sent_messages = comm.messages_sent();
     // Record-exchange waits only: the overlap metric. Gather waits live on
     // their own tag and load skew lives in the allreduce barriers.
     report.wait_seconds = comm.wait_seconds(kTagRecords);
+    // Exact end-of-run stream state — what a checkpoint needs for the
+    // bitwise continuation above.
+    report.rng_state = rng.state();
+    report.rng_mul = rng.stride_mul();
+    report.rng_add = rng.stride_add();
 
     {
       std::lock_guard<std::mutex> lock(result_mutex);

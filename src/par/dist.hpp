@@ -18,9 +18,13 @@ namespace photon {
 
 // Runs the Fig 5.3 algorithm on `config.workers` MiniMPI ranks. A `resume`
 // result (a loaded checkpoint from any backend) is folded into the
-// partitioned trees before tracing `config.photons` additional photons on a
-// disjoint block of the random sequence; the continuation is statistically
-// independent but not the bitwise continuation a serial resume guarantees.
+// partitioned trees before tracing `config.photons` additional photons.
+// When the checkpoint carries per-rank RNG state for this rank count (a
+// dist-particle checkpoint at the same `workers`), every stream continues in
+// place: with a fixed batch size and a first leg ending on a batch boundary
+// (photons % (batch*workers) == 0) the continuation is bitwise identical to
+// an uninterrupted run. Otherwise the continuation runs on a disjoint block
+// of the random sequence — statistically independent, never replaying paths.
 RunResult run_distributed(const Scene& scene, const RunConfig& config,
                           const RunResult* resume = nullptr);
 

@@ -1,0 +1,32 @@
+#include "par/gather.hpp"
+
+namespace photon {
+
+ChannelCounts gather_partitioned_forest(Comm& comm, BinForest& forest,
+                                        const std::vector<int>& owner,
+                                        const ChannelCounts& local_emitted,
+                                        const BinForest* resume_forest, int tag) {
+  const int rank = comm.rank();
+  const int P = comm.size();
+
+  ChannelCounts total_emitted{};
+  for (int c = 0; c < kNumChannels; ++c) {
+    total_emitted[static_cast<std::size_t>(c)] =
+        comm.allreduce_sum_u64(local_emitted[static_cast<std::size_t>(c)]);
+  }
+
+  if (rank != 0) {
+    comm.send(0, forest.pack_owned_trees(owner, rank), tag);
+  } else {
+    for (int src = 1; src < P; ++src) {
+      forest.replace_framed_trees(comm.recv(src, tag));
+    }
+    for (int c = 0; c < kNumChannels; ++c) {
+      forest.add_emitted(c, total_emitted[static_cast<std::size_t>(c)]);
+      if (resume_forest) forest.add_emitted(c, resume_forest->emitted(c));
+    }
+  }
+  return total_emitted;
+}
+
+}  // namespace photon

@@ -1,0 +1,193 @@
+#include "par/hybrid.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "engine/sink.hpp"
+#include "engine/wire.hpp"
+#include "mp/minimpi.hpp"
+#include "par/gather.hpp"
+#include "sim/emitter.hpp"
+
+namespace photon {
+
+namespace {
+
+// Message channels, same convention as par/dist: records ride the overlapped
+// tag, the end-of-run tree gather its own so gather waits stay out of the
+// record-path overlap telemetry.
+constexpr int kTagRecords = 0;
+constexpr int kTagGather = 1;
+
+// Start of part `i` when `n` items are split into `parts` contiguous slices
+// (floor partition: slice i is [begin(i), begin(i+1)), sizes differ by at
+// most one, concatenation covers [0, n) in order).
+std::uint64_t slice_begin(std::uint64_t n, int parts, int i) {
+  return n * static_cast<std::uint64_t>(i) / static_cast<std::uint64_t>(parts);
+}
+
+// Thread-local record buffer: traced records accumulate in trace order and
+// are drained on the group thread in worker order, so a group's window
+// records reassemble in ascending photon-id order.
+class BufferSink final : public BinSink {
+ public:
+  explicit BufferSink(std::vector<BounceRecord>& out) : out_(&out) {}
+  void record(const BounceRecord& rec) override { out_->push_back(rec); }
+
+ private:
+  std::vector<BounceRecord>* out_;
+};
+
+}  // namespace
+
+RunResult run_hybrid(const Scene& scene, const RunConfig& config, const RunResult* resume) {
+  const int G = std::max(config.groups, 1);
+  const int T = std::max(config.workers, 1);
+  const std::uint64_t window = std::max<std::uint64_t>(config.batch, 1);
+  // Photon ids continue where the checkpoint stopped (ids index disjoint RNG
+  // blocks, exactly like dist-spatial): the resumed leg traces the same
+  // photons an uninterrupted run would have traced next.
+  const std::uint64_t first_photon = resume ? resume->counters.emitted : 0;
+  const std::uint64_t last_photon = first_photon + config.photons;
+
+  RunResult result;
+  result.ranks.resize(static_cast<std::size_t>(G));
+  std::mutex result_mutex;  // harness-side collection only
+
+  // Ownership is a pure function of (scene, config) — computed once and
+  // shared, same setup-phase treatment as par/dist (on MPI the G replicated
+  // probes run concurrently and cost one probe of wall time).
+  const std::vector<std::uint64_t> loads =
+      measure_patch_loads(scene, config.lb_photons, config.seed ^ 0x9E3779B97F4A7C15ULL);
+  const LoadBalance balance =
+      config.bestfit ? assign_bestfit(loads, G) : assign_naive(loads, G);
+
+  run_world(G, [&](Comm& comm) {
+    const int rank = comm.rank();
+    const int P = comm.size();
+    SpeedSampler sampler(rank == 0 ? config.trace_path : std::string());
+
+    BinForest forest(scene.patch_count(), config.policy);
+    const Emitter emitter(scene);
+    forest.set_total_power(emitter.total_power());
+    const Tracer tracer(scene, config.limits);
+    if (resume) {
+      // Fold the checkpoint's owned trees into this group's virgin partition
+      // (lossless — virgin trees adopt the checkpoint structure wholesale).
+      forest.merge_owned_trees(resume->forest, balance.owner, rank);
+    }
+
+    RankReport report;
+    WireBuffer wire(P);
+    OrderedRouterSink sink(forest, balance.owner, rank, wire, report.processed);
+
+    // Per-thread state lives for the whole run; buffers are drained (and so
+    // emptied) every window.
+    std::vector<std::vector<BounceRecord>> buffers(static_cast<std::size_t>(T));
+    std::vector<TraceCounters> counters(static_cast<std::size_t>(T));
+    std::vector<ChannelCounts> emitted(static_cast<std::size_t>(T));
+
+    std::vector<BounceRecord> held_prev;             // window k-1's owned records
+    std::optional<PendingExchange> pending;          // window k-1's wire bytes in flight
+    std::uint64_t window_start = first_photon;
+
+    while (window_start < last_photon) {
+      const std::uint64_t window_end = std::min(window_start + window, last_photon);
+      const std::uint64_t n = window_end - window_start;
+      // This group's contiguous id slice of the window, split contiguously
+      // across its threads.
+      const std::uint64_t group_lo = window_start + slice_begin(n, P, rank);
+      const std::uint64_t group_hi = window_start + slice_begin(n, P, rank + 1);
+      const std::uint64_t group_n = group_hi - group_lo;
+
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(T));
+      for (int tid = 0; tid < T; ++tid) {
+        threads.emplace_back([&, tid] {
+          const auto ti = static_cast<std::size_t>(tid);
+          const std::uint64_t lo = group_lo + slice_begin(group_n, T, tid);
+          const std::uint64_t hi = group_lo + slice_begin(group_n, T, tid + 1);
+          BufferSink thread_sink(buffers[ti]);
+          for (std::uint64_t id = lo; id < hi; ++id) {
+            Lcg48 rng = photon_stream(config.seed, id);
+            const EmissionSample emission = emitter.emit(rng);
+            ++emitted[ti][static_cast<std::size_t>(emission.channel)];
+            tracer.trace(emission, rng, thread_sink, &counters[ti]);
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+
+      // Stable worker-order drain: slices are contiguous and ascending in
+      // tid, so the group's records route in global photon-id order — owned
+      // ones into the held slice, foreign ones straight into the wire bytes.
+      for (int tid = 0; tid < T; ++tid) {
+        const auto ti = static_cast<std::size_t>(tid);
+        for (const BounceRecord& rec : buffers[ti]) sink.record(rec);
+        buffers[ti].clear();
+      }
+      report.traced += group_n;
+      report.batch_sizes.push_back(group_n);
+
+      // Window k-1 drained while this window traced; apply it in canonical
+      // source-group order, then post this window's bytes. Tracing never
+      // reads the forest, so the deferral cannot change any path.
+      if (pending) {
+        const std::vector<Bytes> incoming = pending->finish();
+        sink.apply_batch(held_prev, incoming);
+      }
+      held_prev = sink.take_held();
+      pending.emplace(comm.alltoall_start(wire.take(), kTagRecords));
+      ++report.rounds;
+
+      // One speed point per window on the agreed clock (as in par/dist).
+      const double agreed = comm.allreduce_max(sampler.elapsed());
+      if (rank == 0) sampler.sample_at(agreed, window_end - first_photon);
+
+      window_start = window_end;
+    }
+
+    // Every rank ran the same window count, so the final drain matches the
+    // pending sends exactly.
+    if (pending) {
+      const std::vector<Bytes> incoming = pending->finish();
+      sink.apply_batch(held_prev, incoming);
+    }
+
+    // Fold per-thread state, then gather: owned trees to rank 0 as binary
+    // frames, emission totals via allreduce (par/gather.hpp — shared with
+    // the other partitioned-forest backends).
+    ChannelCounts rank_emitted{};
+    for (int tid = 0; tid < T; ++tid) {
+      const auto ti = static_cast<std::size_t>(tid);
+      report.counters += counters[ti];
+      for (int c = 0; c < kNumChannels; ++c) {
+        rank_emitted[static_cast<std::size_t>(c)] += emitted[ti][static_cast<std::size_t>(c)];
+      }
+    }
+    gather_partitioned_forest(comm, forest, balance.owner, rank_emitted,
+                              resume ? &resume->forest : nullptr, kTagGather);
+
+    report.sent_bytes = comm.bytes_sent();
+    report.sent_messages = comm.messages_sent();
+    report.wait_seconds = comm.wait_seconds(kTagRecords);
+
+    {
+      std::lock_guard<std::mutex> lock(result_mutex);
+      result.ranks[static_cast<std::size_t>(rank)] = std::move(report);
+      if (rank == 0) {
+        result.forest = std::move(forest);
+        result.balance = balance;
+        result.trace = sampler.finish(config.photons);
+      }
+    }
+  });
+
+  for (const RankReport& report : result.ranks) result.counters += report.counters;
+  if (resume) result.counters += resume->counters;
+  return result;
+}
+
+}  // namespace photon

@@ -1,0 +1,53 @@
+// Hybrid decomposition — the engine's `hybrid` backend: message passing
+// between groups, shared memory within them.
+//
+// The paper's target machine is a cluster of multiprocessor nodes: MPI
+// between boxes, threads inside each box. This backend composes the existing
+// decompositions the same way — `config.groups` MiniMPI ranks ("boxes"),
+// each running `config.workers` shared-memory threads — on top of the
+// dist-particle substrate: geometry replicated, bin forest partitioned
+// across groups by the probe-driven load balancer, foreign records routed
+// through RouterSink/WireBuffer into the split-phase all-to-all, trees
+// gathered to rank 0 as binary frames.
+//
+// Determinism contract (the reason this backend exists beyond throughput):
+// the populated forest is bitwise identical for EVERY (groups × threads)
+// shape, and equal to the serial photon-stream reference
+// (RunConfig::photon_streams). Three mechanisms compose to guarantee it:
+//
+//   1. Per-photon RNG streams (core/rng.hpp photon_stream): photon i's path
+//      is a pure function of (scene, seed, i), whoever traces it.
+//   2. Contiguous id slices: each batch window of ids is split contiguously
+//      across groups, and each group's slice contiguously across its
+//      threads. Thread-local record buffers are drained in worker order
+//      (the stable-order idiom of BufferedForestSink), so a group emits its
+//      window's records in ascending photon-id order.
+//   3. Canonical batch application (OrderedRouterSink::apply_batch): a
+//      window's records apply to the owner trees in source-group order —
+//      which, with contiguous slices, IS global photon-id order. Tracing
+//      never reads the forest, so the one-batch-deep exchange overlap
+//      cannot perturb any path.
+//
+// Resume folds a checkpoint into the partitioned trees (BinForest::merge)
+// and continues the photon-id sequence — a bitwise continuation of an
+// uninterrupted run whenever the first leg ended on a batch-window boundary
+// (photons % batch == 0), and an exact id-sequence continuation otherwise.
+//
+// `config.adapt_batch` is deliberately ignored: adaptive windows are sized
+// from wall-clock rates, which would make the batch schedule — and with it
+// the forest's split timing — irreproducible. Hybrid always uses fixed
+// `config.batch`-photon global windows.
+#pragma once
+
+#include "engine/backend.hpp"
+
+namespace photon {
+
+// Runs the hybrid simulation on `config.groups` MiniMPI ranks, each tracing
+// its id slices with `config.workers` threads. `config.batch` is the GLOBAL
+// ids-per-window size (not per rank), so the batch schedule — and hence the
+// bitwise result — is independent of the shape.
+RunResult run_hybrid(const Scene& scene, const RunConfig& config,
+                     const RunResult* resume = nullptr);
+
+}  // namespace photon

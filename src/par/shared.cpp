@@ -37,7 +37,7 @@ RunResult run_shared(const Scene& scene, const RunConfig& config,
   result.per_thread_traced.assign(static_cast<std::size_t>(T), 0);
   std::atomic<std::uint64_t> progress{0};
 
-  SpeedSampler sampler;
+  SpeedSampler sampler(config.trace_path);
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(T));

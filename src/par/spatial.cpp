@@ -9,7 +9,9 @@
 #include "engine/wire.hpp"
 #include "material/brdf.hpp"
 #include "mp/minimpi.hpp"
+#include "par/gather.hpp"
 #include "sim/emitter.hpp"
+#include "sim/simulator.hpp"
 
 namespace photon {
 
@@ -104,27 +106,15 @@ int region_of(const std::vector<Aabb>& regions, const Vec3& p) {
   return fallback;
 }
 
-Lcg48 photon_stream(std::uint64_t seed, std::uint64_t photon_index) {
-  Lcg48 rng(seed);
-  rng.skip(photon_index * 4096);
-  return rng;
-}
-
 RunResult run_photon_streams(const Scene& scene, const RunConfig& config) {
-  RunResult result;
-  result.forest = BinForest(scene.patch_count(), config.policy);
-  const Emitter emitter(scene);
-  result.forest.set_total_power(emitter.total_power());
-  const Tracer tracer(scene, config.limits);
-  ForestSink sink(result.forest);
-  for (std::uint64_t i = 0; i < config.photons; ++i) {
-    Lcg48 rng = photon_stream(config.seed, i);
-    const EmissionSample emission = emitter.emit(rng);
-    result.forest.add_emitted(emission.channel);
-    tracer.trace(emission, rng, sink, &result.counters);
-  }
-  result.trace.total_photons = config.photons;
-  return result;
+  // One owner for the per-photon-stream reference: this is run_serial's
+  // photon_streams mode (the same loop the conformance suite pins hybrid and
+  // spatial against), kept under its historical name for the spatial tests.
+  RunConfig reference = config;
+  reference.photon_streams = true;
+  reference.rank = 0;
+  reference.nranks = 1;
+  return run_serial(scene, reference);
 }
 
 namespace {
@@ -226,7 +216,7 @@ RunResult run_spatial(const Scene& scene, const RunConfig& config, const RunResu
   run_world(nranks, [&](Comm& comm) {
     const int rank = comm.rank();
     const int P = comm.size();
-    SpeedSampler sampler;
+    SpeedSampler sampler(rank == 0 ? config.trace_path : std::string());
     const Aabb my_region = result.regions[static_cast<std::size_t>(rank)];
 
     // Local geometry: only the patches overlapping this region get indexed.
@@ -392,24 +382,10 @@ RunResult run_spatial(const Scene& scene, const RunConfig& config, const RunResu
     // on the same round, so the drain matches the pending sends exactly.
     if (pending_records) drain_records(*pending_records);
 
-    // Gather owned trees and totals on rank 0 (binary frames, same protocol
-    // as par/dist).
-    ChannelCounts total_emitted{};
-    for (int c = 0; c < kNumChannels; ++c) {
-      total_emitted[static_cast<std::size_t>(c)] =
-          comm.allreduce_sum_u64(emitted[static_cast<std::size_t>(c)]);
-    }
-    if (rank != 0) {
-      comm.send(0, forest.pack_owned_trees(tree_owner, rank), kTagGather);
-    } else {
-      for (int src = 1; src < P; ++src) {
-        forest.replace_framed_trees(comm.recv(src, kTagGather));
-      }
-      for (int c = 0; c < kNumChannels; ++c) {
-        forest.add_emitted(c, total_emitted[static_cast<std::size_t>(c)]);
-        if (resume) forest.add_emitted(c, resume->forest.emitted(c));
-      }
-    }
+    // Gather owned trees and totals on rank 0 (binary frames; par/gather.hpp,
+    // shared with the other partitioned-forest backends).
+    const ChannelCounts total_emitted = gather_partitioned_forest(
+        comm, forest, tree_owner, emitted, resume ? &resume->forest : nullptr, kTagGather);
 
     report.sent_bytes = comm.bytes_sent();
     report.sent_messages = comm.messages_sent();

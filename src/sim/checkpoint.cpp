@@ -1,11 +1,34 @@
 #include "sim/checkpoint.hpp"
 
+#include <algorithm>
 #include <fstream>
+#include <istream>
+#include <sstream>
+#include <streambuf>
 
 namespace photon {
 
 namespace {
-constexpr std::uint64_t kCheckpointMagic = 0x50484F544F4E434BULL;  // "PHOTONCK"
+// Version 2 ("PHOTNCK2"): the payload is length-prefixed and FNV-1a-64
+// checksummed, and carries a per-rank RNG section (dist-particle's bitwise
+// resume) between the counters and the forest. Version-1 files ("PHOTONCK",
+// no length, no checksum, no rank section) are rejected — a checkpoint that
+// cannot be verified must not be resumed.
+constexpr std::uint64_t kCheckpointMagic = 0x50484F544E434B32ULL;  // "PHOTNCK2"
+
+// Caps keep a corrupt length/count field from turning into a giant
+// allocation before the checksum can reject it.
+constexpr std::uint64_t kMaxPayloadBytes = 1ULL << 33;  // 8 GiB
+constexpr std::uint64_t kMaxRanks = 1ULL << 16;
+
+std::uint64_t fnv1a64(const char* data, std::size_t n) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
 
 void write_u64(std::ostream& out, std::uint64_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -18,16 +41,33 @@ bool read_u64(std::istream& in, std::uint64_t& v) {
 }  // namespace
 
 void save_checkpoint(const RunResult& result, std::ostream& out) {
+  // Stage the payload so it can be length-prefixed and checksummed; a
+  // checkpoint is written once per leg, so the extra copy is irrelevant next
+  // to the simulation it protects.
+  std::ostringstream payload(std::ios::binary);
+  write_u64(payload, result.rng_state);
+  write_u64(payload, result.rng_mul);
+  write_u64(payload, result.rng_add);
+  write_u64(payload, result.counters.emitted);
+  write_u64(payload, result.counters.bounces);
+  write_u64(payload, result.counters.absorbed);
+  write_u64(payload, result.counters.escaped);
+  write_u64(payload, result.counters.terminated);
+  // Per-rank generator states (zeros for backends without per-rank streams;
+  // the resume path ignores entries with rng_mul == 0).
+  write_u64(payload, result.ranks.size());
+  for (const RankReport& rank : result.ranks) {
+    write_u64(payload, rank.rng_state);
+    write_u64(payload, rank.rng_mul);
+    write_u64(payload, rank.rng_add);
+  }
+  result.forest.save(payload);
+
+  const std::string bytes = payload.str();
   write_u64(out, kCheckpointMagic);
-  write_u64(out, result.rng_state);
-  write_u64(out, result.rng_mul);
-  write_u64(out, result.rng_add);
-  write_u64(out, result.counters.emitted);
-  write_u64(out, result.counters.bounces);
-  write_u64(out, result.counters.absorbed);
-  write_u64(out, result.counters.escaped);
-  write_u64(out, result.counters.terminated);
-  result.forest.save(out);
+  write_u64(out, bytes.size());
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  write_u64(out, fnv1a64(bytes.data(), bytes.size()));
 }
 
 bool save_checkpoint(const RunResult& result, const std::string& path) {
@@ -38,16 +78,54 @@ bool save_checkpoint(const RunResult& result, const std::string& path) {
 }
 
 bool load_checkpoint(std::istream& in, RunResult& result) {
-  std::uint64_t magic = 0;
+  std::uint64_t magic = 0, length = 0;
   if (!read_u64(in, magic) || magic != kCheckpointMagic) return false;
-  if (!read_u64(in, result.rng_state) || !read_u64(in, result.rng_mul) ||
-      !read_u64(in, result.rng_add) || !read_u64(in, result.counters.emitted) ||
-      !read_u64(in, result.counters.bounces) || !read_u64(in, result.counters.absorbed) ||
-      !read_u64(in, result.counters.escaped) || !read_u64(in, result.counters.terminated)) {
+  if (!read_u64(in, length) || length > kMaxPayloadBytes) return false;
+
+  // Read the payload in bounded chunks: the length field is untrusted, so a
+  // corrupt value must hit the truncation check after at most one chunk of
+  // over-allocation, not commit gigabytes up front.
+  constexpr std::uint64_t kChunk = 1ULL << 24;  // 16 MiB
+  std::string bytes;
+  while (static_cast<std::uint64_t>(bytes.size()) < length) {
+    const std::uint64_t want =
+        std::min<std::uint64_t>(kChunk, length - static_cast<std::uint64_t>(bytes.size()));
+    const std::size_t off = bytes.size();
+    bytes.resize(off + static_cast<std::size_t>(want));
+    in.read(bytes.data() + off, static_cast<std::streamsize>(want));
+    if (static_cast<std::uint64_t>(in.gcount()) != want) return false;  // truncated
+  }
+
+  std::uint64_t checksum = 0;
+  if (!read_u64(in, checksum) || checksum != fnv1a64(bytes.data(), bytes.size())) {
+    return false;  // corrupt — resuming silently-wrong state is worse than failing
+  }
+
+  // Parse the verified payload in place (a streambuf view, not an
+  // istringstream, which would copy the multi-GiB buffer a second time).
+  struct MemBuf : std::streambuf {
+    MemBuf(char* data, std::size_t n) { setg(data, data, data + n); }
+  } membuf(bytes.data(), bytes.size());
+  std::istream payload(&membuf);
+  std::uint64_t nranks = 0;
+  if (!read_u64(payload, result.rng_state) || !read_u64(payload, result.rng_mul) ||
+      !read_u64(payload, result.rng_add) || !read_u64(payload, result.counters.emitted) ||
+      !read_u64(payload, result.counters.bounces) ||
+      !read_u64(payload, result.counters.absorbed) ||
+      !read_u64(payload, result.counters.escaped) ||
+      !read_u64(payload, result.counters.terminated) || !read_u64(payload, nranks) ||
+      nranks > kMaxRanks) {
     return false;
   }
-  result.forest = BinForest::load(in);
-  return result.forest.tree_count() > 0;
+  result.ranks.assign(static_cast<std::size_t>(nranks), RankReport{});
+  for (RankReport& rank : result.ranks) {
+    if (!read_u64(payload, rank.rng_state) || !read_u64(payload, rank.rng_mul) ||
+        !read_u64(payload, rank.rng_add)) {
+      return false;
+    }
+  }
+  result.forest = BinForest::load(payload);
+  return static_cast<bool>(payload) && result.forest.tree_count() > 0;
 }
 
 bool load_checkpoint(const std::string& path, RunResult& result) {

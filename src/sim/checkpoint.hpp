@@ -3,9 +3,17 @@
 //
 // The paper's production runs simulated billions of photons over hours; a
 // checkpoint captures the bin forest (already the "answer file"), the trace
-// counters, and the raw RNG state. Resuming through a backend that reports
-// supports_resume() adopts all three; the `serial` backend's continuation is
-// bitwise identical to an uninterrupted run (verified by the test suite).
+// counters, the raw RNG state, and — since format v2 — each rank's generator
+// state, so dist-particle resumes continue every stream in place. Resuming
+// through a backend that reports supports_resume() adopts all of it; the
+// `serial`, `hybrid` and (at matching rank count) `dist-particle`
+// continuations are bitwise identical to an uninterrupted run (verified by
+// the test suite).
+//
+// The v2 byte format is [magic][u64 payload length][payload][u64 FNV-1a-64
+// of the payload]: a truncated or bit-flipped checkpoint fails the length or
+// checksum test and load_checkpoint returns false — a multi-hour run must
+// never silently resume from damaged state.
 #pragma once
 
 #include <iosfwd>
@@ -18,7 +26,8 @@ namespace photon {
 void save_checkpoint(const RunResult& result, std::ostream& out);
 bool save_checkpoint(const RunResult& result, const std::string& path);
 
-// Returns false (leaving `result` unspecified) on a malformed stream.
+// Returns false (leaving `result` unspecified) on a malformed, truncated, or
+// checksum-failing stream; never throws, never partially adopts state.
 bool load_checkpoint(std::istream& in, RunResult& result);
 bool load_checkpoint(const std::string& path, RunResult& result);
 

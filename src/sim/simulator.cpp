@@ -7,11 +7,16 @@ namespace photon {
 RunResult run_serial(const Scene& scene, const RunConfig& config,
                      const RunResult* resume_from) {
   RunResult result;
+  // In photon-stream mode ids index disjoint RNG blocks; a resumed leg simply
+  // continues the id sequence, which is inherently a bitwise continuation.
+  std::uint64_t next_photon = resume_from ? resume_from->counters.emitted : 0;
   Lcg48 rng(config.seed, config.rank, config.nranks);
   if (resume_from) {
     result.forest = resume_from->forest;
     result.counters = resume_from->counters;
-    if (resume_from->rng_mul != 0) {
+    if (config.photon_streams) {
+      // next_photon carries the whole continuation state.
+    } else if (resume_from->rng_mul != 0) {
       rng.set_raw(resume_from->rng_state, resume_from->rng_mul, resume_from->rng_add);
     } else {
       // Checkpoint from a backend with no single generator state (shared,
@@ -19,7 +24,7 @@ RunResult run_serial(const Scene& scene, const RunConfig& config,
       // stream. Continue on a disjoint block of the global sequence instead,
       // far past anything the first leg can have drawn (same 4096-element
       // blocks as the per-photon streams).
-      rng.skip(resume_from->counters.emitted * 4096);
+      rng.skip(resume_from->counters.emitted * kPhotonStreamBlock);
     }
   } else {
     result.forest = BinForest(scene.patch_count(), config.policy);
@@ -30,7 +35,7 @@ RunResult run_serial(const Scene& scene, const RunConfig& config,
   const Tracer tracer(scene, config.limits);
   ForestSink sink(result.forest);
 
-  SpeedSampler sampler;
+  SpeedSampler sampler(config.trace_path);
   BatchController controller(config.batch_policy);
   std::uint64_t done = 0;
   double prev_t = 0.0;
@@ -39,6 +44,7 @@ RunResult run_serial(const Scene& scene, const RunConfig& config,
     if (batch > config.photons - done) batch = config.photons - done;
     if (batch == 0) batch = 1;
     for (std::uint64_t i = 0; i < batch; ++i) {
+      if (config.photon_streams) rng = photon_stream(config.seed, next_photon++);
       const EmissionSample emission = emitter.emit(rng);
       result.forest.add_emitted(emission.channel);
       tracer.trace(emission, rng, sink, &result.counters);

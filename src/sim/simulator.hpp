@@ -15,6 +15,11 @@ namespace photon {
 // When `resume_from` is non-null, continues that run: its forest, counters
 // and RNG state are adopted and `config.photons` *additional* photons are
 // simulated — bitwise identical to having run them in one go.
+//
+// With `config.photon_streams` set, each photon draws from its own disjoint
+// RNG block (core/rng.hpp photon_stream) instead of one continuous stream:
+// the conformance reference for the shape-invariant backends. Resume then
+// continues the photon-id sequence — also a bitwise continuation.
 RunResult run_serial(const Scene& scene, const RunConfig& config,
                      const RunResult* resume_from = nullptr);
 

@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "geom/scenes.hpp"
+#include "par/dist.hpp"
 
 namespace photon {
 namespace {
@@ -87,6 +91,105 @@ TEST(Checkpoint, RejectsGarbage) {
 TEST(Checkpoint, RejectsMissingFile) {
   RunResult r;
   EXPECT_FALSE(load_checkpoint("/nonexistent_zzz/photon.ck", r));
+}
+
+TEST(Checkpoint, RoundTripsPerRankRngState) {
+  // Format v2 carries each rank's generator state — what dist-particle's
+  // bitwise resume restores (the resume itself is pinned in test_dist).
+  const Scene s = scenes::cornell_box();
+  RunConfig cfg;
+  cfg.photons = 2000;
+  cfg.workers = 3;
+  cfg.batch = 500;
+  cfg.adapt_batch = false;
+  const RunResult r = run_distributed(s, cfg);
+
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  save_checkpoint(r, buf);
+  RunResult loaded;
+  ASSERT_TRUE(load_checkpoint(buf, loaded));
+  ASSERT_EQ(loaded.ranks.size(), r.ranks.size());
+  for (std::size_t i = 0; i < r.ranks.size(); ++i) {
+    EXPECT_EQ(loaded.ranks[i].rng_state, r.ranks[i].rng_state) << "rank " << i;
+    EXPECT_EQ(loaded.ranks[i].rng_mul, r.ranks[i].rng_mul) << "rank " << i;
+    EXPECT_EQ(loaded.ranks[i].rng_add, r.ranks[i].rng_add) << "rank " << i;
+  }
+  EXPECT_TRUE(loaded.forest == r.forest);
+}
+
+// --- Fuzzing the loader: damaged bytes must be rejected cleanly — return
+// false, never crash, and NEVER load (a silently-wrong resume would waste
+// the multi-hour run the checkpoint exists to protect). Mirrors the framed-
+// tree corrupt-buffer tests in test_binforest.
+
+std::string checkpoint_bytes() {
+  const Scene s = scenes::cornell_box();
+  RunConfig cfg;
+  cfg.photons = 4000;
+  const RunResult r = run_serial(s, cfg);
+  std::ostringstream out(std::ios::binary);
+  save_checkpoint(r, out);
+  return out.str();
+}
+
+TEST(CheckpointFuzz, EveryTruncationIsRejected) {
+  const std::string bytes = checkpoint_bytes();
+  ASSERT_GT(bytes.size(), 64u);
+  // Every prefix around the header plus a spread through the forest body.
+  std::vector<std::size_t> cuts;
+  for (std::size_t n = 0; n < std::min<std::size_t>(bytes.size(), 128); ++n) cuts.push_back(n);
+  for (std::size_t n = 128; n < bytes.size(); n += 997) cuts.push_back(n);
+  cuts.push_back(bytes.size() - 1);
+  for (const std::size_t n : cuts) {
+    std::istringstream in(bytes.substr(0, n), std::ios::binary);
+    RunResult r;
+    EXPECT_FALSE(load_checkpoint(in, r)) << "truncated at " << n;
+  }
+  // The untouched stream still loads — the cuts above failed for the right
+  // reason.
+  std::istringstream whole(bytes, std::ios::binary);
+  RunResult r;
+  EXPECT_TRUE(load_checkpoint(whole, r));
+}
+
+TEST(CheckpointFuzz, EveryBitFlipIsRejected) {
+  const std::string bytes = checkpoint_bytes();
+  Lcg48 rng(2026);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string damaged = bytes;
+    const std::size_t pos = static_cast<std::size_t>(rng.uniform_int(damaged.size()));
+    const int bit = static_cast<int>(rng.uniform_int(8));
+    damaged[pos] = static_cast<char>(damaged[pos] ^ (1 << bit));
+    std::istringstream in(damaged, std::ios::binary);
+    RunResult r;
+    // The checksum covers the whole payload; flips in the magic, length, or
+    // checksum fields fail those comparisons instead.
+    EXPECT_FALSE(load_checkpoint(in, r)) << "flip at byte " << pos << " bit " << bit;
+  }
+}
+
+TEST(CheckpointFuzz, RandomNoiseNeverLoads) {
+  Lcg48 rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(4096));
+    std::string noise(n, '\0');
+    for (char& c : noise) c = static_cast<char>(rng.uniform_int(256));
+    std::istringstream in(noise, std::ios::binary);
+    RunResult r;
+    EXPECT_FALSE(load_checkpoint(in, r)) << "trial " << trial;
+  }
+}
+
+TEST(CheckpointFuzz, TrailingGarbageAfterAValidPayloadStillLoads) {
+  // The format is length-prefixed: a valid checkpoint followed by unrelated
+  // bytes (e.g. a partially overwritten file that got longer) must load the
+  // valid part.
+  std::string bytes = checkpoint_bytes();
+  bytes += "trailing garbage the loader must not touch";
+  std::istringstream in(bytes, std::ios::binary);
+  RunResult r;
+  EXPECT_TRUE(load_checkpoint(in, r));
+  EXPECT_GT(r.forest.tree_count(), 0u);
 }
 
 }  // namespace

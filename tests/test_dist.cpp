@@ -237,6 +237,58 @@ TEST_P(DistSerialEquivalenceTest, OneRankIsBitwiseSerialAtAnyBatch) {
 INSTANTIATE_TEST_SUITE_P(Batches, DistSerialEquivalenceTest,
                          ::testing::Values(1u, 64u, 4096u));
 
+TEST(DistSim, ResumeAtSameShapeIsABitwiseContinuation) {
+  // The checkpoint carries every rank's exact generator state, and owned
+  // records apply in canonical batch order, so leg1 + leg2 at the same rank
+  // count — with leg1 ending on a batch boundary — reproduces an
+  // uninterrupted run bit for bit (the ROADMAP's dist-resume open item).
+  const Scene s = scenes::cornell_box();
+  RunConfig leg1_cfg;
+  leg1_cfg.photons = 2000;  // 2 rounds of 500 x 2 ranks
+  leg1_cfg.adapt_batch = false;
+  leg1_cfg.batch = 500;
+  leg1_cfg.workers = 2;
+  const RunResult leg1 = run_distributed(s, leg1_cfg);
+  for (const RankReport& rep : leg1.ranks) ASSERT_NE(rep.rng_mul, 0u);
+
+  RunConfig leg2_cfg = leg1_cfg;
+  leg2_cfg.photons = 1000;
+  const RunResult resumed = run_distributed(s, leg2_cfg, &leg1);
+
+  RunConfig straight_cfg = leg1_cfg;
+  straight_cfg.photons = 3000;
+  const RunResult straight = run_distributed(s, straight_cfg);
+
+  EXPECT_TRUE(resumed.forest == straight.forest);
+  EXPECT_EQ(resumed.counters.emitted, straight.counters.emitted);
+  EXPECT_EQ(resumed.counters.bounces, straight.counters.bounces);
+  // And the continuation's end state matches too, so a chain of resumed legs
+  // keeps reproducing the uninterrupted run.
+  for (std::size_t r = 0; r < resumed.ranks.size(); ++r) {
+    EXPECT_EQ(resumed.ranks[r].rng_state, straight.ranks[r].rng_state) << "rank " << r;
+  }
+}
+
+TEST(DistSim, ResumeAtDifferentShapeFallsBackToDisjointStreams) {
+  // A checkpoint from another rank count has no state for these streams; the
+  // continuation must still conserve every tally and add exactly
+  // config.photons fresh photons (the pre-PR-5 behavior).
+  const Scene s = scenes::cornell_box();
+  RunConfig leg1_cfg;
+  leg1_cfg.photons = 2000;
+  leg1_cfg.adapt_batch = false;
+  leg1_cfg.batch = 500;
+  leg1_cfg.workers = 4;
+  const RunResult leg1 = run_distributed(s, leg1_cfg);
+
+  RunConfig leg2_cfg = leg1_cfg;
+  leg2_cfg.workers = 2;
+  leg2_cfg.photons = 1000;
+  const RunResult resumed = run_distributed(s, leg2_cfg, &leg1);
+  EXPECT_EQ(resumed.counters.emitted, 3000u);
+  EXPECT_EQ(resumed.forest.emitted_total(), 3000u);
+}
+
 TEST(DistSim, ResumeConservesAndReproduces) {
   // Distributed resume: the checkpoint's trees fold into the partitions
   // (BinForest/BinTree merge) and the continuation adds exactly
@@ -264,28 +316,16 @@ TEST(DistSim, ResumeConservesAndReproduces) {
   EXPECT_TRUE(resumed.forest == resumed_again.forest);
 }
 
-TEST(DistSim, SingleRankDegeneratesToSerial) {
+TEST(DistSim, SingleRankPutsNothingOnTheWire) {
+  // (dist@1 == serial bitwise is pinned, per scene, by the conformance
+  // suite; this keeps the traffic claim.)
   const Scene s = scenes::cornell_box();
   RunConfig cfg;
-  cfg.photons = 3000;
+  cfg.photons = 1000;
   cfg.adapt_batch = false;
-  cfg.batch = 1000;
+  cfg.batch = 500;
   cfg.workers = 1;
   const RunResult dist = run_distributed(s, cfg);
-
-  RunConfig sc;
-  sc.photons = 3000;
-  sc.seed = cfg.seed;
-  sc.rank = 0;
-  sc.nranks = 1;
-  const RunResult serial = run_serial(s, sc);
-
-  const auto a = dist.forest.patch_tallies();
-  const auto b = serial.forest.patch_tallies();
-  ASSERT_EQ(a.size(), b.size());
-  for (std::size_t p = 0; p < a.size(); ++p) {
-    EXPECT_EQ(a[p], b[p]) << "patch " << p;
-  }
   EXPECT_EQ(dist.ranks[0].sent_bytes, 0u);
 }
 

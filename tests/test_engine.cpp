@@ -14,7 +14,8 @@ namespace {
 
 TEST(BackendRegistry, BuiltinsAreRegistered) {
   const std::vector<std::string> names = backend_names();
-  for (const char* expected : {"serial", "shared", "dist-particle", "dist-spatial"}) {
+  for (const char* expected :
+       {"serial", "shared", "dist-particle", "dist-spatial", "hybrid"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << "missing backend " << expected;
   }
@@ -42,24 +43,10 @@ TEST(BackendRegistry, RuntimeRegistrationAndCollision) {
   EXPECT_FALSE(register_backend("serial", [] { return std::make_unique<FakeBackend>(); }));
 }
 
-TEST(CrossBackend, SharedWithOneWorkerMatchesSerialExactly) {
-  // A single shared-memory thread draws from stream (seed, 0, 1) — the plain
-  // serial stream — so the forests must be bitwise identical.
-  const Scene s = scenes::cornell_box();
-  RunConfig cfg;
-  cfg.photons = 3000;
-  cfg.workers = 1;
-
-  const RunResult serial = make_backend("serial")->run(s, cfg);
-  const RunResult shared = make_backend("shared")->run(s, cfg);
-
-  EXPECT_TRUE(serial.forest == shared.forest);
-  for (int c = 0; c < kNumChannels; ++c) {
-    EXPECT_EQ(serial.forest.emitted(c), shared.forest.emitted(c)) << "channel " << c;
-  }
-  EXPECT_EQ(serial.counters.bounces, shared.counters.bounces);
-  EXPECT_EQ(serial.counters.absorbed, shared.counters.absorbed);
-}
+// The per-backend bitwise-vs-serial pins (shared@1, dist-particle@1,
+// hybrid@every shape, ...) moved to the cross-backend conformance suite —
+// tests/test_conformance.cpp — which runs every registered backend through
+// the same matrix on all bundled scenes.
 
 TEST(CrossBackend, SharedTotalsPerChannelMatchLeapfrogUnion) {
   // With T workers the leapfrogged emission streams partition the work
@@ -87,23 +74,6 @@ TEST(CrossBackend, SharedTotalsPerChannelMatchLeapfrogUnion) {
     EXPECT_EQ(shared.forest.emitted(c), expected[static_cast<std::size_t>(c)])
         << "channel " << c;
   }
-}
-
-TEST(CrossBackend, DistParticleAtOneRankMatchesSerialExactly) {
-  const Scene s = scenes::cornell_box();
-  RunConfig cfg;
-  cfg.photons = 3000;
-  cfg.workers = 1;
-  cfg.batch = 750;
-
-  const RunResult serial = make_backend("serial")->run(s, cfg);
-  const RunResult dist = make_backend("dist-particle")->run(s, cfg);
-
-  EXPECT_TRUE(serial.forest == dist.forest);
-  const auto a = serial.forest.patch_tallies();
-  const auto b = dist.forest.patch_tallies();
-  ASSERT_EQ(a.size(), b.size());
-  for (std::size_t p = 0; p < a.size(); ++p) EXPECT_EQ(a[p], b[p]) << "patch " << p;
 }
 
 TEST(CrossBackend, SerialResumeFromSharedCheckpointGetsFreshStream) {
@@ -152,12 +122,11 @@ TEST(CrossBackend, SharedResumeDoesNotReplayTheFirstLeg) {
 }
 
 TEST(CrossBackend, ResumeSupportIsAdvertisedCorrectly) {
-  // Every backend resumes since BinForest::merge landed: the distributed
-  // backends fold a checkpoint into their partitioned trees.
-  EXPECT_TRUE(make_backend("serial")->supports_resume());
-  EXPECT_TRUE(make_backend("shared")->supports_resume());
-  EXPECT_TRUE(make_backend("dist-particle")->supports_resume());
-  EXPECT_TRUE(make_backend("dist-spatial")->supports_resume());
+  // Every built-in backend resumes since BinForest::merge landed: the
+  // distributed backends fold a checkpoint into their partitioned trees.
+  for (const char* name : {"serial", "shared", "dist-particle", "dist-spatial", "hybrid"}) {
+    EXPECT_TRUE(make_backend(name)->supports_resume()) << name;
+  }
 }
 
 TEST(BatchControllerClamp, GrowthClampsExactlyToMax) {

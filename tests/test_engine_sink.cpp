@@ -52,6 +52,64 @@ TEST(BufferedForestSink, MatchesDirectForestSinkBitwise) {
   EXPECT_TRUE(direct == buffered);
 }
 
+TEST(OrderedRouterSink, AppliesOneBatchInSourceRankOrder) {
+  // The canonical-order seam of dist-particle and hybrid: this rank's held
+  // slice must apply in its own source slot, between the neighbours'
+  // incoming buffers, so per-tree order is a pure function of the batch
+  // schedule. Reproduce the order by hand against a plain ForestSink.
+  const int n_patches = 5;
+  const int rank = 1, P = 3;
+  std::vector<int> owner(n_patches, rank);  // everything owned here
+  Lcg48 rng(7);
+
+  // Source-rank slices of one batch window, each in its trace order.
+  std::vector<std::vector<BounceRecord>> slices(P);
+  for (int s = 0; s < P; ++s) {
+    for (int i = 0; i < 200; ++i) slices[static_cast<std::size_t>(s)].push_back(make_record(rng, n_patches));
+  }
+
+  BinForest routed(n_patches);
+  std::uint64_t applied = 0;
+  WireBuffer wire(P);
+  OrderedRouterSink sink(routed, owner, rank, wire, applied);
+  for (const BounceRecord& rec : slices[static_cast<std::size_t>(rank)]) sink.record(rec);
+  std::vector<Bytes> incoming(P);
+  for (int s = 0; s < P; ++s) {
+    if (s == rank) continue;
+    WireBuffer w(P);
+    for (const BounceRecord& rec : slices[static_cast<std::size_t>(s)]) w.append(rank, to_wire(rec));
+    incoming[static_cast<std::size_t>(s)] = w.take()[static_cast<std::size_t>(rank)];
+  }
+  sink.apply_batch(sink.take_held(), incoming);
+
+  BinForest expected(n_patches);
+  ForestSink direct(expected);
+  for (int s = 0; s < P; ++s) {
+    for (const BounceRecord& rec : slices[static_cast<std::size_t>(s)]) direct.record(rec);
+  }
+  EXPECT_TRUE(routed == expected);
+  EXPECT_EQ(applied, static_cast<std::uint64_t>(P) * 200u);
+}
+
+TEST(OrderedRouterSink, RoutesForeignRecordsToTheWire) {
+  const int n_patches = 4;
+  std::vector<int> owner = {0, 1, 0, 1};
+  Lcg48 rng(11);
+  BinForest forest(n_patches);
+  std::uint64_t applied = 0;
+  WireBuffer wire(2);
+  OrderedRouterSink sink(forest, owner, 0, wire, applied);
+  for (int i = 0; i < 100; ++i) sink.record(make_record(rng, n_patches));
+  const std::vector<BounceRecord> held = sink.take_held();
+  // Held records are all owned; everything else went to rank 1's buffer.
+  for (const BounceRecord& rec : held) EXPECT_EQ(owner[static_cast<std::size_t>(rec.patch)], 0);
+  EXPECT_EQ(held.size() + wire.buffer(1).size() / sizeof(WireRecord), 100u);
+  EXPECT_TRUE(wire.buffer(0).empty());
+  // Nothing is tallied until apply_batch runs.
+  EXPECT_EQ(applied, 0u);
+  EXPECT_EQ(forest.total_tally_all(), 0u);
+}
+
 TEST(BufferedForestSink, ExplicitFlushDrainsEverything) {
   const int n_patches = 3;
   BinForest forest(n_patches);

@@ -172,19 +172,9 @@ TEST(SpatialSim, TalliesLandOnOwners) {
   EXPECT_EQ(tallies, r.counters.emitted + r.counters.bounces);
 }
 
-TEST(SpatialSim, SingleRankIsTheReference) {
-  const Scene s = scenes::cornell_box();
-  RunConfig cfg;
-  cfg.photons = 2000;
-  cfg.workers = 1;
-  const RunResult spatial = run_spatial(s, cfg);
-  const RunResult reference = run_photon_streams(s, cfg);
-  const auto a = spatial.forest.patch_tallies();
-  const auto b = reference.forest.patch_tallies();
-  for (std::size_t p = 0; p < a.size(); ++p) {
-    EXPECT_EQ(a[p], b[p]) << "patch " << p;
-  }
-}
+// (spatial@1 == the photon-stream reference, bitwise per scene, is pinned by
+// the conformance suite; the per-batch sweep below keeps the exchange-
+// threshold coverage.)
 
 // Determinism through the RouterSink/overlapped-record path: rank count x
 // injection batch size must never make a run irreproducible.

@@ -1,0 +1,97 @@
+// The streamed speed trace (RunConfig::trace_path): points append to disk as
+// they are sampled instead of accumulating in RAM, and the file reproduces
+// the in-memory trace exactly.
+#include "engine/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "engine/backend.hpp"
+#include "geom/scenes.hpp"
+
+namespace photon {
+namespace {
+
+std::vector<SpeedPoint> read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<SpeedPoint> points;
+  std::string line;
+  while (std::getline(in, line)) {
+    SpeedPoint p;
+    if (TraceWriter::parse(line, p)) points.push_back(p);
+  }
+  return points;
+}
+
+TEST(TraceStream, StreamedFileReproducesTheInMemoryTrace) {
+  // Drive a streaming and a non-streaming sampler through the identical
+  // sample sequence (externally supplied times, so both see the same data);
+  // the parsed file must reproduce the in-memory points bit for bit.
+  const std::string path = ::testing::TempDir() + "/trace_points.jsonl";
+  std::remove(path.c_str());
+
+  SpeedSampler memory_sampler;
+  SpeedSampler stream_sampler(path);
+  const double times[] = {0.125, 0.25, 0.5, 1.0 / 3.0, 2.75};
+  const std::uint64_t photons[] = {100, 2048, 40000, 123457, 1000000};
+  for (int i = 0; i < 5; ++i) {
+    memory_sampler.sample_at(times[i], photons[i]);
+    stream_sampler.sample_at(times[i], photons[i]);
+  }
+  const SpeedTrace memory_trace = memory_sampler.finish(1000000);
+  const SpeedTrace streamed_trace = stream_sampler.finish(1000000);
+
+  // Streaming mode holds nothing in RAM; the totals still agree.
+  EXPECT_TRUE(streamed_trace.points.empty());
+  EXPECT_EQ(streamed_trace.total_photons, memory_trace.total_photons);
+
+  const std::vector<SpeedPoint> streamed = read_trace_file(path);
+  ASSERT_EQ(streamed.size(), memory_trace.points.size());
+  for (std::size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_EQ(streamed[i].time_s, memory_trace.points[i].time_s) << "point " << i;
+    EXPECT_EQ(streamed[i].photons, memory_trace.points[i].photons) << "point " << i;
+    EXPECT_EQ(streamed[i].rate, memory_trace.points[i].rate) << "point " << i;
+  }
+  std::remove(path.c_str());
+}
+
+class TraceStreamBackendTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TraceStreamBackendTest, BackendStreamsItsTraceToDisk) {
+  const std::string path =
+      ::testing::TempDir() + "/trace_" + GetParam() + ".jsonl";
+  std::remove(path.c_str());
+
+  const Scene s = scenes::cornell_box();
+  RunConfig cfg;
+  cfg.photons = 2000;
+  cfg.batch = 500;
+  cfg.workers = 2;
+  cfg.groups = 2;
+  cfg.adapt_batch = false;
+  cfg.trace_path = path;
+  const RunResult r = make_backend(GetParam())->run(s, cfg);
+
+  // Points went to disk, not to RAM; the terminal point closes the file with
+  // the full photon budget.
+  EXPECT_TRUE(r.trace.points.empty());
+  EXPECT_EQ(r.trace.total_photons, cfg.photons);
+  const std::vector<SpeedPoint> streamed = read_trace_file(path);
+  ASSERT_FALSE(streamed.empty());
+  EXPECT_EQ(streamed.back().photons, cfg.photons);
+  for (std::size_t i = 1; i < streamed.size(); ++i) {
+    EXPECT_GE(streamed[i].photons, streamed[i - 1].photons) << "point " << i;
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, TraceStreamBackendTest,
+                         ::testing::Values("serial", "shared", "dist-particle", "dist-spatial",
+                                           "hybrid"));
+
+}  // namespace
+}  // namespace photon
