@@ -3,8 +3,12 @@
 // solution time"; this bench sweeps the octree's leaf capacity and depth
 // limit against closest-hit throughput on the Computer Lab, with brute force
 // as the baseline.
+//
+//   bench_octree_params [--rays=N] [--out=FILE] [--label=NAME]
 #include <chrono>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/rng.hpp"
@@ -43,7 +47,12 @@ double measure_rays_per_second(const Scene& s, const Octree& tree, int rays) {
 
 int main(int argc, char** argv) {
   const int rays = static_cast<int>(benchutil::arg_u64(argc, argv, "rays", 30000));
+  const std::string out = benchutil::arg_str(argc, argv, "out", "");
+  const std::string label = benchutil::arg_str(argc, argv, "label", "current");
   const Scene s = scenes::computer_lab();
+
+  std::vector<std::string> rows;
+  char buf[256];
 
   benchutil::header("Ablation — Octree Build Parameters (Computer Lab, closest-hit)");
   std::printf("%10s %10s | %10s %8s | %12s\n", "max leaf", "max depth", "nodes", "depth",
@@ -58,6 +67,9 @@ int main(int argc, char** argv) {
     const double dt =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
     std::printf("%10s %10s | %10s %8s | %12.0f\n", "(brute)", "-", "-", "-", rays / dt);
+    std::snprintf(buf, sizeof(buf),
+                  "{\"section\": \"sweep\", \"mode\": \"brute\", \"rays_per_s\": %.0f}", rays / dt);
+    rows.push_back(buf);
   }
 
   for (const int leaf : {2, 4, 8, 16, 32}) {
@@ -67,8 +79,14 @@ int main(int argc, char** argv) {
       params.max_leaf_items = leaf;
       params.max_depth = depth;
       tree.build(s.patches(), params);
+      const double rate = measure_rays_per_second(s, tree, rays);
       std::printf("%10d %10d | %10zu %8d | %12.0f\n", leaf, depth, tree.node_count(),
-                  tree.depth(), measure_rays_per_second(s, tree, rays));
+                  tree.depth(), rate);
+      std::snprintf(buf, sizeof(buf),
+                    "{\"section\": \"sweep\", \"max_leaf_items\": %d, \"max_depth\": %d, "
+                    "\"nodes\": %zu, \"depth\": %d, \"rays_per_s\": %.0f}",
+                    leaf, depth, tree.node_count(), tree.depth(), rate);
+      rows.push_back(buf);
     }
   }
   benchutil::rule();
@@ -89,10 +107,20 @@ int main(int argc, char** argv) {
     const double dt =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
     std::printf("%8d | %12.3f | %10zu\n", workers, dt * 1e3 / build_reps, tree.node_count());
+    std::snprintf(buf, sizeof(buf),
+                  "{\"section\": \"build\", \"workers\": %d, \"build_ms\": %.3f, "
+                  "\"nodes\": %zu}",
+                  workers, dt * 1e3 / build_reps, tree.node_count());
+    rows.push_back(buf);
   }
   benchutil::rule();
   std::printf(
       "Built arrays are bitwise-identical at every worker count (tested); on a\n"
       "single-core container the parallel rows only measure task overhead.\n");
+  if (!out.empty()) {
+    char field[64];
+    std::snprintf(field, sizeof(field), "\"rays\": %d", rays);
+    return benchutil::write_json_artifact(out, "octree_params", label, {field}, rows) ? 0 : 1;
+  }
   return 0;
 }

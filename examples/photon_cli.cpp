@@ -8,7 +8,7 @@
 //       Print geometry/material/luminaire statistics.
 //   photon_cli simulate <scene> <answer-file> [--backend=NAME] [--photons=N]
 //                        [--seed=N] [--workers=N] [--groups=N] [--batch=N]
-//                        [--adapt] [--split-z=S] [--split-min=N]
+//                        [--chunk=N] [--adapt] [--split-z=S] [--split-min=N]
 //                        [--split-leaf=N] [--split-growth=G] [--max-bounces=N]
 //                        [--checkpoint=FILE] [--resume=FILE] [--trace=FILE]
 //                        [--report=json]
@@ -31,6 +31,7 @@
 //
 // <scene> is a built-in name (cornell | harpsichord | lab) or a path to a
 // photon-scene text file.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -154,6 +155,7 @@ int cmd_simulate(int argc, char** argv, const std::string& spec, const std::stri
   config.workers = static_cast<int>(workers_arg);
   config.groups = static_cast<int>(groups_arg);
   config.batch = arg_u64(argc, argv, "batch", config.batch);
+  config.chunk = arg_u64(argc, argv, "chunk", config.chunk);
   if (const char* trace = find_arg(argc, argv, "trace")) config.trace_path = trace;
   config.policy.z = arg_double(argc, argv, "split-z", config.policy.z);
   config.policy.min_count = arg_u64(argc, argv, "split-min", config.policy.min_count);
@@ -230,6 +232,20 @@ int cmd_simulate(int argc, char** argv, const std::string& spec, const std::stri
         static_cast<unsigned long long>(metrics.leaves), metrics.max_depth,
         metrics.mean_tally_per_leaf,
         static_cast<unsigned long long>(result.forest.memory_bytes()));
+    if (!result.pool.worker_photons.empty()) {
+      // Pool scheduler telemetry (shared/hybrid): how the chunk grid landed.
+      std::printf(
+          "{\"pool_chunk_size\": %llu, \"pool_chunks\": %llu, \"pool_steals\": %llu, "
+          "\"pool_workers\": %zu, \"pool_min_photons\": %llu, \"pool_max_photons\": %llu}\n",
+          static_cast<unsigned long long>(result.pool.chunk_size),
+          static_cast<unsigned long long>(result.pool.chunks),
+          static_cast<unsigned long long>(result.pool.steals),
+          result.pool.worker_photons.size(),
+          static_cast<unsigned long long>(*std::min_element(result.pool.worker_photons.begin(),
+                                                            result.pool.worker_photons.end())),
+          static_cast<unsigned long long>(*std::max_element(result.pool.worker_photons.begin(),
+                                                            result.pool.worker_photons.end())));
+    }
   } else {
     std::printf("backend %s: simulated %llu photons (%.0f/s), %.2f bounces/photon\n",
                 backend->name().c_str(),
@@ -300,7 +316,8 @@ int usage() {
                "       photon_cli backends\n"
                "       photon_cli info <scene>\n"
                "       photon_cli simulate <scene> <answer> [--backend=NAME] [--photons=N]\n"
-               "                  [--seed=N] [--workers=N] [--groups=N] [--batch=N] [--adapt]\n"
+               "                  [--seed=N] [--workers=N] [--groups=N] [--batch=N]\n"
+               "                  [--chunk=N] [--adapt]\n"
                "                  [--split-z=S] [--split-min=N] [--split-leaf=N]\n"
                "                  [--split-growth=G] [--max-bounces=N]\n"
                "                  [--checkpoint=FILE] [--resume=FILE] [--trace=FILE]\n"

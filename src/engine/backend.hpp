@@ -69,6 +69,22 @@ struct RankReport {
   std::uint64_t tallies = 0;          // records applied by this rank
 };
 
+// Scheduler telemetry from the persistent worker pool (engine/pool.hpp):
+// how the chunk grid actually landed on the workers. Supersedes the bare
+// `per_thread_traced` vector as the Table 5.2 imbalance observable — with
+// dynamic stealing, *chunks executed* and *steals performed* per worker are
+// the interesting skew numbers, not just photon totals. For `shared` the
+// slots are worker threads; for `hybrid` slot group*workers+tid is thread
+// tid of group `group` (the group×thread extension ROADMAP asks for).
+struct PoolTelemetry {
+  std::uint64_t chunk_size = 0;  // photons per scheduling chunk
+  std::uint64_t chunks = 0;      // chunks executed across the run
+  std::uint64_t steals = 0;      // claims outside the claimer's static range
+  std::vector<std::uint64_t> worker_photons;  // photons traced per worker slot
+  std::vector<std::uint64_t> worker_chunks;   // chunks executed per worker slot
+  std::vector<std::uint64_t> worker_steals;   // steals performed per worker slot
+};
+
 // The unified result: the populated forest (the "answer file") plus the
 // telemetry every backend collects. Backend-specific detail (per-rank
 // reports, the ownership map, the region partition) rides along where the
@@ -85,7 +101,8 @@ struct RunResult {
   std::uint64_t rng_mul = 0;
   std::uint64_t rng_add = 0;
 
-  std::vector<std::uint64_t> per_thread_traced;  // shared
+  std::vector<std::uint64_t> per_thread_traced;  // shared (== pool.worker_photons)
+  PoolTelemetry pool;                            // shared, hybrid
   std::vector<RankReport> ranks;                 // dist-particle, dist-spatial
   LoadBalance balance;                           // dist-particle
   std::vector<Aabb> regions;                     // dist-spatial
@@ -99,8 +116,9 @@ class Backend {
 
   // Whether run() honors `resume`: adopting the forest, counters and RNG
   // state of a previous result and simulating config.photons *additional*
-  // photons. Only `serial` guarantees the continuation is bitwise identical
-  // to an uninterrupted run.
+  // photons. `serial` and the photon-stream backends (`shared`, `hybrid` at
+  // window boundaries) guarantee the continuation is bitwise identical to an
+  // uninterrupted run.
   virtual bool supports_resume() const { return false; }
 
   virtual RunResult run(const Scene& scene, const RunConfig& config,

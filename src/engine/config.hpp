@@ -59,14 +59,25 @@ struct RunConfig {
   bool adapt_batch = false;
   BatchPolicy batch_policy{};
 
-  double max_seconds = 0.0;         // serial: stop after this much wall time when > 0
-  double sample_interval_s = 0.05;  // shared: speed-trace sampling period
+  // Photons per scheduling chunk for the pool-backed threaded backends
+  // (shared, hybrid): the photon-id range is cut into `chunk`-photon chunks
+  // that idle workers claim/steal dynamically (engine/pool.hpp). Purely a
+  // scheduling grain — per-chunk record buffers drain in ascending chunk
+  // order, so the populated forest is bitwise identical for ANY chunk size,
+  // worker count, or steal interleaving. Clamped to >= 1.
+  std::uint64_t chunk = 64;
 
-  // When non-empty, every speed-trace point streams to this file (JSONL, one
-  // point per line, appended as it is sampled) instead of accumulating in
-  // RunResult::trace.points — a multi-hour run's telemetry no longer grows
-  // resident memory. Totals (total_photons/total_time_s/final_rate) are still
-  // filled in the returned trace.
+  double max_seconds = 0.0;         // serial: stop after this much wall time when > 0
+  double sample_interval_s = 0.05;  // shared: speed-trace sampling period (legacy; the
+                                    // pool-backed loop samples once per batch window)
+
+  // When non-empty, every speed-trace point — and, for serial, every
+  // bin-forest memory point — streams to this file (JSONL, one point per
+  // line, appended as it is sampled) instead of accumulating in
+  // RunResult::trace.points / RunResult::memory — a multi-hour run's
+  // telemetry no longer grows resident memory. Totals
+  // (total_photons/total_time_s/final_rate) are still filled in the returned
+  // trace.
   std::string trace_path;
 
   // shared: BounceRecords buffered per worker before a per-tree batched flush

@@ -1,0 +1,346 @@
+#include "engine/pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace photon {
+
+namespace {
+
+// Process-global test knob (set_test_schedule). Tests set it from one thread
+// before launching work; workers only read it at job setup.
+std::atomic<int> g_test_schedule{static_cast<int>(WorkerPool::TestSchedule::kNone)};
+std::atomic<std::uint64_t> g_test_seed{0};
+
+// Marks threads currently executing a pool chunk, so a nested run() from
+// inside a task executes inline instead of deadlocking on the job slot.
+thread_local bool tls_in_pool_task = false;
+
+// One in-flight job. Chunk ownership is a per-slot [head, tail) range; claims
+// take the range's mutex (chunks are coarse — hundreds of photons or a whole
+// subtree — so a mutex per claim is noise next to the chunk body and keeps
+// the steal protocol obviously correct). head/tail are atomics so the
+// victim-selection scan may read them without the lock.
+struct Job {
+  std::uint64_t chunks = 0;
+  int width = 0;
+  const std::function<void(std::uint64_t, int)>* body = nullptr;
+
+  struct alignas(kCacheLineBytes) Range {
+    std::mutex m;
+    std::atomic<std::uint64_t> head{0};  // owner claims here
+    std::atomic<std::uint64_t> tail{0};  // thieves claim here (one past the end)
+  };
+  std::vector<Range> ranges;  // width entries; empty in kShuffle mode
+
+  // kShuffle: claim order is this permutation walked by one shared cursor.
+  std::vector<std::uint64_t> shuffled;
+  std::atomic<std::uint64_t> shuffle_next{0};
+
+  int next_slot = 1;  // next helper slot to hand out; guarded by the pool mutex
+
+  // Chunks claimed AND finished (executed or abort-drained). The dispatching
+  // caller waits on this reaching `chunks`, not on helper exit: under a
+  // no-steal schedule a lagging helper's range can only be run by that
+  // helper, so "no active helpers" alone does not mean "all chunks ran".
+  std::atomic<std::uint64_t> completed{0};
+
+  std::atomic<bool> abort{false};
+  std::exception_ptr error;
+  std::mutex error_m;
+
+  // Padded per-slot telemetry: workers bump only their own cache line.
+  struct Counts {
+    std::uint64_t chunks = 0;
+    std::uint64_t steals = 0;
+  };
+  std::vector<CachePadded<Counts>> counts;
+  std::vector<std::int32_t> chunk_worker;
+
+  WorkerPool::TestSchedule schedule = WorkerPool::TestSchedule::kNone;
+};
+
+// Claims one chunk for `slot`, or returns false when nothing is claimable.
+// Production order: own range front first; when empty, steal one chunk from
+// the tail of the victim with the most remaining work. kStaticOnly never
+// steals; kShuffle ignores ranges entirely.
+bool claim_chunk(Job& job, int slot, std::uint64_t& chunk, bool& stolen) {
+  if (job.schedule == WorkerPool::TestSchedule::kShuffle) {
+    const std::uint64_t i = job.shuffle_next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.chunks) return false;
+    chunk = job.shuffled[i];
+    // Against the static grid every shuffled claim may land foreign; count
+    // the ones outside this slot's contiguous share as steals.
+    const std::uint64_t per = job.chunks / static_cast<std::uint64_t>(job.width);
+    const std::uint64_t own_lo = per * static_cast<std::uint64_t>(slot);
+    const std::uint64_t own_hi = slot + 1 == job.width ? job.chunks : own_lo + per;
+    stolen = chunk < own_lo || chunk >= own_hi;
+    return true;
+  }
+
+  {
+    Job::Range& own = job.ranges[static_cast<std::size_t>(slot)];
+    std::lock_guard<std::mutex> lock(own.m);
+    const std::uint64_t head = own.head.load(std::memory_order_relaxed);
+    if (head < own.tail.load(std::memory_order_relaxed)) {
+      own.head.store(head + 1, std::memory_order_relaxed);
+      chunk = head;
+      stolen = false;
+      return true;
+    }
+  }
+  if (job.schedule == WorkerPool::TestSchedule::kStaticOnly) return false;
+
+  // Steal: scan for the richest victim, take one chunk off its tail. The
+  // unlocked scan is a heuristic — the locked re-check makes the claim
+  // sound; a victim drained in between just means another scan.
+  for (;;) {
+    int victim = -1;
+    std::uint64_t best_remaining = 0;
+    for (int v = 0; v < job.width; ++v) {
+      if (v == slot) continue;
+      Job::Range& r = job.ranges[static_cast<std::size_t>(v)];
+      const std::uint64_t head = r.head.load(std::memory_order_relaxed);
+      const std::uint64_t tail = r.tail.load(std::memory_order_relaxed);
+      const std::uint64_t remaining = tail > head ? tail - head : 0;
+      if (remaining > best_remaining) {
+        best_remaining = remaining;
+        victim = v;
+      }
+    }
+    if (victim < 0) return false;
+    Job::Range& r = job.ranges[static_cast<std::size_t>(victim)];
+    std::lock_guard<std::mutex> lock(r.m);
+    const std::uint64_t tail = r.tail.load(std::memory_order_relaxed);
+    if (r.head.load(std::memory_order_relaxed) < tail) {
+      r.tail.store(tail - 1, std::memory_order_relaxed);
+      chunk = tail - 1;
+      stolen = true;
+      return true;
+    }
+  }
+}
+
+// One worker's participation in a job: claim until dry. Saves and restores
+// the nesting flag so an inline nested run leaves the outer task marked.
+void work(Job& job, int slot) {
+  const bool was_nested = tls_in_pool_task;
+  tls_in_pool_task = true;
+  std::uint64_t chunk = 0;
+  bool stolen = false;
+  while (claim_chunk(job, slot, chunk, stolen)) {
+    Job::Counts& mine = job.counts[static_cast<std::size_t>(slot)].value;
+    ++mine.chunks;
+    if (stolen) ++mine.steals;
+    job.chunk_worker[static_cast<std::size_t>(chunk)] = slot;
+    if (!job.abort.load(std::memory_order_acquire)) {  // on abort: drain, don't run
+      try {
+        (*job.body)(chunk, slot);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(job.error_m);
+        if (!job.error) job.error = std::current_exception();
+        job.abort.store(true, std::memory_order_release);
+      }
+    }
+    job.completed.fetch_add(1, std::memory_order_release);
+  }
+  tls_in_pool_task = was_nested;
+}
+
+// SplitMix64 — mixes the claim permutation for kShuffle.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+struct WorkerPool::Impl {
+  mutable std::mutex m;
+  std::condition_variable cv;       // helpers park here
+  std::condition_variable done_cv;  // the dispatching caller parks here
+  std::vector<std::thread> helpers;
+  Job* job = nullptr;            // non-null while a job is being handed out
+  std::uint64_t generation = 0;  // bumped per dispatched job
+  int active = 0;                // helpers currently inside work()
+  bool stop = false;
+
+  // One job at a time; external callers queue here. Helpers never take it
+  // (nested run() goes inline), so it cannot deadlock.
+  std::mutex run_m;
+
+  void helper_main() {
+    std::unique_lock<std::mutex> lock(m);
+    std::uint64_t seen = 0;
+    for (;;) {
+      cv.wait(lock, [&] { return stop || (job != nullptr && generation != seen); });
+      if (stop) return;
+      seen = generation;
+      Job* j = job;
+      if (j->next_slot >= j->width) continue;  // job already fully crewed
+      const int slot = j->next_slot++;
+      ++active;
+      lock.unlock();
+      work(*j, slot);
+      lock.lock();
+      --active;
+      // Every exit may complete either caller wait (all chunks done, or all
+      // adopted helpers drained) — always wake it to re-check.
+      done_cv.notify_all();
+    }
+  }
+
+  // Caller must hold `m`.
+  void ensure_helpers(int n) {
+    while (static_cast<int>(helpers.size()) < n) {
+      helpers.emplace_back([this] { helper_main(); });
+    }
+  }
+};
+
+WorkerPool::WorkerPool(int helpers) : impl_(new Impl) {
+  if (helpers < 0) {
+    const int hw = static_cast<int>(std::thread::hardware_concurrency());
+    helpers = hw > 1 ? hw - 1 : 0;
+  }
+  std::lock_guard<std::mutex> lock(impl_->m);
+  impl_->ensure_helpers(helpers);
+}
+
+WorkerPool::~WorkerPool() {
+  shutdown();
+  delete impl_;
+}
+
+void WorkerPool::shutdown() {
+  std::vector<std::thread> joinable;
+  {
+    std::lock_guard<std::mutex> lock(impl_->m);
+    impl_->stop = true;
+    impl_->cv.notify_all();
+    joinable.swap(impl_->helpers);  // empty on repeated calls — idempotent
+  }
+  for (std::thread& t : joinable) t.join();
+}
+
+int WorkerPool::helper_count() const {
+  std::lock_guard<std::mutex> lock(impl_->m);
+  return static_cast<int>(impl_->helpers.size());
+}
+
+void WorkerPool::run(std::uint64_t chunks, int width,
+                     const std::function<void(std::uint64_t, int)>& body, PoolRunStats* stats) {
+  if (chunks == 0) {
+    if (stats) *stats = PoolRunStats{};
+    return;
+  }
+  if (width < 1) width = 1;
+  if (static_cast<std::uint64_t>(width) > chunks) width = static_cast<int>(chunks);
+
+  Job job;
+  job.chunks = chunks;
+  job.width = width;
+  job.body = &body;
+  job.schedule = static_cast<TestSchedule>(g_test_schedule.load(std::memory_order_relaxed));
+  job.counts.resize(static_cast<std::size_t>(width));
+  job.chunk_worker.assign(static_cast<std::size_t>(chunks), -1);
+
+  if (job.schedule == TestSchedule::kShuffle) {
+    job.shuffled.resize(static_cast<std::size_t>(chunks));
+    for (std::uint64_t i = 0; i < chunks; ++i) job.shuffled[i] = i;
+    // Fisher–Yates on SplitMix64 — any permutation must leave outputs alone.
+    std::uint64_t state = g_test_seed.load(std::memory_order_relaxed) ^ chunks;
+    for (std::uint64_t i = chunks - 1; i > 0; --i) {
+      state = mix64(state);
+      std::swap(job.shuffled[static_cast<std::size_t>(i)],
+                job.shuffled[static_cast<std::size_t>(state % (i + 1))]);
+    }
+  } else {
+    job.ranges = std::vector<Job::Range>(static_cast<std::size_t>(width));
+    if (job.schedule == TestSchedule::kForceSteal) {
+      // Everything on slot 0: the other width-1 workers start destitute.
+      job.ranges[0].tail.store(chunks, std::memory_order_relaxed);
+    } else {
+      // Contiguous even split, remainder to the low slots — the same grid
+      // the static baseline uses, so steals measure true rebalancing.
+      const std::uint64_t base = chunks / static_cast<std::uint64_t>(width);
+      const std::uint64_t extra = chunks % static_cast<std::uint64_t>(width);
+      std::uint64_t at = 0;
+      for (int s = 0; s < width; ++s) {
+        const std::uint64_t n = base + (static_cast<std::uint64_t>(s) < extra ? 1 : 0);
+        job.ranges[static_cast<std::size_t>(s)].head.store(at, std::memory_order_relaxed);
+        job.ranges[static_cast<std::size_t>(s)].tail.store(at + n, std::memory_order_relaxed);
+        at += n;
+      }
+    }
+  }
+
+  // Nested calls (a pool task invoking run) and width-1 jobs execute inline
+  // on this thread; the determinism contract makes that output-equivalent.
+  bool dispatched = false;
+  if (!tls_in_pool_task && width > 1) {
+    std::unique_lock<std::mutex> run_lock(impl_->run_m);
+    std::unique_lock<std::mutex> lock(impl_->m);
+    if (!impl_->stop) {
+      impl_->ensure_helpers(width - 1);
+      impl_->job = &job;
+      ++impl_->generation;
+      impl_->cv.notify_all();
+      lock.unlock();
+
+      work(job, 0);  // the caller is slot 0
+
+      // Retire the job in two steps. First wait for every chunk to finish —
+      // under a no-steal schedule only a slot's adopting helper can run its
+      // range, so the job must stay adoptable until the count is full. Then
+      // clear it (no NEW helper can adopt a dying frame) and drain the
+      // helpers already inside it.
+      lock.lock();
+      impl_->done_cv.wait(lock, [&] {
+        return job.completed.load(std::memory_order_acquire) == chunks;
+      });
+      impl_->job = nullptr;
+      impl_->done_cv.wait(lock, [&] { return impl_->active == 0; });
+      dispatched = true;
+    }
+  }
+  if (!dispatched) {
+    // Inline execution walks every slot's share from this one thread (slot 0
+    // also steals the others' leftovers under kNone, matching the protocol).
+    for (int s = 0; s < width; ++s) work(job, s);
+  }
+
+  if (stats) {
+    stats->chunks = chunks;
+    stats->steals = 0;
+    stats->worker_chunks.assign(static_cast<std::size_t>(width), 0);
+    stats->worker_steals.assign(static_cast<std::size_t>(width), 0);
+    for (int s = 0; s < width; ++s) {
+      const Job::Counts& c = job.counts[static_cast<std::size_t>(s)].value;
+      stats->worker_chunks[static_cast<std::size_t>(s)] = c.chunks;
+      stats->worker_steals[static_cast<std::size_t>(s)] = c.steals;
+      stats->steals += c.steals;
+    }
+    stats->chunk_worker = std::move(job.chunk_worker);
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+WorkerPool& WorkerPool::instance() {
+  // Meyers singleton: spawned on first use, parked between runs, joined
+  // cleanly at static destruction (sanitizer runs see no leaked threads).
+  static WorkerPool pool;
+  return pool;
+}
+
+void WorkerPool::set_test_schedule(TestSchedule schedule, std::uint64_t seed) {
+  g_test_schedule.store(static_cast<int>(schedule), std::memory_order_relaxed);
+  g_test_seed.store(seed, std::memory_order_relaxed);
+}
+
+}  // namespace photon

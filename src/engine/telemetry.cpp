@@ -2,7 +2,6 @@
 
 #include <cinttypes>
 #include <cstdio>
-#include <thread>
 
 namespace photon {
 
@@ -32,6 +31,13 @@ void TraceWriter::write(const SpeedPoint& p) {
   std::fflush(file_);  // one point per batch; a crash must not lose the tail
 }
 
+void TraceWriter::write(const MemoryPoint& p) {
+  if (!file_) return;
+  std::fprintf(file_, "{\"photons\": %" PRIu64 ", \"mem_bytes\": %" PRIu64 "}\n", p.photons,
+               p.bytes);
+  std::fflush(file_);
+}
+
 bool TraceWriter::parse(const std::string& line, SpeedPoint& out) {
   SpeedPoint p;
   if (std::sscanf(line.c_str(), "{\"t\": %lg, \"photons\": %" SCNu64 ", \"rate\": %lg}",
@@ -42,16 +48,14 @@ bool TraceWriter::parse(const std::string& line, SpeedPoint& out) {
   return true;
 }
 
-void sample_progress(SpeedSampler& sampler, const std::atomic<std::uint64_t>& progress,
-                     std::uint64_t total, double interval_s) {
-  if (total == 0) return;
-  if (interval_s <= 0.0) interval_s = 0.05;
-  while (true) {
-    std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
-    const std::uint64_t done = progress.load(std::memory_order_relaxed);
-    if (done >= total) return;  // finish() records the terminal point
-    sampler.sample(done);
+bool TraceWriter::parse(const std::string& line, MemoryPoint& out) {
+  MemoryPoint p;
+  if (std::sscanf(line.c_str(), "{\"photons\": %" SCNu64 ", \"mem_bytes\": %" SCNu64 "}",
+                  &p.photons, &p.bytes) != 2) {
+    return false;
   }
+  out = p;
+  return true;
 }
 
 }  // namespace photon

@@ -4,7 +4,6 @@
 // collection loop in each substrate; this is the single implementation.
 #pragma once
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -35,9 +34,11 @@ struct MemoryPoint {
   std::uint64_t bytes = 0;
 };
 
-// Append-per-point trace writer: streams SpeedPoints to a JSONL file
-// ({"t": ..., "photons": ..., "rate": ...} per line, doubles at full %.17g
-// round-trip precision) so long runs stop accumulating telemetry in RAM.
+// Append-per-point trace writer: streams SpeedPoints and MemoryPoints to one
+// JSONL file ({"t": ..., "photons": ..., "rate": ...} and
+// {"photons": ..., "mem_bytes": ...} lines, doubles at full %.17g round-trip
+// precision) so long runs stop accumulating telemetry in RAM. The two line
+// shapes interleave freely; each parse() overload skips the other's lines.
 // Opened by SpeedSampler when RunConfig::trace_path is set.
 class TraceWriter {
  public:
@@ -48,11 +49,14 @@ class TraceWriter {
 
   bool ok() const { return file_ != nullptr; }
   void write(const SpeedPoint& p);
+  void write(const MemoryPoint& p);
 
   // Parses one JSONL line previously produced by write(); returns false when
-  // the line is not a trace point. Lives here so the round-trip (write ->
-  // parse reproduces the in-memory point bitwise) has one owner.
+  // the line is not a point of the requested kind. Lives here so the
+  // round-trip (write -> parse reproduces the in-memory point bitwise) has
+  // one owner.
   static bool parse(const std::string& line, SpeedPoint& out);
+  static bool parse(const std::string& line, MemoryPoint& out);
 
  private:
   std::FILE* file_ = nullptr;
@@ -93,6 +97,22 @@ class SpeedSampler {
     }
   }
 
+  // Appends one bin-forest memory point (the Fig 5.4 curve). Streamed to the
+  // trace file when one is open — a multi-hour run's memory curve no longer
+  // grows resident memory either — otherwise accumulated for take_memory().
+  void sample_memory(std::uint64_t photons, std::uint64_t bytes) {
+    const MemoryPoint p{photons, bytes};
+    if (writer_) {
+      writer_->write(p);
+    } else {
+      memory_.push_back(p);
+    }
+  }
+
+  // The accumulated memory curve (empty when it streamed to disk); callers
+  // move it into RunResult::memory after the run.
+  std::vector<MemoryPoint> take_memory() { return std::move(memory_); }
+
   // Seals the trace: records totals and guarantees exactly one terminal point.
   SpeedTrace finish(std::uint64_t total_photons) {
     trace_.total_photons = total_photons;
@@ -106,15 +126,10 @@ class SpeedSampler {
  private:
   std::chrono::steady_clock::time_point start_;
   SpeedTrace trace_;
+  std::vector<MemoryPoint> memory_;
   std::unique_ptr<TraceWriter> writer_;
   std::uint64_t last_photons_ = 0;
   bool have_points_ = false;
 };
-
-// Polls `progress` every `interval_s` seconds until it reaches `total`,
-// appending one speed point per poll. Returns immediately when total == 0 (a
-// zero-photon run must not spin waiting for progress that will never come).
-void sample_progress(SpeedSampler& sampler, const std::atomic<std::uint64_t>& progress,
-                     std::uint64_t total, double interval_s);
 
 }  // namespace photon

@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <array>
-#include <atomic>
 #include <bit>
 #include <thread>
 #include <utility>
 
 #include "core/simd.hpp"
+#include "engine/pool.hpp"
 
 namespace photon {
 
@@ -86,10 +86,10 @@ std::int32_t build_temp(std::span<const Patch> patches, std::vector<TempNode>& t
 }
 
 // Builds the temp topology with the root's non-empty octants decomposed as
-// independent tasks over `workers` threads. Each octant subtree is built into
-// its own arena by the same recursion the serial path uses (the DFS touches
-// no shared state), then the arenas are stitched onto the root in octant
-// order with child indices rebased. The stitched topology — and therefore the
+// independent tasks on the persistent worker pool (`workers` wide). Each
+// octant subtree is built into its own arena by the same recursion the
+// serial path uses (the DFS touches no shared state), then the arenas are
+// stitched onto the root in octant order with child indices rebased. The stitched topology — and therefore the
 // BFS-flattened node/CSR/SoA arrays — is identical for every worker count,
 // including the workers == 1 path that runs the same tasks inline.
 void build_temp_root(std::span<const Patch> patches, std::vector<TempNode>& temp,
@@ -132,17 +132,13 @@ void build_temp_root(std::span<const Patch> patches, std::vector<TempNode>& temp
   if (T <= 1) {
     for (const int o : tasks) run_task(o);
   } else {
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<std::size_t>(T));
-    for (int t = 0; t < T; ++t) {
-      threads.emplace_back([&] {
-        for (std::size_t i = next.fetch_add(1); i < tasks.size(); i = next.fetch_add(1)) {
-          run_task(tasks[i]);
-        }
-      });
-    }
-    for (std::thread& t : threads) t.join();
+    // Octant subtrees as pool tasks (one chunk each) on the persistent
+    // process pool — no thread spawn per build. Nested builds (a build
+    // issued from inside a pool task) run inline via the pool's reentrancy
+    // path, so this is safe to call from anywhere.
+    WorkerPool::instance().run(tasks.size(), T, [&](std::uint64_t i, int) {
+      run_task(tasks[static_cast<std::size_t>(i)]);
+    });
   }
 
   temp[0].leaf = false;

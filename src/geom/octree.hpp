@@ -59,6 +59,9 @@ class Octree {
   // them): with the SoA lane-parallel leaf tests, patch tests are cheap and
   // node visits (random box reads + stack traffic) are the expensive unit, so
   // moderately fat leaves beat the classic small-leaf shape by ~2x.
+  // Re-checked after the pool-backed parallel build (BENCH_octree_params.json):
+  // leaf capacities 8-32 form one plateau within measurement noise, so the
+  // defaults stand.
   struct BuildParams {
     int max_depth = 12;
     int max_leaf_items = 12;

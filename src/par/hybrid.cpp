@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <mutex>
 #include <optional>
-#include <thread>
 
+#include "engine/pool.hpp"
 #include "engine/sink.hpp"
 #include "engine/wire.hpp"
 #include "mp/minimpi.hpp"
@@ -28,9 +28,10 @@ std::uint64_t slice_begin(std::uint64_t n, int parts, int i) {
   return n * static_cast<std::uint64_t>(i) / static_cast<std::uint64_t>(parts);
 }
 
-// Thread-local record buffer: traced records accumulate in trace order and
-// are drained on the group thread in worker order, so a group's window
-// records reassemble in ascending photon-id order.
+// Chunk-private record buffer: traced records accumulate in trace order and
+// are drained on the group thread in ascending chunk order, so a group's
+// window records reassemble in ascending photon-id order no matter which
+// worker claimed (or stole) which chunk.
 class BufferSink final : public BinSink {
  public:
   explicit BufferSink(std::vector<BounceRecord>& out) : out_(&out) {}
@@ -83,11 +84,25 @@ RunResult run_hybrid(const Scene& scene, const RunConfig& config, const RunResul
     WireBuffer wire(P);
     OrderedRouterSink sink(forest, balance.owner, rank, wire, report.processed);
 
-    // Per-thread state lives for the whole run; buffers are drained (and so
-    // emptied) every window.
-    std::vector<std::vector<BounceRecord>> buffers(static_cast<std::size_t>(T));
-    std::vector<TraceCounters> counters(static_cast<std::size_t>(T));
-    std::vector<ChannelCounts> emitted(static_cast<std::size_t>(T));
+    // This group's worker team: spawned ONCE here, parked between windows,
+    // reused for every window of the run. The seed version paid a full
+    // thread create/join cycle per window — the overhead bench_pool puts a
+    // number on. One private pool per group so the G groups' windows
+    // schedule concurrently instead of serializing on a shared job slot.
+    const std::uint64_t chunk_size = std::max<std::uint64_t>(config.chunk, 1);
+    WorkerPool pool(T - 1);
+
+    // Per-worker hot counters in cache-line-padded slots (workers bump only
+    // their own line); per-chunk record buffers are drained (and so emptied)
+    // every window.
+    std::vector<std::vector<BounceRecord>> buffers;
+    std::vector<CachePadded<TraceCounters>> counters(static_cast<std::size_t>(T));
+    std::vector<CachePadded<ChannelCounts>> emitted(static_cast<std::size_t>(T));
+    PoolTelemetry pool_stats;
+    pool_stats.chunk_size = chunk_size;
+    pool_stats.worker_chunks.assign(static_cast<std::size_t>(T), 0);
+    pool_stats.worker_steals.assign(static_cast<std::size_t>(T), 0);
+    pool_stats.worker_photons.assign(static_cast<std::size_t>(T), 0);
 
     std::vector<BounceRecord> held_prev;             // window k-1's owned records
     std::optional<PendingExchange> pending;          // window k-1's wire bytes in flight
@@ -102,31 +117,41 @@ RunResult run_hybrid(const Scene& scene, const RunConfig& config, const RunResul
       const std::uint64_t group_hi = window_start + slice_begin(n, P, rank + 1);
       const std::uint64_t group_n = group_hi - group_lo;
 
-      std::vector<std::thread> threads;
-      threads.reserve(static_cast<std::size_t>(T));
-      for (int tid = 0; tid < T; ++tid) {
-        threads.emplace_back([&, tid] {
-          const auto ti = static_cast<std::size_t>(tid);
-          const std::uint64_t lo = group_lo + slice_begin(group_n, T, tid);
-          const std::uint64_t hi = group_lo + slice_begin(group_n, T, tid + 1);
-          BufferSink thread_sink(buffers[ti]);
-          for (std::uint64_t id = lo; id < hi; ++id) {
-            Lcg48 rng = photon_stream(config.seed, id);
-            const EmissionSample emission = emitter.emit(rng);
-            ++emitted[ti][static_cast<std::size_t>(emission.channel)];
-            tracer.trace(emission, rng, thread_sink, &counters[ti]);
-          }
-        });
-      }
-      for (std::thread& t : threads) t.join();
+      const std::uint64_t chunks = chunk_count(group_n, chunk_size);
+      if (buffers.size() < chunks) buffers.resize(chunks);
 
-      // Stable worker-order drain: slices are contiguous and ascending in
-      // tid, so the group's records route in global photon-id order — owned
-      // ones into the held slice, foreign ones straight into the wire bytes.
-      for (int tid = 0; tid < T; ++tid) {
-        const auto ti = static_cast<std::size_t>(tid);
-        for (const BounceRecord& rec : buffers[ti]) sink.record(rec);
-        buffers[ti].clear();
+      PoolRunStats stats;
+      pool.run(
+          chunks, T,
+          [&](std::uint64_t c, int slot) {
+            const std::uint64_t lo = group_lo + c * chunk_size;
+            const std::uint64_t hi = std::min(lo + chunk_size, group_hi);
+            BufferSink chunk_sink(buffers[static_cast<std::size_t>(c)]);
+            TraceCounters& mine = counters[static_cast<std::size_t>(slot)].value;
+            ChannelCounts& mine_emitted = emitted[static_cast<std::size_t>(slot)].value;
+            for (std::uint64_t id = lo; id < hi; ++id) {
+              Lcg48 rng = photon_stream(config.seed, id);
+              const EmissionSample emission = emitter.emit(rng);
+              ++mine_emitted[static_cast<std::size_t>(emission.channel)];
+              tracer.trace(emission, rng, chunk_sink, &mine);
+            }
+          },
+          &stats);
+
+      // Ascending-chunk drain: chunks tile the group's contiguous id slice
+      // in order, so the group's records route in global photon-id order no
+      // matter which worker claimed (or stole) which chunk — owned ones into
+      // the held slice, foreign ones straight into the wire bytes.
+      for (std::uint64_t c = 0; c < chunks; ++c) {
+        std::vector<BounceRecord>& records = buffers[static_cast<std::size_t>(c)];
+        for (const BounceRecord& rec : records) sink.record(rec);
+        records.clear();
+      }
+      pool_stats.chunks += stats.chunks;
+      pool_stats.steals += stats.steals;
+      for (std::size_t s = 0; s < stats.worker_chunks.size(); ++s) {
+        pool_stats.worker_chunks[s] += stats.worker_chunks[s];
+        pool_stats.worker_steals[s] += stats.worker_steals[s];
       }
       report.traced += group_n;
       report.batch_sizes.push_back(group_n);
@@ -162,9 +187,11 @@ RunResult run_hybrid(const Scene& scene, const RunConfig& config, const RunResul
     ChannelCounts rank_emitted{};
     for (int tid = 0; tid < T; ++tid) {
       const auto ti = static_cast<std::size_t>(tid);
-      report.counters += counters[ti];
+      report.counters += counters[ti].value;
+      pool_stats.worker_photons[ti] = counters[ti].value.emitted;
       for (int c = 0; c < kNumChannels; ++c) {
-        rank_emitted[static_cast<std::size_t>(c)] += emitted[ti][static_cast<std::size_t>(c)];
+        rank_emitted[static_cast<std::size_t>(c)] +=
+            emitted[ti].value[static_cast<std::size_t>(c)];
       }
     }
     gather_partitioned_forest(comm, forest, balance.owner, rank_emitted,
@@ -177,6 +204,23 @@ RunResult run_hybrid(const Scene& scene, const RunConfig& config, const RunResul
     {
       std::lock_guard<std::mutex> lock(result_mutex);
       result.ranks[static_cast<std::size_t>(rank)] = std::move(report);
+      // Group-major pool telemetry: slot group*T+tid is thread tid of this
+      // group (the group×thread per_thread_traced extension).
+      if (result.pool.worker_photons.empty()) {
+        result.pool.chunk_size = chunk_size;
+        result.pool.worker_photons.assign(static_cast<std::size_t>(G) * T, 0);
+        result.pool.worker_chunks.assign(static_cast<std::size_t>(G) * T, 0);
+        result.pool.worker_steals.assign(static_cast<std::size_t>(G) * T, 0);
+      }
+      result.pool.chunks += pool_stats.chunks;
+      result.pool.steals += pool_stats.steals;
+      for (int tid = 0; tid < T; ++tid) {
+        const auto slot = static_cast<std::size_t>(rank) * T + static_cast<std::size_t>(tid);
+        const auto ti = static_cast<std::size_t>(tid);
+        result.pool.worker_photons[slot] = pool_stats.worker_photons[ti];
+        result.pool.worker_chunks[slot] = pool_stats.worker_chunks[ti];
+        result.pool.worker_steals[slot] = pool_stats.worker_steals[ti];
+      }
       if (rank == 0) {
         result.forest = std::move(forest);
         result.balance = balance;

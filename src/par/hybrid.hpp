@@ -12,16 +12,20 @@
 //
 // Determinism contract (the reason this backend exists beyond throughput):
 // the populated forest is bitwise identical for EVERY (groups × threads)
-// shape, and equal to the serial photon-stream reference
-// (RunConfig::photon_streams). Three mechanisms compose to guarantee it:
+// shape, chunk size, and steal interleaving, and equal to the serial
+// photon-stream reference (RunConfig::photon_streams). Three mechanisms
+// compose to guarantee it:
 //
 //   1. Per-photon RNG streams (core/rng.hpp photon_stream): photon i's path
 //      is a pure function of (scene, seed, i), whoever traces it.
-//   2. Contiguous id slices: each batch window of ids is split contiguously
-//      across groups, and each group's slice contiguously across its
-//      threads. Thread-local record buffers are drained in worker order
-//      (the stable-order idiom of BufferedForestSink), so a group emits its
-//      window's records in ascending photon-id order.
+//   2. Contiguous id slices, chunked scheduling: each batch window of ids is
+//      split contiguously across groups; each group cuts its slice into a
+//      `config.chunk`-photon chunk grid that its persistent WorkerPool
+//      (engine/pool.hpp, one pool per group, spawned once per run) schedules
+//      dynamically — idle workers claim and steal chunks. Chunk-private
+//      record buffers are drained in ascending chunk order, so a group emits
+//      its window's records in ascending photon-id order regardless of which
+//      worker traced which chunk when.
 //   3. Canonical batch application (OrderedRouterSink::apply_batch): a
 //      window's records apply to the owner trees in source-group order —
 //      which, with contiguous slices, IS global photon-id order. Tracing

@@ -1,89 +1,127 @@
 #include "par/shared.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <mutex>
-#include <thread>
+#include <vector>
 
-#include "engine/sink.hpp"
+#include "engine/pool.hpp"
 #include "sim/emitter.hpp"
 
 namespace photon {
 
+namespace {
+
+// Chunk-private record buffer: one per chunk, filled in trace order by
+// whichever worker claims the chunk, drained on the coordinating thread in
+// ascending chunk order — which IS ascending photon-id order.
+class BufferSink final : public BinSink {
+ public:
+  explicit BufferSink(std::vector<BounceRecord>& out) : out_(&out) {}
+  void record(const BounceRecord& rec) override { out_->push_back(rec); }
+
+ private:
+  std::vector<BounceRecord>* out_;
+};
+
+}  // namespace
+
 RunResult run_shared(const Scene& scene, const RunConfig& config,
                      const RunResult* resume_from) {
   RunResult result;
+  // Photon ids continue where the checkpoint stopped: ids index disjoint RNG
+  // blocks (photon_stream), so the resumed leg traces exactly the photons an
+  // uninterrupted run would have traced next — a bitwise continuation.
+  const std::uint64_t first_photon = resume_from ? resume_from->counters.emitted : 0;
+  const std::uint64_t last_photon = first_photon + config.photons;
   if (resume_from) {
     result.forest = resume_from->forest;
     result.counters = resume_from->counters;
   } else {
     result.forest = BinForest(scene.patch_count(), config.policy);
   }
-  std::vector<std::mutex> tree_mutexes(scene.patch_count() * 2);
 
   const Emitter emitter(scene);
   result.forest.set_total_power(emitter.total_power());
   const Tracer tracer(scene, config.limits);
 
-  // More threads than photons would leave the surplus idle; clamp so every
-  // spawned thread has work (and guard against a nonpositive request).
-  int T = std::max(config.workers, 1);
-  if (config.photons > 0 && static_cast<std::uint64_t>(T) > config.photons) {
-    T = static_cast<int>(config.photons);
-  }
+  const int T = std::max(config.workers, 1);
+  const std::uint64_t chunk_size = std::max<std::uint64_t>(config.chunk, 1);
+  const std::uint64_t window = std::max<std::uint64_t>(config.batch, 1);
 
-  std::vector<TraceCounters> counters(static_cast<std::size_t>(T));
-  std::vector<ChannelCounts> emitted(static_cast<std::size_t>(T));
-  result.per_thread_traced.assign(static_cast<std::size_t>(T), 0);
-  std::atomic<std::uint64_t> progress{0};
+  // Per-worker hot counters live in cache-line-padded slots: workers bump
+  // only their own line during the trace, and the totals publish once after
+  // the run — no cross-thread line bouncing, no shared increments.
+  std::vector<CachePadded<TraceCounters>> counters(static_cast<std::size_t>(T));
+  std::vector<CachePadded<ChannelCounts>> emitted(static_cast<std::size_t>(T));
 
+  result.pool.chunk_size = chunk_size;
+  result.pool.worker_chunks.assign(static_cast<std::size_t>(T), 0);
+  result.pool.worker_steals.assign(static_cast<std::size_t>(T), 0);
+
+  WorkerPool& pool = WorkerPool::instance();
   SpeedSampler sampler(config.trace_path);
 
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(T));
-  for (int tid = 0; tid < T; ++tid) {
-    threads.emplace_back([&, tid] {
-      const auto ti = static_cast<std::size_t>(tid);
-      // Static split: nphot / nprocessors each, remainder to low threads.
-      const std::uint64_t base = config.photons / static_cast<std::uint64_t>(T);
-      const std::uint64_t extra = static_cast<std::uint64_t>(tid) <
-                                          config.photons % static_cast<std::uint64_t>(T)
-                                      ? 1
-                                      : 0;
-      const std::uint64_t quota = base + extra;
+  // Batch windows bound the record-buffer footprint (and give the speed
+  // trace one point per window); the drain order makes the forest identical
+  // for every window size, so this is memory policy, not semantics.
+  std::vector<std::vector<BounceRecord>> chunk_records;
+  std::uint64_t window_start = first_photon;
+  while (window_start < last_photon) {
+    const std::uint64_t window_end = std::min(window_start + window, last_photon);
+    const std::uint64_t chunks = chunk_count(window_end - window_start, chunk_size);
+    if (chunk_records.size() < chunks) chunk_records.resize(chunks);
 
-      // Batched tallying: records accumulate thread-locally and flush to each
-      // tree under its mutex (engine/sink.hpp), killing per-bounce lock
-      // traffic. Destruction at thread exit flushes the tail.
-      BufferedForestSink sink(result.forest, tree_mutexes,
-                              static_cast<std::size_t>(config.sink_buffer));
-      Lcg48 rng(config.seed, tid, T);
-      // On resume, shift every leapfrog stream onto a disjoint block of the
-      // global sequence beyond the first leg's reach — otherwise a resumed
-      // leg would replay the identical photons and silently double-count.
-      if (resume_from) rng.skip(resume_from->counters.emitted * 4096);
-      for (std::uint64_t i = 0; i < quota; ++i) {
-        const EmissionSample emission = emitter.emit(rng);
-        ++emitted[ti][static_cast<std::size_t>(emission.channel)];
-        tracer.trace(emission, rng, sink, &counters[ti]);
-        ++result.per_thread_traced[ti];
-        progress.fetch_add(1, std::memory_order_relaxed);
+    PoolRunStats stats;
+    pool.run(
+        chunks, T,
+        [&](std::uint64_t c, int slot) {
+          const std::uint64_t lo = window_start + c * chunk_size;
+          const std::uint64_t hi = std::min(lo + chunk_size, window_end);
+          BufferSink sink(chunk_records[static_cast<std::size_t>(c)]);
+          TraceCounters& mine = counters[static_cast<std::size_t>(slot)].value;
+          ChannelCounts& mine_emitted = emitted[static_cast<std::size_t>(slot)].value;
+          for (std::uint64_t id = lo; id < hi; ++id) {
+            Lcg48 rng = photon_stream(config.seed, id);
+            const EmissionSample emission = emitter.emit(rng);
+            ++mine_emitted[static_cast<std::size_t>(emission.channel)];
+            tracer.trace(emission, rng, sink, &mine);
+          }
+        },
+        &stats);
+
+    // Ascending-chunk drain == ascending photon-id order: the forest sees
+    // exactly the record sequence the serial photon-stream reference feeds
+    // it, regardless of which worker traced which chunk when. Tracing never
+    // reads the forest, so no lock is needed anywhere.
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+      std::vector<BounceRecord>& records = chunk_records[static_cast<std::size_t>(c)];
+      for (const BounceRecord& rec : records) {
+        result.forest.record(rec.patch, rec.front, rec.coords, rec.channel);
       }
-    });
-  }
+      records.clear();
+    }
 
-  // Main thread samples the speed trace while workers run; the engine
-  // sampler handles the zero-photon case and the terminal point.
-  sample_progress(sampler, progress, config.photons, config.sample_interval_s);
-  for (std::thread& t : threads) t.join();
+    result.pool.chunks += stats.chunks;
+    result.pool.steals += stats.steals;
+    for (std::size_t s = 0; s < stats.worker_chunks.size(); ++s) {
+      result.pool.worker_chunks[s] += stats.worker_chunks[s];
+      result.pool.worker_steals[s] += stats.worker_steals[s];
+    }
+
+    sampler.sample(window_end - first_photon);
+    window_start = window_end;
+  }
 
   result.trace = sampler.finish(config.photons);
 
-  for (int tid = 0; tid < T; ++tid) {
-    const auto ti = static_cast<std::size_t>(tid);
-    result.counters += counters[ti];
+  result.per_thread_traced.assign(static_cast<std::size_t>(T), 0);
+  result.pool.worker_photons.assign(static_cast<std::size_t>(T), 0);
+  for (int t = 0; t < T; ++t) {
+    const auto ti = static_cast<std::size_t>(t);
+    result.counters += counters[ti].value;
+    result.per_thread_traced[ti] = counters[ti].value.emitted;
+    result.pool.worker_photons[ti] = counters[ti].value.emitted;
     for (int c = 0; c < kNumChannels; ++c) {
-      result.forest.add_emitted(c, emitted[ti][static_cast<std::size_t>(c)]);
+      result.forest.add_emitted(c, emitted[ti].value[static_cast<std::size_t>(c)]);
     }
   }
   return result;

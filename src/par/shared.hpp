@@ -1,12 +1,24 @@
 // Shared-memory parallel Photon (Fig 5.2) — the engine's `shared` backend.
 //
-// All threads share the geometry and the bin forest; tallies are buffered
-// per worker and flushed in per-tree batches under the owning tree's lock
-// (engine/sink.hpp — the paper's multiple-reader/single-writer protocol
-// collapses to per-tree mutual exclusion because every record may split its
-// bin; batching amortizes it). Each thread draws from its own leapfrogged substream
-// and traces a static share of the photons, exactly the forall loop of the
-// paper. `config.workers` sets the thread count.
+// All threads share the geometry and the bin forest. Work is scheduled
+// through the persistent WorkerPool (engine/pool.hpp): the photon-id range
+// is cut into `config.chunk`-photon chunks that idle workers claim/steal
+// dynamically — the paper's static nphot/nprocessors split (whose Table 5.2
+// imbalance the static schedule bakes in) survives only as the pool's
+// initial chunk distribution, which stealing then rebalances.
+//
+// Determinism contract (strictly stronger than the old leapfrog version):
+// every photon draws from its own disjoint RNG block (photon_stream), each
+// chunk traces into a chunk-private record buffer, and buffers drain into
+// the forest in ascending chunk order on the coordinating thread. The
+// populated forest is therefore bitwise identical to the serial
+// photon-stream reference (RunConfig::photon_streams) at EVERY worker
+// count, chunk size, and steal interleaving — pinned by the conformance
+// suite at workers {1, 2, 4, 8} and under forced-steal schedules.
+//
+// `config.workers` sets the worker width; `config.batch` windows bound the
+// record-buffer memory; both are scheduling knobs with no effect on the
+// result.
 #pragma once
 
 #include "engine/backend.hpp"
@@ -14,10 +26,10 @@
 namespace photon {
 
 // When `resume_from` is non-null its forest and counters are adopted and
-// `config.photons` additional photons are traced on top, drawn from fresh
-// leapfrog streams offset past everything the first leg can have touched (so
-// nothing is replayed). Unlike `serial` the continuation is not bitwise
-// identical to an uninterrupted run.
+// `config.photons` additional photons are traced on top, continuing the
+// photon-id sequence where the checkpoint stopped. Ids index disjoint RNG
+// blocks, so the continuation is bitwise identical to an uninterrupted run
+// (the same guarantee as the serial photon-stream mode).
 RunResult run_shared(const Scene& scene, const RunConfig& config,
                      const RunResult* resume_from = nullptr);
 

@@ -53,7 +53,7 @@ RunResult run_serial(const Scene& scene, const RunConfig& config,
 
     const double t = sampler.elapsed();
     sampler.sample_at(t, done);
-    result.memory.push_back({done, result.forest.memory_bytes()});
+    sampler.sample_memory(done, result.forest.memory_bytes());
     if (config.adapt_batch) {
       const double batch_time = t - prev_t;
       controller.update(batch_time > 0.0 ? static_cast<double>(batch) / batch_time : 0.0);
@@ -63,6 +63,7 @@ RunResult run_serial(const Scene& scene, const RunConfig& config,
   }
 
   result.trace = sampler.finish(done);
+  result.memory = sampler.take_memory();
   if (config.adapt_batch) {
     // Surface the controller's size sequence (the Table 5.3 telemetry) the
     // same way the distributed backends do, as rank 0's report.

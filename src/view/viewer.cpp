@@ -1,10 +1,8 @@
 #include "view/viewer.hpp"
 
-#include <thread>
-#include <vector>
-
 #include "core/onb.hpp"
 #include "core/rng.hpp"
+#include "engine/pool.hpp"
 
 namespace photon {
 
@@ -52,26 +50,16 @@ Image render(const Scene& scene, const BinForest& forest, const Camera& camera,
              const ViewOptions& options) {
   Image img(camera.width(), camera.height());
   const int threads = options.threads > 1 ? options.threads : 1;
-  if (threads == 1) {
-    for (int y = 0; y < camera.height(); ++y) {
-      for (int x = 0; x < camera.width(); ++x) {
-        img.at(x, y) = shade_pixel(scene, forest, camera, x, y, options);
-      }
-    }
-    return img;
-  }
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<std::size_t>(threads));
-  for (int t = 0; t < threads; ++t) {
-    workers.emplace_back([&, t] {
-      for (int y = t; y < camera.height(); y += threads) {
+  // Rows are the pool's chunk grid: each pixel is already deterministically
+  // seeded, and no two rows touch the same pixels, so any claim/steal order
+  // yields the identical image. threads == 1 runs inline on this thread.
+  WorkerPool::instance().run(
+      static_cast<std::uint64_t>(camera.height()), threads, [&](std::uint64_t row, int) {
+        const int y = static_cast<int>(row);
         for (int x = 0; x < camera.width(); ++x) {
           img.at(x, y) = shade_pixel(scene, forest, camera, x, y, options);
         }
-      }
-    });
-  }
-  for (std::thread& w : workers) w.join();
+      });
   return img;
 }
 

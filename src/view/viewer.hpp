@@ -21,7 +21,9 @@ struct ViewOptions {
   // Jittered supersampling: >1 softens the histogram's patch boundaries.
   int samples_per_pixel = 1;
   std::uint64_t jitter_seed = 1;
-  // Worker threads for the render loop (rows are independent).
+  // Worker width for the render loop: rows are scheduled as chunks on the
+  // persistent WorkerPool (engine/pool.hpp); per-pixel deterministic seeding
+  // makes the image identical for every width and steal order.
   int threads = 1;
 };
 

@@ -48,9 +48,7 @@ struct BackendContract {
   Reference reference = Reference::kNone;    // pin kind...
   bool reference_at_every_shape = false;     // ...at all shapes, or only 1x1
   bool resume_bitwise = false;  // leg1+leg2 == straight run, bit for bit
-  // Repeated runs reproduce the forest bit for bit at every shape. True for
-  // everything except `shared`, whose per-tree lock acquisition order at
-  // T > 1 is wall-clock scheduling — only its totals are reproducible there.
+  // Repeated runs reproduce the forest bit for bit at every shape.
   bool repeat_bitwise_at_every_shape = true;
 };
 
@@ -59,7 +57,12 @@ BackendContract contract_for(const std::string& name) {
     return {{{1, 1}}, Reference::kSerial, true, true, true};
   }
   if (name == "shared") {
-    return {{{1, 1}, {1, 2}, {1, 4}}, Reference::kSerial, false, false, false};
+    // Pool-backed chunk scheduling (engine/pool.hpp): bitwise equal to the
+    // serial photon-stream reference at EVERY worker count — including the
+    // oversubscribed 1x8 — with bitwise resume and repeatability. The seed's
+    // leapfrog version pinned only totals at T > 1; this contract is
+    // strictly stronger.
+    return {{{1, 1}, {1, 2}, {1, 4}, {1, 8}}, Reference::kPhotonStreams, true, true, true};
   }
   if (name == "dist-particle") {
     // Resume is bitwise at an unchanged shape with aligned batches — which

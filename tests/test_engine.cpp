@@ -48,31 +48,23 @@ TEST(BackendRegistry, RuntimeRegistrationAndCollision) {
 // tests/test_conformance.cpp — which runs every registered backend through
 // the same matrix on all bundled scenes.
 
-TEST(CrossBackend, SharedTotalsPerChannelMatchLeapfrogUnion) {
-  // With T workers the leapfrogged emission streams partition the work
-  // differently, but the per-channel emission totals of the union of the
-  // equivalent serial leapfrog runs must be reproduced exactly.
-  const int T = 4;
+TEST(CrossBackend, SharedMatchesSerialPhotonStreamReference) {
+  // The pool-backed shared backend traces photon i from RNG stream i, so at
+  // any worker count its forest — per-channel emission totals included — is
+  // bitwise identical to the serial photon-stream reference (a strictly
+  // stronger contract than the old leapfrog-union totals).
   const Scene s = scenes::cornell_box();
   RunConfig cfg;
   cfg.photons = 4000;
-  cfg.workers = T;
+  cfg.workers = 4;
   const RunResult shared = make_backend("shared")->run(s, cfg);
 
-  ChannelCounts expected{};
-  for (int t = 0; t < T; ++t) {
-    RunConfig sc;
-    sc.photons = cfg.photons / T;
-    sc.rank = t;
-    sc.nranks = T;
-    const RunResult r = make_backend("serial")->run(s, sc);
-    for (int c = 0; c < kNumChannels; ++c) {
-      expected[static_cast<std::size_t>(c)] += r.forest.emitted(c);
-    }
-  }
+  RunConfig rc = cfg;
+  rc.photon_streams = true;
+  const RunResult ref = make_backend("serial")->run(s, rc);
+  EXPECT_TRUE(ref.forest == shared.forest);
   for (int c = 0; c < kNumChannels; ++c) {
-    EXPECT_EQ(shared.forest.emitted(c), expected[static_cast<std::size_t>(c)])
-        << "channel " << c;
+    EXPECT_EQ(shared.forest.emitted(c), ref.forest.emitted(c)) << "channel " << c;
   }
 }
 

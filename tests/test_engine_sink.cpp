@@ -138,24 +138,31 @@ TEST(BufferedForestSink, ThresholdIsClampedToOne) {
 
 class BufferedSharedTest : public ::testing::TestWithParam<std::uint64_t> {};
 
-TEST_P(BufferedSharedTest, OneWorkerIsBitwiseSerialAtAnyThreshold) {
+TEST_P(BufferedSharedTest, OneWorkerIsBitwisePhotonStreamSerialAtAnyThreshold) {
+  // The pool-backed shared path no longer routes through BufferedForestSink
+  // (chunk buffers drain single-threaded), so sink_buffer must be inert: at
+  // every threshold shared@1 stays bitwise equal to the serial photon-stream
+  // reference.
   const Scene s = scenes::cornell_box();
   RunConfig cfg;
   cfg.photons = 3000;
   cfg.workers = 1;
   cfg.sink_buffer = GetParam();
 
-  const RunResult serial = run_serial(s, cfg);
+  RunConfig rc = cfg;
+  rc.photon_streams = true;
+  const RunResult serial = run_serial(s, rc);
   const RunResult shared = run_shared(s, cfg);
   EXPECT_TRUE(serial.forest == shared.forest)
       << "sink_buffer=" << cfg.sink_buffer << " broke shared@1 determinism";
   EXPECT_EQ(serial.counters.bounces, shared.counters.bounces);
 }
 
-TEST_P(BufferedSharedTest, FourWorkersConservePerTreeTotals) {
-  // Thread t draws stream (seed, t, 4) — the union of the equivalent serial
-  // leapfrog runs. Buffered flushing must conserve each tree's record count
-  // (up to split-redistribution rounding, bounded by that tree's node count).
+TEST_P(BufferedSharedTest, FourWorkersMatchPerTreeTotalsExactly) {
+  // Every photon draws from its own disjoint stream, so four pool workers
+  // reproduce the serial photon-stream run's per-tree record totals EXACTLY
+  // (the old leapfrog-union version of this test needed a split-rounding
+  // tolerance; the bitwise contract needs none).
   const int T = 4;
   const Scene s = scenes::cornell_box();
   RunConfig cfg;
@@ -164,30 +171,17 @@ TEST_P(BufferedSharedTest, FourWorkersConservePerTreeTotals) {
   cfg.sink_buffer = GetParam();
   const RunResult shared = run_shared(s, cfg);
 
-  std::vector<std::uint64_t> expected(shared.forest.tree_count(), 0);
-  for (int t = 0; t < T; ++t) {
-    RunConfig sc;
-    sc.photons = cfg.photons / T;
-    sc.rank = t;
-    sc.nranks = T;
-    const RunResult r = run_serial(s, sc);
-    for (std::size_t i = 0; i < r.forest.tree_count(); ++i) {
-      for (int ch = 0; ch < kNumChannels; ++ch) {
-        expected[i] += r.forest.tree_at(static_cast<int>(i)).total_tally(ch);
-      }
-    }
-  }
+  RunConfig rc = cfg;
+  rc.photon_streams = true;
+  const RunResult ref = run_serial(s, rc);
+
+  ASSERT_EQ(shared.forest.tree_count(), ref.forest.tree_count());
   for (std::size_t i = 0; i < shared.forest.tree_count(); ++i) {
-    std::uint64_t got = 0;
     for (int ch = 0; ch < kNumChannels; ++ch) {
-      got += shared.forest.tree_at(static_cast<int>(i)).total_tally(ch);
+      EXPECT_EQ(shared.forest.tree_at(static_cast<int>(i)).total_tally(ch),
+                ref.forest.tree_at(static_cast<int>(i)).total_tally(ch))
+          << "tree " << i << " channel " << ch << " sink_buffer=" << cfg.sink_buffer;
     }
-    // Both sides redistribute tallies on splits with up to one photon of
-    // rounding per split; bound by the combined node counts (the existing
-    // shared-backend suite uses the same forest-wide bound).
-    const double tol = static_cast<double>(shared.forest.total_nodes());
-    EXPECT_NEAR(static_cast<double>(got), static_cast<double>(expected[i]), tol)
-        << "tree " << i << " sink_buffer=" << cfg.sink_buffer;
   }
 }
 

@@ -4,6 +4,7 @@
 
 #include <numeric>
 
+#include "engine/pool.hpp"
 #include "geom/scenes.hpp"
 #include "sim/simulator.hpp"
 
@@ -26,16 +27,29 @@ TEST_P(SharedSimTest, TracesExactlyTheRequestedPhotons) {
   EXPECT_EQ(traced, cfg.photons);
 }
 
-TEST_P(SharedSimTest, StaticSplitIsEven) {
+TEST_P(SharedSimTest, PoolTelemetryAccountsForEveryPhotonAndChunk) {
   const Scene s = scenes::cornell_box();
   RunConfig cfg;
-  cfg.photons = 4000;
+  cfg.photons = 4001;  // deliberately not divisible by the chunk size
   cfg.workers = GetParam();
+  cfg.chunk = 64;
   const RunResult r = run_shared(s, cfg);
-  for (const std::uint64_t t : r.per_thread_traced) {
-    EXPECT_NEAR(static_cast<double>(t),
-                static_cast<double>(cfg.photons) / cfg.workers, 1.0);
-  }
+
+  // Dynamic stealing makes the per-worker split uneven, but the telemetry
+  // must still account for every photon and every chunk exactly.
+  ASSERT_EQ(r.pool.worker_photons.size(), static_cast<std::size_t>(cfg.workers));
+  EXPECT_EQ(std::accumulate(r.pool.worker_photons.begin(), r.pool.worker_photons.end(),
+                            std::uint64_t{0}),
+            cfg.photons);
+  EXPECT_EQ(r.pool.worker_photons, r.per_thread_traced);
+  EXPECT_EQ(r.pool.chunk_size, cfg.chunk);
+  EXPECT_EQ(r.pool.chunks, chunk_count(cfg.photons, cfg.chunk));
+  EXPECT_EQ(std::accumulate(r.pool.worker_chunks.begin(), r.pool.worker_chunks.end(),
+                            std::uint64_t{0}),
+            r.pool.chunks);
+  EXPECT_EQ(std::accumulate(r.pool.worker_steals.begin(), r.pool.worker_steals.end(),
+                            std::uint64_t{0}),
+            r.pool.steals);
 }
 
 TEST_P(SharedSimTest, TalliesConserveRecords) {
@@ -52,40 +66,54 @@ TEST_P(SharedSimTest, TalliesConserveRecords) {
               static_cast<double>(expected), static_cast<double>(r.forest.total_nodes()));
 }
 
-TEST_P(SharedSimTest, MatchesUnionOfSerialLeapfrogRuns) {
-  // Thread t uses stream (seed, t, T) and traces photons/T photons — exactly
-  // what a serial run configured with rank=t, nranks=T does. Per-patch totals
-  // must therefore agree with the union of those serial runs.
+TEST_P(SharedSimTest, BitwiseMatchesSerialPhotonStreamReference) {
+  // The pool-backed backend's determinism contract: at EVERY worker count
+  // the populated forest is bitwise identical to the serial photon-stream
+  // reference — a strictly stronger pin than the old leapfrog-union totals.
   const int T = GetParam();
   const Scene s = scenes::cornell_box();
   RunConfig cfg;
-  cfg.photons = 3000 * static_cast<std::uint64_t>(T);
+  cfg.photons = 6000;
   cfg.workers = T;
+  cfg.chunk = 37;  // odd grain: chunk size must not matter either
   const RunResult shared = run_shared(s, cfg);
 
-  std::vector<std::uint64_t> serial_tallies(s.patch_count(), 0);
-  for (int t = 0; t < T; ++t) {
-    RunConfig sc;
-    sc.photons = 3000;
-    sc.rank = t;
-    sc.nranks = T;
-    const RunResult r = run_serial(s, sc);
-    const auto tallies = r.forest.patch_tallies();
-    for (std::size_t p = 0; p < tallies.size(); ++p) serial_tallies[p] += tallies[p];
-  }
+  RunConfig rc = cfg;
+  rc.photon_streams = true;
+  const RunResult ref = run_serial(s, rc);
 
-  const auto shared_tallies = shared.forest.patch_tallies();
-  for (std::size_t p = 0; p < s.patch_count(); ++p) {
-    // Split rounding can shift a few photons inside a tree but patch totals
-    // are conserved exactly up to split-rounding (<= nodes of that patch).
-    EXPECT_NEAR(static_cast<double>(shared_tallies[p]),
-                static_cast<double>(serial_tallies[p]),
-                static_cast<double>(shared.forest.total_nodes()))
-        << "patch " << p;
-  }
+  EXPECT_TRUE(ref.forest == shared.forest) << "workers=" << T;
+  EXPECT_EQ(ref.counters.bounces, shared.counters.bounces);
+  EXPECT_EQ(ref.counters.absorbed, shared.counters.absorbed);
 }
 
-INSTANTIATE_TEST_SUITE_P(ThreadCounts, SharedSimTest, ::testing::Values(1, 2, 4));
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, SharedSimTest, ::testing::Values(1, 2, 4, 8));
+
+TEST(SharedSim, BitwiseUnderAdversarialStealSchedules) {
+  // The forced-steal hook hands every chunk's static home to slot 0 (all
+  // other workers must steal); the shuffle hook hands chunks out in a seeded
+  // random permutation. Neither may perturb a single bit of the forest.
+  const Scene s = scenes::cornell_box();
+  RunConfig cfg;
+  cfg.photons = 5000;
+  cfg.workers = 4;
+  cfg.chunk = 16;
+
+  RunConfig rc = cfg;
+  rc.photon_streams = true;
+  const RunResult ref = run_serial(s, rc);
+
+  {
+    WorkerPool::ScheduleGuard guard(WorkerPool::TestSchedule::kForceSteal);
+    const RunResult r = run_shared(s, cfg);
+    EXPECT_TRUE(ref.forest == r.forest) << "forced-steal schedule";
+  }
+  for (std::uint64_t seed : {1ull, 42ull, 1337ull}) {
+    WorkerPool::ScheduleGuard guard(WorkerPool::TestSchedule::kShuffle, seed);
+    const RunResult r = run_shared(s, cfg);
+    EXPECT_TRUE(ref.forest == r.forest) << "shuffle seed " << seed;
+  }
+}
 
 TEST(SharedSim, SpeedTraceIsPopulated) {
   const Scene s = scenes::cornell_box();

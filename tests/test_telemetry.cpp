@@ -27,6 +27,17 @@ std::vector<SpeedPoint> read_trace_file(const std::string& path) {
   return points;
 }
 
+std::vector<MemoryPoint> read_memory_file(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<MemoryPoint> points;
+  std::string line;
+  while (std::getline(in, line)) {
+    MemoryPoint p;
+    if (TraceWriter::parse(line, p)) points.push_back(p);
+  }
+  return points;
+}
+
 TEST(TraceStream, StreamedFileReproducesTheInMemoryTrace) {
   // Drive a streaming and a non-streaming sampler through the identical
   // sample sequence (externally supplied times, so both see the same data);
@@ -55,6 +66,62 @@ TEST(TraceStream, StreamedFileReproducesTheInMemoryTrace) {
     EXPECT_EQ(streamed[i].time_s, memory_trace.points[i].time_s) << "point " << i;
     EXPECT_EQ(streamed[i].photons, memory_trace.points[i].photons) << "point " << i;
     EXPECT_EQ(streamed[i].rate, memory_trace.points[i].rate) << "point " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceStream, MemoryPointsInterleaveWithSpeedPointsAndRoundTrip) {
+  // Speed and memory points share the trace file; each parse overload must
+  // pick out exactly its own lines, reproducing both curves bit for bit.
+  const std::string path = ::testing::TempDir() + "/trace_mixed.jsonl";
+  std::remove(path.c_str());
+
+  SpeedSampler memory_sampler;
+  SpeedSampler stream_sampler(path);
+  const std::uint64_t photons[] = {100, 2048, 40000};
+  const std::uint64_t bytes[] = {1u << 14, 1u << 16, (1u << 16) + 13};
+  for (int i = 0; i < 3; ++i) {
+    memory_sampler.sample_at(0.5 * (i + 1), photons[i]);
+    memory_sampler.sample_memory(photons[i], bytes[i]);
+    stream_sampler.sample_at(0.5 * (i + 1), photons[i]);
+    stream_sampler.sample_memory(photons[i], bytes[i]);
+  }
+
+  // Non-streaming mode accumulates the curve for RunResult::memory...
+  const std::vector<MemoryPoint> accumulated = memory_sampler.take_memory();
+  ASSERT_EQ(accumulated.size(), 3u);
+  // ...streaming mode holds nothing in RAM and spills to the shared file.
+  EXPECT_TRUE(stream_sampler.take_memory().empty());
+
+  const std::vector<MemoryPoint> streamed = read_memory_file(path);
+  ASSERT_EQ(streamed.size(), accumulated.size());
+  for (std::size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_EQ(streamed[i].photons, accumulated[i].photons) << "point " << i;
+    EXPECT_EQ(streamed[i].bytes, accumulated[i].bytes) << "point " << i;
+  }
+  // The speed-point reader still sees its three points plus no memory lines.
+  EXPECT_EQ(read_trace_file(path).size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceStream, SerialRunStreamsItsMemoryCurve) {
+  const std::string path = ::testing::TempDir() + "/trace_serial_memory.jsonl";
+  std::remove(path.c_str());
+
+  const Scene s = scenes::cornell_box();
+  RunConfig cfg;
+  cfg.photons = 2000;
+  cfg.batch = 500;
+  cfg.trace_path = path;
+  const RunResult r = make_backend("serial")->run(s, cfg);
+
+  // The curve went to disk, not into the result.
+  EXPECT_TRUE(r.memory.empty());
+  const std::vector<MemoryPoint> streamed = read_memory_file(path);
+  ASSERT_EQ(streamed.size(), 4u);  // one per batch
+  EXPECT_EQ(streamed.back().photons, cfg.photons);
+  for (std::size_t i = 1; i < streamed.size(); ++i) {
+    EXPECT_GE(streamed[i].bytes, streamed[i - 1].bytes) << "forest never shrinks";
   }
   std::remove(path.c_str());
 }
