@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   const Scene scene = scenes::computer_lab();
 
   benchutil::header("Chapter 6 — Geometry Distribution (Computer Lab)");
-  std::printf("replicated octree: %zu nodes over %zu patches\n\n", scene.octree().node_count(),
+  std::printf("replicated octree: %zu nodes over %zu patches\n\n", scene.accel().node_count(),
               scene.patch_count());
   std::printf("%5s | %12s | %12s | %14s | %12s\n", "P", "max patches", "max octree",
               "footprint vs 1", "routed/phot");

@@ -8,7 +8,8 @@
 //       Print geometry/material/luminaire statistics.
 //   photon_cli simulate <scene> <answer-file> [--backend=NAME] [--photons=N]
 //                        [--seed=N] [--workers=N] [--groups=N] [--batch=N]
-//                        [--chunk=N] [--adapt] [--split-z=S] [--split-min=N]
+//                        [--chunk=N] [--adapt] [--accel=octree|bvh|grid]
+//                        [--split-z=S] [--split-min=N]
 //                        [--split-leaf=N] [--split-growth=G] [--max-bounces=N]
 //                        [--checkpoint=FILE] [--resume=FILE] [--trace=FILE]
 //                        [--report=json]
@@ -107,8 +108,9 @@ int cmd_info(const std::string& spec) {
   const Aabb b = scene.bounds();
   std::printf("  bounds            : (%.2f %.2f %.2f) .. (%.2f %.2f %.2f)\n", b.lo.x, b.lo.y,
               b.lo.z, b.hi.x, b.hi.y, b.hi.z);
-  std::printf("  octree nodes      : %zu (depth %d)\n", scene.octree().node_count(),
-              scene.octree().depth());
+  std::printf("  accel (%s)    : %zu nodes (depth %d)\n",
+              accel_kind_name(scene.accel_kind()), scene.accel().node_count(),
+              scene.accel().depth());
   return 0;
 }
 
@@ -132,6 +134,21 @@ int cmd_simulate(int argc, char** argv, const std::string& spec, const std::stri
     return 1;
   }
 
+  AccelKind accel = AccelKind::kOctree;
+  if (const char* accel_name = find_arg(argc, argv, "accel")) {
+    if (!accel_kind_from_string(accel_name, accel)) {
+      std::fprintf(stderr, "error: unknown accel '%s' (supported: octree | bvh | grid)\n",
+                   accel_name);
+      return 1;
+    }
+  }
+  if (accel != scene.accel_kind()) {
+    // load_any_scene built the default octree; swap and rebuild. Every
+    // structure answers bitwise-identical queries, so results do not change.
+    scene.set_accel(accel);
+    scene.build();
+  }
+
   const char* report = find_arg(argc, argv, "report");
   const bool json_report = report && std::strcmp(report, "json") == 0;
   if (report && !json_report) {
@@ -142,6 +159,7 @@ int cmd_simulate(int argc, char** argv, const std::string& spec, const std::stri
   }
 
   RunConfig config;
+  config.accel = accel;
   config.photons = arg_u64(argc, argv, "photons", 500000);
   config.seed = arg_u64(argc, argv, "seed", config.seed);
   // Validate before the int narrowing: a 2^32+1 request must error, not
@@ -210,7 +228,7 @@ int cmd_simulate(int argc, char** argv, const std::string& spec, const std::stri
 
   if (json_report) {
     std::printf(
-        "{\"scene\": \"%s\", \"backend\": \"%s\", \"photons\": %llu, "
+        "{\"scene\": \"%s\", \"backend\": \"%s\", \"accel\": \"%s\", \"photons\": %llu, "
         "\"workers\": %d, \"groups\": %d, \"seed\": %llu, "
         "\"split_z\": %.4f, \"split_min\": %llu, \"split_leaf\": %llu, "
         "\"split_growth\": %.4f, \"max_bounces\": %d, \"wall_s\": %.6f, "
@@ -218,7 +236,7 @@ int cmd_simulate(int argc, char** argv, const std::string& spec, const std::stri
         "\"bounces_per_photon\": %.4f, \"absorbed\": %llu, \"escaped\": %llu, "
         "\"bins\": %llu, \"forest_depth\": %d, \"mean_tally_per_leaf\": %.2f, "
         "\"forest_bytes\": %llu}\n",
-        scene.name().c_str(), backend->name().c_str(),
+        scene.name().c_str(), backend->name().c_str(), accel_kind_name(config.accel),
         static_cast<unsigned long long>(result.counters.emitted), config.workers,
         config.groups, static_cast<unsigned long long>(config.seed), config.policy.z,
         static_cast<unsigned long long>(config.policy.min_count),
@@ -317,7 +335,7 @@ int usage() {
                "       photon_cli info <scene>\n"
                "       photon_cli simulate <scene> <answer> [--backend=NAME] [--photons=N]\n"
                "                  [--seed=N] [--workers=N] [--groups=N] [--batch=N]\n"
-               "                  [--chunk=N] [--adapt]\n"
+               "                  [--chunk=N] [--adapt] [--accel=octree|bvh|grid]\n"
                "                  [--split-z=S] [--split-min=N] [--split-leaf=N]\n"
                "                  [--split-growth=G] [--max-bounces=N]\n"
                "                  [--checkpoint=FILE] [--resume=FILE] [--trace=FILE]\n"

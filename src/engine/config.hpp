@@ -90,6 +90,12 @@ struct RunConfig {
   std::uint64_t lb_photons = 2000;
   bool bestfit = true;  // false: naive contiguous ownership
 
+  // Acceleration structure for every index the run builds: the scene's global
+  // index (built by the caller via Scene::set_accel) and dist-spatial's
+  // per-region local indexes. All structures answer queries bitwise
+  // identically, so this is a performance knob, not a semantics one.
+  AccelKind accel = AccelKind::kOctree;
+
   SplitPolicy policy{};
   TraceLimits limits{};
 };

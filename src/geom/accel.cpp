@@ -1,0 +1,53 @@
+#include "geom/accel.hpp"
+
+#include "geom/bvh.hpp"
+#include "geom/grid.hpp"
+#include "geom/octree.hpp"
+
+namespace photon {
+
+std::unique_ptr<AccelStructure> make_accel(AccelKind kind) {
+  switch (kind) {
+    case AccelKind::kBvh:
+      return std::make_unique<Bvh>();
+    case AccelKind::kGrid:
+      return std::make_unique<HashGrid>();
+    case AccelKind::kOctree:
+      break;
+  }
+  return std::make_unique<Octree>();
+}
+
+const char* accel_kind_name(AccelKind kind) {
+  switch (kind) {
+    case AccelKind::kBvh:
+      return "bvh";
+    case AccelKind::kGrid:
+      return "grid";
+    case AccelKind::kOctree:
+      break;
+  }
+  return "octree";
+}
+
+bool accel_kind_from_string(const std::string& name, AccelKind& kind) {
+  if (name == "octree") {
+    kind = AccelKind::kOctree;
+    return true;
+  }
+  if (name == "bvh") {
+    kind = AccelKind::kBvh;
+    return true;
+  }
+  if (name == "grid") {
+    kind = AccelKind::kGrid;
+    return true;
+  }
+  return false;
+}
+
+std::vector<AccelKind> accel_kinds() {
+  return {AccelKind::kOctree, AccelKind::kBvh, AccelKind::kGrid};
+}
+
+}  // namespace photon

@@ -1,0 +1,137 @@
+// The acceleration-structure seam.
+//
+// Every spatial index in Photon answers the same contract the octree
+// established (PR 2/4): build() ingests the patch array and packs each leaf's
+// hit-test constants into lane-padded SoA blocks (geom/leaf_kernel.hpp);
+// intersect()/intersect_counted() run a front-to-back traversal whose
+// accepted hit is bitwise-equal to the brute linear scan
+// (Scene::intersect_brute) — the equivalence suite pins every implementation
+// against that reference on all bundled scenes. Queries answer entirely from
+// the packed snapshot taken at build() time, never from the Patch array.
+//
+// Three structures live behind the seam:
+//
+//   octree  flat pointer-free octree, XOR-octant front-to-back traversal
+//           (geom/octree.hpp) — duplicated references, spatial partition
+//   bvh     binned-SAH BVH, flat nodes in DFS order, CSR leaf ranges over an
+//           object partition (geom/bvh.hpp) — each patch in exactly one leaf
+//   grid    nested uniform grid, dense sub-grids in hot cells, DDA traversal
+//           with first-confirmed-nearest early-out (geom/grid.hpp)
+//
+// All three reuse the one SIMD leaf kernel and contract a deterministic
+// parallel build: the packed arrays are bitwise-identical for any
+// BuildParams::workers value. Scene holds an AccelStructure by pointer, so
+// dependents of geom/scene.hpp compile against this header alone —
+// structure-specific headers are implementation detail.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/aabb.hpp"
+#include "core/ray.hpp"
+#include "geom/patch.hpp"
+
+namespace photon {
+
+// Closest-hit result over a whole structure (PatchHit plus the patch id).
+struct SceneHit {
+  int patch = -1;
+  double dist = kNoHit;
+  double s = 0.0;
+  double t = 0.0;
+  bool front = true;
+};
+
+// Deterministic traversal-work counters. Wall clocks are noisy; nodes (or
+// cells) visited and patch tests per ray are not, so the bench/test layers
+// use the counted traversal to pin query quality. patch_tests counts real
+// patch references, not padded SoA lanes — identical across kernel backends.
+struct TraversalStats {
+  std::uint64_t nodes_visited = 0;
+  std::uint64_t patch_tests = 0;
+};
+
+enum class AccelKind { kOctree, kBvh, kGrid };
+
+// One knob bundle for every structure; each implementation reads the fields
+// it understands and ignores the rest (the same deal RunConfig makes with
+// the backends).
+struct AccelBuildParams {
+  // All structures: parallel-build width; <= 0 means one task slot per
+  // hardware thread. The built arrays are bitwise-identical for any value.
+  int workers = 0;
+
+  // octree: subdivision limits (defaults tuned by bench sweeps, see
+  // geom/octree.hpp).
+  int max_depth = 12;
+  int max_leaf_items = 12;
+
+  // bvh: leaf capacity and SAH bin count. Object partitions keep leaves
+  // single-copy, so smaller leaves pay off earlier than the octree's.
+  int bvh_leaf_items = 4;
+  int sah_bins = 16;
+
+  // grid: coarse resolution scale (cells per axis ~ density * cbrt(n),
+  // shaped by the box aspect), refinement threshold (a coarse cell holding
+  // more references than this gets a dense sub-grid), and the sub-grid
+  // resolution per axis.
+  double grid_density = 2.0;
+  int grid_refine_threshold = 24;
+  int grid_sub_res = 4;
+};
+
+class AccelStructure {
+ public:
+  virtual ~AccelStructure() = default;
+
+  virtual void build(std::span<const Patch> patches, const AccelBuildParams& params) = 0;
+  void build(std::span<const Patch> patches) { build(patches, AccelBuildParams{}); }
+
+  virtual AccelKind kind() const = 0;
+  virtual bool built() const = 0;
+  virtual const Aabb& bounds() const = 0;
+
+  // Structure size in its native unit: octree/bvh nodes, grid cells
+  // (coarse + sub). depth() is tree depth, or 1 + refined levels for the grid.
+  virtual std::size_t node_count() const = 0;
+  virtual int depth() const = 0;
+  // Total patch references across all leaves (object-partitioned structures
+  // reference each patch once; spatial partitions may duplicate).
+  virtual std::size_t item_ref_count() const = 0;
+  // Total SoA lanes including per-leaf padding to the kernel lane width.
+  virtual std::size_t lane_count() const = 0;
+  // Resident bytes of the packed arrays — the bench shootout's memory column.
+  virtual std::size_t memory_bytes() const = 0;
+
+  // Closest hit before tmax written to `best`; returns false and leaves
+  // `best` cleared (patch < 0, dist = tmax) on a miss. The allocation-free
+  // fast path the tracer uses.
+  virtual bool intersect(const Ray& ray, double tmax, SceneHit& best) const = 0;
+  virtual bool intersect_counted(const Ray& ray, double tmax, SceneHit& best,
+                                 TraversalStats& stats) const = 0;
+
+  // Convenience wrapper over the fast path.
+  std::optional<SceneHit> intersect(const Ray& ray, double tmax = kNoHit) const {
+    SceneHit best;
+    if (!intersect(ray, tmax, best)) return std::nullopt;
+    return best;
+  }
+
+  // True when `other` is the same structure kind with bitwise-equal packed
+  // arrays — the parallel-build determinism pin.
+  virtual bool identical_to(const AccelStructure& other) const = 0;
+};
+
+// Factory over the registered structure kinds (the CLI's --accel values).
+std::unique_ptr<AccelStructure> make_accel(AccelKind kind);
+const char* accel_kind_name(AccelKind kind);
+bool accel_kind_from_string(const std::string& name, AccelKind& kind);
+// Every kind, in the canonical shootout order {octree, bvh, grid}.
+std::vector<AccelKind> accel_kinds();
+
+}  // namespace photon

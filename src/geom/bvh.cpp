@@ -1,0 +1,406 @@
+#include "geom/bvh.hpp"
+
+#include <algorithm>
+#include <array>
+#include <thread>
+#include <utility>
+
+#include "engine/pool.hpp"
+#include "geom/leaf_kernel_inl.hpp"
+
+namespace photon {
+
+namespace {
+
+// Build-time node in a per-task arena; child refs are local arena indices.
+struct TempNode {
+  Aabb box;
+  std::int32_t left = -1;
+  std::int32_t right = -1;
+  std::uint32_t begin = 0;  // leaf item range into the shared id array
+  std::uint32_t end = 0;
+};
+
+double half_area(const Aabb& b) {
+  if (b.empty()) return 0.0;
+  const Vec3 e = b.extent();
+  return e.x * e.y + e.y * e.z + e.z * e.x;
+}
+
+struct BuildCtx {
+  std::span<const Patch> patches;
+  std::vector<std::int32_t>* ids = nullptr;  // mutable permutation, partitioned in place
+  std::vector<Aabb> patch_box;               // per patch id
+  std::vector<Vec3> centroid;                // per patch id
+  int leaf_items = 4;
+  int bins = 16;
+};
+
+Aabb range_box(const BuildCtx& ctx, std::uint32_t begin, std::uint32_t end) {
+  Aabb box;
+  for (std::uint32_t i = begin; i < end; ++i) {
+    box.expand(ctx.patch_box[static_cast<std::size_t>((*ctx.ids)[i])]);
+  }
+  return box;
+}
+
+// Chooses a split point for [begin, end) and partitions the id array in
+// place. Returns the mid index (strictly inside the range), or `begin` when
+// the range should become a leaf (all centroids coincident). Deterministic:
+// binning arithmetic is serial-identical, partitions are stable, the median
+// fallback sorts with a full (centroid, id) key.
+std::uint32_t split_range(BuildCtx& ctx, std::uint32_t begin, std::uint32_t end) {
+  Aabb cb;
+  for (std::uint32_t i = begin; i < end; ++i) {
+    cb.expand(ctx.centroid[static_cast<std::size_t>((*ctx.ids)[i])]);
+  }
+  const Vec3 ce = cb.extent();
+  int axis = 0;
+  if (ce.y > ce[axis]) axis = 1;
+  if (ce.z > ce[axis]) axis = 2;
+  const double extent = ce[axis];
+  if (!(extent > 0.0)) return begin;  // coincident centroids: no useful split
+
+  const int B = std::clamp(ctx.bins, 2, 64);
+  const double scale = static_cast<double>(B) / extent;
+  const auto bin_of = [&](std::int32_t id) {
+    const double c = ctx.centroid[static_cast<std::size_t>(id)][axis] - cb.lo[axis];
+    return std::min(B - 1, static_cast<int>(c * scale));
+  };
+
+  std::array<std::uint32_t, 64> bin_count{};
+  std::array<Aabb, 64> bin_box;
+  for (std::uint32_t i = begin; i < end; ++i) {
+    const std::int32_t id = (*ctx.ids)[i];
+    const int b = bin_of(id);
+    ++bin_count[static_cast<std::size_t>(b)];
+    bin_box[static_cast<std::size_t>(b)].expand(ctx.patch_box[static_cast<std::size_t>(id)]);
+  }
+
+  // Sweep: suffix areas right-to-left, then prefix left-to-right picking the
+  // minimum SAH cost plane (ties to the lowest plane index).
+  std::array<double, 64> right_area{};
+  std::array<std::uint32_t, 64> right_count{};
+  Aabb acc;
+  std::uint32_t cnt = 0;
+  for (int b = B - 1; b >= 1; --b) {
+    acc.expand(bin_box[static_cast<std::size_t>(b)]);
+    cnt += bin_count[static_cast<std::size_t>(b)];
+    right_area[static_cast<std::size_t>(b)] = half_area(acc);
+    right_count[static_cast<std::size_t>(b)] = cnt;
+  }
+  acc = Aabb{};
+  cnt = 0;
+  int best_plane = -1;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (int b = 0; b < B - 1; ++b) {
+    acc.expand(bin_box[static_cast<std::size_t>(b)]);
+    cnt += bin_count[static_cast<std::size_t>(b)];
+    if (cnt == 0 || right_count[static_cast<std::size_t>(b + 1)] == 0) continue;
+    const double cost = half_area(acc) * static_cast<double>(cnt) +
+                        right_area[static_cast<std::size_t>(b + 1)] *
+                            static_cast<double>(right_count[static_cast<std::size_t>(b + 1)]);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_plane = b;
+    }
+  }
+
+  if (best_plane < 0) {
+    // Every centroid landed in one bin: sorted-median fallback with a total
+    // (centroid, id) key so the permutation is worker-independent.
+    std::stable_sort(ctx.ids->begin() + begin, ctx.ids->begin() + end,
+                     [&](std::int32_t a, std::int32_t b) {
+                       const double ca = ctx.centroid[static_cast<std::size_t>(a)][axis];
+                       const double cb2 = ctx.centroid[static_cast<std::size_t>(b)][axis];
+                       if (ca != cb2) return ca < cb2;
+                       return a < b;
+                     });
+    return begin + (end - begin) / 2;
+  }
+
+  const auto mid_it = std::stable_partition(
+      ctx.ids->begin() + begin, ctx.ids->begin() + end,
+      [&](std::int32_t id) { return bin_of(id) <= best_plane; });
+  return static_cast<std::uint32_t>(mid_it - ctx.ids->begin());
+}
+
+// Finalizes a leaf: items sorted ascending by patch id so the in-leaf scan
+// order matches the brute reference's (equal-distance ties resolve the same
+// way), regardless of how splits permuted the range.
+std::int32_t make_leaf(BuildCtx& ctx, std::vector<TempNode>& arena, const Aabb& box,
+                       std::uint32_t begin, std::uint32_t end) {
+  std::sort(ctx.ids->begin() + begin, ctx.ids->begin() + end);
+  const auto idx = static_cast<std::int32_t>(arena.size());
+  arena.push_back(TempNode{box, -1, -1, begin, end});
+  return idx;
+}
+
+std::int32_t build_range(BuildCtx& ctx, std::vector<TempNode>& arena, const Aabb& box,
+                         std::uint32_t begin, std::uint32_t end, int depth, int& deepest) {
+  deepest = std::max(deepest, depth);
+  const std::uint32_t count = end - begin;
+  if (static_cast<int>(count) <= ctx.leaf_items || depth >= Bvh::kMaxDepth) {
+    return make_leaf(ctx, arena, box, begin, end);
+  }
+  const std::uint32_t mid = split_range(ctx, begin, end);
+  if (mid <= begin || mid >= end) return make_leaf(ctx, arena, box, begin, end);
+
+  const auto idx = static_cast<std::int32_t>(arena.size());
+  arena.push_back(TempNode{box, -1, -1, 0, 0});
+  const Aabb lbox = range_box(ctx, begin, mid);
+  const Aabb rbox = range_box(ctx, mid, end);
+  const std::int32_t l = build_range(ctx, arena, lbox, begin, mid, depth + 1, deepest);
+  const std::int32_t r = build_range(ctx, arena, rbox, mid, end, depth + 1, deepest);
+  arena[static_cast<std::size_t>(idx)].left = l;
+  arena[static_cast<std::size_t>(idx)].right = r;
+  return idx;
+}
+
+}  // namespace
+
+void Bvh::build(std::span<const Patch> patches, const AccelBuildParams& params) {
+  nodes_.clear();
+  item_offsets_.clear();
+  item_ids_.clear();
+  lane_offsets_.clear();
+  soa_.clear();
+  depth_ = 0;
+  bounds_ = Aabb{};
+  if (patches.empty()) return;
+
+  std::vector<std::int32_t> ids(patches.size());
+  BuildCtx ctx;
+  ctx.patches = patches;
+  ctx.ids = &ids;
+  ctx.patch_box.resize(patches.size());
+  ctx.centroid.resize(patches.size());
+  for (std::size_t i = 0; i < patches.size(); ++i) {
+    ids[i] = static_cast<std::int32_t>(i);
+    ctx.patch_box[i] = patches[i].bounds();
+    ctx.centroid[i] = ctx.patch_box[i].center();
+    bounds_.expand(ctx.patch_box[i]);
+  }
+  ctx.leaf_items = std::max(1, params.bvh_leaf_items);
+  ctx.bins = params.sah_bins;
+
+  int workers = params.workers;
+  if (workers <= 0) workers = static_cast<int>(std::thread::hardware_concurrency());
+  if (workers < 1) workers = 1;
+  constexpr std::size_t kParallelBuildMinItems = 2048;
+  if (params.workers <= 0 && patches.size() < kParallelBuildMinItems) workers = 1;
+
+  // Fixed task decomposition (independent of `workers`): expand the top of
+  // the tree serially to depth kTopDepth, turning each frontier range into a
+  // task. Child refs < -1 encode a task id as -(task + 2) until stitching.
+  constexpr int kTopDepth = 3;  // up to 8 subtree tasks
+  struct SubtreeTask {
+    Aabb box;
+    std::uint32_t begin = 0, end = 0;
+    int depth = 0;
+    std::vector<TempNode> arena;
+    int deepest = 0;
+  };
+  std::vector<TempNode> top;
+  std::vector<SubtreeTask> tasks;
+  int top_deepest = 0;
+
+  const auto expand_top = [&](auto&& self, const Aabb& box, std::uint32_t begin,
+                              std::uint32_t end, int depth) -> std::int32_t {
+    top_deepest = std::max(top_deepest, depth);
+    const std::uint32_t count = end - begin;
+    if (static_cast<int>(count) <= ctx.leaf_items || depth >= kMaxDepth) {
+      return make_leaf(ctx, top, box, begin, end);
+    }
+    if (depth >= kTopDepth) {
+      tasks.push_back(SubtreeTask{box, begin, end, depth, {}, depth});
+      return -static_cast<std::int32_t>(tasks.size()) - 1;
+    }
+    const std::uint32_t mid = split_range(ctx, begin, end);
+    if (mid <= begin || mid >= end) return make_leaf(ctx, top, box, begin, end);
+    const auto idx = static_cast<std::int32_t>(top.size());
+    top.push_back(TempNode{box, -1, -1, 0, 0});
+    const Aabb lbox = range_box(ctx, begin, mid);
+    const Aabb rbox = range_box(ctx, mid, end);
+    const std::int32_t l = self(self, lbox, begin, mid, depth + 1);
+    const std::int32_t r = self(self, rbox, mid, end, depth + 1);
+    top[static_cast<std::size_t>(idx)].left = l;
+    top[static_cast<std::size_t>(idx)].right = r;
+    return idx;
+  };
+  const std::int32_t root_ref =
+      expand_top(expand_top, bounds_, 0, static_cast<std::uint32_t>(ids.size()), 0);
+
+  // Each task builds its own arena over a disjoint id subrange — in-place
+  // partitions never touch another task's range, so the pool schedule cannot
+  // perturb the result.
+  const auto run_task = [&](std::size_t t) {
+    SubtreeTask& s = tasks[t];
+    build_range(ctx, s.arena, s.box, s.begin, s.end, s.depth, s.deepest);
+  };
+  const int T = std::min<int>(workers, static_cast<int>(tasks.size()));
+  if (T <= 1) {
+    for (std::size_t t = 0; t < tasks.size(); ++t) run_task(t);
+  } else {
+    WorkerPool::instance().run(tasks.size(), T, [&](std::uint64_t i, int) {
+      run_task(static_cast<std::size_t>(i));
+    });
+  }
+
+  // Stitch: append each task arena in task order, rebasing local child refs;
+  // then patch the top arena's encoded task refs to the arenas' roots (local
+  // index 0, i.e. the task's offset).
+  std::vector<std::int32_t> task_offset(tasks.size(), -1);
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const auto offset = static_cast<std::int32_t>(top.size());
+    task_offset[t] = offset;
+    for (TempNode& n : tasks[t].arena) {
+      if (n.left >= 0) n.left += offset;
+      if (n.right >= 0) n.right += offset;
+      top.push_back(std::move(n));
+    }
+    depth_ = std::max(depth_, tasks[t].deepest);
+  }
+  depth_ = std::max(depth_, top_deepest);
+  const auto resolve = [&](std::int32_t ref) {
+    return ref < -1 ? task_offset[static_cast<std::size_t>(-ref - 2)] : ref;
+  };
+  for (TempNode& n : top) {
+    n.left = resolve(n.left);
+    n.right = resolve(n.right);
+  }
+  const std::int32_t root = resolve(root_ref);
+
+  // Flatten in DFS preorder: the near child follows its parent, the far
+  // child index is stored. A node's CSR offset is the id count emitted before
+  // it — interior nodes naturally get empty ranges (their near child is
+  // emitted before any leaf appends items), leaves their ascending-id block.
+  nodes_.reserve(top.size());
+  item_offsets_.reserve(top.size() + 1);
+  item_ids_.reserve(ids.size());
+  const auto flatten = [&](auto&& self, std::int32_t temp_idx) -> void {
+    const TempNode& t = top[static_cast<std::size_t>(temp_idx)];
+    const auto flat = static_cast<std::size_t>(nodes_.size());
+    nodes_.push_back(Node{t.box, -1});
+    item_offsets_.push_back(static_cast<std::uint32_t>(item_ids_.size()));
+    if (t.left < 0) {
+      item_ids_.insert(item_ids_.end(), ids.begin() + t.begin, ids.begin() + t.end);
+      return;
+    }
+    self(self, t.left);
+    nodes_[flat].far_child = static_cast<std::int32_t>(nodes_.size());
+    self(self, t.right);
+  };
+  flatten(flatten, root);
+  item_offsets_.push_back(static_cast<std::uint32_t>(item_ids_.size()));
+
+  lane_offsets_.reserve(nodes_.size() + 1);
+  std::uint32_t lanes = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    lane_offsets_.push_back(lanes);
+    lanes += padded_lanes(item_offsets_[i + 1] - item_offsets_[i]);
+  }
+  lane_offsets_.push_back(lanes);
+  soa_.resize(lanes);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    std::uint32_t lane = lane_offsets_[i];
+    for (std::uint32_t k = item_offsets_[i]; k < item_offsets_[i + 1]; ++k, ++lane) {
+      const std::int32_t pid = item_ids_[k];
+      soa_.set_lane(lane, patches[static_cast<std::size_t>(pid)].hit_constants(), pid);
+    }
+  }
+}
+
+template <bool Count>
+bool Bvh::intersect_impl(const Ray& ray, double tmax, SceneHit& best,
+                         TraversalStats* stats) const {
+  best.patch = -1;
+  best.dist = tmax;
+  if (nodes_.empty()) return false;
+  double t0 = 0.0, t1 = 0.0;
+  if (!nodes_[0].box.hit(ray, tmax, t0, t1)) return false;
+
+  const RayLanes rl(ray);
+
+  struct Entry {
+    std::int32_t node;
+    double t_enter;
+  };
+  std::array<Entry, kMaxDepth + 2> stack;
+  int sp = 0;
+  stack[0] = {0, t0};
+  sp = 1;
+
+  while (sp > 0) {
+    const Entry e = stack[static_cast<std::size_t>(--sp)];
+    if (e.t_enter > best.dist) continue;
+    const auto ni = static_cast<std::size_t>(e.node);
+    if constexpr (Count) ++stats->nodes_visited;
+
+    if (nodes_[ni].far_child < 0) {
+      const std::uint32_t lane_begin = lane_offsets_[ni];
+      const std::uint32_t lane_end = lane_offsets_[ni + 1];
+      if constexpr (Count) stats->patch_tests += item_offsets_[ni + 1] - item_offsets_[ni];
+      if (lane_begin < lane_end) leaf_closest(soa_, ray, rl, lane_begin, lane_end, best);
+      continue;
+    }
+
+    // Test both children, visit front-to-back by slab entry distance: push
+    // the farther child first so the nearer pops first. Children whose boxes
+    // start beyond the running best hit are pruned here.
+    const std::int32_t near_idx = e.node + 1;
+    const std::int32_t far_idx = nodes_[ni].far_child;
+    double n0 = 0.0, n1 = 0.0, f0 = 0.0, f1 = 0.0;
+    const bool hit_near =
+        nodes_[static_cast<std::size_t>(near_idx)].box.hit(ray, best.dist, n0, n1);
+    const bool hit_far = nodes_[static_cast<std::size_t>(far_idx)].box.hit(ray, best.dist, f0, f1);
+    if (hit_near && hit_far) {
+      if (n0 <= f0) {
+        stack[static_cast<std::size_t>(sp++)] = {far_idx, f0};
+        stack[static_cast<std::size_t>(sp++)] = {near_idx, n0};
+      } else {
+        stack[static_cast<std::size_t>(sp++)] = {near_idx, n0};
+        stack[static_cast<std::size_t>(sp++)] = {far_idx, f0};
+      }
+    } else if (hit_near) {
+      stack[static_cast<std::size_t>(sp++)] = {near_idx, n0};
+    } else if (hit_far) {
+      stack[static_cast<std::size_t>(sp++)] = {far_idx, f0};
+    }
+  }
+  return best.patch >= 0;
+}
+
+bool Bvh::intersect(const Ray& ray, double tmax, SceneHit& best) const {
+  return intersect_impl<false>(ray, tmax, best, nullptr);
+}
+
+bool Bvh::intersect_counted(const Ray& ray, double tmax, SceneHit& best,
+                            TraversalStats& stats) const {
+  return intersect_impl<true>(ray, tmax, best, &stats);
+}
+
+std::size_t Bvh::memory_bytes() const {
+  return nodes_.capacity() * sizeof(Node) +
+         item_offsets_.capacity() * sizeof(std::uint32_t) +
+         item_ids_.capacity() * sizeof(std::int32_t) +
+         lane_offsets_.capacity() * sizeof(std::uint32_t) + soa_.memory_bytes();
+}
+
+bool Bvh::identical_to(const Bvh& other) const {
+  if (nodes_.size() != other.nodes_.size() || depth_ != other.depth_) return false;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& a = nodes_[i];
+    const Node& b = other.nodes_[i];
+    if (a.box.lo != b.box.lo || a.box.hi != b.box.hi || a.far_child != b.far_child) return false;
+  }
+  return item_offsets_ == other.item_offsets_ && item_ids_ == other.item_ids_ &&
+         lane_offsets_ == other.lane_offsets_ && soa_ == other.soa_;
+}
+
+bool Bvh::identical_to(const AccelStructure& other) const {
+  const auto* o = dynamic_cast<const Bvh*>(&other);
+  return o != nullptr && identical_to(*o);
+}
+
+}  // namespace photon

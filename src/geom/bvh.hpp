@@ -1,0 +1,91 @@
+// Binned-SAH bounding volume hierarchy behind the AccelStructure seam
+// (geom/accel.hpp).
+//
+// Unlike the octree's spatial partition (duplicated references), the BVH is an
+// object partition: every patch lives in exactly one leaf, so item_ref_count()
+// equals the patch count and rebuild memory is the smallest of the three
+// structures. Interior splits come from a binned surface-area heuristic over
+// centroid bounds on the longest axis (AccelBuildParams::sah_bins bins), with
+// a sorted-median fallback when binning degenerates (all centroids in one
+// bin). Partitions use std::stable_partition, so each leaf's item list stays
+// in ascending patch-id order — the same scan order the brute reference uses,
+// which keeps equal-distance tie-breaks inside a leaf bitwise-faithful.
+//
+// Storage is pointer-free like the octree: flat nodes in DFS order (an
+// interior node's near child is `node + 1`, the far child index is stored),
+// CSR leaf ranges, and lane-padded SoA blocks tested by the shared kernel
+// (geom/leaf_kernel.hpp). Traversal is an explicit stack visiting children
+// front-to-back by slab-test entry distance, pushing the farther child first
+// and pruning entries behind the running best hit.
+//
+// build() decomposes the top of the tree serially into a fixed set of range
+// tasks (worker-count-independent), builds each subtree arena in parallel on
+// the persistent WorkerPool, and stitches the arenas in task order with child
+// indices rebased — the flattened arrays are bitwise-identical for any
+// BuildParams workers value.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/accel.hpp"
+#include "geom/leaf_kernel.hpp"
+#include "geom/patch.hpp"
+
+namespace photon {
+
+class Bvh final : public AccelStructure {
+ public:
+  // Depth bound for the explicit traversal stack: one deferred sibling per
+  // level. The builder clamps recursion (median fallback guarantees strict
+  // progress, so the clamp is a formality).
+  static constexpr int kMaxDepth = 64;
+
+  Bvh() = default;
+
+  void build(std::span<const Patch> patches, const AccelBuildParams& params) override;
+
+  AccelKind kind() const override { return AccelKind::kBvh; }
+  bool built() const override { return !nodes_.empty(); }
+  const Aabb& bounds() const override { return bounds_; }
+  std::size_t node_count() const override { return nodes_.size(); }
+  int depth() const override { return depth_; }
+  std::size_t item_ref_count() const override { return item_ids_.size(); }
+  std::size_t lane_count() const override { return soa_.size(); }
+  std::size_t memory_bytes() const override;
+
+  bool intersect(const Ray& ray, double tmax, SceneHit& best) const override;
+  bool intersect_counted(const Ray& ray, double tmax, SceneHit& best,
+                         TraversalStats& stats) const override;
+  using AccelStructure::intersect;
+  using AccelStructure::build;  // the default-params helper
+
+  bool identical_to(const Bvh& other) const;
+  bool identical_to(const AccelStructure& other) const override;
+
+ private:
+  struct Node {
+    Aabb box;
+    // Interior: index of the far child (near child is the next node in DFS
+    // order). Leaf: -1; the CSR arrays hold its item range.
+    std::int32_t far_child = -1;
+  };
+
+  template <bool Count>
+  bool intersect_impl(const Ray& ray, double tmax, SceneHit& best,
+                      TraversalStats* stats) const;
+
+  std::vector<Node> nodes_;
+  // CSR leaf item lists, parallel to nodes_ (interior nodes have empty
+  // ranges): node i's items are item_ids_[item_offsets_[i] ..
+  // item_offsets_[i + 1]).
+  std::vector<std::uint32_t> item_offsets_;
+  std::vector<std::int32_t> item_ids_;
+  std::vector<std::uint32_t> lane_offsets_;
+  LeafSoA soa_;
+  Aabb bounds_;
+  int depth_ = 0;
+};
+
+}  // namespace photon

@@ -1,0 +1,61 @@
+// Out-of-line pieces of the shared leaf kernel: backend introspection and the
+// LeafSoA storage methods. The kernel body itself is header-inline
+// (geom/leaf_kernel_inl.hpp) and compiled into each traversal TU; this TU and
+// those TUs all carry the kernel flags (see PHOTON_KERNEL_TUS in CMakeLists).
+#include "geom/leaf_kernel_inl.hpp"
+
+namespace photon {
+
+int kernel_lane_width() { return simd::kLanes; }
+const char* kernel_backend() { return simd::kBackendName; }
+
+void LeafSoA::clear() {
+  nx.clear(); ny.clear(); nz.clear(); plane_d.clear();
+  sx.clear(); sy.clear(); sz.clear(); s_base.clear();
+  tx.clear(); ty.clear(); tz.clear(); t_base.clear();
+  id.clear();
+}
+
+void LeafSoA::resize(std::size_t lanes) {
+  nx.assign(lanes, 0.0); ny.assign(lanes, 0.0); nz.assign(lanes, 0.0);
+  plane_d.assign(lanes, 0.0);
+  sx.assign(lanes, 0.0); sy.assign(lanes, 0.0); sz.assign(lanes, 0.0);
+  s_base.assign(lanes, 0.0);
+  tx.assign(lanes, 0.0); ty.assign(lanes, 0.0); tz.assign(lanes, 0.0);
+  t_base.assign(lanes, 0.0);
+  id.assign(lanes, -1);
+}
+
+void LeafSoA::set_lane(std::size_t lane, const Patch::HitConstants& c, std::int32_t patch_id) {
+  nx[lane] = c.normal.x;
+  ny[lane] = c.normal.y;
+  nz[lane] = c.normal.z;
+  plane_d[lane] = c.plane_d;
+  sx[lane] = c.s_axis.x;
+  sy[lane] = c.s_axis.y;
+  sz[lane] = c.s_axis.z;
+  s_base[lane] = c.s_base;
+  tx[lane] = c.t_axis.x;
+  ty[lane] = c.t_axis.y;
+  tz[lane] = c.t_axis.z;
+  t_base[lane] = c.t_base;
+  id[lane] = patch_id;
+}
+
+std::size_t LeafSoA::memory_bytes() const {
+  return 12 * nx.capacity() * sizeof(double) + id.capacity() * sizeof(std::int32_t);
+}
+
+bool LeafSoA::operator==(const LeafSoA& other) const {
+  return nx == other.nx && ny == other.ny && nz == other.nz && plane_d == other.plane_d &&
+         sx == other.sx && sy == other.sy && sz == other.sz && s_base == other.s_base &&
+         tx == other.tx && ty == other.ty && tz == other.tz && t_base == other.t_base &&
+         id == other.id;
+}
+
+std::uint32_t padded_lanes(std::uint32_t items) {
+  const auto W = static_cast<std::uint32_t>(simd::kLanes);
+  return (items + W - 1) / W * W;
+}
+
+}  // namespace photon

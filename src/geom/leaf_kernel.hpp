@@ -1,0 +1,64 @@
+// The SoA leaf-intersection kernel shared by every acceleration structure.
+//
+// A structure's leaves store sequential copies of their referenced patches'
+// hit-test constants (Patch::hit_constants()) in structure-of-arrays blocks:
+// one contiguous double array per scalar, so the kernel loads a full vector
+// of each constant with a single unit-stride read. Blocks are padded to the
+// kernel lane width with sentinel lanes (all-zero constants: denom == 0
+// rejects them exactly like the scalar parallel-plane test; id == -1).
+//
+// leaf_closest() (header-inline in geom/leaf_kernel_inl.hpp, so traversal
+// loops absorb it with the per-ray splats hoisted) mirrors the scalar
+// reference loop (Patch::intersect streamed over the leaf in item order) bit
+// for bit on every kernel backend (AVX/SSE2/scalar, core/simd.hpp) — see the
+// contract notes on the definition. Only the TUs listed in PHOTON_KERNEL_TUS
+// touch the SIMD shim; the build compiles them with -ffp-contract=off (plus
+// -mavx2 when the host runs it): fusing a*b+c would change rounding and break
+// the bitwise equivalence with the scalar Patch::intersect reference.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/accel.hpp"
+#include "geom/patch.hpp"
+
+namespace photon {
+
+// Compile-time kernel selection: lane width in doubles (4 for AVX, 2 for
+// SSE2, 4 for the scalar fallback) and the backend name, for bench artifacts
+// and diagnostics.
+int kernel_lane_width();
+const char* kernel_backend();
+
+// Structure-of-arrays leaf storage. Lane k of a leaf's block holds one
+// referenced patch's precomputed hit-test constants; the duplication (one
+// copy per referencing leaf) buys unit-stride coherence.
+struct LeafSoA {
+  std::vector<double> nx, ny, nz, plane_d;
+  std::vector<double> sx, sy, sz, s_base;
+  std::vector<double> tx, ty, tz, t_base;
+  std::vector<std::int32_t> id;  // global patch id; -1 in padding lanes
+
+  void clear();
+  // Zero-filled (re)allocation: a fresh lane is a valid sentinel (zero
+  // normal -> denom == 0 -> rejected) until set_lane overwrites it.
+  void resize(std::size_t lanes);
+  // Scatters one patch's constants into lane `lane`.
+  void set_lane(std::size_t lane, const Patch::HitConstants& c, std::int32_t patch_id);
+
+  std::size_t size() const { return id.size(); }
+  std::size_t memory_bytes() const;
+  bool operator==(const LeafSoA& other) const;
+};
+
+// Rounds a leaf's item count up to a whole number of kernel lane blocks.
+std::uint32_t padded_lanes(std::uint32_t items);
+
+// The kernel itself — RayLanes (the per-traversal splat bundle) and
+// leaf_closest() — lives in geom/leaf_kernel_inl.hpp, which only the
+// PHOTON_KERNEL_TUS translation units may include. Headers may pass RayLanes
+// by reference through this forward declaration.
+struct RayLanes;
+
+}  // namespace photon

@@ -6,13 +6,10 @@
 #include <thread>
 #include <utility>
 
-#include "core/simd.hpp"
 #include "engine/pool.hpp"
+#include "geom/leaf_kernel_inl.hpp"
 
 namespace photon {
-
-int kernel_lane_width() { return simd::kLanes; }
-const char* kernel_backend() { return simd::kBackendName; }
 
 namespace {
 
@@ -158,25 +155,6 @@ void build_temp_root(std::span<const Patch> patches, std::vector<TempNode>& temp
 
 }  // namespace
 
-void Octree::LeafSoA::clear() {
-  nx.clear(); ny.clear(); nz.clear(); plane_d.clear();
-  sx.clear(); sy.clear(); sz.clear(); s_base.clear();
-  tx.clear(); ty.clear(); tz.clear(); t_base.clear();
-  id.clear();
-}
-
-void Octree::LeafSoA::resize(std::size_t lanes) {
-  // Zero-filled growth: a freshly resized lane is a valid sentinel (zero
-  // normal -> denom == 0 -> rejected) until the fill loop overwrites it.
-  nx.assign(lanes, 0.0); ny.assign(lanes, 0.0); nz.assign(lanes, 0.0);
-  plane_d.assign(lanes, 0.0);
-  sx.assign(lanes, 0.0); sy.assign(lanes, 0.0); sz.assign(lanes, 0.0);
-  s_base.assign(lanes, 0.0);
-  tx.assign(lanes, 0.0); ty.assign(lanes, 0.0); tz.assign(lanes, 0.0);
-  t_base.assign(lanes, 0.0);
-  id.assign(lanes, -1);
-}
-
 void Octree::build(std::span<const Patch> patches, const BuildParams& params) {
   nodes_.clear();
   item_offsets_.clear();
@@ -239,15 +217,13 @@ void Octree::build(std::span<const Patch> patches, const BuildParams& params) {
   item_offsets_.push_back(static_cast<std::uint32_t>(item_ids_.size()));
 
   // SoA leaf blocks: per node, the CSR item list padded up to the kernel lane
-  // width. Only the real-item lanes are overwritten; the padding keeps the
-  // sentinel constants resize() installed.
-  constexpr std::uint32_t W = static_cast<std::uint32_t>(simd::kLanes);
+  // width (geom/leaf_kernel.hpp). Only the real-item lanes are overwritten;
+  // the padding keeps the sentinel constants resize() installed.
   lane_offsets_.reserve(nodes_.size() + 1);
   std::uint32_t lanes = 0;
   for (std::size_t flat = 0; flat < nodes_.size(); ++flat) {
     lane_offsets_.push_back(lanes);
-    const std::uint32_t count = item_offsets_[flat + 1] - item_offsets_[flat];
-    lanes += (count + W - 1) / W * W;
+    lanes += padded_lanes(item_offsets_[flat + 1] - item_offsets_[flat]);
   }
   lane_offsets_.push_back(lanes);
   soa_.resize(lanes);
@@ -255,118 +231,10 @@ void Octree::build(std::span<const Patch> patches, const BuildParams& params) {
     std::uint32_t lane = lane_offsets_[flat];
     for (std::uint32_t i = item_offsets_[flat]; i < item_offsets_[flat + 1]; ++i, ++lane) {
       const std::int32_t pid = item_ids_[i];
-      const Patch::HitConstants c = patches[static_cast<std::size_t>(pid)].hit_constants();
-      soa_.nx[lane] = c.normal.x;
-      soa_.ny[lane] = c.normal.y;
-      soa_.nz[lane] = c.normal.z;
-      soa_.plane_d[lane] = c.plane_d;
-      soa_.sx[lane] = c.s_axis.x;
-      soa_.sy[lane] = c.s_axis.y;
-      soa_.sz[lane] = c.s_axis.z;
-      soa_.s_base[lane] = c.s_base;
-      soa_.tx[lane] = c.t_axis.x;
-      soa_.ty[lane] = c.t_axis.y;
-      soa_.tz[lane] = c.t_axis.z;
-      soa_.t_base[lane] = c.t_base;
-      soa_.id[lane] = pid;
+      soa_.set_lane(lane, patches[static_cast<std::size_t>(pid)].hit_constants(), pid);
     }
   }
 }
-
-namespace {
-
-// Per-ray constants splatted once per traversal.
-struct RayLanes {
-  simd::Vd ox, oy, oz;  // origin
-  simd::Vd dx, dy, dz;  // direction
-  simd::Vd eps, zero, one;
-};
-
-// Closest accepted hit in the lane block [begin, end) against the running
-// best, written back into `best`. Semantics mirror the scalar reference loop
-// (Patch::intersect streamed over the leaf in item order) bit for bit:
-//
-//  - each lane runs the identical IEEE double arithmetic in the identical
-//    association order (no FMA: the shim has none and the TU is compiled with
-//    -ffp-contract=off), so an accepted lane's dist/s/t equal the scalar's;
-//  - acceptance is the same predicate chain (denom != 0, dist in
-//    (kRayEpsilon, best), s and t in [0, 1]) — padding sentinels fail the
-//    denom test exactly like a parallel patch, and the 0/0 -> NaN lanes the
-//    sentinel division produces fail every ordered compare;
-//  - the scalar loop's "last strict improvement wins" update means the final
-//    winner is the minimum distance, ties resolved to the earliest item in
-//    leaf order. The per-lane running minimum uses the same strict compare
-//    (earliest block wins a tie within a lane) and the horizontal tail picks
-//    the lowest distance, then the lowest lane index on equality — the same
-//    winner the sequential scan selects.
-inline void leaf_closest(const Octree::LeafSoA& soa, const Ray& ray, const RayLanes& rl,
-                         std::uint32_t begin, std::uint32_t end, SceneHit& best) {
-  simd::Vd vbest = simd::splat(best.dist);
-  simd::Vd vwin = simd::splat(-1.0);
-  double iota[simd::kLanes];
-  for (int l = 0; l < simd::kLanes; ++l) iota[l] = static_cast<double>(l);
-  simd::Vd vlane = simd::load(iota) + simd::splat(static_cast<double>(begin));
-  const simd::Vd vstep = simd::splat(static_cast<double>(simd::kLanes));
-
-  for (std::uint32_t k = begin; k < end; k += static_cast<std::uint32_t>(simd::kLanes)) {
-    const simd::Vd nx = simd::load(&soa.nx[k]);
-    const simd::Vd ny = simd::load(&soa.ny[k]);
-    const simd::Vd nz = simd::load(&soa.nz[k]);
-    const simd::Vd denom = rl.dx * nx + rl.dy * ny + rl.dz * nz;
-    const simd::Vd dist =
-        (simd::load(&soa.plane_d[k]) - (rl.ox * nx + rl.oy * ny + rl.oz * nz)) / denom;
-    const simd::Vd px = rl.ox + rl.dx * dist;
-    const simd::Vd py = rl.oy + rl.dy * dist;
-    const simd::Vd pz = rl.oz + rl.dz * dist;
-    const simd::Vd s =
-        px * simd::load(&soa.sx[k]) + py * simd::load(&soa.sy[k]) +
-        pz * simd::load(&soa.sz[k]) + simd::load(&soa.s_base[k]);
-    const simd::Vd t =
-        px * simd::load(&soa.tx[k]) + py * simd::load(&soa.ty[k]) +
-        pz * simd::load(&soa.tz[k]) + simd::load(&soa.t_base[k]);
-    const simd::Mask m = simd::neq(denom, rl.zero) & simd::gt(dist, rl.eps) &
-                         simd::lt(dist, vbest) & simd::ge(s, rl.zero) & simd::le(s, rl.one) &
-                         simd::ge(t, rl.zero) & simd::le(t, rl.one);
-    vbest = simd::select(m, dist, vbest);
-    vwin = simd::select(m, vlane, vwin);
-    vlane = vlane + vstep;
-  }
-
-  double lane_dist[simd::kLanes];
-  double lane_win[simd::kLanes];
-  simd::store(lane_dist, vbest);
-  simd::store(lane_win, vwin);
-  std::int64_t win = -1;
-  double win_dist = best.dist;
-  for (int l = 0; l < simd::kLanes; ++l) {
-    if (lane_win[l] < 0.0) continue;  // lane never accepted a candidate
-    const auto idx = static_cast<std::int64_t>(lane_win[l]);
-    if (lane_dist[l] < win_dist || (lane_dist[l] == win_dist && win >= 0 && idx < win)) {
-      win_dist = lane_dist[l];
-      win = idx;
-    }
-  }
-  if (win < 0) return;
-
-  // Re-derive the winner's hit scalars with the identical arithmetic — bitwise
-  // equal to what its lane computed, and to Patch::intersect on the original.
-  const auto w = static_cast<std::size_t>(win);
-  const double denom = ray.dir.x * soa.nx[w] + ray.dir.y * soa.ny[w] + ray.dir.z * soa.nz[w];
-  const double dist =
-      (soa.plane_d[w] - (ray.origin.x * soa.nx[w] + ray.origin.y * soa.ny[w] +
-                         ray.origin.z * soa.nz[w])) /
-      denom;
-  const double px = ray.origin.x + ray.dir.x * dist;
-  const double py = ray.origin.y + ray.dir.y * dist;
-  const double pz = ray.origin.z + ray.dir.z * dist;
-  best.patch = soa.id[w];
-  best.dist = dist;
-  best.s = px * soa.sx[w] + py * soa.sy[w] + pz * soa.sz[w] + soa.s_base[w];
-  best.t = px * soa.tx[w] + py * soa.ty[w] + pz * soa.tz[w] + soa.t_base[w];
-  best.front = denom < 0.0;
-}
-
-}  // namespace
 
 template <bool Count>
 bool Octree::intersect_impl(const Ray& ray, double tmax, SceneHit& best,
@@ -383,16 +251,7 @@ bool Octree::intersect_impl(const Ray& ray, double tmax, SceneHit& best,
   const unsigned dir_mask = (ray.dir.x < 0.0 ? 1u : 0u) | (ray.dir.y < 0.0 ? 2u : 0u) |
                             (ray.dir.z < 0.0 ? 4u : 0u);
 
-  RayLanes rl;
-  rl.ox = simd::splat(ray.origin.x);
-  rl.oy = simd::splat(ray.origin.y);
-  rl.oz = simd::splat(ray.origin.z);
-  rl.dx = simd::splat(ray.dir.x);
-  rl.dy = simd::splat(ray.dir.y);
-  rl.dz = simd::splat(ray.dir.z);
-  rl.eps = simd::splat(kRayEpsilon);
-  rl.zero = simd::splat(0.0);
-  rl.one = simd::splat(1.0);
+  const RayLanes rl(ray);
 
   struct Entry {
     std::int32_t node;
@@ -447,6 +306,13 @@ bool Octree::intersect_counted(const Ray& ray, double tmax, SceneHit& best,
   return intersect_impl<true>(ray, tmax, best, &stats);
 }
 
+std::size_t Octree::memory_bytes() const {
+  return nodes_.capacity() * sizeof(Node) +
+         item_offsets_.capacity() * sizeof(std::uint32_t) +
+         item_ids_.capacity() * sizeof(std::int32_t) +
+         lane_offsets_.capacity() * sizeof(std::uint32_t) + soa_.memory_bytes();
+}
+
 bool Octree::identical_to(const Octree& other) const {
   if (nodes_.size() != other.nodes_.size() || depth_ != other.depth_) return false;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
@@ -458,13 +324,12 @@ bool Octree::identical_to(const Octree& other) const {
     }
   }
   return item_offsets_ == other.item_offsets_ && item_ids_ == other.item_ids_ &&
-         lane_offsets_ == other.lane_offsets_ && soa_.nx == other.soa_.nx &&
-         soa_.ny == other.soa_.ny && soa_.nz == other.soa_.nz &&
-         soa_.plane_d == other.soa_.plane_d && soa_.sx == other.soa_.sx &&
-         soa_.sy == other.soa_.sy && soa_.sz == other.soa_.sz &&
-         soa_.s_base == other.soa_.s_base && soa_.tx == other.soa_.tx &&
-         soa_.ty == other.soa_.ty && soa_.tz == other.soa_.tz &&
-         soa_.t_base == other.soa_.t_base && soa_.id == other.soa_.id;
+         lane_offsets_ == other.lane_offsets_ && soa_ == other.soa_;
+}
+
+bool Octree::identical_to(const AccelStructure& other) const {
+  const auto* o = dynamic_cast<const Octree*>(&other);
+  return o != nullptr && identical_to(*o);
 }
 
 }  // namespace photon

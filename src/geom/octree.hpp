@@ -4,26 +4,23 @@
 // through. When an intersection is detected, it is the closest intersection
 // and further testing is not needed."
 //
-// The index is stored pointer-free for the hot path: nodes live in one flat
-// array with their non-empty children packed consecutively (an octant bitmask
-// plus a popcount locates a child), and leaf item lists are a CSR pair
-// (`item_offsets`/`item_ids`) instead of a heap vector per node. Traversal is
-// iterative with an explicit stack and visits children front-to-back in XOR
-// octant order derived from the ray's direction signs — no per-node sort.
-// Because children are axis-aligned octants of their parent, that order is a
-// correct front-to-back sequence, so the first accepted hit that precedes
-// every remaining node entry is the closest. The brute-force reference scan
-// (Scene::intersect_brute) stays as the equivalence-test seam.
+// One of the three structures behind the AccelStructure seam (geom/accel.hpp;
+// the brute-force scan Scene::intersect_brute stays the equivalence-test
+// reference for all of them). The index is stored pointer-free for the hot
+// path: nodes live in one flat array with their non-empty children packed
+// consecutively (an octant bitmask plus a popcount locates a child), and leaf
+// item lists are a CSR pair (`item_offsets`/`item_ids`) instead of a heap
+// vector per node. Traversal is iterative with an explicit stack and visits
+// children front-to-back in XOR octant order derived from the ray's direction
+// signs — no per-node sort. Because children are axis-aligned octants of
+// their parent, that order is a correct front-to-back sequence, so the first
+// accepted hit that precedes every remaining node entry is the closest.
 //
-// Leaf hit tests are data-parallel: each leaf's patch hit-test constants live
-// in structure-of-arrays blocks (one contiguous double array per constant,
-// see LeafSoA) padded to the SIMD lane width with never-hit sentinels, and
-// the kernel tests kernel_lane_width() patches per step with a branchless
-// min-reduction (core/simd.hpp; AVX/SSE2/scalar selected at configure time).
-// Every backend performs identical IEEE double operations per lane, so the
-// accepted hit is bitwise-equal to the scalar Patch::intersect reference on
-// all of them. Queries answer entirely from this packed snapshot — they do
-// not read the Patch array the index was built from.
+// Leaf hit tests run on the shared SoA kernel (geom/leaf_kernel.hpp): each
+// leaf's patch constants live in lane-padded structure-of-arrays blocks and
+// the accepted hit is bitwise-equal to the scalar Patch::intersect reference.
+// Queries answer entirely from this packed snapshot — they do not read the
+// Patch array the index was built from.
 //
 // build() decomposes per top-level octant across threads
 // (BuildParams::workers); subtree arenas are stitched in octant order, so the
@@ -35,33 +32,20 @@
 #include <span>
 #include <vector>
 
+#include "geom/accel.hpp"
+#include "geom/leaf_kernel.hpp"
 #include "geom/patch.hpp"
 
 namespace photon {
 
-struct SceneHit {
-  int patch = -1;
-  double dist = kNoHit;
-  double s = 0.0;
-  double t = 0.0;
-  bool front = true;
-};
-
-// Compile-time kernel selection of the leaf-intersection TU: lane width in
-// doubles (4 for AVX, 2 for SSE2, 4 for the scalar fallback) and the backend
-// name, for bench artifacts and diagnostics.
-int kernel_lane_width();
-const char* kernel_backend();
-
-class Octree {
+class Octree final : public AccelStructure {
  public:
-  // Defaults tuned against the bundled scenes (bench_octree_params sweeps
-  // them): with the SoA lane-parallel leaf tests, patch tests are cheap and
-  // node visits (random box reads + stack traffic) are the expensive unit, so
-  // moderately fat leaves beat the classic small-leaf shape by ~2x.
-  // Re-checked after the pool-backed parallel build (BENCH_octree_params.json):
-  // leaf capacities 8-32 form one plateau within measurement noise, so the
-  // defaults stand.
+  // Defaults tuned against the bundled scenes (bench_accel races them): with
+  // the SoA lane-parallel leaf tests, patch tests are cheap and node visits
+  // (random box reads + stack traffic) are the expensive unit, so moderately
+  // fat leaves beat the classic small-leaf shape by ~2x. Re-checked after the
+  // pool-backed parallel build: leaf capacities 8-32 form one plateau within
+  // measurement noise, so the defaults stand (BENCH_accel.json).
   struct BuildParams {
     int max_depth = 12;
     int max_leaf_items = 12;
@@ -79,59 +63,34 @@ class Octree {
 
   void build(std::span<const Patch> patches, const BuildParams& params);
   void build(std::span<const Patch> patches) { build(patches, BuildParams{}); }
+  // The seam entry point: maps the shared knob bundle onto BuildParams.
+  void build(std::span<const Patch> patches, const AccelBuildParams& params) override {
+    BuildParams p;
+    p.max_depth = params.max_depth;
+    p.max_leaf_items = params.max_leaf_items;
+    p.workers = params.workers;
+    build(patches, p);
+  }
 
-  bool built() const { return !nodes_.empty(); }
-  const Aabb& bounds() const { return bounds_; }
-  std::size_t node_count() const { return nodes_.size(); }
-  int depth() const { return depth_; }
+  AccelKind kind() const override { return AccelKind::kOctree; }
+  bool built() const override { return !nodes_.empty(); }
+  const Aabb& bounds() const override { return bounds_; }
+  std::size_t node_count() const override { return nodes_.size(); }
+  int depth() const override { return depth_; }
   // Total patch references across all leaves (a patch overlapping several
   // octants is referenced once per leaf).
-  std::size_t item_ref_count() const { return item_ids_.size(); }
+  std::size_t item_ref_count() const override { return item_ids_.size(); }
   // Total SoA lanes including the per-leaf padding to the kernel lane width.
-  std::size_t lane_count() const { return soa_.id.size(); }
+  std::size_t lane_count() const override { return soa_.size(); }
+  std::size_t memory_bytes() const override;
 
   // Closest hit over all indexed patches written to `best`; returns false and
   // leaves `best` cleared (patch < 0, dist = tmax) when nothing is hit before
-  // tmax. This is the allocation-free fast path the tracer uses. Queries
-  // answer from the packed SoA snapshot taken at build() time.
-  bool intersect(const Ray& ray, double tmax, SceneHit& best) const;
-
-  // Deterministic traversal-work counters. Wall clocks are noisy; nodes
-  // visited and patch tests per ray are not, so the bench/test layers use the
-  // counted variant to pin traversal quality. patch_tests counts real patch
-  // references, not padded lanes — the numbers are identical across kernel
-  // backends and lane widths.
-  struct TraversalStats {
-    std::uint64_t nodes_visited = 0;
-    std::uint64_t patch_tests = 0;
-  };
+  // tmax. This is the allocation-free fast path the tracer uses.
+  bool intersect(const Ray& ray, double tmax, SceneHit& best) const override;
   bool intersect_counted(const Ray& ray, double tmax, SceneHit& best,
-                         TraversalStats& stats) const;
-
-  // Convenience wrapper over the fast path.
-  std::optional<SceneHit> intersect(const Ray& ray, double tmax = kNoHit) const {
-    SceneHit best;
-    if (!intersect(ray, tmax, best)) return std::nullopt;
-    return best;
-  }
-
-  // Structure-of-arrays leaf storage: lane k of a leaf's block holds a
-  // sequential copy of one referenced patch's precomputed hit-test constants
-  // (Patch::hit_constants()), one contiguous array per scalar so the kernel
-  // loads a full vector of each with a single unit-stride read. Blocks are
-  // padded to the kernel lane width with sentinel lanes (all-zero constants:
-  // denom == 0 rejects them exactly like the scalar parallel-plane test;
-  // id == -1). The duplication (one copy per referencing leaf) buys
-  // coherence, same trade the previous AoS packed array made.
-  struct LeafSoA {
-    std::vector<double> nx, ny, nz, plane_d;
-    std::vector<double> sx, sy, sz, s_base;
-    std::vector<double> tx, ty, tz, t_base;
-    std::vector<std::int32_t> id;  // global patch id; -1 in padding lanes
-
-    void clear();
-    void resize(std::size_t lanes);
-  };
+                         TraversalStats& stats) const override;
+  using AccelStructure::intersect;  // the optional-returning wrapper
 
   // CSR views, exposed for the build-determinism tests and analysis tools.
   std::span<const std::uint32_t> item_offsets() const { return item_offsets_; }
@@ -140,6 +99,7 @@ class Octree {
   // True when every flattened array (nodes, CSR item lists, lane offsets and
   // SoA constants) is bitwise-equal — the parallel-build determinism pin.
   bool identical_to(const Octree& other) const;
+  bool identical_to(const AccelStructure& other) const override;
 
  private:
   struct Node {

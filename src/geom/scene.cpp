@@ -2,6 +2,14 @@
 
 namespace photon {
 
+Scene::Scene() : accel_(make_accel(AccelKind::kOctree)) {}
+
+void Scene::set_accel(AccelKind kind) {
+  if (kind == accel_kind_ && accel_ != nullptr) return;
+  accel_kind_ = kind;
+  accel_ = make_accel(kind);
+}
+
 void Scene::add_luminaire(int patch, const Rgb& power, double angular_scale) {
   Luminaire lum;
   lum.patch = patch;
@@ -15,7 +23,7 @@ void Scene::add_luminaire(int patch, const Rgb& power, double angular_scale) {
   luminaires_.push_back(lum);
 }
 
-void Scene::build(const Octree::BuildParams& params) { octree_.build(patches_, params); }
+void Scene::build(const AccelBuildParams& params) { accel_->build(patches_, params); }
 
 std::optional<SceneHit> Scene::intersect_brute(const Ray& ray, double tmax) const {
   SceneHit best;

@@ -1,16 +1,23 @@
-// Scene: patches + materials + luminaires + the octree index.
+// Scene: patches + materials + luminaires + a pluggable acceleration
+// structure (geom/accel.hpp).
 //
 // Geometry is immutable once build() is called (the paper replicates exactly
-// this structure on every rank; only the bin forest is distributed).
+// this structure on every rank; only the bin forest is distributed). The
+// spatial index is held behind the AccelStructure seam — octree by default,
+// switchable to the BVH or nested grid with set_accel() — so this header does
+// not depend on any structure-specific header, and every structure answers
+// queries bitwise-identically (the equivalence suite pins them against
+// intersect_brute).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
-#include "geom/octree.hpp"
+#include "geom/accel.hpp"
 #include "geom/patch.hpp"
 #include "material/material.hpp"
 
@@ -28,6 +35,8 @@ struct Luminaire {
 
 class Scene {
  public:
+  Scene();
+
   int add_material(const Material& m) {
     materials_.push_back(m);
     return static_cast<int>(materials_.size()) - 1;
@@ -62,22 +71,28 @@ class Scene {
 
   std::size_t patch_count() const { return patches_.size(); }
 
-  // Builds the octree. Must be called before intersect().
-  void build(const Octree::BuildParams& params = {});
-  bool built() const { return octree_.built(); }
-  const Octree& octree() const { return octree_; }
+  // Selects the acceleration structure for subsequent build() calls.
+  // Switching kinds discards any built index; call build() again.
+  void set_accel(AccelKind kind);
+  AccelKind accel_kind() const { return accel_kind_; }
+
+  // Builds the selected acceleration structure. Must be called before
+  // intersect().
+  void build(const AccelBuildParams& params = {});
+  bool built() const { return accel_->built(); }
+  const AccelStructure& accel() const { return *accel_; }
 
   std::optional<SceneHit> intersect(const Ray& ray, double tmax = kNoHit) const {
-    return octree_.intersect(ray, tmax);
+    return accel_->intersect(ray, tmax);
   }
 
   // Allocation-free fast path: closest hit written to `best`, false on a
   // miss. The tracer's inner loop uses this instead of the optional wrapper.
   bool intersect(const Ray& ray, double tmax, SceneHit& best) const {
-    return octree_.intersect(ray, tmax, best);
+    return accel_->intersect(ray, tmax, best);
   }
 
-  // Reference linear scan, for octree equivalence tests.
+  // Reference linear scan, for acceleration-structure equivalence tests.
   std::optional<SceneHit> intersect_brute(const Ray& ray, double tmax = kNoHit) const;
 
   // Total emitted flux per channel over all luminaires.
@@ -90,7 +105,9 @@ class Scene {
   std::vector<Patch> patches_;
   std::vector<Material> materials_;
   std::vector<Luminaire> luminaires_;
-  Octree octree_;
+  // Never null: constructed with an empty octree, replaced by set_accel().
+  std::unique_ptr<AccelStructure> accel_;
+  AccelKind accel_kind_ = AccelKind::kOctree;
 };
 
 }  // namespace photon

@@ -125,7 +125,7 @@ namespace {
 // immediately, foreign ones serialize into the outgoing wire bytes).
 // `epsilon` is the tracer's scene-scaled surface nudge: paths must match the
 // full-octree reference bit for bit.
-SegmentEnd trace_segment(const Scene& scene, const Octree& local_tree,
+SegmentEnd trace_segment(const Scene& scene, const AccelStructure& local_tree,
                          const std::vector<std::int32_t>& local_to_global, const Aabb& region,
                          const Aabb& root, const TraceLimits& limits, double epsilon,
                          PhotonFlight& flight, BinSink& sink, TraceCounters& counters) {
@@ -228,8 +228,10 @@ RunResult run_spatial(const Scene& scene, const RunConfig& config, const RunResu
         local_to_global.push_back(static_cast<std::int32_t>(i));
       }
     }
-    Octree local_tree;
-    local_tree.build(local_patches);
+    // The local index honors the run's structure choice (config.accel); every
+    // structure is bitwise-equivalent, so region handoffs stay exact.
+    const std::unique_ptr<AccelStructure> local_tree = make_accel(config.accel);
+    local_tree->build(local_patches);
 
     // Tree ownership by patch centroid region.
     std::vector<int> tree_owner(scene.patch_count());
@@ -248,7 +250,7 @@ RunResult run_spatial(const Scene& scene, const RunConfig& config, const RunResu
 
     RankReport report;
     report.local_patches = local_patches.size();
-    report.octree_nodes = local_tree.node_count();
+    report.octree_nodes = local_tree->node_count();
 
     TraceCounters counters;
     ChannelCounts emitted{};
@@ -277,7 +279,7 @@ RunResult run_spatial(const Scene& scene, const RunConfig& config, const RunResu
       auto run_flight = [&](PhotonFlight flight) {
         ++report.segments_traced;
         const SegmentEnd end =
-            trace_segment(scene, local_tree, local_to_global, my_region, root,
+            trace_segment(scene, *local_tree, local_to_global, my_region, root,
                           config.limits, epsilon, flight, sink, counters);
         if (end == SegmentEnd::kExitedRegion) {
           const int dest = region_of(result.regions, flight.pos);

@@ -15,6 +15,15 @@
 //                  answer is independent of their decomposition
 //                  (dist-spatial@1, hybrid at EVERY groups×threads shape)
 //
+// The suite is additionally parameterized over the acceleration structure
+// behind the AccelStructure seam: every backend runs the matrix on
+// octree-built scenes, and serial, shared and dist-spatial repeat it with
+// the BVH and the nested grid (dist-spatial also rebuilds its per-region
+// local indexes with the chosen structure via RunConfig::accel). The bitwise
+// reference is ALWAYS computed on the octree scenes, so those cells pin the
+// structures' closest-hit equivalence through an entire simulation, not just
+// per-ray.
+//
 // CI runs this suite under the `conformance` ctest label on both the SIMD
 // and the scalar-fallback build.
 #include <gtest/gtest.h>
@@ -93,7 +102,7 @@ struct NamedScene {
 };
 
 // Scenes are built once per process; the suite runs dozens of simulations
-// against them.
+// against them. These are the octree-built instances the references use.
 const std::vector<NamedScene>& bundled_scenes() {
   static const Scene cornell = scenes::cornell_box();
   static const Scene harpsichord = scenes::harpsichord_room();
@@ -103,13 +112,29 @@ const std::vector<NamedScene>& bundled_scenes() {
   return all;
 }
 
-RunConfig config_for(const Shape& shape, std::uint64_t photons) {
+// The same scene rebuilt behind a different acceleration structure, cached
+// per (scene, structure) cell.
+const Scene& scene_for(const NamedScene& cell, AccelKind kind) {
+  if (kind == AccelKind::kOctree) return *cell.scene;
+  static std::map<std::pair<std::string, int>, Scene> cache;
+  const std::pair<std::string, int> key{cell.name, static_cast<int>(kind)};
+  const auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  Scene scene = scenes::by_name(cell.name);
+  scene.set_accel(kind);
+  scene.build();
+  return cache.emplace(key, std::move(scene)).first->second;
+}
+
+RunConfig config_for(const Shape& shape, std::uint64_t photons,
+                     AccelKind accel = AccelKind::kOctree) {
   RunConfig cfg;
   cfg.photons = photons;
   cfg.batch = 500;
   cfg.adapt_batch = false;
   cfg.groups = shape.groups;
   cfg.workers = shape.workers;
+  cfg.accel = accel;
   return cfg;
 }
 
@@ -133,18 +158,23 @@ const RunResult& reference_run(Reference kind, const NamedScene& cell) {
   return cache.emplace(key, run_serial(*cell.scene, cfg)).first->second;
 }
 
-class ConformanceTest : public ::testing::TestWithParam<std::string> {};
+// (backend, acceleration structure) cell. Every backend runs with the
+// octree; a subset repeats the matrix behind the BVH and the grid.
+using ConformanceParam = std::pair<std::string, AccelKind>;
+
+class ConformanceTest : public ::testing::TestWithParam<ConformanceParam> {};
 
 TEST_P(ConformanceTest, RepeatRunsAreBitwiseIdentical) {
-  const std::string backend = GetParam();
+  const auto& [backend, accel] = GetParam();
   const BackendContract contract = contract_for(backend);
   const NamedScene& cell = bundled_scenes()[0];  // cornell
+  const Scene& scene = scene_for(cell, accel);
   for (const Shape& shape : contract.shapes) {
     const bool one_worker = shape.groups == 1 && shape.workers == 1;
     if (!contract.repeat_bitwise_at_every_shape && !one_worker) continue;
-    const RunConfig cfg = config_for(shape, cell.photons);
-    const RunResult a = run_named(backend, *cell.scene, cfg);
-    const RunResult b = run_named(backend, *cell.scene, cfg);
+    const RunConfig cfg = config_for(shape, cell.photons, accel);
+    const RunResult a = run_named(backend, scene, cfg);
+    const RunResult b = run_named(backend, scene, cfg);
     EXPECT_TRUE(a.forest == b.forest)
         << backend << " @ " << shape.groups << "x" << shape.workers;
     EXPECT_EQ(a.counters.bounces, b.counters.bounces);
@@ -152,12 +182,13 @@ TEST_P(ConformanceTest, RepeatRunsAreBitwiseIdentical) {
 }
 
 TEST_P(ConformanceTest, ConservesEmissionsAndRecords) {
-  const std::string backend = GetParam();
+  const auto& [backend, accel] = GetParam();
   const BackendContract contract = contract_for(backend);
   const NamedScene& cell = bundled_scenes()[0];
+  const Scene& scene = scene_for(cell, accel);
   for (const Shape& shape : contract.shapes) {
-    const RunConfig cfg = config_for(shape, cell.photons);
-    const RunResult r = run_named(backend, *cell.scene, cfg);
+    const RunConfig cfg = config_for(shape, cell.photons, accel);
+    const RunResult r = run_named(backend, scene, cfg);
     // Every photon in the budget is emitted exactly once...
     EXPECT_GE(r.counters.emitted, cfg.photons)
         << backend << " @ " << shape.groups << "x" << shape.workers;
@@ -170,19 +201,23 @@ TEST_P(ConformanceTest, ConservesEmissionsAndRecords) {
 }
 
 TEST_P(ConformanceTest, BitwiseEqualToTheSerialReference) {
-  const std::string backend = GetParam();
+  const auto& [backend, accel] = GetParam();
   const BackendContract contract = contract_for(backend);
   if (contract.reference == Reference::kNone) {
     GTEST_SKIP() << backend << " contracts no bitwise reference shape";
   }
   for (const NamedScene& cell : bundled_scenes()) {
+    // The reference is always the octree-built serial run: a non-octree cell
+    // passing this pin means the structure's closest hits are bitwise-equal
+    // through the whole simulation.
     const RunResult& reference = reference_run(contract.reference, cell);
+    const Scene& scene = scene_for(cell, accel);
     for (const Shape& shape : contract.shapes) {
       if (!contract.reference_at_every_shape && (shape.groups != 1 || shape.workers != 1)) {
         continue;
       }
-      const RunConfig cfg = config_for(shape, cell.photons);
-      const RunResult r = run_named(backend, *cell.scene, cfg);
+      const RunConfig cfg = config_for(shape, cell.photons, accel);
+      const RunResult r = run_named(backend, scene, cfg);
       EXPECT_TRUE(r.forest == reference.forest)
           << backend << " @ " << shape.groups << "x" << shape.workers << " on " << cell.name;
       EXPECT_EQ(r.counters.bounces, reference.counters.bounces)
@@ -192,7 +227,7 @@ TEST_P(ConformanceTest, BitwiseEqualToTheSerialReference) {
 }
 
 TEST_P(ConformanceTest, ResumeContinuesAcrossALegBoundary) {
-  const std::string backend = GetParam();
+  const auto& [backend, accel] = GetParam();
   const BackendContract contract = contract_for(backend);
   const auto instance = make_backend(backend);
   ASSERT_NE(instance, nullptr);
@@ -200,31 +235,48 @@ TEST_P(ConformanceTest, ResumeContinuesAcrossALegBoundary) {
     GTEST_SKIP() << backend << " does not support resume";
   }
   const NamedScene& cell = bundled_scenes()[0];
+  const Scene& scene = scene_for(cell, accel);
   const Shape shape = contract.shapes.back();  // the widest shape
 
   // Leg 1 ends on a batch boundary at every shape the matrix uses, so the
   // backends that contract a bitwise continuation can deliver one.
-  RunConfig leg1 = config_for(shape, 2000);
-  RunConfig leg2 = config_for(shape, 1000);
-  RunConfig straight = config_for(shape, 3000);
-  const RunResult first = run_named(backend, *cell.scene, leg1);
-  const RunResult resumed = run_named(backend, *cell.scene, leg2, &first);
+  RunConfig leg1 = config_for(shape, 2000, accel);
+  RunConfig leg2 = config_for(shape, 1000, accel);
+  RunConfig straight = config_for(shape, 3000, accel);
+  const RunResult first = run_named(backend, scene, leg1);
+  const RunResult resumed = run_named(backend, scene, leg2, &first);
   EXPECT_EQ(resumed.forest.emitted_total(), straight.photons);
   EXPECT_EQ(resumed.counters.emitted, straight.photons);
   if (contract.resume_bitwise) {
-    const RunResult uninterrupted = run_named(backend, *cell.scene, straight);
+    const RunResult uninterrupted = run_named(backend, scene, straight);
     EXPECT_TRUE(resumed.forest == uninterrupted.forest)
         << backend << " @ " << shape.groups << "x" << shape.workers;
     EXPECT_EQ(resumed.counters.bounces, uninterrupted.counters.bounces);
   }
 }
 
+// Every backend × octree, plus a cross-structure band: one backend per RNG
+// scheme (serial = continuous stream, shared = pool-scheduled photon
+// streams, dist-spatial = per-region local indexes rebuilt from
+// RunConfig::accel) × {bvh, grid}.
+std::vector<ConformanceParam> conformance_cells() {
+  std::vector<ConformanceParam> cells;
+  for (const std::string& backend : backend_names()) {
+    cells.emplace_back(backend, AccelKind::kOctree);
+  }
+  for (const char* backend : {"serial", "shared", "dist-spatial"}) {
+    cells.emplace_back(backend, AccelKind::kBvh);
+    cells.emplace_back(backend, AccelKind::kGrid);
+  }
+  return cells;
+}
+
 INSTANTIATE_TEST_SUITE_P(AllBackends, ConformanceTest,
-                         ::testing::ValuesIn(backend_names()),
-                         [](const ::testing::TestParamInfo<std::string>& info) {
-                           std::string name = info.param;
+                         ::testing::ValuesIn(conformance_cells()),
+                         [](const ::testing::TestParamInfo<ConformanceParam>& info) {
+                           std::string name = info.param.first;
                            std::replace(name.begin(), name.end(), '-', '_');
-                           return name;
+                           return name + "_" + accel_kind_name(info.param.second);
                          });
 
 TEST(ConformanceOversubscribed, HybridBeyondHardwareThreadsStaysBitwise) {

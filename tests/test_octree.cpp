@@ -220,7 +220,7 @@ TEST(Octree, CountedTraversalPrunesMostPatchTests) {
   Lcg48 rng(31);
   const Aabb b = scene.bounds();
   const Vec3 e = b.extent();
-  Octree::TraversalStats stats;
+  TraversalStats stats;
   const int rays = 400;
   for (int i = 0; i < rays; ++i) {
     const Vec3 origin = b.lo + Vec3{rng.uniform() * e.x, rng.uniform() * e.y, rng.uniform() * e.z};
@@ -228,7 +228,7 @@ TEST(Octree, CountedTraversalPrunesMostPatchTests) {
     if (dir.length_squared() < 1e-9) continue;
     const Ray ray(origin, dir.normalized());
     SceneHit counted;
-    const bool hit = scene.octree().intersect_counted(ray, kNoHit, counted, stats);
+    const bool hit = scene.accel().intersect_counted(ray, kNoHit, counted, stats);
     const auto fast = scene.intersect(ray);
     ASSERT_EQ(hit, fast.has_value()) << "ray " << i;
     if (hit) {
@@ -311,7 +311,8 @@ TEST(Octree, SoALanePaddingInvariants) {
   ASSERT_LE(W, 8);
   EXPECT_STRNE(kernel_backend(), "");
   const Scene scene = scenes::computer_lab();
-  const Octree& tree = scene.octree();
+  Octree tree;
+  tree.build(scene.patches());
   EXPECT_EQ(tree.lane_count() % static_cast<std::size_t>(W), 0u);
   EXPECT_GE(tree.lane_count(), tree.item_ref_count());
   EXPECT_LE(tree.lane_count(),
@@ -325,7 +326,7 @@ TEST(Octree, SoALanePaddingInvariants) {
 
 TEST(Octree, SceneBoundsCoverAllPatches) {
   const Scene scene = scenes::cornell_box();
-  const Aabb root = scene.octree().bounds();
+  const Aabb root = scene.accel().bounds();
   for (const Patch& p : scene.patches()) {
     const Aabb pb = p.bounds();
     EXPECT_TRUE(root.contains(pb.lo));
