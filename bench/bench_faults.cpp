@@ -1,0 +1,155 @@
+// bench_faults — recovery latency and goodput of the elastic runner
+// (engine/recovery.hpp) under scripted failures (mp/fault.hpp).
+//
+// Per bundled scene, six hybrid runs at groups=2:
+//
+//   baseline   one uninterrupted leg — the fault-free reference rate
+//   legs       checkpoint legs, no faults — the pure checkpoint overhead
+//   kill-leg2  a rank dies after leg 1 checkpointed — rewind one leg,
+//              re-shard onto the survivor, finish at width 1
+//   kill-cold  the same death with NO checkpoint legs — the whole run
+//              re-traces, the "why checkpoint" number
+//   delay      a 50ms delivery delay absorbed by deadline retries — the
+//              policy's slack, no recovery
+//   detect     a SILENT death (announce_death off): the heartbeat detector
+//              pays its missed-deadline budget before recovery starts, so
+//              lost_s ~ detection latency + the re-traced leg
+//
+// goodput = photons / (photons + photons_retraced): the fraction of traced
+// work that landed in the answer. recovery_s is wall time inside failed
+// legs (detection + lost compute).
+//
+//   bench_faults [--photons=N] [--batch=N] [--leg=N] [--out=FILE]
+//                [--label=NAME]
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "engine/recovery.hpp"
+
+namespace {
+
+using namespace photon;
+using benchutil::arg_str;
+using benchutil::arg_u64;
+
+struct FaultRow {
+  const char* mode;
+  double wall_s = 0.0;
+  double rate = 0.0;
+  double goodput = 1.0;
+  RecoveryStats stats;
+};
+
+FaultRow run_mode(const char* mode, const Scene& scene, RunConfig cfg,
+                  std::shared_ptr<FaultPlan> plan) {
+  cfg.fault_plan = std::move(plan);
+  const auto backend = make_backend("hybrid");
+  FaultRow row;
+  row.mode = mode;
+  const auto t0 = std::chrono::steady_clock::now();
+  const RunResult result = run_elastic(*backend, scene, cfg, nullptr, &row.stats);
+  row.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  row.rate = row.wall_s > 0.0 ? static_cast<double>(result.counters.emitted) / row.wall_s : 0.0;
+  const double traced =
+      static_cast<double>(result.counters.emitted + row.stats.photons_retraced);
+  row.goodput = traced > 0.0 ? static_cast<double>(result.counters.emitted) / traced : 1.0;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t photons = arg_u64(argc, argv, "photons", 12000);
+  const std::uint64_t batch = arg_u64(argc, argv, "batch", 500);
+  const std::uint64_t leg = arg_u64(argc, argv, "leg", 3000);
+  const std::string out = arg_str(argc, argv, "out", "BENCH_faults.json");
+  const std::string label = arg_str(argc, argv, "label", "dev");
+
+  benchutil::header("fault recovery: latency and goodput (hybrid, groups=2)");
+  std::printf("photons=%llu batch=%llu leg=%llu\n",
+              static_cast<unsigned long long>(photons),
+              static_cast<unsigned long long>(batch), static_cast<unsigned long long>(leg));
+
+  // The kill fires in leg 2 (window indices are global), so kill-leg2 rewinds
+  // exactly one leg while kill-cold re-traces everything before the kill.
+  const std::uint64_t kill_window = leg / std::max<std::uint64_t>(batch, 1) + 1;
+
+  std::vector<std::string> rows;
+  for (const auto& spec : benchutil::bundled_scenes()) {
+    RunConfig base;
+    base.photons = photons;
+    base.batch = batch;
+    base.adapt_batch = false;
+    base.groups = 2;
+    base.workers = 2;
+
+    std::vector<FaultRow> results;
+
+    results.push_back(run_mode("baseline", spec.scene, base, nullptr));
+
+    RunConfig legs = base;
+    legs.checkpoint_photons = leg;
+    results.push_back(run_mode("legs", spec.scene, legs, nullptr));
+
+    {
+      auto plan = std::make_shared<FaultPlan>();
+      plan->add_kill({1, FaultPoint::kBeforeBatch, kill_window});
+      results.push_back(run_mode("kill-leg2", spec.scene, legs, plan));
+    }
+    {
+      auto plan = std::make_shared<FaultPlan>();
+      plan->add_kill({1, FaultPoint::kBeforeBatch, kill_window});
+      results.push_back(run_mode("kill-cold", spec.scene, base, plan));
+    }
+    {
+      auto plan = std::make_shared<FaultPlan>();
+      plan->add_delay({0, 1, 0, 0, 0.05});
+      RunConfig delay = base;
+      delay.comm.deadline_s = 0.02;
+      results.push_back(run_mode("delay", spec.scene, delay, plan));
+    }
+    {
+      auto plan = std::make_shared<FaultPlan>();
+      plan->add_kill({1, FaultPoint::kBeforeBatch, kill_window});
+      RunConfig detect = legs;
+      detect.comm.deadline_s = 0.02;
+      detect.comm.retries = 2;
+      detect.comm.heartbeats = true;
+      detect.comm.announce_death = false;
+      results.push_back(run_mode("detect", spec.scene, detect, plan));
+    }
+
+    benchutil::rule();
+    std::printf("%-12s %-10s %10s %12s %8s %9s %10s %9s\n", spec.name, "mode", "wall_s",
+                "photons/s", "legs", "failures", "retraced", "goodput");
+    for (const FaultRow& r : results) {
+      std::printf("%-12s %-10s %10.4f %12.0f %8d %9d %10llu %9.3f\n", "", r.mode, r.wall_s,
+                  r.rate, r.stats.legs, r.stats.failures,
+                  static_cast<unsigned long long>(r.stats.photons_retraced), r.goodput);
+      char row[512];
+      std::snprintf(row, sizeof(row),
+                    "{\"scene\": \"%s\", \"mode\": \"%s\", \"wall_s\": %.6f, "
+                    "\"photons_per_sec\": %.1f, \"legs\": %d, \"failures\": %d, "
+                    "\"ranks_lost\": %d, \"final_width\": %d, \"photons_retraced\": %llu, "
+                    "\"recovery_s\": %.6f, \"goodput\": %.4f}",
+                    spec.name, r.mode, r.wall_s, r.rate, r.stats.legs, r.stats.failures,
+                    r.stats.ranks_lost, r.stats.final_width,
+                    static_cast<unsigned long long>(r.stats.photons_retraced),
+                    r.stats.lost_seconds, r.goodput);
+      rows.emplace_back(row);
+    }
+  }
+
+  char scalars[160];
+  std::snprintf(scalars, sizeof(scalars),
+                "\"photons\": %llu, \"batch\": %llu, \"leg\": %llu",
+                static_cast<unsigned long long>(photons),
+                static_cast<unsigned long long>(batch),
+                static_cast<unsigned long long>(leg));
+  if (!benchutil::write_json_artifact(out, "faults", label, {scalars}, rows)) return 1;
+  return 0;
+}

@@ -12,6 +12,8 @@
 //                        [--split-z=S] [--split-min=N]
 //                        [--split-leaf=N] [--split-growth=G] [--max-bounces=N]
 //                        [--checkpoint=FILE] [--resume=FILE] [--trace=FILE]
+//                        [--checkpoint-every=N] [--max-recoveries=N]
+//                        [--fault-plan=SPEC] [--heartbeat=SECONDS]
 //                        [--report=json]
 //       Run the simulation on the selected backend (serial | shared |
 //       dist-particle | dist-spatial | hybrid) and write the answer file,
@@ -25,6 +27,18 @@
 //       runs). --report=json replaces the human-readable summary with one
 //       machine-readable JSON object on stdout (the bench harness consumes
 //       it).
+//
+//       Fault tolerance (engine/recovery.hpp, mp/fault.hpp):
+//       --checkpoint-every=N cuts the run into legs of N photons held as
+//       in-memory checkpoints; when a rank dies mid-leg the run rewinds to
+//       the last leg and re-shards the dead rank's work across the survivors
+//       (up to --max-recoveries times, default 8). --heartbeat=SECONDS arms
+//       the failure detector: every blocking receive and barrier gets that
+//       deadline, and a rank whose per-batch liveness counter stops
+//       advancing is declared dead instead of hanging the run.
+//       --fault-plan=SPEC injects scripted faults for testing, e.g.
+//       "kill:rank=1,batch=2,point=mid" or "drop:src=0,dst=1,nth=3" or
+//       "delay:src=0,dst=1,ms=50" (';'-separated, each entry fires once).
 //   photon_cli render <scene> <answer-file> <out.ppm>
 //                        [--eye=x,y,z] [--look=x,y,z] [--fov=deg]
 //                        [--size=WxH] [--spp=N] [--threads=N]
@@ -39,6 +53,7 @@
 #include <string>
 
 #include "engine/backend.hpp"
+#include "engine/recovery.hpp"
 #include "geom/scene_io.hpp"
 #include "geom/scenes.hpp"
 #include "hist/metrics.hpp"
@@ -204,6 +219,30 @@ int cmd_simulate(int argc, char** argv, const std::string& spec, const std::stri
     if (std::strcmp(argv[i], "--adapt") == 0) config.adapt_batch = true;
   }
 
+  // Fault-tolerance knobs: all runs route through run_elastic, which is a
+  // plain backend->run() when none of these are set.
+  config.checkpoint_photons = arg_u64(argc, argv, "checkpoint-every", 0);
+  config.max_recoveries = static_cast<int>(
+      arg_u64(argc, argv, "max-recoveries",
+              static_cast<std::uint64_t>(config.max_recoveries)));
+  if (const char* hb = find_arg(argc, argv, "heartbeat")) {
+    config.comm.deadline_s = std::strtod(hb, nullptr);
+    config.comm.heartbeats = true;
+    if (config.comm.deadline_s <= 0.0) {
+      std::fprintf(stderr, "error: --heartbeat must be a positive deadline in seconds\n");
+      return 1;
+    }
+  }
+  if (const char* spec = find_arg(argc, argv, "fault-plan")) {
+    auto plan = std::make_shared<FaultPlan>();
+    std::string error;
+    if (!parse_fault_plan(spec, *plan, error)) {
+      std::fprintf(stderr, "error: bad --fault-plan: %s\n", error.c_str());
+      return 1;
+    }
+    config.fault_plan = std::move(plan);
+  }
+
   RunResult resume;
   const RunResult* resume_ptr = nullptr;
   if (const char* path = find_arg(argc, argv, "resume")) {
@@ -212,9 +251,14 @@ int cmd_simulate(int argc, char** argv, const std::string& spec, const std::stri
                    backend->name().c_str());
       return 1;
     }
-    if (!load_checkpoint(path, resume)) {
-      std::fprintf(stderr, "error: cannot load checkpoint '%s'\n", path);
-      return 1;
+    const CheckpointStatus status = load_checkpoint_status(path, resume);
+    if (status != CheckpointStatus::kOk) {
+      // Say exactly which check failed: a refused multi-hour resume must be
+      // diagnosable from stderr alone. Exit 3 distinguishes "checkpoint
+      // rejected" from generic usage errors.
+      std::fprintf(stderr, "error: cannot load checkpoint '%s': %s\n", path,
+                   checkpoint_status_name(status));
+      return 3;
     }
     resume_ptr = &resume;
     if (!json_report) {
@@ -223,7 +267,13 @@ int cmd_simulate(int argc, char** argv, const std::string& spec, const std::stri
     }
   }
 
-  const RunResult result = backend->run(scene, config, resume_ptr);
+  RunResult result;
+  try {
+    result = run_elastic(*backend, scene, config, resume_ptr);
+  } catch (const WorldFailure& failure) {
+    std::fprintf(stderr, "error: run failed beyond recovery: %s\n", failure.what());
+    return 4;
+  }
   const ForestMetrics metrics = compute_metrics(result.forest);
 
   if (json_report) {
@@ -264,6 +314,23 @@ int cmd_simulate(int argc, char** argv, const std::string& spec, const std::stri
           static_cast<unsigned long long>(*std::max_element(result.pool.worker_photons.begin(),
                                                             result.pool.worker_photons.end())));
     }
+    if (result.recovery.legs > 1 || result.recovery.failures > 0) {
+      // Elastic-run stats (engine/recovery.hpp): what failed and what the
+      // recovery cost.
+      std::printf(
+          "{\"recovery_legs\": %d, \"recovery_failures\": %d, \"ranks_lost\": %d, "
+          "\"final_width\": %d, \"photons_retraced\": %llu, \"lost_s\": %.6f, "
+          "\"deadline_retries\": %llu}\n",
+          result.recovery.legs, result.recovery.failures, result.recovery.ranks_lost,
+          result.recovery.final_width,
+          static_cast<unsigned long long>(result.recovery.photons_retraced),
+          result.recovery.lost_seconds,
+          static_cast<unsigned long long>([&] {
+            std::uint64_t retries = 0;
+            for (const RankReport& r : result.ranks) retries += r.deadline_retries;
+            return retries;
+          }()));
+    }
   } else {
     std::printf("backend %s: simulated %llu photons (%.0f/s), %.2f bounces/photon\n",
                 backend->name().c_str(),
@@ -272,6 +339,13 @@ int cmd_simulate(int argc, char** argv, const std::string& spec, const std::stri
     std::printf("forest: %llu bins, depth <= %d, %.1f photons/bin, %.1f%% angular splits\n",
                 static_cast<unsigned long long>(metrics.leaves), metrics.max_depth,
                 metrics.mean_tally_per_leaf, 100.0 * metrics.angular_split_fraction);
+    if (result.recovery.failures > 0) {
+      std::printf("recovery: %d failure(s), %d rank(s) lost, %llu photons re-traced, "
+                  "finished at width %d\n",
+                  result.recovery.failures, result.recovery.ranks_lost,
+                  static_cast<unsigned long long>(result.recovery.photons_retraced),
+                  result.recovery.final_width);
+    }
   }
 
   if (const char* path = find_arg(argc, argv, "checkpoint")) {
@@ -339,6 +413,8 @@ int usage() {
                "                  [--split-z=S] [--split-min=N] [--split-leaf=N]\n"
                "                  [--split-growth=G] [--max-bounces=N]\n"
                "                  [--checkpoint=FILE] [--resume=FILE] [--trace=FILE]\n"
+               "                  [--checkpoint-every=N] [--max-recoveries=N]\n"
+               "                  [--fault-plan=SPEC] [--heartbeat=SECONDS]\n"
                "                  [--report=json]\n"
                "       photon_cli render <scene> <answer> <out.ppm> [--eye=x,y,z]\n"
                "                  [--look=x,y,z] [--fov=deg] [--size=WxH] [--spp=N]"

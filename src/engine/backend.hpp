@@ -67,6 +67,23 @@ struct RankReport {
   std::uint64_t photons_out = 0;      // in-flight photons forwarded
   std::uint64_t segments_traced = 0;  // trace segments executed
   std::uint64_t tallies = 0;          // records applied by this rank
+
+  // Deadline expiries this rank retried through under the CommPolicy
+  // (mp/fault.hpp) — slack the policy absorbed without declaring anything.
+  std::uint64_t deadline_retries = 0;
+};
+
+// Outcome of an elastic run (engine/recovery.hpp): how many checkpoint legs
+// executed, what failed, and what the failures cost. All zeros for an
+// undisturbed single-leg run.
+struct RecoveryStats {
+  int legs = 0;                          // legs that completed
+  int failures = 0;                      // WorldFailures recovered from
+  int ranks_lost = 0;                    // ranks removed across all failures
+  int final_width = 0;                   // surviving parallel width at the end
+  std::uint64_t photons_retraced = 0;    // open-leg photons re-traced after failures
+  double lost_seconds = 0.0;             // wall time inside failed legs
+  std::vector<int> dead_ranks;           // per-failure rank ids (world-local)
 };
 
 // Scheduler telemetry from the persistent worker pool (engine/pool.hpp):
@@ -106,6 +123,7 @@ struct RunResult {
   std::vector<RankReport> ranks;                 // dist-particle, dist-spatial
   LoadBalance balance;                           // dist-particle
   std::vector<Aabb> regions;                     // dist-spatial
+  RecoveryStats recovery;                        // filled by run_elastic
 };
 
 class Backend {

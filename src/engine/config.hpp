@@ -14,10 +14,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "core/stats.hpp"
 #include "engine/batch.hpp"
+#include "mp/fault.hpp"
 #include "sim/tracer.hpp"
 
 namespace photon {
@@ -98,6 +100,25 @@ struct RunConfig {
 
   SplitPolicy policy{};
   TraceLimits limits{};
+
+  // --- Fault tolerance (mp/fault.hpp; engine/recovery.hpp) ----------------
+  // Scripted fault injection for the MiniMPI world the distributed backends
+  // run in. Shared (not owned per run) so a consumed fault stays consumed
+  // across the elastic runner's recovery legs. Null disables injection.
+  std::shared_ptr<FaultPlan> fault_plan;
+  // Deadline/heartbeat policy for every blocking MiniMPI path. The default
+  // (deadline 0) is the historical block-forever behavior; setting a
+  // deadline turns hangs into typed CommErrors and, with `heartbeats`,
+  // arms the failure detector.
+  CommPolicy comm{};
+  // Elastic-runner leg size: run_elastic cuts the run into legs of this many
+  // photons, holding the last completed leg's RunResult as the in-memory
+  // checkpoint a recovery rewinds to. Rounded down to a whole number of
+  // `batch` windows (hybrid resume is bitwise only at window boundaries).
+  // 0 = one leg (no intermediate checkpoints: a failure re-traces the run).
+  std::uint64_t checkpoint_photons = 0;
+  // World failures tolerated before run_elastic gives up and rethrows.
+  int max_recoveries = 8;
 };
 
 }  // namespace photon

@@ -1,0 +1,73 @@
+#include "engine/recovery.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "mp/fault.hpp"
+
+namespace photon {
+
+RunResult run_elastic(Backend& backend, const Scene& scene, const RunConfig& config,
+                      const RunResult* resume, RecoveryStats* stats) {
+  using Clock = std::chrono::steady_clock;
+  RecoveryStats rec;
+  RunConfig cfg = config;
+  // The dimension a rank death shrinks: hybrid's MiniMPI ranks are groups;
+  // the dist backends' are workers. Other backends run no world and can only
+  // fail through a rethrown WorldFailure (never shrink).
+  const bool shrink_groups = backend.name() == "hybrid";
+  const std::uint64_t total = config.photons;
+
+  // Leg size aligned down to whole batch windows: hybrid's resume is bitwise
+  // only at window boundaries, and the alignment costs the other backends
+  // nothing.
+  std::uint64_t leg = config.checkpoint_photons;
+  if (leg > 0) {
+    const std::uint64_t window = std::max<std::uint64_t>(cfg.batch, 1);
+    leg = std::max(window, leg - leg % window);
+  }
+
+  RunResult state;
+  bool have_state = resume != nullptr;
+  if (resume) state = *resume;
+
+  std::uint64_t done = 0;
+  bool ran_any = false;
+  int recoveries_left = config.max_recoveries;
+  while (!ran_any || done < total) {
+    const std::uint64_t n = leg > 0 ? std::min(leg, total - done) : total - done;
+    cfg.photons = n;
+    const Clock::time_point t0 = Clock::now();
+    try {
+      RunResult r = backend.run(scene, cfg, have_state ? &state : nullptr);
+      state = std::move(r);
+      have_state = true;
+      done += n;
+      ran_any = true;
+      ++rec.legs;
+    } catch (const WorldFailure& failure) {
+      rec.lost_seconds += std::chrono::duration<double>(Clock::now() - t0).count();
+      ++rec.failures;
+      rec.photons_retraced += n;
+      rec.ranks_lost += static_cast<int>(failure.dead_ranks.size());
+      for (const int r : failure.dead_ranks) rec.dead_ranks.push_back(r);
+      int& width = shrink_groups ? cfg.groups : cfg.workers;
+      width -= static_cast<int>(failure.dead_ranks.size());
+      if (width < 1 || recoveries_left-- <= 0) {
+        if (stats) *stats = rec;
+        throw;
+      }
+      // Rewind: `state` still holds the last completed leg; the loop re-runs
+      // the open leg from it at the survivor shape. A pure timeout (no
+      // deaths) retries at the same shape — the consumed fault plan entries
+      // will not re-fire.
+    }
+  }
+
+  rec.final_width = shrink_groups ? cfg.groups : cfg.workers;
+  state.recovery = rec;
+  if (stats) *stats = rec;
+  return state;
+}
+
+}  // namespace photon

@@ -1,0 +1,216 @@
+#include "mp/fault.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace photon {
+
+const char* fault_point_name(FaultPoint p) {
+  switch (p) {
+    case FaultPoint::kBeforeBatch: return "before-batch";
+    case FaultPoint::kMidExchange: return "mid-exchange";
+    case FaultPoint::kAfterBatch: return "after-batch";
+  }
+  return "?";
+}
+
+const char* comm_error_kind_name(CommErrorKind k) {
+  switch (k) {
+    case CommErrorKind::kTimeout: return "timeout";
+    case CommErrorKind::kPeerDead: return "peer-dead";
+    case CommErrorKind::kPeerExited: return "peer-exited";
+  }
+  return "?";
+}
+
+namespace {
+std::string kill_message(int rank, FaultPoint point, std::uint64_t batch) {
+  std::ostringstream out;
+  out << "MiniMPI: rank " << rank << " killed " << fault_point_name(point) << " " << batch;
+  return out.str();
+}
+
+std::string failure_message(const std::vector<int>& dead, int aborted, bool timed_out) {
+  std::ostringstream out;
+  out << "MiniMPI: world failed (";
+  if (dead.empty()) {
+    out << "no rank deaths";
+  } else {
+    out << "dead ranks";
+    for (const int r : dead) out << " " << r;
+  }
+  out << ", " << aborted << " aborted";
+  if (timed_out) out << ", deadline expired";
+  out << ")";
+  return out.str();
+}
+}  // namespace
+
+RankKilled::RankKilled(int rank_, FaultPoint point_, std::uint64_t batch_)
+    : std::runtime_error(kill_message(rank_, point_, batch_)),
+      rank(rank_),
+      point(point_),
+      batch(batch_) {}
+
+WorldFailure::WorldFailure(std::vector<int> dead, int aborted, bool timed_out_)
+    : std::runtime_error(failure_message(dead, aborted, timed_out_)),
+      dead_ranks(std::move(dead)),
+      aborted_ranks(aborted),
+      timed_out(timed_out_) {}
+
+void FaultPlan::add_kill(const KillFault& f) {
+  std::lock_guard<std::mutex> lock(m_);
+  kills_.push_back({{}, f});
+}
+
+void FaultPlan::add_drop(const DropFault& f) {
+  std::lock_guard<std::mutex> lock(m_);
+  drops_.push_back({{}, f});
+}
+
+void FaultPlan::add_delay(const DelayFault& f) {
+  std::lock_guard<std::mutex> lock(m_);
+  delays_.push_back({{}, f});
+}
+
+bool FaultPlan::empty() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return kills_.empty() && drops_.empty() && delays_.empty();
+}
+
+bool FaultPlan::should_kill(int rank, FaultPoint point, std::uint64_t batch) {
+  std::lock_guard<std::mutex> lock(m_);
+  for (ArmedKill& k : kills_) {
+    if (k.armed && k.f.rank == rank && k.f.point == point && k.f.batch == batch) {
+      k.armed = false;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::on_delivery(int src, int dst, int tag, double& delay_s) {
+  std::lock_guard<std::mutex> lock(m_);
+  const std::uint64_t n = delivered_[std::make_tuple(src, dst, tag)]++;
+  for (ArmedDrop& d : drops_) {
+    if (d.armed && d.f.src == src && d.f.dst == dst && d.f.tag == tag && d.f.nth == n) {
+      d.armed = false;
+      return false;
+    }
+  }
+  for (ArmedDelay& d : delays_) {
+    if (d.armed && d.f.src == src && d.f.dst == dst && d.f.tag == tag && d.f.nth == n) {
+      d.armed = false;
+      delay_s = d.f.delay_s;
+      break;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// One key=value field of a fault entry; numeric values parse with strtod so
+// "ms=0.5" works.
+bool split_field(const std::string& field, std::string& key, std::string& value) {
+  const std::size_t eq = field.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= field.size()) return false;
+  key = field.substr(0, eq);
+  value = field.substr(eq + 1);
+  return true;
+}
+
+bool parse_entry(const std::string& entry, FaultPlan& plan, std::string& error) {
+  const std::size_t colon = entry.find(':');
+  if (colon == std::string::npos) {
+    error = "fault entry '" + entry + "' has no kind (expected kill:/drop:/delay:)";
+    return false;
+  }
+  const std::string kind = entry.substr(0, colon);
+  std::map<std::string, std::string> fields;
+  std::stringstream rest(entry.substr(colon + 1));
+  std::string field;
+  while (std::getline(rest, field, ',')) {
+    std::string key, value;
+    if (!split_field(field, key, value)) {
+      error = "fault entry '" + entry + "': malformed field '" + field + "'";
+      return false;
+    }
+    fields[key] = value;
+  }
+  const auto num = [&](const char* key, double fallback, bool& present) {
+    const auto it = fields.find(key);
+    present = it != fields.end();
+    return present ? std::strtod(it->second.c_str(), nullptr) : fallback;
+  };
+  bool present = false;
+  if (kind == "kill") {
+    KillFault f;
+    f.rank = static_cast<int>(num("rank", 0, present));
+    if (!present) {
+      error = "kill entry needs rank=";
+      return false;
+    }
+    f.batch = static_cast<std::uint64_t>(num("batch", 0, present));
+    const auto it = fields.find("point");
+    if (it != fields.end()) {
+      if (it->second == "before") {
+        f.point = FaultPoint::kBeforeBatch;
+      } else if (it->second == "mid") {
+        f.point = FaultPoint::kMidExchange;
+      } else if (it->second == "after") {
+        f.point = FaultPoint::kAfterBatch;
+      } else {
+        error = "kill entry: unknown point '" + it->second + "' (before|mid|after)";
+        return false;
+      }
+    }
+    plan.add_kill(f);
+    return true;
+  }
+  if (kind == "drop" || kind == "delay") {
+    bool have_src = false, have_dst = false;
+    const int src = static_cast<int>(num("src", 0, have_src));
+    const int dst = static_cast<int>(num("dst", 0, have_dst));
+    if (!have_src || !have_dst) {
+      error = kind + " entry needs src= and dst=";
+      return false;
+    }
+    const int tag = static_cast<int>(num("tag", 0, present));
+    const auto nth = static_cast<std::uint64_t>(num("nth", 0, present));
+    if (kind == "drop") {
+      plan.add_drop({src, dst, tag, nth});
+      return true;
+    }
+    const double ms = num("ms", -1.0, present);
+    if (!present || ms < 0.0) {
+      error = "delay entry needs ms= >= 0";
+      return false;
+    }
+    plan.add_delay({src, dst, tag, nth, ms / 1000.0});
+    return true;
+  }
+  error = "unknown fault kind '" + kind + "' (kill|drop|delay)";
+  return false;
+}
+
+}  // namespace
+
+bool parse_fault_plan(const std::string& spec, FaultPlan& plan, std::string& error) {
+  std::stringstream in(spec);
+  std::string entry;
+  bool any = false;
+  while (std::getline(in, entry, ';')) {
+    if (entry.empty()) continue;
+    if (!parse_entry(entry, plan, error)) return false;
+    any = true;
+  }
+  if (!any) {
+    error = "empty fault plan";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace photon

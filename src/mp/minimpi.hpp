@@ -11,6 +11,14 @@
 // PendingExchange::finish is the matching MPI_Wait) and allreduce (batch-size
 // agreement) — plus traffic counters and a blocked-receive clock that feed
 // the performance model. See DESIGN.md, "Substitutions".
+//
+// Fault semantics (mp/fault.hpp; DESIGN.md "Fault model"): a world can run
+// under a WorldOptions carrying a scripted FaultPlan and a CommPolicy of
+// deadlines/heartbeats. Blocking paths then resolve instead of hanging — a
+// typed CommError for a deadline expiry or a dead peer — and run_world
+// reports lost ranks as a WorldFailure after all threads joined. The
+// no-options overload preserves the historical block-forever semantics
+// bit for bit.
 #pragma once
 
 #include <array>
@@ -21,6 +29,8 @@
 #include <mutex>
 #include <vector>
 
+#include "mp/fault.hpp"
+
 namespace photon {
 
 using Bytes = std::vector<std::uint8_t>;
@@ -28,6 +38,13 @@ using Bytes = std::vector<std::uint8_t>;
 struct WorldStats {
   std::uint64_t total_bytes = 0;
   std::uint64_t total_messages = 0;
+};
+
+// Fault-injection and deadline policy for one world. The default — no plan,
+// block-forever policy — is exactly the historical behavior.
+struct WorldOptions {
+  FaultPlan* plan = nullptr;  // not owned; shared across recovery legs
+  CommPolicy policy;
 };
 
 class World;
@@ -64,7 +81,13 @@ class PendingExchange {
   PendingExchange& operator=(const PendingExchange&) = delete;
 
   // Blocks until every rank's buffer has arrived; incoming[s] is from rank s.
+  // Under a world deadline policy, throws CommError instead of blocking past
+  // the (retried, backed-off) deadline; the handle reads as finished either
+  // way, so an aborted exchange cannot be drained twice.
   std::vector<Bytes> finish();
+  // Same, with an explicit per-call deadline overriding the world policy
+  // (<= 0 blocks forever).
+  std::vector<Bytes> finish(double deadline_s);
 
  private:
   friend class Comm;
@@ -83,11 +106,23 @@ class Comm {
   int rank() const { return rank_; }
   int size() const;
 
-  // Buffered, non-blocking send (MPI_Send with buffering semantics).
+  // Buffered, non-blocking send (MPI_Send with buffering semantics). Subject
+  // to the world's FaultPlan: a scripted drop consumes the message on the
+  // wire, a scripted delay makes it visible to the receiver late.
   void send(int dst, Bytes msg, int tag = 0);
   // Blocking receive of the next message from `src` on `tag` (MPI_Recv).
+  // Under the world deadline policy this retries with backoff and then
+  // throws a typed CommError: kTimeout if the peer's heartbeat advanced (or
+  // there is no detector), kPeerDead if the failure detector declared it, or
+  // kPeerExited if the peer left the world with nothing queued.
   Bytes recv(int src, int tag = 0);
+  // Same, with an explicit deadline overriding the world policy (<= 0 blocks
+  // forever — but a dead/exited peer still unblocks with a CommError).
+  Bytes recv(int src, int tag, double deadline_s);
 
+  // Under the world deadline policy, throws CommError on expiry (a barrier
+  // whose missing ranks have stale heartbeats declares them dead first);
+  // any barrier also aborts when a rank is known dead or departed.
   void barrier();
 
   // Exchanges one buffer with every rank (MPI_Alltoallv): outgoing[d] goes to
@@ -105,16 +140,34 @@ class Comm {
   double allreduce_max(double v);
   std::uint64_t allreduce_sum_u64(std::uint64_t v);
 
+  // Publishes this rank's liveness counter (the per-batch heartbeat the
+  // failure detector reads). Cheap enough to call unconditionally.
+  void heartbeat(std::uint64_t counter);
+  // Scripted-kill hook: if the world's FaultPlan has an armed kill for
+  // (rank, point, index), marks this rank dead (fail-stop under
+  // announce_death, silent otherwise) and throws RankKilled.
+  void fault_point(FaultPoint point, std::uint64_t index);
+  // Per-batch liveness tick: heartbeat(index) + fault_point(kBeforeBatch).
+  void batch_tick(std::uint64_t index) {
+    heartbeat(index);
+    fault_point(FaultPoint::kBeforeBatch, index);
+  }
+
   // Traffic actually put on the "wire" by this rank (self-delivery excluded).
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::uint64_t messages_sent() const { return messages_sent_; }
+  // Deadline expiries this rank retried through (recv/finish/barrier): how
+  // much slack the CommPolicy absorbed without declaring anything.
+  std::uint64_t deadline_retries() const { return deadline_retries_; }
 
   // Wall time this rank has spent blocked in recv (mailbox empty — the
   // compute/communication overlap metric: a fully overlapped exchange finds
   // every buffer already delivered and adds nothing here). Accounted per tag,
   // so an overlapped exchange's waits can be read separately from a
-  // deliberately synchronous one on another tag. Barrier and allreduce waits
-  // are deliberately excluded; they measure load skew, not exchange latency.
+  // deliberately synchronous one on another tag. Time blocked on an attempt
+  // that *timed out* counts too — the wait was real even though no message
+  // came. Barrier and allreduce waits are deliberately excluded; they
+  // measure load skew, not exchange latency.
   double wait_seconds(int tag) const { return wait_by_tag_[static_cast<std::size_t>(tag)]; }
   double wait_seconds() const {
     double total = 0.0;
@@ -125,18 +178,28 @@ class Comm {
  private:
   friend class World;
   friend class PendingExchange;
-  friend WorldStats run_world(int nranks, const std::function<void(Comm&)>& fn);
+  friend WorldStats run_world(int nranks, const WorldOptions& options,
+                              const std::function<void(Comm&)>& fn);
   Comm(World* world, int rank) : world_(world), rank_(rank) {}
+
+  Bytes recv_deadline(int src, int tag, double deadline_s);
 
   World* world_;
   int rank_;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t messages_sent_ = 0;
+  std::uint64_t deadline_retries_ = 0;
   std::array<double, kNumTags> wait_by_tag_{};
 };
 
 // Runs `fn` on `nranks` concurrent ranks and joins them. The first exception
-// thrown by any rank is rethrown after all ranks finish or abort.
+// thrown by any rank is rethrown after all ranks finish or abort — except
+// the fault paths: scripted kills (RankKilled) and the CommErrors they
+// cascade into are collected instead, and reported as one WorldFailure after
+// the join when any rank died or timed out.
+WorldStats run_world(int nranks, const WorldOptions& options,
+                     const std::function<void(Comm&)>& fn);
+// Historical entry point: no faults, block-forever policy.
 WorldStats run_world(int nranks, const std::function<void(Comm&)>& fn);
 
 }  // namespace photon

@@ -41,7 +41,13 @@ RunResult run_distributed(const Scene& scene, const RunConfig& config,
   const LoadBalance balance =
       config.bestfit ? assign_bestfit(loads, nranks) : assign_naive(loads, nranks);
 
-  run_world(nranks, [&](Comm& comm) {
+  // Fault plan and deadline/heartbeat policy ride in from the config; the
+  // defaults are a no-fault, block-forever world (mp/fault.hpp).
+  WorldOptions world_options;
+  world_options.plan = config.fault_plan.get();
+  world_options.policy = config.comm;
+
+  run_world(nranks, world_options, [&](Comm& comm) {
     const int rank = comm.rank();
     const int P = comm.size();
     SpeedSampler sampler(rank == 0 ? config.trace_path : std::string());
@@ -90,7 +96,16 @@ RunResult run_distributed(const Scene& scene, const RunConfig& config,
     std::vector<BounceRecord> held_prev;     // batch k-1's owned records
     std::optional<PendingExchange> pending;  // batch k-1's records in flight
 
+    // Batch indices label the whole run, not one leg: a resumed leg continues
+    // the numbering (approximately, under --adapt) so a scripted fault can
+    // name a mid-run batch regardless of checkpoint legs.
+    std::uint64_t batch_index =
+        resume_emitted /
+        (std::max<std::uint64_t>(config.batch, 1) * static_cast<std::uint64_t>(P));
     while (global_done < config.photons) {
+      // Liveness tick (the heartbeat the failure detector reads) and the
+      // scripted before-batch kill point.
+      comm.batch_tick(batch_index);
       std::uint64_t B = config.adapt_batch ? controller.size() : config.batch;
       // Do not overshoot the global budget; every rank computes the same cap.
       const std::uint64_t remaining = config.photons - global_done;
@@ -116,6 +131,10 @@ RunResult run_distributed(const Scene& scene, const RunConfig& config,
       if (pending) sink.apply_batch(held_prev, pending->finish());
       held_prev = sink.take_held();
       pending.emplace(comm.alltoall_start(wire.take(), kTagRecords));
+      // Mid-exchange kill point: this batch's sends are on the wire but the
+      // matching finish has not run — the pipeline state recovery must
+      // handle by re-tracing the open leg.
+      comm.fault_point(FaultPoint::kMidExchange, batch_index);
       ++report.rounds;
 
       global_done += B * static_cast<std::uint64_t>(P);
@@ -135,7 +154,12 @@ RunResult run_distributed(const Scene& scene, const RunConfig& config,
         controller.update(batch_rate);
       }
       prev_agreed = agreed;
+      comm.fault_point(FaultPoint::kAfterBatch, batch_index);
+      ++batch_index;
     }
+    // One more liveness tick so the gather below is not instantly stale to
+    // a peer's failure detector.
+    comm.heartbeat(batch_index + 1);
 
     // Final batch's records are still in flight; every rank ran the same
     // number of rounds, so the drain matches pending sends exactly.
@@ -148,6 +172,7 @@ RunResult run_distributed(const Scene& scene, const RunConfig& config,
 
     report.sent_bytes = comm.bytes_sent();
     report.sent_messages = comm.messages_sent();
+    report.deadline_retries = comm.deadline_retries();
     // Record-exchange waits only: the overlap metric. Gather waits live on
     // their own tag and load skew lives in the allreduce barriers.
     report.wait_seconds = comm.wait_seconds(kTagRecords);

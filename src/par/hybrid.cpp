@@ -65,7 +65,13 @@ RunResult run_hybrid(const Scene& scene, const RunConfig& config, const RunResul
   const LoadBalance balance =
       config.bestfit ? assign_bestfit(loads, G) : assign_naive(loads, G);
 
-  run_world(G, [&](Comm& comm) {
+  // Fault plan and deadline/heartbeat policy ride in from the config; the
+  // defaults are a no-fault, block-forever world (mp/fault.hpp).
+  WorldOptions world_options;
+  world_options.plan = config.fault_plan.get();
+  world_options.policy = config.comm;
+
+  run_world(G, world_options, [&](Comm& comm) {
     const int rank = comm.rank();
     const int P = comm.size();
     SpeedSampler sampler(rank == 0 ? config.trace_path : std::string());
@@ -107,8 +113,16 @@ RunResult run_hybrid(const Scene& scene, const RunConfig& config, const RunResul
     std::vector<BounceRecord> held_prev;             // window k-1's owned records
     std::optional<PendingExchange> pending;          // window k-1's wire bytes in flight
     std::uint64_t window_start = first_photon;
+    // Window indices label the whole run, not one leg: a resumed leg
+    // continues the numbering, so a scripted fault can name a mid-run window
+    // regardless of how the elastic runner cut the checkpoint legs.
+    std::uint64_t window_index = first_photon / window;
 
     while (window_start < last_photon) {
+      // Liveness tick (the heartbeat the failure detector reads) and the
+      // scripted before-batch kill point. None of the fault hooks touch RNG
+      // or record order, so the bitwise shape-invariance contract holds.
+      comm.batch_tick(window_index);
       const std::uint64_t window_end = std::min(window_start + window, last_photon);
       const std::uint64_t n = window_end - window_start;
       // This group's contiguous id slice of the window, split contiguously
@@ -165,14 +179,21 @@ RunResult run_hybrid(const Scene& scene, const RunConfig& config, const RunResul
       }
       held_prev = sink.take_held();
       pending.emplace(comm.alltoall_start(wire.take(), kTagRecords));
+      // Mid-exchange kill point: sends posted, finish outstanding.
+      comm.fault_point(FaultPoint::kMidExchange, window_index);
       ++report.rounds;
 
       // One speed point per window on the agreed clock (as in par/dist).
       const double agreed = comm.allreduce_max(sampler.elapsed());
       if (rank == 0) sampler.sample_at(agreed, window_end - first_photon);
 
+      comm.fault_point(FaultPoint::kAfterBatch, window_index);
+      ++window_index;
       window_start = window_end;
     }
+    // One more liveness tick so the gather below is not instantly stale to
+    // a peer's failure detector.
+    comm.heartbeat(window_index + 1);
 
     // Every rank ran the same window count, so the final drain matches the
     // pending sends exactly.
@@ -199,6 +220,7 @@ RunResult run_hybrid(const Scene& scene, const RunConfig& config, const RunResul
 
     report.sent_bytes = comm.bytes_sent();
     report.sent_messages = comm.messages_sent();
+    report.deadline_retries = comm.deadline_retries();
     report.wait_seconds = comm.wait_seconds(kTagRecords);
 
     {

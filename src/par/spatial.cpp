@@ -213,7 +213,13 @@ RunResult run_spatial(const Scene& scene, const RunConfig& config, const RunResu
   }();
   const double epsilon = surface_epsilon(scene.bounds());
 
-  run_world(nranks, [&](Comm& comm) {
+  // Fault plan and deadline/heartbeat policy ride in from the config; the
+  // defaults are a no-fault, block-forever world (mp/fault.hpp).
+  WorldOptions world_options;
+  world_options.plan = config.fault_plan.get();
+  world_options.policy = config.comm;
+
+  run_world(nranks, world_options, [&](Comm& comm) {
     const int rank = comm.rank();
     const int P = comm.size();
     SpeedSampler sampler(rank == 0 ? config.trace_path : std::string());
@@ -275,7 +281,16 @@ RunResult run_spatial(const Scene& scene, const RunConfig& config, const RunResu
       }
     };
 
+    // Round indices label the whole run, not one leg (emission rounds inject
+    // batch photons per rank), so a scripted fault can name a mid-run round
+    // regardless of checkpoint legs.
+    std::uint64_t round_index =
+        first_photon /
+        (std::max<std::uint64_t>(config.batch, 1) * static_cast<std::uint64_t>(P));
     while (true) {
+      // Liveness tick (the heartbeat the failure detector reads) and the
+      // scripted before-batch kill point.
+      comm.batch_tick(round_index);
       auto run_flight = [&](PhotonFlight flight) {
         ++report.segments_traced;
         const SegmentEnd end =
@@ -357,6 +372,8 @@ RunResult run_spatial(const Scene& scene, const RunConfig& config, const RunResu
       // while this round traced — tally it now, then post this round's batch.
       if (pending_records) drain_records(*pending_records);
       pending_records.emplace(comm.alltoall_start(record_wire.take(), kTagRecords));
+      // Mid-exchange kill point: record sends posted, finish outstanding.
+      comm.fault_point(FaultPoint::kMidExchange, round_index);
       ++report.rounds;
 
       // Terminate when no photons are in flight and all emissions are done.
@@ -377,8 +394,13 @@ RunResult run_spatial(const Scene& scene, const RunConfig& config, const RunResu
                      config.photons);
         sampler.sample(global_injected);
       }
+      comm.fault_point(FaultPoint::kAfterBatch, round_index);
+      ++round_index;
       if (active == 0) break;
     }
+    // One more liveness tick so the gather below is not instantly stale to
+    // a peer's failure detector.
+    comm.heartbeat(round_index + 1);
 
     // The last round's records are still in flight; every rank left the loop
     // on the same round, so the drain matches the pending sends exactly.
@@ -391,6 +413,7 @@ RunResult run_spatial(const Scene& scene, const RunConfig& config, const RunResu
 
     report.sent_bytes = comm.bytes_sent();
     report.sent_messages = comm.messages_sent();
+    report.deadline_retries = comm.deadline_retries();
     // Record-exchange waits only (the overlap metric): photon migration is
     // synchronous by design and the gather rides its own tag.
     report.wait_seconds = comm.wait_seconds(kTagRecords);

@@ -15,6 +15,7 @@ namespace {
 // no length, no checksum, no rank section) are rejected — a checkpoint that
 // cannot be verified must not be resumed.
 constexpr std::uint64_t kCheckpointMagic = 0x50484F544E434B32ULL;  // "PHOTNCK2"
+constexpr std::uint64_t kCheckpointMagicV1 = 0x50484F544F4E434BULL;  // "PHOTONCK"
 
 // Caps keep a corrupt length/count field from turning into a giant
 // allocation before the checksum can reject it.
@@ -77,10 +78,30 @@ bool save_checkpoint(const RunResult& result, const std::string& path) {
   return static_cast<bool>(out);
 }
 
-bool load_checkpoint(std::istream& in, RunResult& result) {
+const char* checkpoint_status_name(CheckpointStatus status) {
+  switch (status) {
+    case CheckpointStatus::kOk: return "ok";
+    case CheckpointStatus::kOpenFailed: return "open-failed";
+    case CheckpointStatus::kBadMagic: return "bad-magic";
+    case CheckpointStatus::kOldVersion: return "old-version";
+    case CheckpointStatus::kBadLength: return "bad-length";
+    case CheckpointStatus::kTruncated: return "truncated";
+    case CheckpointStatus::kChecksumMismatch: return "checksum-mismatch";
+    case CheckpointStatus::kBadHeader: return "bad-header";
+    case CheckpointStatus::kBadRankSection: return "bad-rank-section";
+    case CheckpointStatus::kBadForest: return "bad-forest";
+  }
+  return "unknown";
+}
+
+CheckpointStatus load_checkpoint_status(std::istream& in, RunResult& result) {
   std::uint64_t magic = 0, length = 0;
-  if (!read_u64(in, magic) || magic != kCheckpointMagic) return false;
-  if (!read_u64(in, length) || length > kMaxPayloadBytes) return false;
+  if (!read_u64(in, magic) || magic != kCheckpointMagic) {
+    return magic == kCheckpointMagicV1 ? CheckpointStatus::kOldVersion
+                                       : CheckpointStatus::kBadMagic;
+  }
+  if (!read_u64(in, length)) return CheckpointStatus::kTruncated;
+  if (length > kMaxPayloadBytes) return CheckpointStatus::kBadLength;
 
   // Read the payload in bounded chunks: the length field is untrusted, so a
   // corrupt value must hit the truncation check after at most one chunk of
@@ -93,12 +114,16 @@ bool load_checkpoint(std::istream& in, RunResult& result) {
     const std::size_t off = bytes.size();
     bytes.resize(off + static_cast<std::size_t>(want));
     in.read(bytes.data() + off, static_cast<std::streamsize>(want));
-    if (static_cast<std::uint64_t>(in.gcount()) != want) return false;  // truncated
+    if (static_cast<std::uint64_t>(in.gcount()) != want) {
+      return CheckpointStatus::kTruncated;
+    }
   }
 
   std::uint64_t checksum = 0;
-  if (!read_u64(in, checksum) || checksum != fnv1a64(bytes.data(), bytes.size())) {
-    return false;  // corrupt — resuming silently-wrong state is worse than failing
+  if (!read_u64(in, checksum)) return CheckpointStatus::kTruncated;
+  if (checksum != fnv1a64(bytes.data(), bytes.size())) {
+    // Corrupt — resuming silently-wrong state is worse than failing.
+    return CheckpointStatus::kChecksumMismatch;
   }
 
   // Parse the verified payload in place (a streambuf view, not an
@@ -115,23 +140,32 @@ bool load_checkpoint(std::istream& in, RunResult& result) {
       !read_u64(payload, result.counters.escaped) ||
       !read_u64(payload, result.counters.terminated) || !read_u64(payload, nranks) ||
       nranks > kMaxRanks) {
-    return false;
+    return CheckpointStatus::kBadHeader;
   }
   result.ranks.assign(static_cast<std::size_t>(nranks), RankReport{});
   for (RankReport& rank : result.ranks) {
     if (!read_u64(payload, rank.rng_state) || !read_u64(payload, rank.rng_mul) ||
         !read_u64(payload, rank.rng_add)) {
-      return false;
+      return CheckpointStatus::kBadRankSection;
     }
   }
   result.forest = BinForest::load(payload);
-  return static_cast<bool>(payload) && result.forest.tree_count() > 0;
+  if (!payload || result.forest.tree_count() == 0) return CheckpointStatus::kBadForest;
+  return CheckpointStatus::kOk;
+}
+
+CheckpointStatus load_checkpoint_status(const std::string& path, RunResult& result) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return CheckpointStatus::kOpenFailed;
+  return load_checkpoint_status(in, result);
+}
+
+bool load_checkpoint(std::istream& in, RunResult& result) {
+  return load_checkpoint_status(in, result) == CheckpointStatus::kOk;
 }
 
 bool load_checkpoint(const std::string& path, RunResult& result) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  return load_checkpoint(in, result);
+  return load_checkpoint_status(path, result) == CheckpointStatus::kOk;
 }
 
 }  // namespace photon

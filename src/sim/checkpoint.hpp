@@ -23,11 +23,33 @@
 
 namespace photon {
 
+// Which check a rejected checkpoint failed — a multi-hour run that refuses
+// to resume should say *why* (and photon_cli prints exactly this).
+enum class CheckpointStatus {
+  kOk,
+  kOpenFailed,         // path could not be opened
+  kBadMagic,           // not a checkpoint at all
+  kOldVersion,         // v1 magic: unverifiable format, rejected by design
+  kBadLength,          // length field exceeds the payload cap
+  kTruncated,          // stream ended before the declared payload length
+  kChecksumMismatch,   // payload bytes fail the FNV-1a-64 check
+  kBadHeader,          // verified payload too short for counters/rank count
+  kBadRankSection,     // rank count implies more state than the payload holds
+  kBadForest,          // forest section malformed or empty
+};
+
+// Stable lower-case name for a status ("ok", "bad-magic", ...).
+const char* checkpoint_status_name(CheckpointStatus status);
+
 void save_checkpoint(const RunResult& result, std::ostream& out);
 bool save_checkpoint(const RunResult& result, const std::string& path);
 
-// Returns false (leaving `result` unspecified) on a malformed, truncated, or
-// checksum-failing stream; never throws, never partially adopts state.
+// Returns the first failed check (leaving `result` unspecified on failure);
+// never throws, never partially adopts state.
+CheckpointStatus load_checkpoint_status(std::istream& in, RunResult& result);
+CheckpointStatus load_checkpoint_status(const std::string& path, RunResult& result);
+
+// Convenience wrappers: true iff the status is kOk.
 bool load_checkpoint(std::istream& in, RunResult& result);
 bool load_checkpoint(const std::string& path, RunResult& result);
 

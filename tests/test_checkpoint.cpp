@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -178,6 +179,106 @@ TEST(CheckpointFuzz, RandomNoiseNeverLoads) {
     RunResult r;
     EXPECT_FALSE(load_checkpoint(in, r)) << "trial " << trial;
   }
+}
+
+// --- Typed rejection statuses: photon_cli prints WHICH check a refused
+// checkpoint failed, so every distinct failure must map to its own status.
+
+// FNV-1a-64 over the payload — mirrors the loader so tests can re-seal a
+// deliberately edited payload.
+std::uint64_t fnv64(const char* data, std::size_t n) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+void put_u64(std::string& bytes, std::size_t at, std::uint64_t v) {
+  std::memcpy(&bytes[at], &v, sizeof(v));
+}
+
+std::uint64_t get_u64(const std::string& bytes, std::size_t at) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, bytes.data() + at, sizeof(v));
+  return v;
+}
+
+// Re-seals an edited checkpoint: recomputes the payload checksum so the edit
+// reaches the check under test instead of tripping the checksum first.
+void reseal(std::string& bytes) {
+  const std::uint64_t length = get_u64(bytes, 8);
+  put_u64(bytes, 16 + static_cast<std::size_t>(length),
+          fnv64(bytes.data() + 16, static_cast<std::size_t>(length)));
+}
+
+CheckpointStatus status_of(const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::binary);
+  RunResult r;
+  return load_checkpoint_status(in, r);
+}
+
+TEST(CheckpointStatusTest, ReportsEachDistinctFailure) {
+  const std::string valid = checkpoint_bytes();
+  ASSERT_EQ(status_of(valid), CheckpointStatus::kOk);
+
+  std::string bad_magic = valid;
+  bad_magic[0] = static_cast<char>(bad_magic[0] ^ 0xFF);
+  EXPECT_EQ(status_of(bad_magic), CheckpointStatus::kBadMagic);
+
+  // v1 magic ("PHOTONCK"): a real but unverifiable old format, distinct from
+  // garbage.
+  std::string v1 = valid;
+  put_u64(v1, 0, 0x50484F544F4E434BULL);
+  EXPECT_EQ(status_of(v1), CheckpointStatus::kOldVersion);
+
+  std::string bad_length = valid;
+  put_u64(bad_length, 8, (1ULL << 33) + 1);  // over the 8 GiB payload cap
+  EXPECT_EQ(status_of(bad_length), CheckpointStatus::kBadLength);
+
+  EXPECT_EQ(status_of(valid.substr(0, valid.size() / 2)), CheckpointStatus::kTruncated);
+  EXPECT_EQ(status_of(valid.substr(0, 12)), CheckpointStatus::kTruncated);
+
+  std::string flipped = valid;
+  flipped[100] = static_cast<char>(flipped[100] ^ 1);
+  EXPECT_EQ(status_of(flipped), CheckpointStatus::kChecksumMismatch);
+
+  // Rank count claiming more per-rank state than the payload holds (payload
+  // offset 64, after 3 RNG words + 5 counters), re-sealed so it reaches the
+  // rank-section parse.
+  std::string bad_ranks = valid;
+  put_u64(bad_ranks, 16 + 64, 60000);  // < kMaxRanks, > what the payload holds
+  reseal(bad_ranks);
+  EXPECT_EQ(status_of(bad_ranks), CheckpointStatus::kBadRankSection);
+
+  // Header says more ranks than the format cap allows.
+  std::string over_cap = valid;
+  put_u64(over_cap, 16 + 64, 1ULL << 20);
+  reseal(over_cap);
+  EXPECT_EQ(status_of(over_cap), CheckpointStatus::kBadHeader);
+
+  // A sealed payload cut off right after the (zeroed) rank count: header
+  // parses, forest section is missing.
+  std::string no_forest = valid.substr(0, 16 + 72 + 8);
+  put_u64(no_forest, 8, 72);
+  put_u64(no_forest, 16 + 64, 0);  // nranks = 0
+  reseal(no_forest);
+  EXPECT_EQ(status_of(no_forest), CheckpointStatus::kBadForest);
+
+  RunResult r;
+  EXPECT_EQ(load_checkpoint_status("/nonexistent_zzz/photon.ck", r),
+            CheckpointStatus::kOpenFailed);
+}
+
+TEST(CheckpointStatusTest, NamesAreStable) {
+  EXPECT_STREQ(checkpoint_status_name(CheckpointStatus::kOk), "ok");
+  EXPECT_STREQ(checkpoint_status_name(CheckpointStatus::kBadMagic), "bad-magic");
+  EXPECT_STREQ(checkpoint_status_name(CheckpointStatus::kOldVersion), "old-version");
+  EXPECT_STREQ(checkpoint_status_name(CheckpointStatus::kChecksumMismatch),
+               "checksum-mismatch");
+  EXPECT_STREQ(checkpoint_status_name(CheckpointStatus::kBadRankSection),
+               "bad-rank-section");
 }
 
 TEST(CheckpointFuzz, TrailingGarbageAfterAValidPayloadStillLoads) {

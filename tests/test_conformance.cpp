@@ -30,12 +30,14 @@
 
 #include <algorithm>
 #include <map>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "engine/backend.hpp"
 #include "geom/scenes.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/simulator.hpp"
 
 namespace photon {
@@ -277,6 +279,70 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, ConformanceTest,
                            std::string name = info.param.first;
                            std::replace(name.begin(), name.end(), '-', '_');
                            return name + "_" + accel_kind_name(info.param.second);
+                         });
+
+// --- Elastic resume across a CHANGED shape: checkpoint at width P0, resume
+// at width P1 through the v2 byte-format round-trip. Conservation holds for
+// every (P0, P1) cell; bitwise equality where the RNG scheme is
+// shape-invariant — hybrid everywhere (per-photon streams), dist-particle
+// only at an unchanged width with aligned batches (its leapfrog streams are
+// shape-bound; at a changed width the resume degrades to disjoint-block
+// streams, the conservative re-trace).
+class ElasticResumeTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ElasticResumeTest, CheckpointAtOneWidthResumesAtAnother) {
+  const std::string backend = GetParam();
+  const bool width_is_groups = backend == "hybrid";
+  const std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> budgets = {
+      {"cornell", {1200, 600}}, {"harpsichord", {800, 400}}, {"lab", {400, 200}}};
+  for (const NamedScene& cell : bundled_scenes()) {
+    const auto [leg1_photons, leg2_photons] = budgets.at(cell.name);
+    const std::uint64_t total = leg1_photons + leg2_photons;
+    for (const int P0 : {2, 4}) {
+      for (const int P1 : {1, 2, 3, 8}) {
+        const std::string label = backend + " " + cell.name + " P0=" +
+                                  std::to_string(P0) + " P1=" + std::to_string(P1);
+        const Shape shape0 = width_is_groups ? Shape{P0, 2} : Shape{1, P0};
+        const Shape shape1 = width_is_groups ? Shape{P1, 2} : Shape{1, P1};
+        RunConfig leg1 = config_for(shape0, leg1_photons);
+        RunConfig leg2 = config_for(shape1, leg2_photons);
+        leg1.batch = 100;  // aligned: leg1 ends on a batch boundary at every P0
+        leg2.batch = 100;
+        const RunResult first = run_named(backend, *cell.scene, leg1);
+
+        // Through the v2 byte format, not just the in-memory object: this is
+        // the rank/group-count elasticity photon_cli's --resume exercises.
+        std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+        save_checkpoint(first, buf);
+        RunResult loaded;
+        ASSERT_TRUE(load_checkpoint(buf, loaded)) << label;
+
+        const RunResult resumed = run_named(backend, *cell.scene, leg2, &loaded);
+        EXPECT_GE(resumed.counters.emitted, total) << label;
+        EXPECT_EQ(resumed.forest.emitted_total(), resumed.counters.emitted) << label;
+        EXPECT_EQ(resumed.forest.total_tally_all(),
+                  resumed.counters.emitted + resumed.counters.bounces)
+            << label;
+
+        const bool bitwise = width_is_groups || (backend == "dist-particle" && P0 == P1);
+        if (bitwise) {
+          RunConfig straight_cfg = config_for(shape1, total);
+          straight_cfg.batch = 100;
+          const RunResult straight = run_named(backend, *cell.scene, straight_cfg);
+          EXPECT_TRUE(resumed.forest == straight.forest) << label;
+          EXPECT_EQ(resumed.counters.bounces, straight.counters.bounces) << label;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DistributedBackends, ElasticResumeTest,
+                         ::testing::Values("dist-particle", "dist-spatial", "hybrid"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
                          });
 
 TEST(ConformanceOversubscribed, HybridBeyondHardwareThreadsStaysBitwise) {

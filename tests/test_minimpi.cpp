@@ -283,6 +283,282 @@ TEST(MiniMpi, ExceptionPropagates) {
                std::runtime_error);
 }
 
+// --- Fault model (mp/fault.hpp): deadlines, heartbeats, scripted kills,
+// drops and delays. These pin the substrate-level guarantees the elastic
+// runner builds on; backend-level recovery is pinned in test_faults.
+
+TEST(MiniMpiFaults, RecvDeadlineTimesOutWithTypedError) {
+  // A bounded recv with no sender must resolve to a typed kTimeout — and the
+  // time blocked on the expired attempts still lands on the wait clock.
+  CommErrorKind kind = CommErrorKind::kPeerDead;
+  double waited = -1.0;
+  std::uint64_t retries = 0;
+  run_world(2, [&](Comm& comm) {
+    if (comm.rank() == 1) {
+      try {
+        comm.recv(0, 0, 0.02);
+        FAIL() << "recv returned without a message";
+      } catch (const CommError& e) {
+        kind = e.kind();
+        waited = comm.wait_seconds(0);
+        retries = comm.deadline_retries();
+      }
+    } else {
+      // Outlive the full retry budget (0.02 * (1+2+4+8) = 0.3s) so the peer
+      // times out instead of seeing us exit.
+      std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    }
+  });
+  EXPECT_EQ(kind, CommErrorKind::kTimeout);
+  EXPECT_GT(waited, 0.0);
+  EXPECT_GT(retries, 0u);
+}
+
+TEST(MiniMpiFaults, KillUnblocksBlockedPeersWithoutDeadlines) {
+  // Fail-stop: an announced death must wake peers blocked in an UNBOUNDED
+  // recv — the no-hang guarantee needs no deadline policy when deaths are
+  // announced.
+  FaultPlan plan;
+  plan.add_kill({0, FaultPoint::kBeforeBatch, 0});
+  WorldOptions opt;
+  opt.plan = &plan;
+  try {
+    run_world(3, opt, [&](Comm& comm) {
+      comm.batch_tick(0);  // rank 0 dies here
+      comm.recv(0, 0);     // would block forever without the cascade
+      FAIL() << "recv from a dead rank returned";
+    });
+    FAIL() << "expected WorldFailure";
+  } catch (const WorldFailure& f) {
+    ASSERT_EQ(f.dead_ranks.size(), 1u);
+    EXPECT_EQ(f.dead_ranks[0], 0);
+    EXPECT_EQ(f.aborted_ranks, 2);
+    EXPECT_FALSE(f.timed_out);
+  }
+}
+
+TEST(MiniMpiFaults, SilentDeathIsDeclaredByTheHeartbeatDetector) {
+  // announce_death=false models a partition: only the failure detector can
+  // discover the loss, via the stale per-batch heartbeat counter.
+  FaultPlan plan;
+  plan.add_kill({0, FaultPoint::kBeforeBatch, 1});
+  WorldOptions opt;
+  opt.plan = &plan;
+  opt.policy.deadline_s = 0.02;
+  opt.policy.retries = 2;
+  opt.policy.heartbeats = true;
+  opt.policy.announce_death = false;
+  CommErrorKind kind = CommErrorKind::kTimeout;
+  try {
+    run_world(2, opt, [&](Comm& comm) {
+      comm.batch_tick(0);
+      if (comm.rank() == 0) {
+        comm.send(1, Bytes(4));
+        comm.batch_tick(1);  // dies here, silently
+        FAIL() << "rank 0 survived its scripted kill";
+      } else {
+        comm.recv(0);
+        comm.batch_tick(1);
+        try {
+          comm.recv(0);  // rank 0 is gone and will never send again
+          FAIL() << "recv from a silently dead rank returned";
+        } catch (const CommError& e) {
+          kind = e.kind();
+          throw;
+        }
+      }
+    });
+    FAIL() << "expected WorldFailure";
+  } catch (const WorldFailure& f) {
+    ASSERT_EQ(f.dead_ranks.size(), 1u);
+    EXPECT_EQ(f.dead_ranks[0], 0);
+  }
+  EXPECT_EQ(kind, CommErrorKind::kPeerDead);
+}
+
+TEST(MiniMpiFaults, PeerExitUnblocksUnboundedRecv) {
+  CommErrorKind kind = CommErrorKind::kTimeout;
+  run_world(2, [&](Comm& comm) {
+    if (comm.rank() == 1) {
+      try {
+        comm.recv(0);
+        FAIL() << "recv from an exited rank returned";
+      } catch (const CommError& e) {
+        kind = e.kind();
+      }
+    }
+  });
+  EXPECT_EQ(kind, CommErrorKind::kPeerExited);
+}
+
+TEST(MiniMpiFaults, QueuedMessagesDrainBeforePeerGoneError) {
+  // A message sent before the peer left must still be received; only the
+  // recv past the end of the queue errors.
+  bool got = false;
+  CommErrorKind kind = CommErrorKind::kTimeout;
+  run_world(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, Bytes(4));  // then exit immediately
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      got = comm.recv(0).size() == 4;
+      try {
+        comm.recv(0);
+      } catch (const CommError& e) {
+        kind = e.kind();
+      }
+    }
+  });
+  EXPECT_TRUE(got);
+  EXPECT_EQ(kind, CommErrorKind::kPeerExited);
+}
+
+TEST(MiniMpiFaults, DroppedDeliveryNeverArrives) {
+  FaultPlan plan;
+  plan.add_drop({0, 1, 0, 0});  // first 0->1 delivery on tag 0
+  WorldOptions opt;
+  opt.plan = &plan;
+  run_world(2, opt, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, make_payload(0, 1, 7));
+      comm.send(1, make_payload(0, 1, 8));
+    } else {
+      const Bytes got = comm.recv(0);
+      int tag = -1;
+      std::memcpy(&tag, got.data() + 8, 4);
+      EXPECT_EQ(tag, 8);  // the first delivery was consumed on the wire
+    }
+  });
+}
+
+TEST(MiniMpiFaults, DelayedDeliveryArrivesLateAndIsWaitedFor) {
+  FaultPlan plan;
+  plan.add_delay({0, 1, 0, 0, 0.05});
+  WorldOptions opt;
+  opt.plan = &plan;
+  double waited = -1.0;
+  run_world(2, opt, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, Bytes(4));
+      comm.barrier();  // the delivery is posted; only its visibility lags
+    } else {
+      comm.barrier();
+      comm.recv(0);
+      waited = comm.wait_seconds(0);
+    }
+  });
+  EXPECT_GT(waited, 0.02);
+}
+
+TEST(MiniMpiFaults, RetriesAbsorbADelayWithinTheDeadlineBudget) {
+  // Per-attempt deadline 0.02s but a 0.05s delivery delay: the backed-off
+  // retries (0.02 * (1+2+4+8) = 0.3s budget) must absorb it without error.
+  FaultPlan plan;
+  plan.add_delay({0, 1, 0, 0, 0.05});
+  WorldOptions opt;
+  opt.plan = &plan;
+  opt.policy.deadline_s = 0.02;
+  std::uint64_t retries = 0;
+  bool received = false;
+  run_world(2, opt, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, Bytes(4));
+    } else {
+      received = comm.recv(0).size() == 4;
+      retries = comm.deadline_retries();
+    }
+  });
+  EXPECT_TRUE(received);
+  EXPECT_GT(retries, 0u);
+}
+
+TEST(MiniMpiFaults, BarrierDeadlineTimesOutTyped) {
+  WorldOptions opt;
+  opt.policy.deadline_s = 0.02;
+  opt.policy.retries = 1;
+  CommErrorKind kind = CommErrorKind::kPeerDead;
+  std::atomic<bool> late_aborted{false};
+  run_world(2, opt, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      try {
+        comm.barrier();
+        FAIL() << "barrier completed with a missing rank";
+      } catch (const CommError& e) {
+        kind = e.kind();
+      }
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      // By now rank 0 gave up and exited; this barrier aborts instead of
+      // waiting for a world that can never assemble.
+      try {
+        comm.barrier();
+      } catch (const CommError&) {
+        late_aborted.store(true);
+      }
+    }
+  });
+  EXPECT_EQ(kind, CommErrorKind::kTimeout);
+  EXPECT_TRUE(late_aborted.load());
+}
+
+TEST(MiniMpiFaults, FinishDeadlineTimesOutTyped) {
+  CommErrorKind kind = CommErrorKind::kPeerDead;
+  std::atomic<bool> done{false};
+  run_world(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      PendingExchange pending = comm.alltoall_start(std::vector<Bytes>(2), 1);
+      try {
+        pending.finish(0.01);
+        FAIL() << "finish completed without the peer's buffer";
+      } catch (const CommError& e) {
+        kind = e.kind();
+      }
+      done.store(true);
+    } else {
+      // Never participates on tag 1; just outlives rank 0's deadline.
+      while (!done.load()) std::this_thread::yield();
+    }
+  });
+  EXPECT_EQ(kind, CommErrorKind::kTimeout);
+}
+
+TEST(MiniMpiFaults, DropAndDelayMatchTheNthDelivery) {
+  FaultPlan plan;
+  plan.add_drop({0, 1, 0, 1});
+  plan.add_delay({0, 1, 0, 2, 0.5});
+  double delay = 0.0;
+  EXPECT_TRUE(plan.on_delivery(0, 1, 0, delay));  // nth=0: untouched
+  EXPECT_DOUBLE_EQ(delay, 0.0);
+  EXPECT_FALSE(plan.on_delivery(0, 1, 0, delay));  // nth=1: dropped
+  EXPECT_TRUE(plan.on_delivery(0, 1, 0, delay));   // nth=2: delayed
+  EXPECT_DOUBLE_EQ(delay, 0.5);
+  delay = 0.0;
+  EXPECT_TRUE(plan.on_delivery(1, 0, 0, delay));  // other direction: untouched
+  EXPECT_DOUBLE_EQ(delay, 0.0);
+}
+
+TEST(MiniMpiFaults, ParseFaultPlanSpecGrammar) {
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(parse_fault_plan(
+      "kill:rank=1,batch=2,point=mid;drop:src=0,dst=1,nth=3;delay:src=1,dst=0,ms=50,tag=1",
+      plan, error))
+      << error;
+  EXPECT_FALSE(plan.empty());
+  EXPECT_FALSE(plan.should_kill(1, FaultPoint::kMidExchange, 1));
+  EXPECT_FALSE(plan.should_kill(1, FaultPoint::kBeforeBatch, 2));
+  EXPECT_TRUE(plan.should_kill(1, FaultPoint::kMidExchange, 2));
+  EXPECT_FALSE(plan.should_kill(1, FaultPoint::kMidExchange, 2));  // one-shot
+
+  FaultPlan bad;
+  EXPECT_FALSE(parse_fault_plan("kill:batch=2", bad, error));
+  EXPECT_FALSE(parse_fault_plan("drop:src=0", bad, error));
+  EXPECT_FALSE(parse_fault_plan("delay:src=0,dst=1", bad, error));
+  EXPECT_FALSE(parse_fault_plan("explode:rank=1", bad, error));
+  EXPECT_FALSE(parse_fault_plan("kill:rank=1,point=sometime", bad, error));
+  EXPECT_FALSE(parse_fault_plan("", bad, error));
+}
+
 TEST(MiniMpi, LargePayloadIntegrity) {
   run_world(2, [](Comm& comm) {
     if (comm.rank() == 0) {
