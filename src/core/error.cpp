@@ -1,0 +1,31 @@
+#include "core/error.hpp"
+
+namespace photon {
+
+const char* engine_error_code(EngineErrorKind kind) {
+  switch (kind) {
+    case EngineErrorKind::kConfig: return "config";
+    case EngineErrorKind::kScene: return "scene";
+    case EngineErrorKind::kResource: return "resource";
+    case EngineErrorKind::kComm: return "comm";
+    case EngineErrorKind::kCheckpoint: return "checkpoint";
+    case EngineErrorKind::kPreempted: return "preempted";
+    case EngineErrorKind::kWedged: return "wedged";
+  }
+  return "?";
+}
+
+int engine_error_exit_code(EngineErrorKind kind) {
+  switch (kind) {
+    case EngineErrorKind::kCheckpoint: return 3;
+    case EngineErrorKind::kComm: return 4;
+    case EngineErrorKind::kPreempted: return 5;
+    case EngineErrorKind::kWedged: return 6;
+    case EngineErrorKind::kConfig: return 7;
+    case EngineErrorKind::kScene: return 8;
+    case EngineErrorKind::kResource: return 9;
+  }
+  return 1;
+}
+
+}  // namespace photon

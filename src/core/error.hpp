@@ -1,0 +1,107 @@
+// The engine's typed error taxonomy.
+//
+// Every failure the run-governance layer (engine/governor.hpp) can surface —
+// bad configuration, degenerate scene input, an exhausted memory budget, a
+// communication failure, a rejected checkpoint, a graceful preemption, a
+// wedged run — is an EngineError with a stable machine-readable code and a
+// documented process exit code. This replaces the ad-hoc mix of bare
+// std::runtime_error throws and printf-plus-magic-return sites that had
+// accumulated across engine/mp/sim/geom: photon_cli maps the kind straight to
+// its exit-code table and to the structured `error` block of --report=json,
+// so a supervisor can tell "retry later" (preempted, code 5) from "fix the
+// input" (config/scene, codes 7/8) without parsing prose. See DESIGN.md,
+// "Run governance".
+//
+// This header lives in core/ — the bottom layer — so geom, mp, sim and
+// engine can all throw typed errors without dependency cycles (mp/fault.hpp
+// rebases CommError onto this hierarchy).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace photon {
+
+enum class EngineErrorKind {
+  kConfig,      // malformed flags / parameters; fix the invocation
+  kScene,       // degenerate or unloadable scene input; fix the scene
+  kResource,    // memory budget refused or exceeded; shrink the job or raise it
+  kComm,        // communication failure beyond recovery
+  kCheckpoint,  // checkpoint rejected (damaged, wrong version, ...)
+  kPreempted,   // graceful stop on SIGTERM/SIGINT/SIGUSR1 — resumable
+  kWedged,      // watchdog declared the run stuck — typed abort, not a hang
+};
+
+// Stable lower-case slug for a kind ("config", "scene", ...): the machine
+// identity of an error, independent of the human message.
+const char* engine_error_code(EngineErrorKind kind);
+
+// The documented photon_cli exit code for a kind. The full table (including
+// the non-error codes) lives in DESIGN.md "Run governance":
+//   0 success            5 preempted (resumable — rerun with --checkpoint)
+//   1 generic I/O        6 wedged (watchdog abort; emergency checkpoint)
+//   2 usage              7 config rejected
+//   3 checkpoint         8 scene rejected
+//   4 comm failure       9 resource budget refused/exceeded (resumable)
+int engine_error_exit_code(EngineErrorKind kind);
+
+class EngineError : public std::runtime_error {
+ public:
+  EngineError(EngineErrorKind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+
+  // Named engine_kind (not kind) so subclasses keep their historical
+  // fine-grained accessors — CommError::kind() still answers CommErrorKind.
+  EngineErrorKind engine_kind() const { return kind_; }
+  const char* code() const { return engine_error_code(kind_); }
+  int exit_code() const { return engine_error_exit_code(kind_); }
+
+ private:
+  EngineErrorKind kind_;
+};
+
+class ConfigError : public EngineError {
+ public:
+  explicit ConfigError(const std::string& what)
+      : EngineError(EngineErrorKind::kConfig, what) {}
+};
+
+// `patch` names the offending patch index when the diagnostic is about one
+// (-1 otherwise) — a 2000-polygon scene rejection must say which polygon.
+class SceneError : public EngineError {
+ public:
+  explicit SceneError(const std::string& what, int patch_index = -1)
+      : EngineError(EngineErrorKind::kScene, what), patch(patch_index) {}
+  int patch;
+};
+
+class ResourceError : public EngineError {
+ public:
+  explicit ResourceError(const std::string& what)
+      : EngineError(EngineErrorKind::kResource, what) {}
+};
+
+class CheckpointError : public EngineError {
+ public:
+  explicit CheckpointError(const std::string& what)
+      : EngineError(EngineErrorKind::kCheckpoint, what) {}
+};
+
+class PreemptedError : public EngineError {
+ public:
+  explicit PreemptedError(const std::string& what)
+      : EngineError(EngineErrorKind::kPreempted, what) {}
+};
+
+// Carries the watchdog's progress snapshot (engine/governor.hpp) rendered as
+// text: per-slot last-tick ages and indices — what the run was doing when it
+// stopped ticking.
+class WedgedError : public EngineError {
+ public:
+  WedgedError(const std::string& what, std::string snapshot_text)
+      : EngineError(EngineErrorKind::kWedged, what),
+        snapshot(std::move(snapshot_text)) {}
+  std::string snapshot;
+};
+
+}  // namespace photon

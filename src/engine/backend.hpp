@@ -28,6 +28,7 @@
 
 #include "core/aabb.hpp"
 #include "engine/config.hpp"
+#include "engine/governor.hpp"
 #include "engine/telemetry.hpp"
 #include "hist/binforest.hpp"
 #include "par/loadbalance.hpp"
@@ -124,6 +125,12 @@ struct RunResult {
   LoadBalance balance;                           // dist-particle
   std::vector<Aabb> regions;                     // dist-spatial
   RecoveryStats recovery;                        // filled by run_elastic
+
+  // How a governed run ended (engine/governor.hpp). kComplete unless
+  // config.governed and the run stopped early at a window boundary; a
+  // non-complete result is still a valid resume point — counters.emitted
+  // photons are done, rerunning with the same checkpoint continues bitwise.
+  RunStatus status = RunStatus::kComplete;
 };
 
 class Backend {

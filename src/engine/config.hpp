@@ -119,6 +119,31 @@ struct RunConfig {
   std::uint64_t checkpoint_photons = 0;
   // World failures tolerated before run_elastic gives up and rethrows.
   int max_recoveries = 8;
+
+  // --- Run governance (engine/governor.hpp) -------------------------------
+  // Governed runs poll the preempt flag and the memory budget at window
+  // boundaries and stop gracefully with a non-kComplete RunStatus. Off by
+  // default: governance adds one allreduce per window on the distributed
+  // backends, and collectives must be unconditional across ranks — so the
+  // flag must be identical on every rank of a world (the CLI always sets it;
+  // library callers opt in).
+  bool governed = false;
+  // Watchdog deadline: no Progress tick for this many seconds makes the run
+  // suspect; none for a further watchdog_grace_s declares it wedged
+  // (emergency checkpoint + typed abort). 0 disables the watchdog.
+  double watchdog_s = 0.0;
+  double watchdog_grace_s = 0.0;  // 0 = same as watchdog_s
+  // Planning + runtime memory budget in bytes (0 = unlimited). Admission
+  // applies the degradation ladder (govern_admission); governed runs also
+  // stop with RunStatus::kOverBudget when the summed forest footprint
+  // crosses it mid-run.
+  std::uint64_t memory_budget = 0;
+  // Where the watchdog's emergency callback flushes the last completed leg
+  // when a run is declared wedged (empty = no emergency checkpoint).
+  std::string emergency_checkpoint_path;
+  // Last-resort _Exit(6) when a wedge is unreachable by world poisoning
+  // (e.g. a stuck compute loop). CLI-only; never set in library use.
+  bool watchdog_exit = false;
 };
 
 }  // namespace photon

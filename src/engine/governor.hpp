@@ -1,0 +1,184 @@
+// Run governance: graceful preemption, the stuck-run watchdog, and the
+// memory budget — the robustness layer every backend runs under.
+//
+// Four services (DESIGN.md "Run governance"):
+//
+//   Preemption   An async-signal-safe SIGTERM/SIGINT/SIGUSR1 handler sets a
+//                lock-free flag; governed backend loops poll it at window
+//                boundaries and stop cleanly with RunStatus::kPreempted —
+//                the partial RunResult is a valid window-aligned checkpoint,
+//                so rerunning with the same --checkpoint continues bitwise.
+//                The distributed backends agree on the stop window with one
+//                allreduce of a packed stop word (below), so every rank
+//                breaks at the same window and the in-flight exchange drains
+//                through the existing end-of-loop path.
+//
+//   Progress     A process-global liveness beacon generalizing MiniMPI's
+//                per-batch heartbeat counters to every backend: serial and
+//                shared batch loops, each distributed rank, the worker pool's
+//                chunk claims and the accel builds all tick it. Ticking is an
+//                atomic bump (no lock on the hot path); labeled slots carry
+//                the last batch/window index per participant for the
+//                watchdog's snapshot.
+//
+//   Watchdog     A monitor thread that reads the beacon: no tick for
+//                deadline_s seconds makes the run suspect, none for a
+//                further grace_s declares it wedged — emergency checkpoint
+//                (via callback), progress snapshot, then poison_all_worlds()
+//                so every blocked MiniMPI wait throws a typed CommError
+//                instead of hanging; run_elastic converts that WorldFailure
+//                into a WedgedError (exit 6). A typed abort, never a hang.
+//
+//   MemoryBudget govern_admission applies the documented degradation ladder
+//                to an over-budget run before it starts: shrink the sink
+//                buffers, then coarsen the accel leaf parameters (both
+//                bitwise-neutral by contract), then refuse admission with a
+//                typed ResourceError. At run time the governed loops fold
+//                the forest footprint into the same stop word and stop with
+//                RunStatus::kOverBudget — a resumable graceful stop, not an
+//                OOM kill. Batch/window size is deliberately NOT a rung:
+//                record order feeds the adaptive split decisions, so
+//                changing it would change results.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "engine/config.hpp"
+#include "geom/scene.hpp"
+
+namespace photon {
+
+// How a governed run ended. Not serialized into checkpoints — a checkpoint
+// is the same bytes whether the leg ended by count or by preemption.
+enum class RunStatus {
+  kComplete,    // ran to the configured photon count
+  kPreempted,   // stopped at a window boundary on the preempt flag
+  kOverBudget,  // stopped at a window boundary on the memory budget
+};
+const char* run_status_name(RunStatus status);
+
+// ---- Preemption ------------------------------------------------------------
+
+// Installs SIGTERM/SIGINT/SIGUSR1 handlers that call request_preempt().
+// Idempotent. The handler writes one lock-free atomic flag and nothing else
+// (the async-signal-safety argument in DESIGN.md); everything slow —
+// checkpoint flush, telemetry — happens on the polling thread at the next
+// window boundary.
+void install_preempt_handlers();
+
+// Sets the preempt flag. Async-signal-safe; also callable directly (tests
+// preempt deterministically by setting it before the run starts).
+void request_preempt();
+bool preempt_requested();
+void clear_preempt();
+
+// ---- The distributed stop word --------------------------------------------
+//
+// One allreduce_sum_u64 per window lets every rank derive the same stop
+// decision from the same sum: the low 13 bits count preempt votes (world
+// width is capped at 4096 ranks), the high bits carry the rank's forest
+// footprint in 64 KiB units. The encoding keeps the world-wide sum below
+// 2^53 — MiniMPI's allreduce reduces in double, so anything bigger would
+// round the vote bits away.
+std::uint64_t encode_stop_word(bool preempt, std::uint64_t forest_bytes);
+bool stop_word_preempted(std::uint64_t sum);
+// True when the summed forest footprint exceeds budget_bytes (0 = unlimited).
+bool stop_word_over_budget(std::uint64_t sum, std::uint64_t budget_bytes);
+
+// ---- Progress beacon -------------------------------------------------------
+
+struct ProgressSlot {
+  std::string label;         // "serial", "hybrid-rank0", "pool", "accel-build"
+  std::uint64_t ticks = 0;   // times this slot ticked
+  std::uint64_t detail = 0;  // last batch/window/chunk index reported
+  double age_s = 0.0;        // seconds since this slot last ticked
+};
+
+struct ProgressSnapshot {
+  std::uint64_t total_ticks = 0;
+  double stalled_s = 0.0;  // seconds since ANY slot ticked
+  std::vector<ProgressSlot> slots;
+  std::string to_string() const;  // one line per slot, for diagnostics
+};
+
+// Process-global. tick() is the labeled per-batch heartbeat (one mutex-free
+// atomic bump plus a short slot update); pulse() is the label-free fast path
+// for fine-grained callers (the pool's per-chunk claims). The watchdog reads
+// only the atomic total and timestamp, so a beacon tick never blocks on the
+// monitor.
+class Progress {
+ public:
+  static Progress& instance();
+
+  void tick(const char* label, std::uint64_t detail = 0);
+  void pulse();  // liveness only; no slot bookkeeping
+
+  std::uint64_t total_ticks() const;
+  double seconds_since_tick() const;  // +inf when nothing ever ticked
+  ProgressSnapshot snapshot() const;
+
+  // Drops all slots and zeroes the counters (test isolation).
+  void reset();
+
+ private:
+  Progress() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+// ---- Watchdog --------------------------------------------------------------
+
+// Monitors the Progress beacon from a dedicated thread. State machine:
+// HEALTHY --(no tick for deadline_s)--> SUSPECT --(no tick for a further
+// grace_s)--> WEDGED (one-way); any tick before the grace expires returns to
+// HEALTHY. On WEDGED: capture the snapshot, invoke the emergency callback
+// (run_elastic registers the checkpoint flush), poison every MiniMPI world
+// so blocked comm waits throw, and — only when exit_on_wedge is set (the CLI
+// fallback for a wedge poison cannot reach, e.g. a stuck compute loop) —
+// _Exit with the wedged code after one more grace period with no ticks.
+class Watchdog {
+ public:
+  Watchdog(double deadline_s, double grace_s);
+  ~Watchdog();  // stops and joins the monitor thread
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  // Called exactly once when the run is declared wedged, from the monitor
+  // thread, before the worlds are poisoned. Set before the run starts.
+  void set_emergency(std::function<void(const ProgressSnapshot&)> fn);
+  void set_exit_on_wedge(bool enabled);
+
+  bool fired() const;
+  // The snapshot captured at firing (empty when !fired()).
+  ProgressSnapshot wedged_snapshot() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+// ---- Memory budget ---------------------------------------------------------
+
+// What govern_admission decided: the (possibly degraded) knobs to run with
+// and what each rung changed. estimate_bytes is the planning-time footprint
+// — accel + virgin forest + buffer high-water estimate — not a promise.
+struct AdmissionPlan {
+  std::uint64_t estimated_bytes = 0;
+  std::uint64_t sink_buffer = 0;       // records per worker buffer (rung 1)
+  AccelBuildParams accel_params{};     // leaf params (rung 2)
+  bool shrank_buffers = false;
+  bool coarsened_accel = false;
+};
+
+// Applies the degradation ladder for config.memory_budget (0 = unlimited:
+// returns the config's own knobs untouched). Rung 2 rebuilds the scene's
+// accel with coarser leaf parameters and re-measures the real footprint —
+// bitwise-neutral by the AccelStructure contract. Throws ResourceError when
+// even the coarsest plan exceeds the budget (refused admission).
+AdmissionPlan govern_admission(Scene& scene, const RunConfig& config);
+
+}  // namespace photon

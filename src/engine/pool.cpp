@@ -1,5 +1,7 @@
 #include "engine/pool.hpp"
 
+#include "engine/governor.hpp"
+
 #include <atomic>
 #include <condition_variable>
 #include <exception>
@@ -132,6 +134,9 @@ void work(Job& job, int slot) {
   std::uint64_t chunk = 0;
   bool stolen = false;
   while (claim_chunk(job, slot, chunk, stolen)) {
+    // Liveness pulse for the stuck-run watchdog: one lock-free atomic bump
+    // per chunk claim, the finest-grained beacon the engine ticks.
+    Progress::instance().pulse();
     Job::Counts& mine = job.counts[static_cast<std::size_t>(slot)].value;
     ++mine.chunks;
     if (stolen) ++mine.steals;

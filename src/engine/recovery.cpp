@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
+#include <mutex>
 
+#include "core/error.hpp"
+#include "engine/governor.hpp"
 #include "mp/fault.hpp"
+#include "sim/checkpoint.hpp"
 
 namespace photon {
 
@@ -30,6 +35,27 @@ RunResult run_elastic(Backend& backend, const Scene& scene, const RunConfig& con
   RunResult state;
   bool have_state = resume != nullptr;
   if (resume) state = *resume;
+  // Guards `state`/`have_state` against the watchdog's emergency callback,
+  // which reads them from the monitor thread while the loop thread writes
+  // them between legs.
+  std::mutex state_m;
+
+  // Stuck-run watchdog (engine/governor.hpp): monitors the Progress beacon
+  // for the whole elastic run. On a wedge it flushes the last completed leg
+  // as an emergency checkpoint, then poisons every MiniMPI world so blocked
+  // waits throw — the WorldFailure that surfaces here is converted to a
+  // typed WedgedError below instead of retrying forever.
+  std::unique_ptr<Watchdog> wd;
+  if (config.watchdog_s > 0.0) {
+    wd = std::make_unique<Watchdog>(config.watchdog_s, config.watchdog_grace_s);
+    wd->set_exit_on_wedge(config.watchdog_exit);
+    if (!config.emergency_checkpoint_path.empty()) {
+      wd->set_emergency([&](const ProgressSnapshot&) {
+        std::lock_guard<std::mutex> lock(state_m);
+        if (have_state) save_checkpoint(state, config.emergency_checkpoint_path);
+      });
+    }
+  }
 
   std::uint64_t done = 0;
   bool ran_any = false;
@@ -40,12 +66,32 @@ RunResult run_elastic(Backend& backend, const Scene& scene, const RunConfig& con
     const Clock::time_point t0 = Clock::now();
     try {
       RunResult r = backend.run(scene, cfg, have_state ? &state : nullptr);
-      state = std::move(r);
-      have_state = true;
+      {
+        std::lock_guard<std::mutex> lock(state_m);
+        state = std::move(r);
+        have_state = true;
+      }
       done += n;
       ran_any = true;
       ++rec.legs;
+      // A governed stop ended this leg early at a window boundary. Do not
+      // start another leg: the partial result is the caller's resumable
+      // checkpoint (counters.emitted says how far it got).
+      if (state.status != RunStatus::kComplete) break;
     } catch (const WorldFailure& failure) {
+      if (wd && wd->fired()) {
+        // Not a rank failure: the watchdog poisoned the world. Shrinking and
+        // retrying would re-wedge; surface the typed abort instead.
+        const ProgressSnapshot snap = wd->wedged_snapshot();
+        if (stats) *stats = rec;
+        throw WedgedError(
+            "run declared wedged by the watchdog (no progress for " +
+                std::to_string(config.watchdog_s + (config.watchdog_grace_s > 0.0
+                                                        ? config.watchdog_grace_s
+                                                        : config.watchdog_s)) +
+                "s); world poisoned",
+            snap.to_string());
+      }
       rec.lost_seconds += std::chrono::duration<double>(Clock::now() - t0).count();
       ++rec.failures;
       rec.photons_retraced += n;

@@ -110,4 +110,14 @@ class Scene {
   AccelKind accel_kind_ = AccelKind::kOctree;
 };
 
+// Rejects degenerate input with a typed SceneError (core/error.hpp) naming
+// the offending patch/luminaire index: non-finite vertices, zero-area patches
+// (which have a zero normal and undefined bilinear inversion — the tracer
+// divides by them), out-of-range material references, luminaires with
+// invalid patch indices, non-finite or negative power, angular_scale outside
+// (0, 1], and a scene whose total power is zero (nothing to emit). Called by
+// the CLI after load, before any build; library callers may skip it and keep
+// the historical garbage-in behavior.
+void validate_scene(const Scene& scene);
+
 }  // namespace photon

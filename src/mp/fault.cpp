@@ -1,6 +1,8 @@
 #include "mp/fault.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
 #include <sstream>
 
@@ -20,6 +22,7 @@ const char* comm_error_kind_name(CommErrorKind k) {
     case CommErrorKind::kTimeout: return "timeout";
     case CommErrorKind::kPeerDead: return "peer-dead";
     case CommErrorKind::kPeerExited: return "peer-exited";
+    case CommErrorKind::kWedged: return "wedged";
   }
   return "?";
 }
@@ -121,6 +124,40 @@ bool split_field(const std::string& field, std::string& key, std::string& value)
   return true;
 }
 
+// Strict full-string numeric parses: trailing garbage, empty values, and
+// out-of-range numbers are errors, never silent zeros (the old strtod with a
+// null end pointer read "rank=x" as rank 0 — exactly the wrong rank to kill).
+bool parse_u64_strict(const std::string& s, std::uint64_t& out) {
+  if (s.empty() || s[0] == '-' || s[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool parse_int_strict(const std::string& s, int& out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  if (v < INT_MIN || v > INT_MAX) return false;
+  out = static_cast<int>(v);
+  return true;
+}
+
+bool parse_double_strict(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  out = v;
+  return true;
+}
+
 bool parse_entry(const std::string& entry, FaultPlan& plan, std::string& error) {
   const std::size_t colon = entry.find(':');
   if (colon == std::string::npos) {
@@ -137,22 +174,52 @@ bool parse_entry(const std::string& entry, FaultPlan& plan, std::string& error) 
       error = "fault entry '" + entry + "': malformed field '" + field + "'";
       return false;
     }
-    fields[key] = value;
+    if (!fields.emplace(key, value).second) {
+      error = "fault entry '" + entry + "': duplicate key '" + key + "'";
+      return false;
+    }
   }
-  const auto num = [&](const char* key, double fallback, bool& present) {
+  // Typed field accessors over the split map. Each marks its key consumed;
+  // leftovers are rejected below so a typo ("nht=3") can never silently
+  // disable a fault.
+  const auto get_int = [&](const char* key, int& out, bool& present) {
     const auto it = fields.find(key);
     present = it != fields.end();
-    return present ? std::strtod(it->second.c_str(), nullptr) : fallback;
+    if (!present) return true;
+    if (!parse_int_strict(it->second, out) || out < 0) {
+      error = "fault entry '" + entry + "': " + key + "= needs a non-negative integer, got '" +
+              it->second + "'";
+      return false;
+    }
+    fields.erase(it);
+    return true;
+  };
+  const auto get_u64 = [&](const char* key, std::uint64_t& out, bool& present) {
+    const auto it = fields.find(key);
+    present = it != fields.end();
+    if (!present) return true;
+    if (!parse_u64_strict(it->second, out)) {
+      error = "fault entry '" + entry + "': " + key + "= needs a non-negative integer, got '" +
+              it->second + "'";
+      return false;
+    }
+    fields.erase(it);
+    return true;
+  };
+  const auto reject_leftovers = [&] {
+    if (fields.empty()) return true;
+    error = "fault entry '" + entry + "': unknown key '" + fields.begin()->first + "'";
+    return false;
   };
   bool present = false;
   if (kind == "kill") {
     KillFault f;
-    f.rank = static_cast<int>(num("rank", 0, present));
+    if (!get_int("rank", f.rank, present)) return false;
     if (!present) {
       error = "kill entry needs rank=";
       return false;
     }
-    f.batch = static_cast<std::uint64_t>(num("batch", 0, present));
+    if (!get_u64("batch", f.batch, present)) return false;
     const auto it = fields.find("point");
     if (it != fields.end()) {
       if (it->second == "before") {
@@ -165,29 +232,36 @@ bool parse_entry(const std::string& entry, FaultPlan& plan, std::string& error) 
         error = "kill entry: unknown point '" + it->second + "' (before|mid|after)";
         return false;
       }
+      fields.erase(it);
     }
+    if (!reject_leftovers()) return false;
     plan.add_kill(f);
     return true;
   }
   if (kind == "drop" || kind == "delay") {
+    int src = 0, dst = 0, tag = 0;
+    std::uint64_t nth = 0;
     bool have_src = false, have_dst = false;
-    const int src = static_cast<int>(num("src", 0, have_src));
-    const int dst = static_cast<int>(num("dst", 0, have_dst));
+    if (!get_int("src", src, have_src) || !get_int("dst", dst, have_dst)) return false;
     if (!have_src || !have_dst) {
       error = kind + " entry needs src= and dst=";
       return false;
     }
-    const int tag = static_cast<int>(num("tag", 0, present));
-    const auto nth = static_cast<std::uint64_t>(num("nth", 0, present));
+    if (!get_int("tag", tag, present)) return false;
+    if (!get_u64("nth", nth, present)) return false;
     if (kind == "drop") {
+      if (!reject_leftovers()) return false;
       plan.add_drop({src, dst, tag, nth});
       return true;
     }
-    const double ms = num("ms", -1.0, present);
-    if (!present || ms < 0.0) {
+    double ms = -1.0;
+    const auto it = fields.find("ms");
+    if (it == fields.end() || !parse_double_strict(it->second, ms) || ms < 0.0) {
       error = "delay entry needs ms= >= 0";
       return false;
     }
+    fields.erase(it);
+    if (!reject_leftovers()) return false;
     plan.add_delay({src, dst, tag, nth, ms / 1000.0});
     return true;
   }

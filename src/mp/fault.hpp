@@ -20,6 +20,8 @@
 #include <tuple>
 #include <vector>
 
+#include "core/error.hpp"
+
 namespace photon {
 
 // Where in a rank's batch loop a scripted kill fires. The three points pin
@@ -33,17 +35,20 @@ enum class CommErrorKind {
   kTimeout,     // deadline expired after bounded retries; peer may be alive
   kPeerDead,    // peer killed, or declared dead by the failure detector
   kPeerExited,  // peer left the world and can never send again
+  kWedged,      // world poisoned by the stuck-run watchdog (poison_all_worlds)
 };
 const char* comm_error_kind_name(CommErrorKind k);
 
 // Thrown by recv/finish/barrier instead of blocking forever: every blocking
 // path in a world with a deadline policy (or a dead rank) resolves to one of
 // these. `peer` is the rank waited on (-1 for collectives), `tag` the
-// channel (-1 for collectives).
-class CommError : public std::runtime_error {
+// channel (-1 for collectives). Part of the EngineError taxonomy
+// (core/error.hpp, EngineErrorKind::kComm — exit code 4); kind() keeps the
+// fine-grained CommErrorKind.
+class CommError : public EngineError {
  public:
   CommError(CommErrorKind kind, int peer, int tag, const std::string& what)
-      : std::runtime_error(what), kind_(kind), peer_(peer), tag_(tag) {}
+      : EngineError(EngineErrorKind::kComm, what), kind_(kind), peer_(peer), tag_(tag) {}
   CommErrorKind kind() const { return kind_; }
   int peer() const { return peer_; }
   int tag() const { return tag_; }

@@ -37,11 +37,17 @@ constexpr std::uint8_t kAlive = 0;
 constexpr std::uint8_t kExited = 1;
 constexpr std::uint8_t kDead = 2;
 
+// Live-world registry for poison_all_worlds (the watchdog's wedge path).
+// Registration brackets the World lifetime exactly: construct/destruct on the
+// run_world caller's stack.
+void register_world(World* world);
+void deregister_world(World* world);
+
 }  // namespace
 
 class World {
  public:
-  enum class TakeStatus { kOk, kTimeout, kPeerGone };
+  enum class TakeStatus { kOk, kTimeout, kPeerGone, kPoisoned };
 
   World(int nranks, const WorldOptions& options)
       : nranks_(nranks),
@@ -51,7 +57,28 @@ class World {
         reduce_slots_(static_cast<std::size_t>(nranks), 0.0),
         life_(static_cast<std::size_t>(nranks)),
         hb_(static_cast<std::size_t>(nranks)),
-        arrived_(static_cast<std::size_t>(nranks), 0) {}
+        arrived_(static_cast<std::size_t>(nranks), 0) {
+    register_world(this);
+  }
+  ~World() { deregister_world(this); }
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  // The watchdog's wedge path: one-way flag checked by every blocking wait,
+  // plus a wake of everything currently blocked. Waiters throw
+  // CommError(kWedged), which run_world folds into a WorldFailure.
+  void poison() {
+    poisoned_.store(true, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(barrier_m_);
+      barrier_cv_.notify_all();
+    }
+    for (Mailbox& b : boxes_) {
+      std::lock_guard<std::mutex> lock(b.m);
+      b.cv.notify_all();
+    }
+  }
+  bool poisoned() const { return poisoned_.load(std::memory_order_acquire); }
 
   int size() const { return nranks_; }
   FaultPlan* plan() const { return opts_.plan; }
@@ -95,6 +122,7 @@ class World {
                                      std::chrono::duration<double>(deadline_s))
                 : Clock::time_point::max();
     for (;;) {
+      if (poisoned()) return TakeStatus::kPoisoned;
       const Clock::time_point now = Clock::now();
       if (!b.q.empty()) {
         if (b.q.front().visible_at <= now) {
@@ -170,6 +198,7 @@ class World {
   void barrier(int rank, std::uint64_t& retries) {
     std::unique_lock<std::mutex> lock(barrier_m_);
     if (any_gone_) throw_collective_abort();
+    if (poisoned()) throw_poisoned();
     const std::uint64_t gen = barrier_gen_;
     arrived_[static_cast<std::size_t>(rank)] = 1;
     if (++barrier_count_ == nranks_) {
@@ -182,11 +211,13 @@ class World {
     const CommPolicy& pol = opts_.policy;
     const auto released = [&] { return barrier_gen_ != gen; };
     if (pol.deadline_s <= 0.0) {
-      // Unbounded wait — but a rank death/exit still aborts the barrier: the
-      // missing participant can never arrive, so waiting on is a hang.
-      barrier_cv_.wait(lock, [&] { return released() || any_gone_; });
+      // Unbounded wait — but a rank death/exit (or a watchdog poison) still
+      // aborts the barrier: the missing participant can never arrive, so
+      // waiting on is a hang.
+      barrier_cv_.wait(lock, [&] { return released() || any_gone_ || poisoned(); });
       if (released()) return;
       leave_barrier(rank);
+      if (poisoned() && !any_gone_) throw_poisoned();
       throw_collective_abort();
     }
     // Baseline heartbeat snapshot: a missing rank whose counter advances
@@ -198,8 +229,13 @@ class World {
       const Clock::time_point deadline =
           Clock::now() + std::chrono::duration_cast<Clock::duration>(
                              std::chrono::duration<double>(d));
-      barrier_cv_.wait_until(lock, deadline, [&] { return released() || any_gone_; });
+      barrier_cv_.wait_until(lock, deadline,
+                             [&] { return released() || any_gone_ || poisoned(); });
       if (released()) return;
+      if (poisoned() && !any_gone_) {
+        leave_barrier(rank);
+        throw_poisoned();
+      }
       if (any_gone_) {
         leave_barrier(rank);
         throw_collective_abort();
@@ -310,6 +346,11 @@ class World {
     arrived_[static_cast<std::size_t>(rank)] = 0;
   }
 
+  [[noreturn]] static void throw_poisoned() {
+    throw CommError(CommErrorKind::kWedged, -1, -1,
+                    "MiniMPI: world poisoned by the stuck-run watchdog");
+  }
+
   [[noreturn]] void throw_collective_abort() {
     bool dead = false;
     for (int r = 0; r < nranks_; ++r) {
@@ -334,11 +375,37 @@ class World {
   std::vector<char> arrived_;  // guarded by barrier_m_
   bool any_gone_ = false;      // guarded by barrier_m_
 
+  std::atomic<bool> poisoned_{false};
+
   mutable std::mutex record_m_;
   std::vector<int> dead_;
   int aborted_ = 0;
   bool timed_out_ = false;
 };
+
+namespace {
+
+std::mutex g_worlds_m;
+std::vector<World*> g_worlds;
+
+void register_world(World* world) {
+  std::lock_guard<std::mutex> lock(g_worlds_m);
+  g_worlds.push_back(world);
+}
+
+void deregister_world(World* world) {
+  std::lock_guard<std::mutex> lock(g_worlds_m);
+  g_worlds.erase(std::remove(g_worlds.begin(), g_worlds.end(), world), g_worlds.end());
+}
+
+}  // namespace
+
+void poison_all_worlds() {
+  // The registry lock brackets every World's lifetime, so each pointer here
+  // is live for the duration of its poison() call.
+  std::lock_guard<std::mutex> lock(g_worlds_m);
+  for (World* world : g_worlds) world->poison();
+}
 
 int Comm::size() const { return world_->size(); }
 
@@ -377,10 +444,17 @@ Bytes Comm::recv_deadline(int src, int tag, double deadline_s) {
     throw CommError(dead ? CommErrorKind::kPeerDead : CommErrorKind::kPeerExited, src, tag,
                     what.str());
   };
+  const auto throw_poisoned = [&]() -> Bytes {
+    std::ostringstream what;
+    what << "MiniMPI: recv from rank " << src << " tag " << tag
+         << ": world poisoned by the stuck-run watchdog";
+    throw CommError(CommErrorKind::kWedged, src, tag, what.str());
+  };
   Bytes out;
   if (deadline_s <= 0.0) {
     const World::TakeStatus st = world_->take(src, rank_, tag, 0.0, out, wait_ref);
     if (st == World::TakeStatus::kOk) return out;
+    if (st == World::TakeStatus::kPoisoned) return throw_poisoned();
     return throw_gone();  // kPeerGone — an unbounded take cannot time out
   }
   const CommPolicy& pol = world_->policy();
@@ -390,6 +464,7 @@ Bytes Comm::recv_deadline(int src, int tag, double deadline_s) {
   for (int attempt = 0;; ++attempt) {
     const World::TakeStatus st = world_->take(src, rank_, tag, d, out, wait_ref);
     if (st == World::TakeStatus::kOk) return out;
+    if (st == World::TakeStatus::kPoisoned) return throw_poisoned();
     if (st == World::TakeStatus::kPeerGone) return throw_gone();
     const std::uint64_t hb = world_->heartbeat_of(src);
     if (hb != hb_last) {

@@ -202,4 +202,12 @@ WorldStats run_world(int nranks, const WorldOptions& options,
 // Historical entry point: no faults, block-forever policy.
 WorldStats run_world(int nranks, const std::function<void(Comm&)>& fn);
 
+// Poisons every live world (a global registry tracks them): all blocked and
+// future mailbox waits, barriers and collectives throw
+// CommError(CommErrorKind::kWedged) instead of blocking. The watchdog's
+// wedge path (engine/governor.hpp): turns a hung world into a typed
+// WorldFailure the elastic runner can convert into a WedgedError. One-way
+// per world; new worlds start unpoisoned.
+void poison_all_worlds();
+
 }  // namespace photon

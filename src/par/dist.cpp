@@ -4,6 +4,7 @@
 #include <mutex>
 #include <optional>
 
+#include "engine/governor.hpp"
 #include "engine/sink.hpp"
 #include "engine/wire.hpp"
 #include "mp/minimpi.hpp"
@@ -95,6 +96,7 @@ RunResult run_distributed(const Scene& scene, const RunConfig& config,
     double prev_agreed = 0.0;
     std::vector<BounceRecord> held_prev;     // batch k-1's owned records
     std::optional<PendingExchange> pending;  // batch k-1's records in flight
+    RunStatus local_status = RunStatus::kComplete;
 
     // Batch indices label the whole run, not one leg: a resumed leg continues
     // the numbering (approximately, under --adapt) so a scripted fault can
@@ -155,7 +157,26 @@ RunResult run_distributed(const Scene& scene, const RunConfig& config,
       }
       prev_agreed = agreed;
       comm.fault_point(FaultPoint::kAfterBatch, batch_index);
+      Progress::instance().tick("dist-particle", batch_index);
       ++batch_index;
+
+      // Governed stop agreement: one unconditional allreduce of the packed
+      // stop word per batch — every rank derives the same decision from the
+      // same sum and breaks after the same round, so the in-flight exchange
+      // drains through the ordinary end-of-loop path below. Unconditional
+      // because MiniMPI collectives pair anonymously across ranks.
+      if (config.governed) {
+        const std::uint64_t sum = comm.allreduce_sum_u64(
+            encode_stop_word(preempt_requested(), forest.memory_bytes()));
+        if (stop_word_preempted(sum)) {
+          local_status = RunStatus::kPreempted;
+          break;
+        }
+        if (stop_word_over_budget(sum, config.memory_budget)) {
+          local_status = RunStatus::kOverBudget;
+          break;
+        }
+      }
     }
     // One more liveness tick so the gather below is not instantly stale to
     // a peer's failure detector.
@@ -189,6 +210,7 @@ RunResult run_distributed(const Scene& scene, const RunConfig& config,
         result.forest = std::move(forest);
         result.balance = balance;
         result.trace = sampler.finish(global_done);
+        result.status = local_status;  // identical on every rank (same sum)
       }
     }
   });

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <optional>
 
+#include "engine/governor.hpp"
 #include "engine/pool.hpp"
 #include "engine/sink.hpp"
 #include "engine/wire.hpp"
@@ -112,6 +113,7 @@ RunResult run_hybrid(const Scene& scene, const RunConfig& config, const RunResul
 
     std::vector<BounceRecord> held_prev;             // window k-1's owned records
     std::optional<PendingExchange> pending;          // window k-1's wire bytes in flight
+    RunStatus local_status = RunStatus::kComplete;
     std::uint64_t window_start = first_photon;
     // Window indices label the whole run, not one leg: a resumed leg
     // continues the numbering, so a scripted fault can name a mid-run window
@@ -188,8 +190,28 @@ RunResult run_hybrid(const Scene& scene, const RunConfig& config, const RunResul
       if (rank == 0) sampler.sample_at(agreed, window_end - first_photon);
 
       comm.fault_point(FaultPoint::kAfterBatch, window_index);
+      Progress::instance().tick("hybrid", window_index);
       ++window_index;
       window_start = window_end;
+
+      // Governed stop agreement: one unconditional allreduce of the packed
+      // stop word per window — every rank derives the same decision from the
+      // same sum and breaks at the same window boundary, so the in-flight
+      // exchange drains through the ordinary end-of-loop path below.
+      // Unconditional because MiniMPI collectives pair anonymously: a rank
+      // skipping it would mispair another rank's barrier.
+      if (config.governed) {
+        const std::uint64_t sum = comm.allreduce_sum_u64(
+            encode_stop_word(preempt_requested(), forest.memory_bytes()));
+        if (stop_word_preempted(sum)) {
+          local_status = RunStatus::kPreempted;
+          break;
+        }
+        if (stop_word_over_budget(sum, config.memory_budget)) {
+          local_status = RunStatus::kOverBudget;
+          break;
+        }
+      }
     }
     // One more liveness tick so the gather below is not instantly stale to
     // a peer's failure detector.
@@ -247,6 +269,7 @@ RunResult run_hybrid(const Scene& scene, const RunConfig& config, const RunResul
         result.forest = std::move(forest);
         result.balance = balance;
         result.trace = sampler.finish(config.photons);
+        result.status = local_status;  // identical on every rank (same sum)
       }
     }
   });

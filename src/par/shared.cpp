@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "engine/governor.hpp"
 #include "engine/pool.hpp"
 #include "sim/emitter.hpp"
 
@@ -109,6 +110,21 @@ RunResult run_shared(const Scene& scene, const RunConfig& config,
 
     sampler.sample(window_end - first_photon);
     window_start = window_end;
+    Progress::instance().tick("shared", window_end);
+    if (config.governed) {
+      // Stop at the window boundary: every id below window_end is traced and
+      // drained, so the partial result is the same window-aligned checkpoint
+      // a count-bounded run would have produced.
+      if (preempt_requested()) {
+        result.status = RunStatus::kPreempted;
+        break;
+      }
+      if (config.memory_budget != 0 &&
+          result.forest.memory_bytes() > config.memory_budget) {
+        result.status = RunStatus::kOverBudget;
+        break;
+      }
+    }
   }
 
   result.trace = sampler.finish(config.photons);

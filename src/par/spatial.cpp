@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "core/onb.hpp"
+#include "engine/governor.hpp"
 #include "engine/sink.hpp"
 #include "engine/wire.hpp"
 #include "material/brdf.hpp"
@@ -238,6 +239,7 @@ RunResult run_spatial(const Scene& scene, const RunConfig& config, const RunResu
     // structure is bitwise-equivalent, so region handoffs stay exact.
     const std::unique_ptr<AccelStructure> local_tree = make_accel(config.accel);
     local_tree->build(local_patches);
+    Progress::instance().tick("accel-build", local_patches.size());
 
     // Tree ownership by patch centroid region.
     std::vector<int> tree_owner(scene.patch_count());
@@ -272,6 +274,13 @@ RunResult run_spatial(const Scene& scene, const RunConfig& config, const RunResu
     RouterSink sink(forest, tree_owner, rank, record_wire, report.tallies);
     WireBuffer photon_wire(P);
     std::optional<PendingExchange> pending_records;
+    // Governed stop: once voted, every rank stops injecting fresh emissions
+    // on the same round and the loop runs on until the in-flight photons
+    // drain (active == 0) — the emitted id set stays the contiguous prefix
+    // the lockstep striping guarantees, so the partial result resumes
+    // exactly like a count-bounded one.
+    bool stopping = false;
+    RunStatus local_status = RunStatus::kComplete;
 
     const auto drain_records = [&](PendingExchange& exchange) {
       const std::vector<Bytes> in_records = exchange.finish();
@@ -321,7 +330,7 @@ RunResult run_spatial(const Scene& scene, const RunConfig& config, const RunResu
       // Inject a batch of fresh emissions (ids striped by rank so the union
       // over ranks is exactly [first_photon, last_photon)).
       std::uint64_t injected = 0;
-      while (injected < config.batch && next_emission < last_photon) {
+      while (!stopping && injected < config.batch && next_emission < last_photon) {
         PhotonFlight flight;
         flight.rng = photon_stream(config.seed, next_emission);
         const EmissionSample emission = emitter.emit(flight.rng);
@@ -376,14 +385,33 @@ RunResult run_spatial(const Scene& scene, const RunConfig& config, const RunResu
       comm.fault_point(FaultPoint::kMidExchange, round_index);
       ++report.rounds;
 
-      // Terminate when no photons are in flight and all emissions are done.
+      // Terminate when no photons are in flight and all emissions are done
+      // (or abandoned to a governed stop).
       const std::uint64_t remaining =
-          next_emission < last_photon
+          !stopping && next_emission < last_photon
               ? (last_photon - next_emission + static_cast<std::uint64_t>(P) - 1) /
                     static_cast<std::uint64_t>(P)
               : 0;
       const std::uint64_t active =
           comm.allreduce_sum_u64(static_cast<std::uint64_t>(inbox.size()) + remaining);
+      // Governed stop agreement: one more unconditional allreduce per round
+      // (collectives pair anonymously, so every rank must run it) — all
+      // ranks flip `stopping` on the same round.
+      if (config.governed && !stopping) {
+        const std::uint64_t sum = comm.allreduce_sum_u64(
+            encode_stop_word(preempt_requested(), forest.memory_bytes()));
+        if (stop_word_preempted(sum)) {
+          stopping = true;
+          local_status = RunStatus::kPreempted;
+        } else if (stop_word_over_budget(sum, config.memory_budget)) {
+          stopping = true;
+          local_status = RunStatus::kOverBudget;
+        }
+      } else if (config.governed) {
+        // Keep the collective schedule identical on every rank while the
+        // in-flight photons drain.
+        comm.allreduce_sum_u64(0);
+      }
       // One speed point per exchange round. Injection runs in lockstep (every
       // rank drains its id stripe at `batch` per round), so rank 0 derives
       // the global emission count locally instead of paying an extra
@@ -395,6 +423,7 @@ RunResult run_spatial(const Scene& scene, const RunConfig& config, const RunResu
         sampler.sample(global_injected);
       }
       comm.fault_point(FaultPoint::kAfterBatch, round_index);
+      Progress::instance().tick("dist-spatial", round_index);
       ++round_index;
       if (active == 0) break;
     }
@@ -429,6 +458,7 @@ RunResult run_spatial(const Scene& scene, const RunConfig& config, const RunResu
           total += total_emitted[static_cast<std::size_t>(c)];
         }
         result.trace = sampler.finish(total);
+        result.status = local_status;  // identical on every rank (same sum)
       }
     }
   });

@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include "engine/governor.hpp"
 #include "sim/emitter.hpp"
 
 namespace photon {
@@ -59,7 +60,19 @@ RunResult run_serial(const Scene& scene, const RunConfig& config,
       controller.update(batch_time > 0.0 ? static_cast<double>(batch) / batch_time : 0.0);
     }
     prev_t = t;
+    Progress::instance().tick("serial", done);
     if (config.max_seconds > 0.0 && t >= config.max_seconds) break;
+    if (config.governed) {
+      if (preempt_requested()) {
+        result.status = RunStatus::kPreempted;
+        break;
+      }
+      if (config.memory_budget != 0 &&
+          result.forest.memory_bytes() > config.memory_budget) {
+        result.status = RunStatus::kOverBudget;
+        break;
+      }
+    }
   }
 
   result.trace = sampler.finish(done);
