@@ -1,0 +1,186 @@
+// bench_service — throughput and latency of the photon service daemon core
+// (src/service/), in-process so the socket layer stays out of the numbers.
+//
+// One resident cornell scene, a mixed serial/shared workload of identical-
+// size jobs, swept across max_active widths:
+//
+//   solo          the no-service floor: the same configs run back to back on
+//                 a prebuilt scene by directly calling the backend. jobs/sec
+//                 here is what the service's scheduling must not ruin.
+//   service@N     the full path — submit -> queue -> admission -> governed
+//                 run on the shared WorkerPool — at max_active=N. Per-job
+//                 latency is submit-to-terminal, measured by one waiter
+//                 thread per job; p50/p99 are what a daemon client sees.
+//
+// Widths >1 trade single-job latency (windows interleave fair-share on the
+// ticket queue) for queue drain time; the artifact records both sides.
+//
+//   bench_service [--jobs=N] [--photons=N] [--out=FILE] [--label=NAME]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "engine/backend.hpp"
+#include "service/service.hpp"
+
+namespace {
+
+using namespace photon;
+using benchutil::arg_str;
+using benchutil::arg_u64;
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct ServiceRow {
+  std::string mode;
+  int max_active = 0;
+  double wall_s = 0.0;
+  double jobs_per_sec = 0.0;
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+  double photons_per_sec = 0.0;
+};
+
+const char* job_backend(std::uint64_t index) { return index % 2 ? "shared" : "serial"; }
+
+RunConfig job_config(std::uint64_t photons, std::uint64_t seed) {
+  RunConfig cfg;
+  cfg.photons = photons;
+  cfg.batch = 2000;
+  cfg.adapt_batch = false;
+  cfg.workers = 2;
+  cfg.groups = 2;
+  cfg.seed = seed;
+  return cfg;
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t at = std::min(
+      sorted.size() - 1, static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[at];
+}
+
+ServiceRow solo_baseline(const Scene& scene, std::uint64_t jobs, std::uint64_t photons) {
+  ServiceRow row;
+  row.mode = "solo";
+  std::vector<double> latencies;
+  const auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < jobs; ++i) {
+    const auto backend = make_backend(job_backend(i));
+    const auto j0 = Clock::now();
+    (void)backend->run(scene, job_config(photons, i + 1), nullptr);
+    latencies.push_back(seconds_since(j0));
+  }
+  row.wall_s = seconds_since(t0);
+  std::sort(latencies.begin(), latencies.end());
+  row.jobs_per_sec = row.wall_s > 0.0 ? static_cast<double>(jobs) / row.wall_s : 0.0;
+  row.p50_s = percentile(latencies, 0.50);
+  row.p99_s = percentile(latencies, 0.99);
+  row.photons_per_sec =
+      row.wall_s > 0.0 ? static_cast<double>(jobs * photons) / row.wall_s : 0.0;
+  return row;
+}
+
+ServiceRow service_sweep(int max_active, std::uint64_t jobs, std::uint64_t photons) {
+  ServiceRow row;
+  row.mode = "service@" + std::to_string(max_active);
+  row.max_active = max_active;
+
+  ServiceConfig cfg;
+  cfg.max_active = max_active;
+  PhotonService service(cfg, [](const std::string&, AccelKind) {
+    return std::make_shared<const Scene>(scenes::cornell_box());
+  });
+
+  std::vector<double> latencies(jobs, 0.0);
+  std::vector<std::thread> waiters;
+  const auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < jobs; ++i) {
+    JobSpec spec;
+    spec.scene = "cornell";
+    spec.backend = job_backend(i);
+    spec.config = job_config(photons, i + 1);
+    const std::uint64_t id = service.submit(spec);
+    const auto submitted = Clock::now();
+    // One waiter per job pins the true submit-to-terminal latency; waiting
+    // sequentially from one thread would fold queue-polling order into it.
+    waiters.emplace_back([&service, &latencies, id, i, submitted] {
+      const JobInfo info = service.wait(id);
+      if (info.state == JobState::kDone) latencies[i] = seconds_since(submitted);
+    });
+  }
+  for (std::thread& t : waiters) t.join();
+  row.wall_s = seconds_since(t0);
+
+  std::size_t done = 0;
+  std::vector<double> finished;
+  for (const double lat : latencies) {
+    if (lat > 0.0) {
+      ++done;
+      finished.push_back(lat);
+    }
+  }
+  if (done != jobs) std::fprintf(stderr, "error: only %zu/%llu jobs finished clean\n", done,
+                                 static_cast<unsigned long long>(jobs));
+  std::sort(finished.begin(), finished.end());
+  row.jobs_per_sec = row.wall_s > 0.0 ? static_cast<double>(done) / row.wall_s : 0.0;
+  row.p50_s = percentile(finished, 0.50);
+  row.p99_s = percentile(finished, 0.99);
+  row.photons_per_sec =
+      row.wall_s > 0.0 ? static_cast<double>(done * photons) / row.wall_s : 0.0;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t jobs = arg_u64(argc, argv, "jobs", 32);
+  const std::uint64_t photons = arg_u64(argc, argv, "photons", 20000);
+  const std::string out = arg_str(argc, argv, "out", "BENCH_service.json");
+  const std::string label = arg_str(argc, argv, "label", "dev");
+
+  benchutil::header("photon service: jobs/sec and submit-to-done latency (cornell)");
+  std::printf("jobs=%llu photons=%llu (mixed serial/shared)\n",
+              static_cast<unsigned long long>(jobs), static_cast<unsigned long long>(photons));
+
+  const Scene scene = scenes::cornell_box();
+  std::vector<ServiceRow> results;
+  results.push_back(solo_baseline(scene, jobs, photons));
+  for (const int width : {1, 2, 4}) {
+    results.push_back(service_sweep(width, jobs, photons));
+  }
+
+  benchutil::rule();
+  std::printf("%-12s %10s %10s %12s %10s %10s\n", "mode", "wall_s", "jobs/s", "photons/s",
+              "p50_s", "p99_s");
+  std::vector<std::string> rows;
+  for (const ServiceRow& r : results) {
+    std::printf("%-12s %10.4f %10.2f %12.0f %10.4f %10.4f\n", r.mode.c_str(), r.wall_s,
+                r.jobs_per_sec, r.photons_per_sec, r.p50_s, r.p99_s);
+    char row[320];
+    std::snprintf(row, sizeof(row),
+                  "{\"mode\": \"%s\", \"max_active\": %d, \"wall_s\": %.6f, "
+                  "\"jobs_per_sec\": %.3f, \"photons_per_sec\": %.1f, "
+                  "\"p50_latency_s\": %.6f, \"p99_latency_s\": %.6f}",
+                  r.mode.c_str(), r.max_active, r.wall_s, r.jobs_per_sec, r.photons_per_sec,
+                  r.p50_s, r.p99_s);
+    rows.emplace_back(row);
+  }
+
+  char scalars[96];
+  std::snprintf(scalars, sizeof(scalars), "\"jobs\": %llu, \"photons\": %llu",
+                static_cast<unsigned long long>(jobs),
+                static_cast<unsigned long long>(photons));
+  if (!benchutil::write_json_artifact(out, "service", label, {scalars}, rows)) return 1;
+  return 0;
+}

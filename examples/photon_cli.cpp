@@ -67,6 +67,27 @@
 //                        [--size=WxH] [--spp=N] [--threads=N]
 //       Render a viewpoint from an existing answer file (no re-simulation).
 //
+//   photon_cli serve --socket=PATH [--max-active=N] [--memory-budget=BYTES]
+//                        [--watchdog=SECONDS] [--watchdog-grace=SECONDS]
+//       Run the photon service daemon (src/service/): resident scenes,
+//       concurrent governed jobs multiplexed fair-share onto the worker
+//       pool, per-job cancel, admission against a service-wide memory
+//       budget. SIGTERM/SIGINT stops the daemon; every active job stops at
+//       its next window boundary with a resumable checkpoint (if the job
+//       named one).
+//   photon_cli submit --socket=PATH --scene=NAME [--backend=NAME]
+//                        [--photons=N] [--seed=N] [--workers=N] [--groups=N]
+//                        [--batch=N] [--chunk=N] [--accel=octree|bvh|grid]
+//                        [--checkpoint=FILE] [--trace=FILE] [--wait]
+//       Submit one job to a running daemon; prints the service's one-line
+//       JSON response. --wait blocks until the job finishes and prints its
+//       final report instead.
+//   photon_cli status --socket=PATH [--job=N]
+//       One job's JSON report, or {"jobs": [...]} for all of them.
+//   photon_cli cancel --socket=PATH --job=N
+//       Gracefully stop one job (it halts at the next window boundary;
+//       every other job keeps running).
+//
 // <scene> is a built-in name (cornell | harpsichord | lab) or a path to a
 // photon-scene text file.
 #include <algorithm>
@@ -86,6 +107,9 @@
 #include "geom/scene_io.hpp"
 #include "geom/scenes.hpp"
 #include "hist/metrics.hpp"
+#include "service/client.hpp"
+#include "service/daemon.hpp"
+#include "service/service.hpp"
 #include "sim/checkpoint.hpp"
 #include "view/viewer.hpp"
 
@@ -652,6 +676,102 @@ int cmd_render(int argc, char** argv, const std::string& spec, const std::string
   return 0;
 }
 
+// ---- Service commands ------------------------------------------------------
+
+int cmd_serve(int argc, char** argv) {
+  const Args args(argc, argv, 2,
+                  {"socket", "max-active", "memory-budget", "watchdog", "watchdog-grace"}, {});
+  const std::string* socket_path = args.get("socket");
+  if (!socket_path) throw ConfigError("serve needs --socket=PATH");
+
+  ServiceConfig cfg;
+  cfg.max_active = static_cast<int>(args.u64("max-active", 2));
+  if (cfg.max_active < 1 || cfg.max_active > 64) {
+    throw ConfigError("--max-active= must be in [1, 64]");
+  }
+  cfg.memory_budget = args.bytes("memory-budget", 0);
+  cfg.watchdog_s = args.dbl("watchdog", 0.0);
+  cfg.watchdog_grace_s = args.dbl("watchdog-grace", 0.0);
+
+  // The PROCESS preempt flag belongs to the daemon: SIGTERM/SIGINT stop the
+  // accept loop, and PhotonService::shutdown() fans the stop out to each
+  // job's own RunControl. Jobs never poll the global flag themselves.
+  install_preempt_handlers();
+  clear_preempt();
+
+  PhotonService service(cfg, [](const std::string& name, AccelKind kind) {
+    auto scene = std::make_shared<Scene>();
+    load_any_scene(name, *scene);
+    if (kind != scene->accel_kind()) {
+      scene->set_accel(kind);
+      scene->build();
+    }
+    return std::shared_ptr<const Scene>(std::move(scene));
+  });
+  std::printf("photon service: listening on %s (max-active %d%s)\n", socket_path->c_str(),
+              cfg.max_active, cfg.memory_budget ? ", budgeted" : "");
+  std::fflush(stdout);
+  return run_daemon(service, *socket_path, [] { return preempt_requested(); }) ? 0 : 1;
+}
+
+// Sends one request line and prints the service's JSON reply. Exit 4 (comm)
+// when the daemon cannot be reached — same taxonomy as a lost MPI peer.
+int service_roundtrip(const std::string& socket_path, const std::string& line,
+                      std::string* reply_out = nullptr) {
+  ServiceClient client(socket_path);
+  std::string reply;
+  if (!client.ok() || !client.request(line, reply)) {
+    throw CommError(CommErrorKind::kPeerDead, -1, -1, "service: " + client.error());
+  }
+  std::printf("%s\n", reply.c_str());
+  if (reply_out) *reply_out = reply;
+  return reply.rfind("{\"error\"", 0) == 0 ? 1 : 0;
+}
+
+int cmd_submit(int argc, char** argv) {
+  const Args args(argc, argv, 2,
+                  {"socket", "scene", "backend", "photons", "seed", "workers", "groups", "batch",
+                   "chunk", "accel", "checkpoint", "trace"},
+                  {"wait"});
+  const std::string* socket_path = args.get("socket");
+  if (!socket_path) throw ConfigError("submit needs --socket=PATH");
+  if (!args.get("scene")) throw ConfigError("submit needs --scene=NAME");
+
+  std::string line = "submit";
+  for (const char* key : {"scene", "backend", "photons", "seed", "workers", "groups", "batch",
+                          "chunk", "accel", "checkpoint", "trace"}) {
+    if (const std::string* v = args.get(key)) line += std::string(" ") + key + "=" + *v;
+  }
+
+  std::string reply;
+  const int rc = service_roundtrip(*socket_path, line, &reply);
+  if (rc != 0 || !args.flag("wait")) return rc;
+
+  unsigned long long id = 0;
+  if (std::sscanf(reply.c_str(), "{\"job\": %llu", &id) != 1) {
+    throw CommError(CommErrorKind::kPeerDead, -1, -1, "service: malformed submit reply: " + reply);
+  }
+  return service_roundtrip(*socket_path, "wait job=" + std::to_string(id));
+}
+
+int cmd_status(int argc, char** argv) {
+  const Args args(argc, argv, 2, {"socket", "job"}, {});
+  const std::string* socket_path = args.get("socket");
+  if (!socket_path) throw ConfigError("status needs --socket=PATH");
+  std::string line = "status";
+  if (const std::string* job = args.get("job")) line += " job=" + *job;
+  return service_roundtrip(*socket_path, line);
+}
+
+int cmd_cancel(int argc, char** argv) {
+  const Args args(argc, argv, 2, {"socket", "job"}, {});
+  const std::string* socket_path = args.get("socket");
+  if (!socket_path) throw ConfigError("cancel needs --socket=PATH");
+  const std::string* job = args.get("job");
+  if (!job) throw ConfigError("cancel needs --job=N");
+  return service_roundtrip(*socket_path, "cancel job=" + *job);
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: photon_cli scenes\n"
@@ -671,6 +791,15 @@ int usage() {
                "       photon_cli render <scene> <answer> <out.ppm> [--eye=x,y,z]\n"
                "                  [--look=x,y,z] [--fov=deg] [--size=WxH] [--spp=N]"
                " [--threads=N]\n"
+               "       photon_cli serve --socket=PATH [--max-active=N]\n"
+               "                  [--memory-budget=BYTES[k|m|g]] [--watchdog=SECONDS]\n"
+               "                  [--watchdog-grace=SECONDS]\n"
+               "       photon_cli submit --socket=PATH --scene=NAME [--backend=NAME]\n"
+               "                  [--photons=N] [--seed=N] [--workers=N] [--groups=N]\n"
+               "                  [--batch=N] [--chunk=N] [--accel=octree|bvh|grid]\n"
+               "                  [--checkpoint=FILE] [--trace=FILE] [--wait]\n"
+               "       photon_cli status --socket=PATH [--job=N]\n"
+               "       photon_cli cancel --socket=PATH --job=N\n"
                "exit codes: 0 ok, 1 i/o, 2 usage, 3 checkpoint, 4 comm, 5 preempted,\n"
                "            6 wedged, 7 config, 8 scene, 9 resource\n");
   return 2;
@@ -687,6 +816,10 @@ int main(int argc, char** argv) {
     if (cmd == "info" && argc >= 3) return cmd_info(argv[2]);
     if (cmd == "simulate" && argc >= 4) return cmd_simulate(argc, argv, argv[2], argv[3]);
     if (cmd == "render" && argc >= 5) return cmd_render(argc, argv, argv[2], argv[3], argv[4]);
+    if (cmd == "serve") return cmd_serve(argc, argv);
+    if (cmd == "submit") return cmd_submit(argc, argv);
+    if (cmd == "status") return cmd_status(argc, argv);
+    if (cmd == "cancel") return cmd_cancel(argc, argv);
   } catch (const EngineError& e) {
     // Commands that manage their own reporting (simulate) catch first; this
     // is the fallback for the rest — same stderr format, same exit table.

@@ -24,6 +24,8 @@
 
 namespace photon {
 
+class RunControl;  // engine/governor.hpp
+
 struct RunConfig {
   std::uint64_t photons = 100000;  // total across all workers
   std::uint64_t seed = 0x1234ABCD330EULL;
@@ -144,6 +146,12 @@ struct RunConfig {
   // Last-resort _Exit(6) when a wedge is unreachable by world poisoning
   // (e.g. a stuck compute loop). CLI-only; never set in library use.
   bool watchdog_exit = false;
+  // Per-run governance scope (engine/governor.hpp). When set, the governed
+  // loops poll THIS control's preempt flag and tick ITS Progress beacon
+  // instead of the process globals — the photon service attaches one per job
+  // so cancelling or watching one job never touches another. Null keeps the
+  // historical process-global behavior (the CLI path).
+  std::shared_ptr<RunControl> control;
 };
 
 }  // namespace photon

@@ -123,10 +123,8 @@ struct Progress::Impl {
   std::vector<std::unique_ptr<Slot>> slots;
 };
 
-Progress::Impl& Progress::impl() const {
-  static Impl instance;
-  return instance;
-}
+Progress::Progress() : impl_(std::make_unique<Impl>()) {}
+Progress::~Progress() = default;
 
 Progress& Progress::instance() {
   static Progress beacon;
@@ -134,13 +132,13 @@ Progress& Progress::instance() {
 }
 
 void Progress::pulse() {
-  Impl& i = impl();
+  Impl& i = *impl_;
   i.total.fetch_add(1, std::memory_order_relaxed);
   i.last_ns.store(now_ns(), std::memory_order_relaxed);
 }
 
 void Progress::tick(const char* label, std::uint64_t detail) {
-  Impl& i = impl();
+  Impl& i = *impl_;
   const std::int64_t t = now_ns();
   i.total.fetch_add(1, std::memory_order_relaxed);
   i.last_ns.store(t, std::memory_order_relaxed);
@@ -162,17 +160,17 @@ void Progress::tick(const char* label, std::uint64_t detail) {
 }
 
 std::uint64_t Progress::total_ticks() const {
-  return impl().total.load(std::memory_order_relaxed);
+  return impl_->total.load(std::memory_order_relaxed);
 }
 
 double Progress::seconds_since_tick() const {
-  const std::int64_t last = impl().last_ns.load(std::memory_order_relaxed);
+  const std::int64_t last = impl_->last_ns.load(std::memory_order_relaxed);
   if (last < 0) return std::numeric_limits<double>::infinity();
   return static_cast<double>(now_ns() - last) * 1e-9;
 }
 
 ProgressSnapshot Progress::snapshot() const {
-  Impl& i = impl();
+  Impl& i = *impl_;
   ProgressSnapshot snap;
   snap.total_ticks = i.total.load(std::memory_order_relaxed);
   snap.stalled_s = seconds_since_tick();
@@ -192,11 +190,43 @@ ProgressSnapshot Progress::snapshot() const {
 }
 
 void Progress::reset() {
-  Impl& i = impl();
+  Impl& i = *impl_;
   std::lock_guard<std::mutex> lock(i.m);
   i.slots.clear();
   i.total.store(0, std::memory_order_relaxed);
   i.last_ns.store(-1, std::memory_order_relaxed);
+}
+
+// ---- Per-run scope ---------------------------------------------------------
+
+bool preempt_requested(const RunConfig& config) {
+  if (config.control) return config.control->preempt_requested();
+  return preempt_requested();
+}
+
+void acknowledge_preempt(const RunConfig& config) {
+  if (config.control) {
+    config.control->clear_preempt();
+    return;
+  }
+  clear_preempt();
+}
+
+Progress& run_progress(const RunConfig& config) {
+  if (config.control) return config.control->progress();
+  return Progress::instance();
+}
+
+void progress_tick(const RunConfig& config, const char* label, std::uint64_t detail) {
+  if (config.control) {
+    config.control->progress().tick(label, detail);
+    // A scoped job must still register as process liveness: a service-wide
+    // watchdog watching the global beacon would otherwise see a busy process
+    // as wedged.
+    Progress::instance().pulse();
+    return;
+  }
+  Progress::instance().tick(label, detail);
 }
 
 std::string ProgressSnapshot::to_string() const {
@@ -214,6 +244,9 @@ std::string ProgressSnapshot::to_string() const {
 struct Watchdog::Impl {
   double deadline_s;
   double grace_s;
+  Progress* beacon = nullptr;  // null = the process-global beacon
+
+  Progress& watched() const { return beacon ? *beacon : Progress::instance(); }
 
   mutable std::mutex m;
   std::condition_variable cv;
@@ -232,7 +265,7 @@ struct Watchdog::Impl {
   double effective_age() const {
     const double since_created =
         std::chrono::duration<double>(Clock::now() - created).count();
-    const double since_tick = Progress::instance().seconds_since_tick();
+    const double since_tick = watched().seconds_since_tick();
     return since_tick < since_created ? since_tick : since_created;
   }
 
@@ -247,7 +280,7 @@ struct Watchdog::Impl {
       if (effective_age() < deadline_s + grace_s) continue;
 
       fired.store(true, std::memory_order_release);
-      snap = Progress::instance().snapshot();
+      snap = watched().snapshot();
       if (emergency) {
         // Flush the emergency checkpoint BEFORE poisoning: the callback
         // saves the last completed leg, which no wedged rank can touch.
@@ -278,9 +311,11 @@ struct Watchdog::Impl {
   }
 };
 
-Watchdog::Watchdog(double deadline_s, double grace_s) : impl_(new Impl) {
+Watchdog::Watchdog(double deadline_s, double grace_s, Progress* beacon)
+    : impl_(new Impl) {
   impl_->deadline_s = deadline_s;
   impl_->grace_s = grace_s > 0.0 ? grace_s : deadline_s;
+  impl_->beacon = beacon;
   impl_->monitor = std::thread([this] { impl_->monitor_main(); });
 }
 
@@ -334,6 +369,11 @@ std::uint64_t estimate_bytes(const Scene& scene, const RunConfig& config,
 
 }  // namespace
 
+std::uint64_t admission_estimate_bytes(const Scene& scene, const RunConfig& config,
+                                       std::uint64_t sink_buffer) {
+  return estimate_bytes(scene, config, std::max<std::uint64_t>(sink_buffer, 1));
+}
+
 AdmissionPlan govern_admission(Scene& scene, const RunConfig& config) {
   AdmissionPlan plan;
   plan.sink_buffer = std::max<std::uint64_t>(config.sink_buffer, 1);
@@ -359,7 +399,7 @@ AdmissionPlan govern_admission(Scene& scene, const RunConfig& config) {
   plan.accel_params.grid_sub_res = 2;
   plan.coarsened_accel = true;
   scene.build(plan.accel_params);
-  Progress::instance().tick("accel-build", scene.patch_count());
+  progress_tick(config, "accel-build", scene.patch_count());
   plan.estimated_bytes = estimate_bytes(scene, config, plan.sink_buffer);
   if (plan.estimated_bytes <= budget) return plan;
 

@@ -41,8 +41,10 @@
 //                changing it would change results.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -104,13 +106,23 @@ struct ProgressSnapshot {
   std::string to_string() const;  // one line per slot, for diagnostics
 };
 
-// Process-global. tick() is the labeled per-batch heartbeat (one mutex-free
-// atomic bump plus a short slot update); pulse() is the label-free fast path
-// for fine-grained callers (the pool's per-chunk claims). The watchdog reads
-// only the atomic total and timestamp, so a beacon tick never blocks on the
-// monitor.
+// A liveness beacon. tick() is the labeled per-batch heartbeat (one
+// mutex-free atomic bump plus a short slot update); pulse() is the label-free
+// fast path for fine-grained callers (the pool's per-chunk claims). The
+// watchdog reads only the atomic total and timestamp, so a beacon tick never
+// blocks on the monitor.
+//
+// instance() is the process-global beacon every unscoped run ticks; beacons
+// are also directly constructible so a RunControl can scope one per run (the
+// photon service runs one per job — a job's watchdog and tick telemetry must
+// not see another job's, or a previous run's, heartbeats).
 class Progress {
  public:
+  Progress();
+  ~Progress();
+  Progress(const Progress&) = delete;
+  Progress& operator=(const Progress&) = delete;
+
   static Progress& instance();
 
   void tick(const char* label, std::uint64_t detail = 0);
@@ -124,10 +136,57 @@ class Progress {
   void reset();
 
  private:
-  Progress() = default;
   struct Impl;
-  Impl& impl() const;
+  std::unique_ptr<Impl> impl_;
 };
+
+// ---- Per-run scope ---------------------------------------------------------
+//
+// The preempt flag and the Progress beacon above are process-global — the
+// right scope for one CLI run per process, and the wrong one the moment a
+// process hosts several runs (the photon service) or runs jobs back to back:
+// a stale preempt vote or beacon ticks from a preempted job must not leak
+// into the next. A RunControl instances both per run. Attach one via
+// RunConfig::control and the governed loops poll/tick it instead of the
+// globals; cancelling THIS run is control->request_preempt(), which no other
+// job observes. Runs without a control keep the historical global behavior.
+class RunControl {
+ public:
+  RunControl() = default;
+  RunControl(const RunControl&) = delete;
+  RunControl& operator=(const RunControl&) = delete;
+
+  void request_preempt() { preempt_.store(true, std::memory_order_release); }
+  bool preempt_requested() const { return preempt_.load(std::memory_order_acquire); }
+  void clear_preempt() { preempt_.store(false, std::memory_order_release); }
+
+  Progress& progress() { return beacon_; }
+  const Progress& progress() const { return beacon_; }
+
+ private:
+  std::atomic<bool> preempt_{false};
+  Progress beacon_;
+};
+
+// Scope-aware polling, used by every governed backend loop: the run's own
+// control when config.control is set, the process globals otherwise.
+bool preempt_requested(const RunConfig& config);
+
+// Consumes the preempt vote the run just honored: called once by the backend
+// at the moment it commits to RunStatus::kPreempted, so a SECOND governed
+// run in the same process starts with a clean flag instead of inheriting the
+// stale vote (the back-to-back-runs bug). Scoped runs clear their own
+// control; unscoped runs clear the process flag.
+void acknowledge_preempt(const RunConfig& config);
+
+// The beacon a run ticks and its watchdog watches: config.control's
+// instance, or the process-global.
+Progress& run_progress(const RunConfig& config);
+
+// Labeled per-window tick on the run's beacon. A scoped tick also pulses the
+// process-global beacon, so a process-wide watchdog still sees liveness from
+// jobs governed by their own controls.
+void progress_tick(const RunConfig& config, const char* label, std::uint64_t detail = 0);
 
 // ---- Watchdog --------------------------------------------------------------
 
@@ -141,7 +200,10 @@ class Progress {
 // _Exit with the wedged code after one more grace period with no ticks.
 class Watchdog {
  public:
-  Watchdog(double deadline_s, double grace_s);
+  // Monitors `beacon` (the process-global Progress when null). A service
+  // passes each job's RunControl beacon so one job's watchdog cannot be fed
+  // by another job's ticks.
+  Watchdog(double deadline_s, double grace_s, Progress* beacon = nullptr);
   ~Watchdog();  // stops and joins the monitor thread
 
   Watchdog(const Watchdog&) = delete;
@@ -180,5 +242,12 @@ struct AdmissionPlan {
 // bitwise-neutral by the AccelStructure contract. Throws ResourceError when
 // even the coarsest plan exceeds the budget (refused admission).
 AdmissionPlan govern_admission(Scene& scene, const RunConfig& config);
+
+// The planning-time footprint govern_admission scores, without the ladder:
+// const, never rebuilds anything. The photon service admits jobs against a
+// shared budget with this — rung 2 (rebuild the accel) is off the table for
+// a resident scene other jobs are reading.
+std::uint64_t admission_estimate_bytes(const Scene& scene, const RunConfig& config,
+                                       std::uint64_t sink_buffer);
 
 }  // namespace photon

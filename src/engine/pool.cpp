@@ -175,9 +175,30 @@ struct WorkerPool::Impl {
   int active = 0;                // helpers currently inside work()
   bool stop = false;
 
-  // One job at a time; external callers queue here. Helpers never take it
-  // (nested run() goes inline), so it cannot deadlock.
-  std::mutex run_m;
+  // One job at a time; external callers queue here in STRICT ARRIVAL ORDER
+  // (a FIFO ticket lock, not a bare mutex — mutex wakeup order is
+  // unspecified, and a service multiplexing several jobs' batch windows onto
+  // this pool needs round-robin interleaving, not starvation by lock luck).
+  // Helpers never take a ticket (nested run() goes inline), so it cannot
+  // deadlock.
+  std::mutex ticket_m;
+  std::condition_variable ticket_cv;
+  std::uint64_t ticket_tail = 0;  // next ticket handed to an arriving caller
+  std::uint64_t ticket_head = 0;  // ticket currently allowed to dispatch
+
+  void acquire_turn() {
+    std::unique_lock<std::mutex> lock(ticket_m);
+    const std::uint64_t mine = ticket_tail++;
+    ticket_cv.wait(lock, [&] { return ticket_head == mine; });
+  }
+
+  void release_turn() {
+    {
+      std::lock_guard<std::mutex> lock(ticket_m);
+      ++ticket_head;
+    }
+    ticket_cv.notify_all();
+  }
 
   void helper_main() {
     std::unique_lock<std::mutex> lock(m);
@@ -289,30 +310,33 @@ void WorkerPool::run(std::uint64_t chunks, int width,
   // on this thread; the determinism contract makes that output-equivalent.
   bool dispatched = false;
   if (!tls_in_pool_task && width > 1) {
-    std::unique_lock<std::mutex> run_lock(impl_->run_m);
-    std::unique_lock<std::mutex> lock(impl_->m);
-    if (!impl_->stop) {
-      impl_->ensure_helpers(width - 1);
-      impl_->job = &job;
-      ++impl_->generation;
-      impl_->cv.notify_all();
-      lock.unlock();
+    impl_->acquire_turn();
+    {
+      std::unique_lock<std::mutex> lock(impl_->m);
+      if (!impl_->stop) {
+        impl_->ensure_helpers(width - 1);
+        impl_->job = &job;
+        ++impl_->generation;
+        impl_->cv.notify_all();
+        lock.unlock();
 
-      work(job, 0);  // the caller is slot 0
+        work(job, 0);  // the caller is slot 0
 
-      // Retire the job in two steps. First wait for every chunk to finish —
-      // under a no-steal schedule only a slot's adopting helper can run its
-      // range, so the job must stay adoptable until the count is full. Then
-      // clear it (no NEW helper can adopt a dying frame) and drain the
-      // helpers already inside it.
-      lock.lock();
-      impl_->done_cv.wait(lock, [&] {
-        return job.completed.load(std::memory_order_acquire) == chunks;
-      });
-      impl_->job = nullptr;
-      impl_->done_cv.wait(lock, [&] { return impl_->active == 0; });
-      dispatched = true;
+        // Retire the job in two steps. First wait for every chunk to finish —
+        // under a no-steal schedule only a slot's adopting helper can run its
+        // range, so the job must stay adoptable until the count is full. Then
+        // clear it (no NEW helper can adopt a dying frame) and drain the
+        // helpers already inside it.
+        lock.lock();
+        impl_->done_cv.wait(lock, [&] {
+          return job.completed.load(std::memory_order_acquire) == chunks;
+        });
+        impl_->job = nullptr;
+        impl_->done_cv.wait(lock, [&] { return impl_->active == 0; });
+        dispatched = true;
+      }
     }
+    impl_->release_turn();
   }
   if (!dispatched) {
     // Inline execution walks every slot's share from this one thread (slot 0

@@ -47,7 +47,10 @@ RunResult run_elastic(Backend& backend, const Scene& scene, const RunConfig& con
   // typed WedgedError below instead of retrying forever.
   std::unique_ptr<Watchdog> wd;
   if (config.watchdog_s > 0.0) {
-    wd = std::make_unique<Watchdog>(config.watchdog_s, config.watchdog_grace_s);
+    // A scoped run's watchdog watches its own beacon: another job's ticks
+    // must not keep a wedged job looking alive.
+    Progress* beacon = config.control ? &config.control->progress() : nullptr;
+    wd = std::make_unique<Watchdog>(config.watchdog_s, config.watchdog_grace_s, beacon);
     wd->set_exit_on_wedge(config.watchdog_exit);
     if (!config.emergency_checkpoint_path.empty()) {
       wd->set_emergency([&](const ProgressSnapshot&) {

@@ -2,19 +2,61 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
 namespace photon {
 
-// "w", not "a": each run owns its trace file. Points append per batch within
-// the run; a stale file from a previous run must not prefix this one (the
-// photon sequence would reset mid-file and break monotonic consumers).
-TraceWriter::TraceWriter(const std::string& path) : file_(std::fopen(path.c_str(), "w")) {
+namespace {
+
+// The resume path: keep the previous legs' rows up to the checkpoint
+// boundary, drop everything past it. Rows above the boundary are windows a
+// preempted/failed leg traced beyond its last checkpoint — the new leg
+// replays exactly those windows, so keeping the old rows would write every
+// replayed window twice and break the monotone round-trip parse.
+std::string rows_at_or_below(const std::string& path, std::uint64_t base_photons) {
+  std::ifstream in(path);
+  if (!in) return std::string();
+  std::ostringstream kept;
+  std::string line;
+  while (std::getline(in, line)) {
+    SpeedPoint sp;
+    MemoryPoint mp;
+    std::uint64_t photons;
+    if (TraceWriter::parse(line, sp)) {
+      photons = sp.photons;
+    } else if (TraceWriter::parse(line, mp)) {
+      photons = mp.photons;
+    } else {
+      continue;  // foreign line; a rewritten trace file carries only points
+    }
+    if (photons <= base_photons) kept << line << '\n';
+  }
+  return kept.str();
+}
+
+}  // namespace
+
+// "w", not "a": each fresh run owns its trace file — a stale file from a
+// previous run must not prefix this one (the photon sequence would reset
+// mid-file and break monotonic consumers). A resumed leg (base_photons > 0)
+// instead rewrites the file with the rows at or below the checkpoint
+// boundary and appends after them.
+TraceWriter::TraceWriter(const std::string& path, std::uint64_t base_photons) {
+  std::string kept;
+  if (base_photons > 0) kept = rows_at_or_below(path, base_photons);
+  file_ = std::fopen(path.c_str(), "w");
   if (!file_) {
     // The run proceeds (telemetry must never kill a simulation), but losing
     // the trace silently would defeat the flag's purpose — say so up front,
     // not after the multi-hour run.
     std::fprintf(stderr, "warning: cannot open trace file '%s'; speed trace disabled\n",
                  path.c_str());
+    return;
+  }
+  if (!kept.empty()) {
+    std::fwrite(kept.data(), 1, kept.size(), file_);
+    std::fflush(file_);
   }
 }
 

@@ -40,9 +40,16 @@ struct MemoryPoint {
 // precision) so long runs stop accumulating telemetry in RAM. The two line
 // shapes interleave freely; each parse() overload skips the other's lines.
 // Opened by SpeedSampler when RunConfig::trace_path is set.
+//
+// `base_photons` is the resume boundary: 0 (a fresh run) truncates any stale
+// file; a resumed/continued leg instead keeps the existing rows at or below
+// the boundary and appends after them. Rows ABOVE the boundary are dropped —
+// they are windows the previous (preempted or failed) leg traced past the
+// checkpoint, which this leg is about to replay; keeping them would duplicate
+// every replayed window in the file and break the round-trip parse.
 class TraceWriter {
  public:
-  explicit TraceWriter(const std::string& path);
+  explicit TraceWriter(const std::string& path, std::uint64_t base_photons = 0);
   ~TraceWriter();
   TraceWriter(const TraceWriter&) = delete;
   TraceWriter& operator=(const TraceWriter&) = delete;
@@ -70,11 +77,21 @@ class TraceWriter {
 // Constructed with a non-empty `trace_path`, every point streams to that file
 // through a TraceWriter instead of accumulating in the in-memory trace; the
 // returned SpeedTrace then carries only the totals.
+// The sampler's points are leg-relative (photon counts since this run/resume
+// started) — that is what RunResult::trace reports. The FILE rows are
+// absolute: on a resumed leg, pass the checkpoint's photon count as
+// `base_photons` and every streamed row is offset by it, continuing the
+// previous leg's rows monotonically instead of resetting (or duplicating
+// replayed windows) mid-file.
 class SpeedSampler {
  public:
   SpeedSampler() : start_(std::chrono::steady_clock::now()) {}
-  explicit SpeedSampler(const std::string& trace_path) : SpeedSampler() {
-    if (!trace_path.empty()) writer_ = std::make_unique<TraceWriter>(trace_path);
+  explicit SpeedSampler(const std::string& trace_path, std::uint64_t base_photons = 0)
+      : SpeedSampler() {
+    base_photons_ = base_photons;
+    if (!trace_path.empty()) {
+      writer_ = std::make_unique<TraceWriter>(trace_path, base_photons);
+    }
   }
 
   double elapsed() const {
@@ -91,7 +108,7 @@ class SpeedSampler {
     last_photons_ = done;
     have_points_ = true;
     if (writer_) {
-      writer_->write(p);
+      writer_->write(SpeedPoint{p.time_s, base_photons_ + done, p.rate});
     } else {
       trace_.points.push_back(p);
     }
@@ -101,11 +118,10 @@ class SpeedSampler {
   // trace file when one is open — a multi-hour run's memory curve no longer
   // grows resident memory either — otherwise accumulated for take_memory().
   void sample_memory(std::uint64_t photons, std::uint64_t bytes) {
-    const MemoryPoint p{photons, bytes};
     if (writer_) {
-      writer_->write(p);
+      writer_->write(MemoryPoint{base_photons_ + photons, bytes});
     } else {
-      memory_.push_back(p);
+      memory_.push_back(MemoryPoint{photons, bytes});
     }
   }
 
@@ -128,6 +144,7 @@ class SpeedSampler {
   SpeedTrace trace_;
   std::vector<MemoryPoint> memory_;
   std::unique_ptr<TraceWriter> writer_;
+  std::uint64_t base_photons_ = 0;
   std::uint64_t last_photons_ = 0;
   bool have_points_ = false;
 };

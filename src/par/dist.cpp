@@ -51,7 +51,7 @@ RunResult run_distributed(const Scene& scene, const RunConfig& config,
   run_world(nranks, world_options, [&](Comm& comm) {
     const int rank = comm.rank();
     const int P = comm.size();
-    SpeedSampler sampler(rank == 0 ? config.trace_path : std::string());
+    SpeedSampler sampler(rank == 0 ? config.trace_path : std::string(), resume_emitted);
 
     BinForest forest(scene.patch_count(), config.policy);
     const Emitter emitter(scene);
@@ -157,7 +157,7 @@ RunResult run_distributed(const Scene& scene, const RunConfig& config,
       }
       prev_agreed = agreed;
       comm.fault_point(FaultPoint::kAfterBatch, batch_index);
-      Progress::instance().tick("dist-particle", batch_index);
+      progress_tick(config, "dist-particle", batch_index);
       ++batch_index;
 
       // Governed stop agreement: one unconditional allreduce of the packed
@@ -167,8 +167,9 @@ RunResult run_distributed(const Scene& scene, const RunConfig& config,
       // because MiniMPI collectives pair anonymously across ranks.
       if (config.governed) {
         const std::uint64_t sum = comm.allreduce_sum_u64(
-            encode_stop_word(preempt_requested(), forest.memory_bytes()));
+            encode_stop_word(preempt_requested(config), forest.memory_bytes()));
         if (stop_word_preempted(sum)) {
+          acknowledge_preempt(config);  // idempotent across ranks
           local_status = RunStatus::kPreempted;
           break;
         }

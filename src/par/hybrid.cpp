@@ -75,7 +75,7 @@ RunResult run_hybrid(const Scene& scene, const RunConfig& config, const RunResul
   run_world(G, world_options, [&](Comm& comm) {
     const int rank = comm.rank();
     const int P = comm.size();
-    SpeedSampler sampler(rank == 0 ? config.trace_path : std::string());
+    SpeedSampler sampler(rank == 0 ? config.trace_path : std::string(), first_photon);
 
     BinForest forest(scene.patch_count(), config.policy);
     const Emitter emitter(scene);
@@ -190,7 +190,7 @@ RunResult run_hybrid(const Scene& scene, const RunConfig& config, const RunResul
       if (rank == 0) sampler.sample_at(agreed, window_end - first_photon);
 
       comm.fault_point(FaultPoint::kAfterBatch, window_index);
-      Progress::instance().tick("hybrid", window_index);
+      progress_tick(config, "hybrid", window_index);
       ++window_index;
       window_start = window_end;
 
@@ -202,8 +202,9 @@ RunResult run_hybrid(const Scene& scene, const RunConfig& config, const RunResul
       // skipping it would mispair another rank's barrier.
       if (config.governed) {
         const std::uint64_t sum = comm.allreduce_sum_u64(
-            encode_stop_word(preempt_requested(), forest.memory_bytes()));
+            encode_stop_word(preempt_requested(config), forest.memory_bytes()));
         if (stop_word_preempted(sum)) {
+          acknowledge_preempt(config);  // idempotent across ranks
           local_status = RunStatus::kPreempted;
           break;
         }
@@ -268,7 +269,7 @@ RunResult run_hybrid(const Scene& scene, const RunConfig& config, const RunResul
       if (rank == 0) {
         result.forest = std::move(forest);
         result.balance = balance;
-        result.trace = sampler.finish(config.photons);
+        result.trace = sampler.finish(window_start - first_photon);
         result.status = local_status;  // identical on every rank (same sum)
       }
     }

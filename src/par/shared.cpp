@@ -59,7 +59,7 @@ RunResult run_shared(const Scene& scene, const RunConfig& config,
   result.pool.worker_steals.assign(static_cast<std::size_t>(T), 0);
 
   WorkerPool& pool = WorkerPool::instance();
-  SpeedSampler sampler(config.trace_path);
+  SpeedSampler sampler(config.trace_path, first_photon);
 
   // Batch windows bound the record-buffer footprint (and give the speed
   // trace one point per window); the drain order makes the forest identical
@@ -110,12 +110,13 @@ RunResult run_shared(const Scene& scene, const RunConfig& config,
 
     sampler.sample(window_end - first_photon);
     window_start = window_end;
-    Progress::instance().tick("shared", window_end);
+    progress_tick(config, "shared", window_end);
     if (config.governed) {
       // Stop at the window boundary: every id below window_end is traced and
       // drained, so the partial result is the same window-aligned checkpoint
       // a count-bounded run would have produced.
-      if (preempt_requested()) {
+      if (preempt_requested(config)) {
+        acknowledge_preempt(config);
         result.status = RunStatus::kPreempted;
         break;
       }
@@ -127,7 +128,9 @@ RunResult run_shared(const Scene& scene, const RunConfig& config,
     }
   }
 
-  result.trace = sampler.finish(config.photons);
+  // Finish at the count actually traced: a governed stop ends the leg early,
+  // and the terminal trace point must not claim photons never traced.
+  result.trace = sampler.finish(window_start - first_photon);
 
   result.per_thread_traced.assign(static_cast<std::size_t>(T), 0);
   result.pool.worker_photons.assign(static_cast<std::size_t>(T), 0);

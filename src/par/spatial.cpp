@@ -223,7 +223,7 @@ RunResult run_spatial(const Scene& scene, const RunConfig& config, const RunResu
   run_world(nranks, world_options, [&](Comm& comm) {
     const int rank = comm.rank();
     const int P = comm.size();
-    SpeedSampler sampler(rank == 0 ? config.trace_path : std::string());
+    SpeedSampler sampler(rank == 0 ? config.trace_path : std::string(), resume_emitted);
     const Aabb my_region = result.regions[static_cast<std::size_t>(rank)];
 
     // Local geometry: only the patches overlapping this region get indexed.
@@ -239,7 +239,7 @@ RunResult run_spatial(const Scene& scene, const RunConfig& config, const RunResu
     // structure is bitwise-equivalent, so region handoffs stay exact.
     const std::unique_ptr<AccelStructure> local_tree = make_accel(config.accel);
     local_tree->build(local_patches);
-    Progress::instance().tick("accel-build", local_patches.size());
+    progress_tick(config, "accel-build", local_patches.size());
 
     // Tree ownership by patch centroid region.
     std::vector<int> tree_owner(scene.patch_count());
@@ -399,8 +399,9 @@ RunResult run_spatial(const Scene& scene, const RunConfig& config, const RunResu
       // ranks flip `stopping` on the same round.
       if (config.governed && !stopping) {
         const std::uint64_t sum = comm.allreduce_sum_u64(
-            encode_stop_word(preempt_requested(), forest.memory_bytes()));
+            encode_stop_word(preempt_requested(config), forest.memory_bytes()));
         if (stop_word_preempted(sum)) {
+          acknowledge_preempt(config);  // idempotent across ranks
           stopping = true;
           local_status = RunStatus::kPreempted;
         } else if (stop_word_over_budget(sum, config.memory_budget)) {
@@ -423,7 +424,7 @@ RunResult run_spatial(const Scene& scene, const RunConfig& config, const RunResu
         sampler.sample(global_injected);
       }
       comm.fault_point(FaultPoint::kAfterBatch, round_index);
-      Progress::instance().tick("dist-spatial", round_index);
+      progress_tick(config, "dist-spatial", round_index);
       ++round_index;
       if (active == 0) break;
     }

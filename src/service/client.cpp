@@ -1,0 +1,67 @@
+#include "service/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace photon {
+
+ServiceClient::ServiceClient(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    error_ = "socket path too long: " + socket_path;
+    return;
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error_ = std::string("cannot create socket: ") + std::strerror(errno);
+    return;
+  }
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    error_ = "cannot connect to '" + socket_path + "': " + std::strerror(errno);
+    close(fd);
+    return;
+  }
+  fd_ = fd;
+}
+
+ServiceClient::~ServiceClient() {
+  if (fd_ >= 0) close(fd_);
+}
+
+bool ServiceClient::request(const std::string& line, std::string& response) {
+  if (fd_ < 0) return false;
+  std::string out = line;
+  out.push_back('\n');
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n = write(fd_, out.data() + off, out.size() - off);
+    if (n <= 0) {
+      error_ = std::string("write failed: ") + std::strerror(errno);
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+
+  response.clear();
+  char c;
+  for (;;) {
+    const ssize_t n = read(fd_, &c, 1);
+    if (n <= 0) {
+      if (!response.empty()) return true;  // reply without trailing newline
+      error_ = n == 0 ? "connection closed by the service"
+                      : std::string("read failed: ") + std::strerror(errno);
+      return false;
+    }
+    if (c == '\n') return true;
+    response.push_back(c);
+  }
+}
+
+}  // namespace photon

@@ -1,0 +1,31 @@
+// A minimal blocking client for the service socket: connect, send one
+// request line, read one JSON response line. Used by the CLI's
+// submit/status/cancel commands and the service tests; error handling is
+// return-code style because a client failure is an I/O condition to report,
+// not an engine invariant to throw over.
+#pragma once
+
+#include <string>
+
+namespace photon {
+
+class ServiceClient {
+ public:
+  explicit ServiceClient(const std::string& socket_path);
+  ~ServiceClient();
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  bool ok() const { return fd_ >= 0; }
+  const std::string& error() const { return error_; }
+
+  // Sends `line` (newline appended) and fills `response` with the
+  // newline-stripped reply. False on I/O failure; error() says why.
+  bool request(const std::string& line, std::string& response);
+
+ private:
+  int fd_ = -1;
+  std::string error_;
+};
+
+}  // namespace photon

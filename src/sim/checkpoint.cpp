@@ -1,10 +1,13 @@
 #include "sim/checkpoint.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <istream>
 #include <sstream>
 #include <streambuf>
+
+#include <unistd.h>
 
 namespace photon {
 
@@ -71,11 +74,31 @@ void save_checkpoint(const RunResult& result, std::ostream& out) {
   write_u64(out, fnv1a64(bytes.data(), bytes.size()));
 }
 
+// Atomic replace: serialize to <path>.tmp, flush + fsync, then rename over
+// the target. The previous checkpoint stays loadable through any crash, kill,
+// or watchdog emergency save mid-write — rename is the only step that touches
+// the final path, and POSIX rename is atomic. A failure at any step removes
+// the tmp file and leaves the target untouched.
 bool save_checkpoint(const RunResult& result, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
+  std::ostringstream staged(std::ios::binary);
+  save_checkpoint(result, staged);
+  const std::string bytes = staged.str();
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
   if (!out) return false;
-  save_checkpoint(result, out);
-  return static_cast<bool>(out);
+  const bool wrote =
+      std::fwrite(bytes.data(), 1, bytes.size(), out) == bytes.size() &&
+      std::fflush(out) == 0 && fsync(fileno(out)) == 0;
+  if (std::fclose(out) != 0 || !wrote) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 const char* checkpoint_status_name(CheckpointStatus status) {

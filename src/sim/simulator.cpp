@@ -36,7 +36,8 @@ RunResult run_serial(const Scene& scene, const RunConfig& config,
   const Tracer tracer(scene, config.limits);
   ForestSink sink(result.forest);
 
-  SpeedSampler sampler(config.trace_path);
+  SpeedSampler sampler(config.trace_path,
+                       resume_from ? resume_from->counters.emitted : 0);
   BatchController controller(config.batch_policy);
   std::uint64_t done = 0;
   double prev_t = 0.0;
@@ -60,10 +61,11 @@ RunResult run_serial(const Scene& scene, const RunConfig& config,
       controller.update(batch_time > 0.0 ? static_cast<double>(batch) / batch_time : 0.0);
     }
     prev_t = t;
-    Progress::instance().tick("serial", done);
+    progress_tick(config, "serial", done);
     if (config.max_seconds > 0.0 && t >= config.max_seconds) break;
     if (config.governed) {
-      if (preempt_requested()) {
+      if (preempt_requested(config)) {
+        acknowledge_preempt(config);
         result.status = RunStatus::kPreempted;
         break;
       }

@@ -5,9 +5,14 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "geom/scenes.hpp"
 #include "par/dist.hpp"
@@ -279,6 +284,70 @@ TEST(CheckpointStatusTest, NamesAreStable) {
                "checksum-mismatch");
   EXPECT_STREQ(checkpoint_status_name(CheckpointStatus::kBadRankSection),
                "bad-rank-section");
+}
+
+// --- Atomic writes: save_checkpoint(path) stages to <path>.tmp, fsyncs, and
+// renames. A process killed mid-write must never leave the PATH itself
+// damaged — the previous generation survives, because losing the old
+// checkpoint to a crash during the new one's write is exactly the failure a
+// checkpoint exists to prevent.
+
+TEST(CheckpointAtomicity, KillMidWriteNeverDamagesThePreviousFile) {
+  const Scene s = scenes::cornell_box();
+  RunConfig small;
+  small.photons = 4000;
+  const RunResult old_result = run_serial(s, small);
+  RunConfig big;
+  big.photons = 20000;
+  const RunResult new_result = run_serial(s, big);
+
+  const std::string path = ::testing::TempDir() + "/atomic.ck";
+  ASSERT_TRUE(save_checkpoint(old_result, path));
+
+  for (int trial = 0; trial < 8; ++trial) {
+    const pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+      // Overwrite forever; the parent SIGKILLs us at an arbitrary point —
+      // possibly mid-fwrite, mid-fsync, or between fsync and rename.
+      for (;;) save_checkpoint(new_result, path);
+    }
+    usleep(static_cast<useconds_t>(1000 * (3 * trial + 1)));
+    kill(child, SIGKILL);
+    int status = 0;
+    waitpid(child, &status, 0);
+
+    RunResult loaded;
+    ASSERT_EQ(load_checkpoint_status(path, loaded), CheckpointStatus::kOk) << "trial " << trial;
+    // Whole generations only — the old file or the new one, never a torn mix.
+    EXPECT_TRUE(loaded.counters.emitted == old_result.counters.emitted ||
+                loaded.counters.emitted == new_result.counters.emitted)
+        << "trial " << trial << ": emitted " << loaded.counters.emitted;
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST(CheckpointAtomicity, StaleTmpFromADeadWriterIsHarmless) {
+  const std::string path = ::testing::TempDir() + "/stale.ck";
+  {
+    std::ofstream tmp(path + ".tmp", std::ios::binary);
+    tmp << "half-written garbage from a crashed process";
+  }
+
+  const Scene s = scenes::cornell_box();
+  RunConfig cfg;
+  cfg.photons = 4000;
+  const RunResult r = run_serial(s, cfg);
+  ASSERT_TRUE(save_checkpoint(r, path));
+
+  RunResult loaded;
+  EXPECT_EQ(load_checkpoint_status(path, loaded), CheckpointStatus::kOk);
+  EXPECT_EQ(loaded.counters.emitted, r.counters.emitted);
+  // The tmp staging file was consumed by the rename, not left behind.
+  std::ifstream leftover(path + ".tmp");
+  EXPECT_FALSE(leftover.good());
+  std::remove(path.c_str());
 }
 
 TEST(CheckpointFuzz, TrailingGarbageAfterAValidPayloadStillLoads) {

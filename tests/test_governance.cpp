@@ -363,6 +363,83 @@ TEST(Governance, DistributedOverBudgetStopsEveryRankTogether) {
   }
 }
 
+// ---- Per-run governance scope (RunControl) ---------------------------------
+
+TEST(RunControlScope, BackToBackGovernedRunsDoNotInheritTheVote) {
+  // The regression that blocked the service: a preempt vote delivered to run
+  // 1 used to stay latched, so run 2 in the same process stopped instantly
+  // unless the caller remembered to clear the flag. Committing to
+  // kPreempted now CONSUMES the vote — the second run must complete with no
+  // manual clear in between, on every backend.
+  for (const std::string& name : all_backends()) {
+    const auto backend = make_backend(name);
+    RunConfig cfg = gov_config();
+    if (name == "dist-spatial") cfg.workers = 1;
+    cfg.governed = true;
+    cfg.control = std::make_shared<RunControl>();
+
+    cfg.control->request_preempt();
+    const RunResult first = backend->run(small_scene(), cfg, nullptr);
+    EXPECT_EQ(first.status, RunStatus::kPreempted) << name;
+    ASSERT_LT(first.counters.emitted, kPhotons) << name;
+
+    const RunResult second = backend->run(small_scene(), cfg, nullptr);
+    EXPECT_EQ(second.status, RunStatus::kComplete) << name;
+    EXPECT_EQ(second.counters.emitted, kPhotons) << name;
+  }
+}
+
+TEST(RunControlScope, GlobalVoteIsAlsoConsumedOnPreempt) {
+  // Same contract on the process-global path (no control attached): the CLI
+  // rerun-after-SIGTERM flow depends on it.
+  const auto backend = make_backend("serial");
+  RunConfig cfg = gov_config();
+  cfg.governed = true;
+  request_preempt();
+  const RunResult first = backend->run(small_scene(), cfg, nullptr);
+  EXPECT_EQ(first.status, RunStatus::kPreempted);
+  const RunResult second = backend->run(small_scene(), cfg, nullptr);
+  EXPECT_EQ(second.status, RunStatus::kComplete);
+  clear_preempt();  // isolation, in case the first assertion failed
+}
+
+TEST(RunControlScope, ScopedPreemptNeverTouchesTheGlobalFlagOrASibling) {
+  // cancel(id) semantics: preempting one job's control stops that run only —
+  // the process flag stays clear and a sibling config is unaffected.
+  clear_preempt();
+  const auto backend = make_backend("shared");
+  RunConfig victim = gov_config();
+  victim.governed = true;
+  victim.control = std::make_shared<RunControl>();
+  RunConfig sibling = gov_config();
+  sibling.governed = true;
+  sibling.control = std::make_shared<RunControl>();
+
+  victim.control->request_preempt();
+  const RunResult stopped = backend->run(small_scene(), victim, nullptr);
+  EXPECT_EQ(stopped.status, RunStatus::kPreempted);
+  EXPECT_FALSE(preempt_requested()) << "scoped preempt leaked to the process flag";
+  EXPECT_FALSE(sibling.control->preempt_requested());
+
+  const RunResult untouched = backend->run(small_scene(), sibling, nullptr);
+  EXPECT_EQ(untouched.status, RunStatus::kComplete);
+}
+
+TEST(RunControlScope, EachRunTicksItsOwnBeacon) {
+  // A scoped run heartbeats its own Progress instance — the watchdog for job
+  // A must never be kept alive by job B's ticks. (Scoped ticks also pulse
+  // the process beacon so whole-process liveness still works; that is
+  // covered by Progress.EveryBackendTicksTheBeacon.)
+  RunConfig cfg = gov_config();
+  cfg.governed = true;
+  cfg.control = std::make_shared<RunControl>();
+  const auto idle = std::make_shared<RunControl>();
+  const auto backend = make_backend("serial");
+  (void)backend->run(small_scene(), cfg, nullptr);
+  EXPECT_GT(cfg.control->progress().total_ticks(), 0u);
+  EXPECT_EQ(idle->progress().total_ticks(), 0u);
+}
+
 // ---- Watchdog --------------------------------------------------------------
 
 TEST(Watchdog, FiresAfterDeadlinePlusGraceWithSnapshotAndEmergency) {

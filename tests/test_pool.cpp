@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
@@ -189,6 +191,67 @@ TEST(WorkerPool, ZeroChunksIsANoOp) {
   pool.run(0, 4, [&](std::uint64_t, int) { ran = true; }, &stats);
   EXPECT_FALSE(ran);
   EXPECT_EQ(stats.chunks, 0u);
+}
+
+TEST(WorkerPool, ManyConcurrentSubmittersStayCorrect) {
+  // The service shape: several jobs' batch windows multiplexed onto one pool
+  // from different threads. Every run must still execute its chunks exactly
+  // once and produce the deterministic per-chunk products.
+  WorkerPool pool(4);
+  const std::vector<std::uint64_t> reference = run_chunk_products(pool, 256, 2);
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 8; ++round) {
+        if (run_chunk_products(pool, 256, 2) != reference) ok = false;
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_TRUE(ok);
+}
+
+TEST(WorkerPool, ConcurrentExternalRunsDispatchInArrivalOrder) {
+  // Fair share for the service: the dispatch slot is a ticket queue, so
+  // concurrent submitters are served strictly in arrival order — a bare
+  // mutex would let the OS pick an arbitrary waiter and starve early
+  // arrivals. Arrival order is made unambiguous by staggering the
+  // submitters while a blocker run holds the slot.
+  WorkerPool pool(3);
+  std::atomic<bool> release{false};
+  std::atomic<bool> blocker_started{false};
+  std::thread blocker([&] {
+    pool.run(1, 1, [&](std::uint64_t, int) {
+      blocker_started = true;
+      while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    });
+  });
+  while (!blocker_started.load()) std::this_thread::yield();
+
+  std::mutex order_m;
+  std::vector<int> dispatch_order;
+  std::vector<std::thread> submitters;
+  for (int i = 0; i < 4; ++i) {
+    submitters.emplace_back([&, i] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(60 * (i + 1)));
+      pool.run(16, 2, [&](std::uint64_t c, int) {
+        if (c == 0) {  // chunk 0 runs exactly once per run — marks dispatch
+          std::lock_guard<std::mutex> lock(order_m);
+          dispatch_order.push_back(i);
+        }
+      });
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  release = true;
+  blocker.join();
+  for (std::thread& t : submitters) t.join();
+
+  ASSERT_EQ(dispatch_order.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(dispatch_order[static_cast<std::size_t>(i)], i) << "ticket order violated";
+  }
 }
 
 TEST(WorkerPool, ChunkCountGrid) {

@@ -7,10 +7,12 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "engine/backend.hpp"
+#include "engine/governor.hpp"
 #include "geom/scenes.hpp"
 
 namespace photon {
@@ -122,6 +124,96 @@ TEST(TraceStream, SerialRunStreamsItsMemoryCurve) {
   EXPECT_EQ(streamed.back().photons, cfg.photons);
   for (std::size_t i = 1; i < streamed.size(); ++i) {
     EXPECT_GE(streamed[i].bytes, streamed[i - 1].bytes) << "forest never shrinks";
+  }
+  std::remove(path.c_str());
+}
+
+// ---- Preempt -> resume replay (the JSONL duplication fix) ------------------
+
+TEST(TraceResume, ResumeDropsReplayedRowsAndKeepsTheFileMonotone) {
+  // The bug: a preempted leg left its rows in the file, and the resumed leg
+  // appended the SAME window indices again — the round-trip parse saw a
+  // sawtooth. The sampler now truncates to rows at-or-below the resume base
+  // and appends the new leg offset to ABSOLUTE photon counts.
+  const std::string path = ::testing::TempDir() + "/trace_resume.jsonl";
+  std::remove(path.c_str());
+
+  {
+    SpeedSampler leg1(path);
+    leg1.sample_at(0.25, 500);
+    leg1.sample_at(0.50, 1000);
+    leg1.sample_at(0.75, 1500);  // beyond where the resume will restart —
+    leg1.sample_memory(1500, 1u << 16);  // both kinds must be truncated
+    (void)leg1.finish(1500);
+  }
+  ASSERT_EQ(read_trace_file(path).size(), 3u);
+
+  // Resume from photon 1000: rows above the base are the replayed tail of a
+  // leg whose windows re-run, so they go; rows at or below it stay.
+  {
+    SpeedSampler leg2(path, 1000);
+    leg2.sample_at(0.30, 500);   // leg-relative; lands at absolute 1500
+    leg2.sample_at(0.55, 1000);  // absolute 2000
+    leg2.sample_memory(1000, 1u << 17);
+    (void)leg2.finish(1000);
+  }
+
+  const std::vector<SpeedPoint> rows = read_trace_file(path);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].photons, 500u);
+  EXPECT_EQ(rows[1].photons, 1000u);
+  EXPECT_EQ(rows[2].photons, 1500u);  // absolute, not leg-relative 500
+  EXPECT_EQ(rows[3].photons, 2000u);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GT(rows[i].photons, rows[i - 1].photons) << "row " << i;
+  }
+  const std::vector<MemoryPoint> memory = read_memory_file(path);
+  ASSERT_EQ(memory.size(), 1u);  // leg 1's row was above the base — replaced
+  EXPECT_EQ(memory[0].photons, 2000u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceResume, GovernedPreemptThenResumeRoundTripsExactly) {
+  // End to end on a real backend: preempt a governed run at the first window
+  // boundary, resume it through the same trace file, and require the file to
+  // parse to one strictly-monotone curve ending at the full budget — no
+  // duplicated windows, no phantom full-count terminal row from the
+  // preempted leg.
+  const std::string path = ::testing::TempDir() + "/trace_preempt.jsonl";
+  std::remove(path.c_str());
+
+  const Scene s = scenes::cornell_box();
+  const auto backend = make_backend("shared");
+  RunConfig cfg;
+  cfg.photons = 2000;
+  cfg.batch = 500;
+  cfg.workers = 2;
+  cfg.adapt_batch = false;
+  cfg.trace_path = path;
+  cfg.governed = true;
+  cfg.control = std::make_shared<RunControl>();
+
+  cfg.control->request_preempt();
+  const RunResult part = backend->run(s, cfg, nullptr);
+  ASSERT_EQ(part.status, RunStatus::kPreempted);
+  ASSERT_LT(part.counters.emitted, 2000u);
+  const std::vector<SpeedPoint> partial = read_trace_file(path);
+  ASSERT_FALSE(partial.empty());
+  // The preempted leg's last row reports what was actually traced — not the
+  // requested total.
+  EXPECT_EQ(partial.back().photons, part.counters.emitted);
+
+  RunConfig rest = cfg;
+  rest.photons = 2000 - part.counters.emitted;
+  const RunResult done = backend->run(s, rest, &part);
+  ASSERT_EQ(done.status, RunStatus::kComplete);
+
+  const std::vector<SpeedPoint> rows = read_trace_file(path);
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows.back().photons, 2000u);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GT(rows[i].photons, rows[i - 1].photons)
+        << "row " << i << ": replayed or duplicated window in the trace file";
   }
   std::remove(path.c_str());
 }
